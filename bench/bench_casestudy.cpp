@@ -1,0 +1,118 @@
+// Reproduces the §VIII-D case study: deploying 8 DNN service chains
+// (2x VGG16, 2x VGG19, 2x 28-layer CNN, 2x intrusion-detection CNN — 28
+// fragments) on 5 devices (2x OrangePi Zero, 2x Raspberry Pi A+, 1x
+// Raspberry Pi 3A+). The paper reports: initial loss 96.2%; 100-step
+// ChainNet optimization (3 s) -> 14.6%; simulation-based (10 min) -> 86.8%;
+// GAT -> 23.5%; GIN -> 94.7%.
+#include <chrono>
+#include <iostream>
+
+#include "search_common.h"
+#include "support/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_search(const chainnet::edge::EdgeSystem& sys,
+                  const chainnet::edge::Placement& initial,
+                  chainnet::optim::PlacementEvaluator& eval, int steps,
+                  std::uint64_t seed, const chainnet::queueing::SimConfig& ref,
+                  double* seconds) {
+  using namespace chainnet;
+  optim::SaConfig sa;
+  sa.max_steps = steps;
+  sa.seed = seed;
+  const auto start = Clock::now();
+  const auto result = optim::anneal(sys, initial, eval, sa);
+  *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  const double x =
+      optim::simulated_total_throughput(sys, result.best, ref);
+  return optim::loss_probability(sys, x);
+}
+
+}  // namespace
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Case study (SVIII-D): real-parameter deployment");
+  const auto& sc = bench::scale();
+
+  const auto sys = edge::case_study_system();
+  support::Table fleet({"device", "memory (KB)", "rate (GFLOP/s)"});
+  for (const auto& d : sys.devices) {
+    fleet.add_row({d.name, support::Table::num(d.memory_capacity, 0),
+                   support::Table::num(d.service_rate, 3)});
+  }
+  fleet.print(std::cout, "Device fleet");
+  std::cout << "chains: " << sys.num_chains() << ", fragments: "
+            << sys.total_fragments() << ", lambda_total = "
+            << support::Table::num(sys.total_arrival_rate(), 2) << "/s\n";
+
+  const auto initial = optim::initial_placement(sys);
+  const auto ref_cfg = bench::reference_sim_config(sys, 4242);
+  const double x0 = optim::simulated_total_throughput(sys, initial, ref_cfg);
+  const double initial_loss = optim::loss_probability(sys, x0);
+
+  support::Table results(
+      {"method", "loss probability", "search time (s)", "paper"});
+  results.add_row({"initial placement",
+                   support::Table::num(initial_loss, 3), "-", "0.962"});
+
+  const int steps = sc.sa_steps;
+
+  // ChainNet-driven search.
+  {
+    core::Surrogate surrogate(bench::model("chainnet"));
+    optim::SurrogateEvaluator eval(surrogate);
+    double secs = 0.0;
+    const double loss =
+        run_search(sys, initial, eval, steps, 5, ref_cfg, &secs);
+    results.add_row({"ChainNet (100 steps)", support::Table::num(loss, 3),
+                     support::Table::num(secs, 2), "0.146 (~3 s)"});
+  }
+  // GAT-driven search.
+  {
+    core::Surrogate surrogate(bench::model("gat_tput"));
+    optim::SurrogateEvaluator eval(surrogate);
+    double secs = 0.0;
+    const double loss =
+        run_search(sys, initial, eval, steps, 6, ref_cfg, &secs);
+    results.add_row({"GAT (100 steps)", support::Table::num(loss, 3),
+                     support::Table::num(secs, 2), "0.235"});
+  }
+  // GIN-driven search.
+  {
+    core::Surrogate surrogate(bench::model("gin_tput"));
+    optim::SurrogateEvaluator eval(surrogate);
+    double secs = 0.0;
+    const double loss =
+        run_search(sys, initial, eval, steps, 7, ref_cfg, &secs);
+    results.add_row({"GIN (100 steps)", support::Table::num(loss, 3),
+                     support::Table::num(secs, 2), "0.947"});
+  }
+  // Simulation-based search. The paper's JMT-driven search was capped at
+  // ~10 minutes, which bought it only a small fraction of the 100 steps
+  // (hence its 86.8% residual loss). We reproduce that regime by (i) giving
+  // the search evaluator JMT-like effort (many more collected samples per
+  // candidate) and (ii) capping the step count at a fifth of the budget.
+  {
+    auto slow_cfg = bench::search_sim_config(sys, 99);
+    slow_cfg.horizon *= 30.0;
+    optim::SimulationEvaluator eval(slow_cfg);
+    double secs = 0.0;
+    const double loss =
+        run_search(sys, initial, eval, steps / 5, 8, ref_cfg, &secs);
+    results.add_row({"simulation (time-capped, " +
+                         std::to_string(steps / 5) + " steps)",
+                     support::Table::num(loss, 3),
+                     support::Table::num(secs, 2), "0.868 (~600 s)"});
+  }
+
+  results.print(std::cout, "Case study results");
+  std::cout << "\nShape check: the initial ranked placement should lose most "
+               "jobs; ChainNet\nshould find the lowest-loss deployment, GAT "
+               "close behind, GIN far worse, and\nthe budget-matched "
+               "simulation search in between — at much higher cost.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Prints the experiment inputs (Table III generation parameters, Table IV
+// hyperparameters) and summary statistics of the generated datasets —
+// and, as the alphabetically first bench binary, warms the shared cache
+// (datasets are generated here; models are trained by later benches).
+#include <iostream>
+
+#include "common.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+void summarize(const char* name, const chainnet::gnn::Dataset& ds) {
+  using chainnet::support::RunningStats;
+  using chainnet::support::Table;
+  RunningStats chains, fragments, devices, nodes, tput_ratio, loss_share;
+  for (const auto& s : ds.samples) {
+    chains.add(static_cast<double>(s.system.num_chains()));
+    fragments.add(static_cast<double>(s.system.total_fragments()));
+    devices.add(static_cast<double>(s.placement.used_devices().size()));
+    nodes.add(static_cast<double>(s.graph_modified.num_nodes()));
+    for (std::size_t i = 0; i < s.throughput.size(); ++i) {
+      const double lambda = s.system.chains[i].arrival_rate;
+      tput_ratio.add(std::min(1.0, s.throughput[i] / lambda));
+      loss_share.add(s.throughput[i] < 0.95 * lambda ? 1.0 : 0.0);
+    }
+  }
+  Table t({"statistic", "mean", "min", "max"});
+  const auto row = [&](const char* label, const RunningStats& st) {
+    t.add_row({label, Table::num(st.mean(), 2), Table::num(st.min(), 2),
+               Table::num(st.max(), 2)});
+  };
+  row("# service chains", chains);
+  row("# fragments", fragments);
+  row("# used devices", devices);
+  row("# graph nodes", nodes);
+  row("X_i / lambda_i (ground truth)", tput_ratio);
+  row("share of chains with >5% loss", loss_share);
+  t.print(std::cout, name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Datasets: Table III inputs and label statistics");
+
+  support::Table t3({"parameter", "Type I", "Type II"});
+  t3.add_row({"max # devices", "10", "80"});
+  t3.add_row({"max # service chains", "3", "12"});
+  t3.add_row({"max # fragments per chain", "6", "12"});
+  t3.add_row({"mean interarrival time", "U(0.1,10)", "APH(2,5), floor 1"});
+  t3.add_row(
+      {"fragment processing time", "U(0,2)", "APH(0.1,10), floor 0.05"});
+  t3.add_row({"memory capacity", "50", "100"});
+  t3.print(std::cout, "Table III: network generation parameters");
+
+  summarize("Type I training set", bench::train_set());
+  summarize("Type I test set", bench::test_type1());
+  summarize("Type II test set", bench::test_type2());
+
+  std::cout << "\nGround truth comes from the discrete-event QN simulator "
+               "(JMT substitute);\nsee DESIGN.md for the substitution "
+               "rationale.\n";
+  return 0;
+}

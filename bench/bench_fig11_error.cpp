@@ -1,0 +1,107 @@
+// Reproduces Fig. 11: (a)-(b) MAPE of throughput and latency predictions on
+// the Type I and Type II test sets; (c)-(d) APE distribution percentiles.
+// Also emits CSV series (fig11_*.csv in the cache dir) for external
+// plotting, and a service-time sensitivity row (exponential vs
+// deterministic ground truth) documented in DESIGN.md as an extra.
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "gnn/metrics.h"
+#include "support/table.h"
+
+namespace {
+
+struct Row {
+  std::string label;
+  chainnet::gnn::ApeSummary tput1, lat1, tput2, lat2;
+};
+
+}  // namespace
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Fig. 11: MAPE and APE distributions");
+
+  struct Entry {
+    const char* label;
+    const char* tput_model;
+    const char* lat_model;
+  };
+  const std::vector<Entry> entries = {
+      {"ChainNet", "chainnet", "chainnet"},
+      {"GIN", "gin_tput", "gin_lat"},
+      {"GAT", "gat_tput", "gat_lat"},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& e : entries) {
+    Row row;
+    row.label = e.label;
+    auto& tm = bench::model(e.tput_model);
+    row.tput1 = gnn::summarize(
+        gnn::throughput_apes(gnn::evaluate(tm, bench::test_type1())));
+    row.tput2 = gnn::summarize(
+        gnn::throughput_apes(gnn::evaluate(tm, bench::test_type2())));
+    auto& lm = bench::model(e.lat_model);
+    row.lat1 = gnn::summarize(
+        gnn::latency_apes(gnn::evaluate(lm, bench::test_type1())));
+    row.lat2 = gnn::summarize(
+        gnn::latency_apes(gnn::evaluate(lm, bench::test_type2())));
+    rows.push_back(row);
+  }
+
+  support::Table mape({"model", "I tput MAPE", "I lat MAPE", "II tput MAPE",
+                       "II lat MAPE"});
+  for (const auto& r : rows) {
+    mape.add_row({r.label, support::Table::num(r.tput1.mape),
+                  support::Table::num(r.lat1.mape),
+                  support::Table::num(r.tput2.mape),
+                  support::Table::num(r.lat2.mape)});
+  }
+  mape.print(std::cout, "Fig. 11a-b: MAPE (lower is better)");
+
+  support::Table dist({"model", "metric", "set", "p50", "p75", "p95", "p99"});
+  const auto add_dist = [&](const std::string& label, const char* metric,
+                            const char* set, const gnn::ApeSummary& s) {
+    dist.add_row({label, metric, set, support::Table::num(s.p50),
+                  support::Table::num(s.p75), support::Table::num(s.p95),
+                  support::Table::num(s.p99)});
+  };
+  for (const auto& r : rows) {
+    add_dist(r.label, "tput", "I", r.tput1);
+    add_dist(r.label, "tput", "II", r.tput2);
+    add_dist(r.label, "lat", "I", r.lat1);
+    add_dist(r.label, "lat", "II", r.lat2);
+  }
+  dist.print(std::cout, "Fig. 11c-d: APE distribution percentiles");
+
+  // CSV for plotting.
+  support::CsvWriter csv(bench::cache_dir() + "/fig11_mape.csv",
+                         {"model", "tput_I", "lat_I", "tput_II", "lat_II"});
+  for (const auto& r : rows) {
+    csv.row(std::vector<std::string>{
+        r.label, support::Table::num(r.tput1.mape, 6),
+        support::Table::num(r.lat1.mape, 6),
+        support::Table::num(r.tput2.mape, 6),
+        support::Table::num(r.lat2.mape, 6)});
+  }
+
+  // Error-reduction headline (paper: 48.0% tput / 64.2% latency vs the
+  // best baseline).
+  const double best_tput =
+      std::min(rows[1].tput2.mape + rows[1].tput1.mape,
+               rows[2].tput2.mape + rows[2].tput1.mape);
+  const double best_lat = std::min(rows[1].lat2.mape + rows[1].lat1.mape,
+                                   rows[2].lat2.mape + rows[2].lat1.mape);
+  const double cn_tput = rows[0].tput1.mape + rows[0].tput2.mape;
+  const double cn_lat = rows[0].lat1.mape + rows[0].lat2.mape;
+  std::cout << "\nError reduction vs best baseline (paper: 48.0% tput, "
+               "64.2% latency):\n"
+            << "  throughput: " << support::Table::num(
+                   100.0 * (1.0 - cn_tput / best_tput), 1)
+            << "%\n  latency:    "
+            << support::Table::num(100.0 * (1.0 - cn_lat / best_lat), 1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Reproduces Fig. 15 (and the fixed-steps group of Fig. 14b): both methods
+// run the SAME number of search steps (trials x steps); an accurate
+// surrogate should then track the simulation-based search closely while
+// being orders of magnitude faster (§VIII-C4b).
+#include <iostream>
+#include <vector>
+
+#include "search_common.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Fig. 15: fixed-steps surrogate optimization");
+  const auto& sc = bench::scale();
+
+  // The search surrogate is trained on the mixed in-domain set (see
+  // common.h search_train_set) — a documented small-scale substitution.
+  auto& chainnet_model = bench::model("chainnet_search");
+  core::Surrogate surrogate(chainnet_model);
+
+  support::Rng master(7771);
+  const int trials = sc.fixed_steps_trials;
+  const int total_steps = trials * sc.sa_steps;
+
+  // Step grid for the mean curves.
+  std::vector<int> grid_steps;
+  for (int f = 0; f <= 10; ++f) grid_steps.push_back(total_steps * f / 10);
+  std::vector<support::RunningStats> sim_loss(grid_steps.size());
+  std::vector<support::RunningStats> cn_loss(grid_steps.size());
+  std::vector<support::RunningStats> sim_eta_curve(grid_steps.size());
+  std::vector<support::RunningStats> cn_eta_curve(grid_steps.size());
+  support::RunningStats eta_sim, eta_cn, eta_approx;
+  support::RunningStats secs_sim, secs_cn, secs_approx;
+
+  for (int p = 0; p < sc.fixed_steps_problems; ++p) {
+    const auto sys = edge::generate_placement_problem(
+        edge::PlacementProblemParams::paper(
+            bench::device_count_for_problem(p)),
+        master);
+    const auto initial = optim::initial_placement(sys);
+    const auto ref_cfg = bench::reference_sim_config(sys, 300 + p);
+    const double x0 =
+        optim::simulated_total_throughput(sys, initial, ref_cfg);
+
+    optim::SaConfig sa;
+    sa.max_steps = sc.sa_steps;
+    sa.seed = 90 + static_cast<std::uint64_t>(p);
+    sa.record_best_placements = true;
+
+    optim::SimulationEvaluator sim_eval(
+        bench::search_sim_config(sys, 11 + p));
+    const auto sim_result =
+        optim::anneal_trials(sys, initial, sim_eval, sa, trials);
+    optim::SurrogateEvaluator cn_eval(surrogate);
+    const auto cn_result =
+        optim::anneal_trials(sys, initial, cn_eval, sa, trials);
+
+    // Extra (non-paper) series: the classical M/M/1/K decomposition as the
+    // search oracle — training-free and fast, but biased under sharing.
+    optim::ApproximationEvaluator approx_eval;
+    const auto approx_result =
+        optim::anneal_trials(sys, initial, approx_eval, sa, trials);
+
+    const double x_sim =
+        optim::simulated_total_throughput(sys, sim_result.best, ref_cfg);
+    const double x_cn =
+        optim::simulated_total_throughput(sys, cn_result.best, ref_cfg);
+    const double x_approx =
+        optim::simulated_total_throughput(sys, approx_result.best, ref_cfg);
+    eta_sim.add(optim::relative_loss_reduction(sys, x0, x_sim));
+    eta_cn.add(optim::relative_loss_reduction(sys, x0, x_cn));
+    eta_approx.add(optim::relative_loss_reduction(sys, x0, x_approx));
+    secs_sim.add(sim_result.seconds);
+    secs_cn.add(cn_result.seconds);
+    secs_approx.add(approx_result.seconds);
+
+    const auto cheap_cfg = bench::search_sim_config(sys, 13 + p);
+    for (std::size_t gi = 0; gi < grid_steps.size(); ++gi) {
+      const auto sim_best =
+          optim::best_at_steps(sim_result.trajectory, {grid_steps[gi]});
+      sim_loss[gi].add(optim::loss_probability(sys, sim_best[0]));
+      sim_eta_curve[gi].add(
+          optim::relative_loss_reduction(sys, x0, sim_best[0]));
+      // ChainNet decisions re-simulated per grid step (the paper reports
+      // simulated values for surrogate decisions).
+      const auto& placement =
+          bench::placement_at_step(cn_result, grid_steps[gi]);
+      const double x_grid =
+          optim::simulated_total_throughput(sys, placement, cheap_cfg);
+      cn_loss[gi].add(optim::loss_probability(sys, x_grid));
+      cn_eta_curve[gi].add(optim::relative_loss_reduction(sys, x0, x_grid));
+    }
+    std::cout << "problem " << p << ": sim "
+              << support::Table::num(sim_result.seconds, 2) << "s vs CN "
+              << support::Table::num(cn_result.seconds, 2) << "s for "
+              << total_steps << " steps\n";
+  }
+
+  support::Table headline({"method", "mean eta", "mean duration (s)"});
+  headline.add_row({"simulation-based", support::Table::num(eta_sim.mean(), 3),
+                    support::Table::num(secs_sim.mean(), 2)});
+  headline.add_row({"ChainNet-based", support::Table::num(eta_cn.mean(), 3),
+                    support::Table::num(secs_cn.mean(), 2)});
+  headline.add_row({"MM1K-decomposition (extra)",
+                    support::Table::num(eta_approx.mean(), 3),
+                    support::Table::num(secs_approx.mean(), 2)});
+  headline.print(std::cout,
+                 "Fig. 14b fixed-steps group (paper: ChainNet reaches 86.7% "
+                 "of the baseline eta; 30h vs 90s)");
+  if (eta_sim.mean() > 0.0) {
+    std::cout << "ChainNet reaches "
+              << support::Table::num(100.0 * eta_cn.mean() / eta_sim.mean(),
+                                     1)
+              << "% of the simulation-based quality at "
+              << support::Table::num(secs_sim.mean() /
+                                         std::max(secs_cn.mean(), 1e-9),
+                                     1)
+              << "x lower wall-clock cost\n";
+  }
+
+  support::Table curves({"step", "sim loss", "CN loss (sim)", "sim eta",
+                         "CN eta"});
+  support::CsvWriter csv(bench::cache_dir() + "/fig15_curves.csv",
+                         {"step", "sim_loss", "cn_loss", "sim_eta",
+                          "cn_eta"});
+  for (std::size_t gi = 0; gi < grid_steps.size(); ++gi) {
+    curves.add_row({std::to_string(grid_steps[gi]),
+                    support::Table::num(sim_loss[gi].mean(), 3),
+                    support::Table::num(cn_loss[gi].mean(), 3),
+                    support::Table::num(sim_eta_curve[gi].mean(), 3),
+                    support::Table::num(cn_eta_curve[gi].mean(), 3)});
+    csv.row({static_cast<double>(grid_steps[gi]), sim_loss[gi].mean(),
+             cn_loss[gi].mean(), sim_eta_curve[gi].mean(),
+             cn_eta_curve[gi].mean()});
+  }
+  curves.print(std::cout, "Fig. 15a-b: mean curves over search steps");
+  std::cout << "\nShape check: both curves should descend together (the "
+               "surrogate tracks the\nsimulation search), with tails that "
+               "flatten as randomization struggles to\nimprove the "
+               "incumbent (paper observation).\n";
+  return 0;
+}

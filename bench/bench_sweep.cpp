@@ -1,0 +1,50 @@
+// Extra experiment: ChainNet hyperparameter sensitivity. The paper reports
+// Table IV "after basic hyperparameter tuning"; this bench reproduces that
+// tuning axis by sweeping the embedding width and the number of
+// message-passing iterations N, reporting MAPE on both test sets.
+//
+// Expected shape: halving the width costs little; cutting the iterations
+// hurts more (information must propagate along the execution sequence),
+// and a single iteration clearly degrades Type II (long chains).
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "gnn/metrics.h"
+#include "support/table.h"
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Extra: ChainNet hyperparameter sweep (Table IV)");
+
+  struct Entry {
+    const char* label;
+    const char* model;
+  };
+  const std::vector<Entry> entries = {
+      {"ChainNet (scale default)", "chainnet"},
+      {"half hidden width", "chainnet_half_hidden"},
+      {"half iterations", "chainnet_half_iters"},
+      {"single iteration", "chainnet_single_iter"},
+  };
+
+  support::Table table({"variant", "I tput MAPE", "I lat MAPE",
+                        "II tput MAPE", "II lat MAPE", "params"});
+  for (const auto& e : entries) {
+    auto& mdl = bench::model(e.model);
+    const auto e1 = gnn::evaluate(mdl, bench::test_type1());
+    const auto e2 = gnn::evaluate(mdl, bench::test_type2());
+    table.add_row(
+        {e.label,
+         support::Table::num(gnn::summarize(gnn::throughput_apes(e1)).mape),
+         support::Table::num(gnn::summarize(gnn::latency_apes(e1)).mape),
+         support::Table::num(gnn::summarize(gnn::throughput_apes(e2)).mape),
+         support::Table::num(gnn::summarize(gnn::latency_apes(e2)).mape),
+         std::to_string(mdl.parameter_count())});
+  }
+  table.print(std::cout, "Hyperparameter sensitivity");
+  std::cout << "\nShape check: fewer message-passing iterations should hurt "
+               "most on Type II\n(longer execution sequences need more "
+               "rounds for information to traverse).\n";
+  return 0;
+}

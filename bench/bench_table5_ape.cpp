@@ -1,0 +1,59 @@
+// Reproduces Table V: throughput APE percentiles (75th / 95th / 99th) on
+// the Type I and Type II test sets for ChainNet, GIN, GAT and the
+// raw-feature variants GIN* / GAT*.
+//
+// Expected shape (paper values for reference):
+//   ChainNet has the lowest percentiles in both columns; GIN degrades
+//   catastrophically on Type II; the starred (raw-feature) variants are
+//   the worst of each family.
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "gnn/metrics.h"
+#include "support/table.h"
+
+int main() {
+  using namespace chainnet;
+  bench::print_header("Table V: throughput APE percentiles");
+
+  const std::vector<std::string> models = {"chainnet",      "gin_tput",
+                                           "gat_tput",      "gin_star_tput",
+                                           "gat_star_tput", "gcn_tput"};
+  const std::vector<std::string> labels = {"ChainNet", "GIN",  "GAT",
+                                           "GIN*",     "GAT*", "GCN (extra)"};
+  // Paper Table V rows for side-by-side comparison.
+  const char* paper[5][6] = {
+      {"0.012", "0.108", "0.388", "0.011", "0.038", "0.144"},
+      {"0.035", "0.227", "0.688", "0.797", "0.961", "0.987"},
+      {"0.026", "0.219", "0.709", "0.014", "0.112", "0.346"},
+      {"0.065", "0.295", "0.945", "0.648", "1.132", "2.210"},
+      {"0.040", "0.287", "0.931", "0.083", "0.363", "1.258"},
+  };
+
+  support::Table table({"model", "I-75th", "I-95th", "I-99th", "II-75th",
+                        "II-95th", "II-99th"});
+  support::Table reference({"model", "I-75th", "I-95th", "I-99th", "II-75th",
+                            "II-95th", "II-99th"});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    auto& mdl = bench::model(models[m]);
+    const auto e1 = gnn::summarize(
+        gnn::throughput_apes(gnn::evaluate(mdl, bench::test_type1())));
+    const auto e2 = gnn::summarize(
+        gnn::throughput_apes(gnn::evaluate(mdl, bench::test_type2())));
+    table.add_row({labels[m], support::Table::num(e1.p75),
+                   support::Table::num(e1.p95), support::Table::num(e1.p99),
+                   support::Table::num(e2.p75), support::Table::num(e2.p95),
+                   support::Table::num(e2.p99)});
+    if (m < 5) {  // the paper has no GCN row
+      reference.add_row({labels[m], paper[m][0], paper[m][1], paper[m][2],
+                         paper[m][3], paper[m][4], paper[m][5]});
+    }
+  }
+  table.print(std::cout, "Measured (this run)");
+  reference.print(std::cout, "Paper Table V (reference)");
+  std::cout << "\nShape check: ChainNet percentiles should be the lowest in "
+               "each column;\nGIN should collapse on Type II; starred "
+               "variants should be the worst.\n";
+  return 0;
+}

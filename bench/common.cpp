@@ -1,0 +1,377 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/chainnet.h"
+#include "gnn/baselines.h"
+#include "support/rng.h"
+#include "tensor/serialize.h"
+
+namespace chainnet::bench {
+
+namespace fs = std::filesystem;
+using support::Rng;
+
+Scale Scale::from_env() {
+  Scale s;
+  const char* env = std::getenv("CHAINNET_SCALE");
+  const std::string requested = env ? env : "small";
+  if (requested == "small" || requested.empty()) {
+    return s;
+  }
+  if (requested == "medium") {
+    s.name = "medium";
+    s.train_samples = 2000;
+    s.test1_samples = 500;
+    s.test2_samples = 300;
+    s.arrivals_per_chain = 2000.0;
+    s.hidden = 48;
+    s.chainnet_iterations = 6;
+    s.gat_layers = 5;
+    s.gin_layers = 8;
+    s.epochs = 60;
+    s.fixed_time_problems = 10;
+    s.fixed_steps_problems = 6;
+    s.fixed_steps_trials = 10;
+    s.search_eval_arrivals = 1200.0;
+    s.reference_eval_arrivals = 4000.0;
+    return s;
+  }
+  if (requested == "paper") {
+    s.name = "paper";
+    s.train_samples = 50000;
+    s.test1_samples = 10000;
+    s.test2_samples = 10000;
+    s.arrivals_per_chain = 10000.0;
+    s.hidden = 64;
+    s.chainnet_iterations = 8;
+    s.gat_layers = 8;
+    s.gin_layers = 12;
+    s.epochs = 200;
+    s.batch_size = 128;
+    s.curve_validation_samples = 500;
+    s.fixed_time_problems = 100;
+    s.fixed_steps_problems = 100;
+    s.fixed_steps_trials = 30;
+    s.search_eval_arrivals = 20000.0;  // ~JMT's per-candidate effort
+    s.reference_eval_arrivals = 50000.0;
+    return s;
+  }
+  std::cerr << "CHAINNET_SCALE='" << requested
+            << "' not recognized; using 'small'\n";
+  return s;
+}
+
+const Scale& scale() {
+  static const Scale s = Scale::from_env();
+  return s;
+}
+
+std::string cache_dir() {
+  static const std::string dir = [] {
+    const fs::path p = fs::path("chainnet_cache") / scale().name;
+    fs::create_directories(p);
+    return p.string();
+  }();
+  return dir;
+}
+
+namespace {
+
+gnn::LabelingConfig labeling(std::uint64_t seed) {
+  gnn::LabelingConfig cfg;
+  cfg.arrivals_per_chain = scale().arrivals_per_chain;
+  cfg.seed = seed;
+  return cfg;
+}
+
+const gnn::Dataset& cached_dataset(const std::string& file,
+                                   const edge::NetworkGenParams& params,
+                                   int count, std::uint64_t seed) {
+  static std::map<std::string, gnn::Dataset> cache;
+  auto it = cache.find(file);
+  if (it != cache.end()) return it->second;
+  const std::string path = cache_dir() + "/" + file;
+  if (gnn::dataset_file_exists(path)) {
+    std::cerr << "[cache] loading " << path << "\n";
+    return cache.emplace(file, gnn::load_dataset(path)).first->second;
+  }
+  std::cerr << "[cache] generating " << count << " samples -> " << path
+            << "\n";
+  auto ds = gnn::generate_dataset(params, count, labeling(seed), seed);
+  gnn::save_dataset(ds, path);
+  return cache.emplace(file, std::move(ds)).first->second;
+}
+
+}  // namespace
+
+const gnn::Dataset& train_set() {
+  return cached_dataset("type1_train.bin", edge::NetworkGenParams::type1(),
+                        scale().train_samples, 1001);
+}
+
+const gnn::Dataset& test_type1() {
+  return cached_dataset("type1_test.bin", edge::NetworkGenParams::type1(),
+                        scale().test1_samples, 2002);
+}
+
+const gnn::Dataset& test_type2() {
+  return cached_dataset("type2_test.bin", edge::NetworkGenParams::type2(),
+                        scale().test2_samples, 3003);
+}
+
+const gnn::Dataset& search_train_set() {
+  static const gnn::Dataset ds = [] {
+    const std::string path = cache_dir() + "/search_train.bin";
+    if (gnn::dataset_file_exists(path)) {
+      std::cerr << "[cache] loading " << path << "\n";
+      return gnn::load_dataset(path);
+    }
+    const auto& sc = scale();
+    gnn::Dataset mixed;
+    // Type I portion: reuse the front of the standard training set.
+    const auto& base = train_set();
+    const auto type1_count =
+        std::min<std::size_t>(base.samples.size(),
+                              static_cast<std::size_t>(sc.train_samples / 2));
+    mixed.samples.assign(base.samples.begin(),
+                         base.samples.begin() +
+                             static_cast<std::ptrdiff_t>(type1_count));
+    // In-domain portion: random placements of Table-VII problems.
+    const int problem_count = sc.train_samples * 2 / 5;
+    std::cerr << "[cache] labeling " << problem_count
+              << " Table-VII placements -> " << path << "\n";
+    support::Rng rng(909090);
+    for (int n = 0; n < problem_count; ++n) {
+      const auto params = edge::PlacementProblemParams::paper(
+          20 + 20 * static_cast<int>(rng.uniform_int(0, 5)));
+      auto sys = edge::generate_placement_problem(params, rng);
+      auto placement = edge::random_placement(sys, rng);
+      gnn::LabelingConfig lc;
+      lc.arrivals_per_chain = sc.arrivals_per_chain / 2.0;
+      lc.seed = rng();
+      mixed.samples.push_back(
+          gnn::label_sample(std::move(sys), std::move(placement), lc));
+    }
+    gnn::save_dataset(mixed, path);
+    return mixed;
+  }();
+  return ds;
+}
+
+const gnn::Dataset& validation_subset() {
+  static const gnn::Dataset subset = [] {
+    gnn::Dataset ds;
+    const auto& full = test_type2();
+    const auto n = std::min<std::size_t>(
+        full.samples.size(),
+        static_cast<std::size_t>(scale().curve_validation_samples));
+    ds.samples.assign(full.samples.begin(),
+                      full.samples.begin() + static_cast<std::ptrdiff_t>(n));
+    return ds;
+  }();
+  return subset;
+}
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::unique_ptr<gnn::GraphModel> build_model(const std::string& name) {
+  Rng rng(name_seed(name));
+  const auto& sc = scale();
+
+  const auto chainnet_with = [&](core::ChainNetConfig cfg) {
+    cfg.hidden = sc.hidden;
+    cfg.iterations = sc.chainnet_iterations;
+    return std::make_unique<core::ChainNet>(cfg, rng);
+  };
+  if (name == "chainnet" || name == "chainnet_search") {
+    return chainnet_with(core::ChainNetConfig{});
+  }
+  // Hyperparameter-sweep variants (bench_sweep): override one knob each,
+  // relative to the scale's default ChainNet.
+  if (name == "chainnet_half_hidden") {
+    core::ChainNetConfig cfg;
+    cfg.hidden = std::max(4, sc.hidden / 2);
+    cfg.iterations = sc.chainnet_iterations;
+    return std::make_unique<core::ChainNet>(cfg, rng);
+  }
+  if (name == "chainnet_half_iters") {
+    core::ChainNetConfig cfg;
+    cfg.hidden = sc.hidden;
+    cfg.iterations = std::max(1, sc.chainnet_iterations / 2);
+    return std::make_unique<core::ChainNet>(cfg, rng);
+  }
+  if (name == "chainnet_single_iter") {
+    core::ChainNetConfig cfg;
+    cfg.hidden = sc.hidden;
+    cfg.iterations = 1;
+    return std::make_unique<core::ChainNet>(cfg, rng);
+  }
+  if (name == "chainnet_alpha") {
+    return chainnet_with(core::ChainNetConfig::ablation_alpha());
+  }
+  if (name == "chainnet_beta") {
+    return chainnet_with(core::ChainNetConfig::ablation_beta());
+  }
+  if (name == "chainnet_delta") {
+    return chainnet_with(core::ChainNetConfig::ablation_delta());
+  }
+  if (name == "chainnet_noattn") {
+    core::ChainNetConfig cfg;
+    cfg.attention_aggregation = false;
+    return chainnet_with(cfg);
+  }
+
+  gnn::BaselineConfig cfg;
+  cfg.hidden = sc.hidden;
+  cfg.heads = 2;
+  cfg.mode = name.find("star") != std::string::npos
+                 ? edge::FeatureMode::kOriginal
+                 : edge::FeatureMode::kModified;
+  cfg.head = name.find("_lat") != std::string::npos
+                 ? gnn::PredictionHead::kLatency
+                 : gnn::PredictionHead::kThroughput;
+  if (name.rfind("gat", 0) == 0) {
+    cfg.layers = sc.gat_layers;
+    return std::make_unique<gnn::Gat>(cfg, rng);
+  }
+  if (name.rfind("gin", 0) == 0) {
+    cfg.layers = sc.gin_layers;
+    return std::make_unique<gnn::Gin>(cfg, rng);
+  }
+  if (name.rfind("gcn", 0) == 0) {
+    cfg.layers = sc.gat_layers;
+    return std::make_unique<gnn::Gcn>(cfg, rng);
+  }
+  throw std::invalid_argument("bench: unknown model name '" + name + "'");
+}
+
+bool wants_validation_curve(const std::string& name) {
+  return name.rfind("chainnet", 0) == 0 && name != "chainnet_search";
+}
+
+/// The fig14/fig15 search surrogate trains on the mixed in-domain set; all
+/// accuracy-bench models train on the paper's Type-I set.
+bool wants_search_data(const std::string& name) {
+  return name.find("_search") != std::string::npos;
+}
+
+struct TrainedModel {
+  std::unique_ptr<gnn::GraphModel> model;
+  std::vector<std::pair<double, double>> curves;
+};
+
+void save_curves(const std::string& path,
+                 const std::vector<std::pair<double, double>>& curves) {
+  std::ofstream out(path);
+  out << "epoch,train_loss,val_loss\n";
+  for (std::size_t e = 0; e < curves.size(); ++e) {
+    out << e << ',' << curves[e].first << ',' << curves[e].second << '\n';
+  }
+}
+
+std::vector<std::pair<double, double>> load_curves(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::pair<double, double>> curves;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string epoch, train, val;
+    std::getline(ls, epoch, ',');
+    std::getline(ls, train, ',');
+    std::getline(ls, val, ',');
+    curves.emplace_back(std::stod(train), std::stod(val));
+  }
+  return curves;
+}
+
+TrainedModel& trained(const std::string& name) {
+  static std::map<std::string, TrainedModel> registry;
+  auto it = registry.find(name);
+  if (it != registry.end()) return it->second;
+
+  TrainedModel entry;
+  entry.model = build_model(name);
+  const std::string weights = cache_dir() + "/model_" + name + ".bin";
+  const std::string curves = cache_dir() + "/curves_" + name + ".csv";
+  if (tensor::is_parameter_file(weights)) {
+    std::cerr << "[cache] loading weights " << weights << "\n";
+    tensor::load_parameters(*entry.model, weights);
+    if (std::filesystem::exists(curves)) entry.curves = load_curves(curves);
+  } else {
+    const auto& sc = scale();
+    gnn::TrainConfig tc;
+    tc.epochs = sc.epochs;
+    tc.batch_size = sc.batch_size;
+    tc.seed = name_seed(name) ^ 0xbeef;
+    const gnn::Dataset& data =
+        wants_search_data(name) ? search_train_set() : train_set();
+    std::cerr << "[train] " << entry.model->name() << " ("
+              << entry.model->parameter_count() << " params, " << sc.epochs
+              << " epochs on " << data.size() << " samples"
+              << (wants_search_data(name) ? ", mixed search set" : "")
+              << ")\n";
+    const gnn::Dataset* val =
+        wants_validation_curve(name) ? &validation_subset() : nullptr;
+    const auto report = gnn::train(*entry.model, data, val, tc);
+    std::cerr << "[train] done in " << report.seconds << "s, final loss "
+              << report.train_loss.back() << "\n";
+    for (std::size_t e = 0; e < report.train_loss.size(); ++e) {
+      entry.curves.emplace_back(
+          report.train_loss[e],
+          e < report.val_loss.size()
+              ? report.val_loss[e]
+              : std::numeric_limits<double>::quiet_NaN());
+    }
+    tensor::save_parameters(*entry.model, weights);
+    save_curves(curves, entry.curves);
+  }
+  return registry.emplace(name, std::move(entry)).first->second;
+}
+
+}  // namespace
+
+gnn::GraphModel& model(const std::string& name) {
+  return *trained(name).model;
+}
+
+std::vector<std::pair<double, double>> loss_curves(const std::string& name) {
+  return trained(name).curves;
+}
+
+void print_header(const std::string& title) {
+  const auto& sc = scale();
+  std::cout << "\n################################################\n"
+            << "# " << title << "\n"
+            << "# scale=" << sc.name << " (CHAINNET_SCALE; paper values in"
+            << " parentheses)\n"
+            << "# hidden=" << sc.hidden << " (64), iterations="
+            << sc.chainnet_iterations << " (8), gat_layers=" << sc.gat_layers
+            << " (8), gin_layers=" << sc.gin_layers << " (12)\n"
+            << "# epochs=" << sc.epochs << " (200), batch=" << sc.batch_size
+            << " (128), adam lr=1e-3 decay 10%/10 epochs (Table IV)\n"
+            << "# train=" << sc.train_samples << " (50000), testI="
+            << sc.test1_samples << " (10000), testII=" << sc.test2_samples
+            << " (10000)\n"
+            << "################################################\n";
+}
+
+}  // namespace chainnet::bench

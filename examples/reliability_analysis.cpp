@@ -1,0 +1,85 @@
+// Link-reliability what-if analysis (the paper's §X link-failure
+// extension): sweep the per-hop transmission failure probability of a
+// deployed chain and compare the simulated end-to-end delivery rate with
+// the independence prediction (1 - q)^hops, then show how failures
+// interact with buffer loss at a congested hop.
+//
+// Usage: ./build/examples/reliability_analysis [hops]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+#include "support/table.h"
+
+using namespace chainnet;
+
+namespace {
+
+queueing::QnModel chain_with_failures(int hops, double per_hop_failure,
+                                      double bottleneck_capacity) {
+  queueing::QnModel qn;
+  queueing::ChainSpec chain;
+  chain.name = "pipeline";
+  chain.interarrival = std::make_unique<support::Exponential>(1.0);
+  for (int h = 0; h < hops; ++h) {
+    const bool bottleneck = h == hops - 1;
+    qn.stations.push_back({"hop" + std::to_string(h),
+                           bottleneck ? bottleneck_capacity : 1e6});
+    // Transmission into every hop after the first can fail.
+    chain.steps.emplace_back(h,
+                             std::make_unique<support::Exponential>(
+                                 bottleneck ? 0.6 : 0.1),
+                             1.0, /*exit=*/0.0,
+                             /*link failure=*/h == 0 ? 0.0 : per_hop_failure);
+  }
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int hops = argc > 1 ? std::atoi(argv[1]) : 4;
+  queueing::SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 31;
+
+  // Part 1: failures only (huge buffers): delivery = (1-q)^(hops-1).
+  support::Table independent(
+      {"per-hop failure", "simulated delivery", "(1-q)^(h-1)"});
+  for (const double q : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    const auto qn = chain_with_failures(hops, q, 1e6);
+    const auto r = queueing::simulate(qn, cfg);
+    independent.add_row(
+        {support::Table::num(q, 2),
+         support::Table::num(1.0 - r.chains[0].loss_probability, 4),
+         support::Table::num(std::pow(1.0 - q, hops - 1), 4)});
+  }
+  independent.print(std::cout,
+                    "Link failures, uncongested (independence law holds)");
+
+  // Part 2: failures + a congested final hop. Counter-intuitively, link
+  // failures upstream *relieve* the bottleneck, so total loss grows less
+  // than additively.
+  support::Table congested({"per-hop failure", "total loss",
+                            "link loss alone", "buffer loss alone"});
+  const auto buffer_only = queueing::simulate(
+      chain_with_failures(hops, 0.0, 4.0), cfg);
+  for (const double q : {0.0, 0.05, 0.1, 0.2}) {
+    const auto r =
+        queueing::simulate(chain_with_failures(hops, q, 4.0), cfg);
+    congested.add_row(
+        {support::Table::num(q, 2),
+         support::Table::num(r.chains[0].loss_probability, 4),
+         support::Table::num(1.0 - std::pow(1.0 - q, hops - 1), 4),
+         support::Table::num(buffer_only.chains[0].loss_probability, 4)});
+  }
+  congested.print(std::cout, "Link failures + congested final hop");
+  std::cout << "\nReading: with a congested hop, total loss is less than "
+               "the sum of the two\nmechanisms — upstream failures thin the "
+               "flow into the bottleneck. Loss-aware\nplanning must model "
+               "the interaction, not add the factors (paper SX).\n";
+  return 0;
+}

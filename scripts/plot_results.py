@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench drivers.
+
+The benches write their figure data to chainnet_cache/<scale>/*.csv; this
+script turns them into PNGs alongside the CSVs. Matplotlib is the only
+dependency and the script degrades gracefully when a CSV is missing.
+
+Usage: scripts/plot_results.py [cache_dir]   (default chainnet_cache/small)
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    return header, data
+
+
+def plot_fig11(plt, cache):
+    path = cache / "fig11_mape.csv"
+    if not path.exists():
+        return
+    header, data = read_csv(path)
+    models = [row[0] for row in data]
+    series = {name: [float(row[i + 1]) for row in data]
+              for i, name in enumerate(header[1:])}
+    fig, ax = plt.subplots(figsize=(7, 4))
+    x = range(len(models))
+    width = 0.2
+    for i, (name, values) in enumerate(series.items()):
+        ax.bar([v + (i - 1.5) * width for v in x], values, width, label=name)
+    ax.set_xticks(list(x), models)
+    ax.set_ylabel("MAPE")
+    ax.set_title("Fig. 11: MAPE by model and test set")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(cache / "fig11_mape.png", dpi=150)
+    print(f"wrote {cache / 'fig11_mape.png'}")
+
+
+def plot_fig13(plt, cache):
+    path = cache / "fig13_losscurves.csv"
+    if not path.exists():
+        return
+    header, data = read_csv(path)
+    epochs = [float(row[0]) for row in data]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for i, name in enumerate(header[1:]):
+        values = [float(row[i + 1]) for row in data]
+        style = "-" if name.endswith("train") else "--"
+        ax.plot(epochs, values, style, label=name)
+    ax.set_yscale("log")
+    ax.set_xlabel("epoch")
+    ax.set_ylabel("loss (log scale)")
+    ax.set_title("Fig. 13: training/validation loss, ChainNet + ablations")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(cache / "fig13_losscurves.png", dpi=150)
+    print(f"wrote {cache / 'fig13_losscurves.png'}")
+
+
+def plot_curves(plt, cache, stem, x_label, title):
+    path = cache / f"{stem}.csv"
+    if not path.exists():
+        return
+    header, data = read_csv(path)
+    xs = [float(row[0]) for row in data]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for i, name in enumerate(header[1:]):
+        values = [float(row[i + 1]) for row in data]
+        ax.plot(xs, values, marker="o", label=name)
+    ax.set_xlabel(x_label)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(cache / f"{stem}.png", dpi=150)
+    print(f"wrote {cache / (stem + '.png')}")
+
+
+def main():
+    cache = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                         else "chainnet_cache/small")
+    if not cache.is_dir():
+        sys.exit(f"cache directory {cache} not found; run the benches first")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib not available; CSVs remain usable as-is")
+    plot_fig11(plt, cache)
+    plot_fig13(plt, cache)
+    plot_curves(plt, cache, "fig14cd_curves", "fraction of time budget",
+                "Fig. 14c-d: fixed-time search")
+    plot_curves(plt, cache, "fig15_curves", "search step",
+                "Fig. 15: fixed-steps search")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,413 @@
+#include "core/chainnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/nn.h"
+#include "tensor/variable.h"
+
+namespace chainnet::core {
+
+using edge::FeatureMode;
+using edge::PlacementGraph;
+using gnn::ChainOutput;
+using support::Rng;
+using namespace chainnet::tensor;
+
+struct ChainNet::Impl : Module {
+  ChainNetConfig config;
+
+  // Per-type feature encoders (initial embeddings, Algorithm 2 line 1).
+  std::unique_ptr<Linear> enc_service;
+  std::unique_ptr<Linear> enc_fragment;
+  std::unique_ptr<Linear> enc_device;
+
+  // Update functions phi_C, phi_F, phi_D (GRU cells, §V-D4). Messages are
+  // concatenations of two H-dim embeddings, so the GRU input width is 2H.
+  std::unique_ptr<GruCell> phi_c;
+  std::unique_ptr<GruCell> phi_f;
+  std::unique_ptr<GruCell> phi_d;
+
+  // Attention parameters of f_multi (eq. 15-16), per head: scoring matrix
+  // W_att [H x 3H], scoring vector alpha [H], and the message transform
+  // W_msg [2H x 2H] applied inside the weighted sum.
+  struct AttentionHead {
+    Var w_att;
+    Var alpha;
+    Var w_msg;
+  };
+  std::vector<AttentionHead> attention;
+
+  // Output heads (eq. 12).
+  std::unique_ptr<Mlp> mlp_tput;
+  std::unique_ptr<Mlp> mlp_latency;
+
+  Impl(const ChainNetConfig& cfg, Rng& rng) : config(cfg) {
+    if (cfg.hidden <= 0 || cfg.iterations <= 0 || cfg.attention_heads <= 0) {
+      throw std::invalid_argument("ChainNetConfig: non-positive sizes");
+    }
+    const auto h = static_cast<std::size_t>(cfg.hidden);
+    enc_service = std::make_unique<Linear>(
+        static_cast<std::size_t>(edge::kServiceFeatureDim), h, rng,
+        "enc_service");
+    enc_fragment = std::make_unique<Linear>(
+        static_cast<std::size_t>(edge::kFragmentFeatureDim), h, rng,
+        "enc_fragment");
+    enc_device = std::make_unique<Linear>(
+        static_cast<std::size_t>(edge::kDeviceFeatureDim), h, rng,
+        "enc_device");
+    register_module("enc_service", enc_service.get());
+    register_module("enc_fragment", enc_fragment.get());
+    register_module("enc_device", enc_device.get());
+
+    phi_c = std::make_unique<GruCell>(2 * h, h, rng, "phi_c");
+    phi_f = std::make_unique<GruCell>(2 * h, h, rng, "phi_f");
+    phi_d = std::make_unique<GruCell>(2 * h, h, rng, "phi_d");
+    register_module("phi_c", phi_c.get());
+    register_module("phi_f", phi_f.get());
+    register_module("phi_d", phi_d.get());
+
+    for (int a = 0; a < cfg.attention_heads; ++a) {
+      const std::string base = "attn.h" + std::to_string(a);
+      AttentionHead head;
+      head.w_att = register_glorot(base + ".w_att", Shape{h, 3 * h}, rng);
+      head.alpha = register_glorot(base + ".alpha", Shape{h, 1}, rng);
+      head.w_msg = register_glorot(base + ".w_msg", Shape{2 * h, 2 * h}, rng);
+      attention.push_back(head);
+    }
+
+    const Activation out_act =
+        cfg.modified_outputs ? Activation::kSigmoid : Activation::kNone;
+    mlp_tput = std::make_unique<Mlp>(std::vector<std::size_t>{h, h, 1},
+                                     Activation::kRelu, out_act, rng,
+                                     "mlp_tput");
+    mlp_latency = std::make_unique<Mlp>(std::vector<std::size_t>{h, h, 1},
+                                        Activation::kRelu, out_act, rng,
+                                        "mlp_latency");
+    register_module("mlp_tput", mlp_tput.get());
+    register_module("mlp_latency", mlp_latency.get());
+  }
+
+  /// f_multi (eq. 14-16): attention-weighted sum of the per-step device
+  /// messages, given the device's previous-iteration embedding. Heads are
+  /// averaged. With attention ablated, a plain mean of messages is used.
+  Var aggregate_device_messages(const Var& device_prev,
+                                const std::vector<Var>& messages) {
+    if (messages.size() == 1) return messages.front();
+    if (!config.attention_aggregation) return mean_of(messages);
+    std::vector<Var> head_outputs;
+    head_outputs.reserve(attention.size());
+    for (const auto& head : attention) {
+      // Scores e(h_k, m_t) = alpha^T LeakyReLU(W [h_k || m_t]) (eq. 15).
+      std::vector<Var> scores;
+      scores.reserve(messages.size());
+      for (const auto& m : messages) {
+        const Var joint = concat({device_prev, m});
+        scores.push_back(
+            dot(head.alpha, leaky_relu(matvec(head.w_att, joint), 0.2)));
+      }
+      // Stable softmax over scalar scores (eq. 16); shifting by the
+      // detached max changes neither values nor gradients.
+      double max_score = scores.front().item();
+      for (const auto& s : scores) max_score = std::max(max_score, s.item());
+      std::vector<Var> exps;
+      exps.reserve(scores.size());
+      for (const auto& s : scores) {
+        exps.push_back(exp_(add_scalar(s, -max_score)));
+      }
+      const Var denom = sum_of(exps);
+      const Var inv_denom = exp_(neg(log_(denom)));
+      std::vector<Var> weights;
+      weights.reserve(exps.size());
+      for (const auto& e : exps) weights.push_back(mul(e, inv_denom));
+      // f_multi = sum_t alpha_kt * W m_t.
+      std::vector<Var> transformed;
+      transformed.reserve(messages.size());
+      for (const auto& m : messages) {
+        transformed.push_back(matvec(head.w_msg, m));
+      }
+      head_outputs.push_back(weighted_sum(weights, transformed));
+    }
+    return head_outputs.size() == 1 ? head_outputs.front()
+                                    : mean_of(head_outputs);
+  }
+
+  std::vector<ChainOutput> run(const PlacementGraph& g) {
+    const int num_steps = g.num_fragments();
+    const int num_devices = g.num_devices();
+
+    // Initial embeddings (Algorithm 2 line 1).
+    std::vector<Var> service(static_cast<std::size_t>(g.num_chains));
+    for (int i = 0; i < g.num_chains; ++i) {
+      service[static_cast<std::size_t>(i)] =
+          tanh_(enc_service->forward(Var::vector(g.service_features[i])));
+    }
+    std::vector<Var> fragment(static_cast<std::size_t>(num_steps));
+    for (int s = 0; s < num_steps; ++s) {
+      fragment[static_cast<std::size_t>(s)] =
+          tanh_(enc_fragment->forward(Var::vector(g.fragment_features[s])));
+    }
+    std::vector<Var> device(static_cast<std::size_t>(num_devices));
+    for (int n = 0; n < num_devices; ++n) {
+      device[static_cast<std::size_t>(n)] =
+          tanh_(enc_device->forward(Var::vector(g.device_features[n])));
+    }
+
+    // Service embedding at each step of the current iteration, used by the
+    // fragment (eq. 8) and device (eq. 10) messages.
+    std::vector<Var> service_at_step(static_cast<std::size_t>(num_steps));
+
+    for (int n = 0; n < config.iterations; ++n) {
+      // Snapshots of iteration n-1 (messages read stale embeddings).
+      const std::vector<Var> fragment_prev = fragment;
+      const std::vector<Var> device_prev = device;
+
+      // Chain pass (Algorithm 2 lines 3-11).
+      for (int i = 0; i < g.num_chains; ++i) {
+        Var h = service[static_cast<std::size_t>(i)];
+        for (int s : g.sequences[i]) {
+          const auto su = static_cast<std::size_t>(s);
+          const auto dn = static_cast<std::size_t>(g.steps[s].device_node);
+          // Eq. 6 then eq. 4.
+          const Var m_c = concat({fragment_prev[su], device_prev[dn]});
+          h = phi_c->forward(h, m_c);
+          service_at_step[su] = h;
+          // Eq. 8 then eq. 7.
+          const Var m_f = concat({h, device_prev[dn]});
+          fragment[su] = phi_f->forward(fragment_prev[su], m_f);
+        }
+        service[static_cast<std::size_t>(i)] = h;  // eq. 5
+      }
+
+      // Device pass (Algorithm 2 lines 12-15).
+      for (int dn = 0; dn < num_devices; ++dn) {
+        const auto dnu = static_cast<std::size_t>(dn);
+        std::vector<Var> messages;
+        messages.reserve(g.device_node_steps[dnu].size());
+        for (int s : g.device_node_steps[dnu]) {
+          const auto su = static_cast<std::size_t>(s);
+          // Eq. 10: m_D = [h_i^(n),j || h_j^(n-1)].
+          messages.push_back(
+              concat({service_at_step[su], fragment_prev[su]}));
+        }
+        const Var m_d = aggregate_device_messages(device_prev[dnu], messages);
+        device[dnu] = phi_d->forward(device_prev[dnu], m_d);
+      }
+    }
+
+    // Readout (eq. 12, Fig. 7).
+    std::vector<ChainOutput> outputs(static_cast<std::size_t>(g.num_chains));
+    for (int i = 0; i < g.num_chains; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      outputs[iu].throughput = mlp_tput->forward(service[iu]);
+      std::vector<Var> frags;
+      frags.reserve(g.sequences[i].size());
+      for (int s : g.sequences[i]) {
+        frags.push_back(fragment[static_cast<std::size_t>(s)]);
+      }
+      // §VI-B1 change (ii): mean readout generalizes to longer chains; the
+      // raw-output ablations revert to the original sum.
+      const Var h_latency =
+          config.modified_outputs ? mean_of(frags) : sum_of(frags);
+      outputs[iu].latency = mlp_latency->forward(h_latency);
+    }
+    return outputs;
+  }
+
+  // ------------------------------------------------------------------
+  // Inference-only path: identical computation over raw buffers, no
+  // autodiff graph. Kept structurally parallel to run() above; the
+  // equivalence is pinned by ChainNetFastInference tests.
+
+  using Vec = std::vector<double>;
+
+  static void raw_matvec(std::span<const double> w, std::span<const double> x,
+                         std::span<double> out) {
+    const std::size_t rows = out.size();
+    const std::size_t cols = x.size();
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      const double* row = w.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+      out[r] = acc;
+    }
+  }
+
+  /// f_multi over raw buffers; `out` has size 2H.
+  void aggregate_device_messages_values(const Vec& device_prev,
+                                        const std::vector<Vec>& messages,
+                                        Vec& out) {
+    const std::size_t two_h = messages.front().size();
+    if (messages.size() == 1) {
+      out = messages.front();
+      return;
+    }
+    if (!config.attention_aggregation) {
+      out.assign(two_h, 0.0);
+      for (const auto& m : messages) {
+        for (std::size_t j = 0; j < two_h; ++j) out[j] += m[j];
+      }
+      const double inv = 1.0 / static_cast<double>(messages.size());
+      for (auto& v : out) v *= inv;
+      return;
+    }
+    const std::size_t h = device_prev.size();
+    out.assign(two_h, 0.0);
+    Vec joint(3 * h), act(h), weights(messages.size()), transformed(two_h);
+    std::copy(device_prev.begin(), device_prev.end(), joint.begin());
+    for (const auto& head : attention) {
+      // Scores (eq. 15).
+      for (std::size_t t = 0; t < messages.size(); ++t) {
+        std::copy(messages[t].begin(), messages[t].end(),
+                  joint.begin() + static_cast<std::ptrdiff_t>(h));
+        raw_matvec(head.w_att.value(), joint, act);
+        for (auto& v : act) v = v > 0.0 ? v : 0.2 * v;  // LeakyReLU(0.2)
+        double score = 0.0;
+        const auto alpha = head.alpha.value();
+        for (std::size_t j = 0; j < h; ++j) score += alpha[j] * act[j];
+        weights[t] = score;
+      }
+      // Stable softmax (eq. 16).
+      double max_score = weights.front();
+      for (double s : weights) max_score = std::max(max_score, s);
+      double denom = 0.0;
+      for (auto& s : weights) {
+        s = std::exp(s - max_score);
+        denom += s;
+      }
+      // Weighted sum of transformed messages, averaged over heads.
+      const double head_scale = 1.0 / static_cast<double>(attention.size());
+      for (std::size_t t = 0; t < messages.size(); ++t) {
+        raw_matvec(head.w_msg.value(), messages[t], transformed);
+        const double wgt = head_scale * weights[t] / denom;
+        for (std::size_t j = 0; j < two_h; ++j) {
+          out[j] += wgt * transformed[j];
+        }
+      }
+    }
+  }
+
+  std::vector<gnn::ChainValues> run_values(const PlacementGraph& g) {
+    const auto h = static_cast<std::size_t>(config.hidden);
+    const auto num_steps = static_cast<std::size_t>(g.num_fragments());
+    const auto num_devices = static_cast<std::size_t>(g.num_devices());
+    const auto num_chains = static_cast<std::size_t>(g.num_chains);
+
+    std::vector<Vec> service(num_chains, Vec(h));
+    std::vector<Vec> fragment(num_steps, Vec(h));
+    std::vector<Vec> device(num_devices, Vec(h));
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      enc_service->forward_values(g.service_features[i], service[i]);
+      tensor::apply_activation_values(service[i], Activation::kTanh);
+    }
+    for (std::size_t s = 0; s < num_steps; ++s) {
+      enc_fragment->forward_values(g.fragment_features[s], fragment[s]);
+      tensor::apply_activation_values(fragment[s], Activation::kTanh);
+    }
+    for (std::size_t n = 0; n < num_devices; ++n) {
+      enc_device->forward_values(g.device_features[n], device[n]);
+      tensor::apply_activation_values(device[n], Activation::kTanh);
+    }
+
+    std::vector<Vec> service_at_step(num_steps, Vec(h));
+    Vec message(2 * h), h_next(h), m_d(2 * h);
+    for (int n = 0; n < config.iterations; ++n) {
+      const std::vector<Vec> fragment_prev = fragment;
+      const std::vector<Vec> device_prev = device;
+      for (std::size_t i = 0; i < num_chains; ++i) {
+        Vec hs = service[i];
+        for (int s : g.sequences[static_cast<int>(i)]) {
+          const auto su = static_cast<std::size_t>(s);
+          const auto dn = static_cast<std::size_t>(g.steps[s].device_node);
+          std::copy(fragment_prev[su].begin(), fragment_prev[su].end(),
+                    message.begin());
+          std::copy(device_prev[dn].begin(), device_prev[dn].end(),
+                    message.begin() + static_cast<std::ptrdiff_t>(h));
+          phi_c->forward_values(hs, message, h_next);
+          hs = h_next;
+          service_at_step[su] = hs;
+          std::copy(hs.begin(), hs.end(), message.begin());
+          std::copy(device_prev[dn].begin(), device_prev[dn].end(),
+                    message.begin() + static_cast<std::ptrdiff_t>(h));
+          phi_f->forward_values(fragment_prev[su], message, fragment[su]);
+        }
+        service[i] = hs;
+      }
+      for (std::size_t dn = 0; dn < num_devices; ++dn) {
+        std::vector<Vec> messages;
+        messages.reserve(g.device_node_steps[dn].size());
+        for (int s : g.device_node_steps[dn]) {
+          const auto su = static_cast<std::size_t>(s);
+          Vec m(2 * h);
+          std::copy(service_at_step[su].begin(), service_at_step[su].end(),
+                    m.begin());
+          std::copy(fragment_prev[su].begin(), fragment_prev[su].end(),
+                    m.begin() + static_cast<std::ptrdiff_t>(h));
+          messages.push_back(std::move(m));
+        }
+        aggregate_device_messages_values(device_prev[dn], messages, m_d);
+        phi_d->forward_values(device_prev[dn], m_d, device[dn]);
+      }
+    }
+
+    std::vector<gnn::ChainValues> outputs(num_chains);
+    Vec h_latency(h), scalar(1);
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      mlp_tput->forward_values(service[i], scalar);
+      outputs[i].throughput = scalar[0];
+      outputs[i].has_throughput = true;
+      h_latency.assign(h, 0.0);
+      const auto& seq = g.sequences[static_cast<int>(i)];
+      for (int s : seq) {
+        const auto& f = fragment[static_cast<std::size_t>(s)];
+        for (std::size_t j = 0; j < h; ++j) h_latency[j] += f[j];
+      }
+      if (config.modified_outputs) {
+        const double inv = 1.0 / static_cast<double>(seq.size());
+        for (auto& v : h_latency) v *= inv;
+      }
+      mlp_latency->forward_values(h_latency, scalar);
+      outputs[i].latency = scalar[0];
+      outputs[i].has_latency = true;
+    }
+    return outputs;
+  }
+};
+
+ChainNet::ChainNet(const ChainNetConfig& config, Rng& rng)
+    : impl_(std::make_unique<Impl>(config, rng)) {
+  register_module("chainnet", impl_.get());
+}
+
+ChainNet::~ChainNet() = default;
+
+std::vector<ChainOutput> ChainNet::forward(const PlacementGraph& g) {
+  return impl_->run(g);
+}
+
+std::vector<gnn::ChainValues> ChainNet::forward_values(
+    const PlacementGraph& g) {
+  return impl_->run_values(g);
+}
+
+FeatureMode ChainNet::feature_mode() const {
+  return impl_->config.modified_inputs ? FeatureMode::kModified
+                                       : FeatureMode::kOriginal;
+}
+
+bool ChainNet::ratio_outputs() const { return impl_->config.modified_outputs; }
+
+std::string ChainNet::name() const {
+  const auto& c = impl_->config;
+  if (c.modified_inputs && c.modified_outputs) {
+    return c.attention_aggregation ? "ChainNet" : "ChainNet-noattn";
+  }
+  if (!c.modified_inputs && !c.modified_outputs) return "ChainNet-alpha";
+  if (c.modified_inputs) return "ChainNet-beta";
+  return "ChainNet-delta";
+}
+
+const ChainNetConfig& ChainNet::config() const { return impl_->config; }
+
+}  // namespace chainnet::core

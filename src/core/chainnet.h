@@ -1,0 +1,88 @@
+// ChainNet — the paper's customized GNN surrogate (Sections V and VI).
+//
+// The model follows Algorithm 2 exactly:
+//  * per-type encoders initialize service / fragment / device embeddings
+//    from the Table-II features;
+//  * each of N iterations walks every chain's execution sequence, updating
+//    the recurrent service embedding with GRU phi_C (eq. 4-6) and the
+//    fragment embedding with GRU phi_F (eq. 7-8), all messages read from
+//    the previous iteration's fragment/device snapshots;
+//  * device embeddings are then updated with GRU phi_D (eq. 9-10); a device
+//    shared by F_k > 1 execution steps aggregates its per-step messages
+//    with the multi-head attention f_multi of eq. 14-16;
+//  * after the last iteration, MLP_tput reads the final service embedding
+//    and MLP_latency reads the mean (or sum, when output modifications are
+//    ablated) of the chain's fragment embeddings (eq. 12, Fig. 7).
+//
+// The ablation switches reproduce Table VI / Fig. 13:
+//    ChainNet       : modified_inputs = true,  modified_outputs = true
+//    ChainNet-alpha : modified_inputs = false, modified_outputs = false
+//    ChainNet-beta  : modified_inputs = true,  modified_outputs = false
+//    ChainNet-delta : modified_inputs = false, modified_outputs = true
+#pragma once
+
+#include <memory>
+
+#include "gnn/model.h"
+#include "support/rng.h"
+
+namespace chainnet::core {
+
+struct ChainNetConfig {
+  int hidden = 32;      ///< embedding width (paper: 64)
+  int iterations = 4;   ///< message-passing iterations N (paper: 8)
+  int attention_heads = 2;  ///< heads of f_multi (Table IV)
+  bool modified_inputs = true;   ///< Table II input ("md") features
+  bool modified_outputs = true;  ///< ratio targets + mean latency readout
+  /// Extra (non-paper) ablation: replace the attention of eq. 14-16 with a
+  /// plain mean over per-step device messages.
+  bool attention_aggregation = true;
+
+  static ChainNetConfig paper() {
+    ChainNetConfig c;
+    c.hidden = 64;
+    c.iterations = 8;
+    return c;
+  }
+  static ChainNetConfig ablation_alpha() {
+    ChainNetConfig c;
+    c.modified_inputs = false;
+    c.modified_outputs = false;
+    return c;
+  }
+  static ChainNetConfig ablation_beta() {
+    ChainNetConfig c;
+    c.modified_outputs = false;
+    return c;
+  }
+  static ChainNetConfig ablation_delta() {
+    ChainNetConfig c;
+    c.modified_inputs = false;
+    return c;
+  }
+};
+
+class ChainNet final : public gnn::GraphModel {
+ public:
+  ChainNet(const ChainNetConfig& config, support::Rng& rng);
+  ~ChainNet() override;
+
+  std::vector<gnn::ChainOutput> forward(
+      const edge::PlacementGraph& g) override;
+  /// Allocation-light inference path (no autodiff graph); used by the
+  /// surrogate optimizer's hot loop. Matches forward() numerically — see
+  /// the ChainNetFastInference tests.
+  std::vector<gnn::ChainValues> forward_values(
+      const edge::PlacementGraph& g) override;
+  edge::FeatureMode feature_mode() const override;
+  bool ratio_outputs() const override;
+  std::string name() const override;
+
+  const ChainNetConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace chainnet::core

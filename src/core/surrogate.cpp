@@ -1,0 +1,23 @@
+#include "core/surrogate.h"
+
+#include "edge/graph.h"
+
+namespace chainnet::core {
+
+std::vector<gnn::ChainPerf> Surrogate::predict(
+    const edge::EdgeSystem& system, const edge::Placement& placement) const {
+  const auto graph =
+      edge::build_graph(system, placement, model_->feature_mode());
+  return gnn::predict_physical(*model_, graph);
+}
+
+double Surrogate::total_throughput(const edge::EdgeSystem& system,
+                                   const edge::Placement& placement) const {
+  double total = 0.0;
+  for (const auto& perf : predict(system, placement)) {
+    total += perf.throughput;
+  }
+  return total;
+}
+
+}  // namespace chainnet::core

@@ -1,0 +1,32 @@
+// Thin convenience wrapper turning any trained GraphModel into a placement
+// evaluator: builds the graph for a candidate placement and returns the
+// predicted physical performance. This is the object the surrogate
+// optimization program of §VII plugs into its search loop.
+#pragma once
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "gnn/model.h"
+
+namespace chainnet::core {
+
+class Surrogate {
+ public:
+  /// The model must outlive the surrogate.
+  explicit Surrogate(gnn::GraphModel& model) : model_(&model) {}
+
+  /// Per-chain predicted throughput and latency for a candidate placement.
+  std::vector<gnn::ChainPerf> predict(const edge::EdgeSystem& system,
+                                      const edge::Placement& placement) const;
+
+  /// Predicted objective of eq. (2): sum of per-chain throughputs.
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) const;
+
+  gnn::GraphModel& model() const { return *model_; }
+
+ private:
+  gnn::GraphModel* model_;
+};
+
+}  // namespace chainnet::core

@@ -1,0 +1,111 @@
+#include "edge/graph.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace chainnet::edge {
+
+PlacementGraph build_graph(const EdgeSystem& system,
+                           const Placement& placement, FeatureMode mode) {
+  system.validate();
+  placement.validate(system);
+
+  PlacementGraph g;
+  g.num_chains = system.num_chains();
+
+  // Device nodes: one per *used* device, in ascending device order.
+  const auto used = placement.used_devices();
+  std::unordered_map<int, int> device_node_of;
+  device_node_of.reserve(used.size());
+  for (int dev : used) {
+    device_node_of.emplace(dev, static_cast<int>(g.device_node_device.size()));
+    g.device_node_device.push_back(dev);
+  }
+  g.device_node_steps.resize(used.size());
+
+  // Execution steps and sequences (Algorithm 1 lines 1-7).
+  g.sequences.resize(g.num_chains);
+  for (int i = 0; i < g.num_chains; ++i) {
+    const auto& chain = system.chains[i];
+    for (int j = 0; j < chain.length(); ++j) {
+      const int dev = placement.device_of(i, j);
+      const int dnode = device_node_of.at(dev);
+      const int step_id = static_cast<int>(g.steps.size());
+      g.steps.push_back(ExecutionStep{i, j, dnode, dev});
+      g.sequences[i].push_back(step_id);
+      g.device_node_steps[dnode].push_back(step_id);
+    }
+  }
+
+  // Homogeneous edges: placement (fragment -> device) and workflow
+  // (device of step j -> fragment of step j+1).
+  for (int s = 0; s < g.num_fragments(); ++s) {
+    g.edges.push_back({g.fragment_node_id(s),
+                       g.device_node_id(g.steps[s].device_node)});
+  }
+  for (int i = 0; i < g.num_chains; ++i) {
+    const auto& seq = g.sequences[i];
+    for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
+      g.edges.push_back({g.device_node_id(g.steps[seq[j]].device_node),
+                         g.fragment_node_id(seq[j + 1])});
+    }
+  }
+
+  // Denormalization context.
+  g.arrival_rate.resize(g.num_chains);
+  g.total_processing.assign(g.num_chains, 0.0);
+  for (int i = 0; i < g.num_chains; ++i) {
+    g.arrival_rate[i] = system.chains[i].arrival_rate;
+    for (int j = 0; j < system.chains[i].length(); ++j) {
+      g.total_processing[i] +=
+          system.processing_time(i, j, placement.device_of(i, j));
+    }
+  }
+
+  // Per-device aggregates used by the modified features.
+  std::vector<double> delta_t(used.size(), 0.0);
+  std::vector<double> delta_m(used.size(), 0.0);
+  for (int s = 0; s < g.num_fragments(); ++s) {
+    const auto& st = g.steps[s];
+    delta_t[st.device_node] +=
+        system.processing_time(st.chain, st.position, st.device);
+    delta_m[st.device_node] +=
+        system.chains[st.chain].fragments[st.position].memory_demand;
+  }
+
+  // Features (Table II).
+  g.service_features.resize(g.num_chains);
+  for (int i = 0; i < g.num_chains; ++i) {
+    g.service_features[i] = {mode == FeatureMode::kModified
+                                 ? 1.0
+                                 : system.chains[i].arrival_rate};
+  }
+  g.fragment_features.resize(g.num_fragments());
+  for (int s = 0; s < g.num_fragments(); ++s) {
+    const auto& st = g.steps[s];
+    const double tp =
+        system.processing_time(st.chain, st.position, st.device);
+    const double m =
+        system.chains[st.chain].fragments[st.position].memory_demand;
+    const double cap = system.devices[st.device].memory_capacity;
+    if (mode == FeatureMode::kModified) {
+      const double lambda = system.chains[st.chain].arrival_rate;
+      const double dt = delta_t[st.device_node];
+      g.fragment_features[s] = {tp * lambda, dt > 0.0 ? tp / dt : 0.0,
+                                m / cap};
+    } else {
+      g.fragment_features[s] = {tp, m, 0.0};
+    }
+  }
+  g.device_features.resize(g.num_devices());
+  for (int n = 0; n < g.num_devices(); ++n) {
+    const double cap =
+        system.devices[g.device_node_device[n]].memory_capacity;
+    g.device_features[n] = {mode == FeatureMode::kModified
+                                ? delta_m[n] / cap
+                                : cap};
+  }
+  return g;
+}
+
+}  // namespace chainnet::edge

@@ -1,0 +1,93 @@
+// Heterogeneous graph representation of a placement decision (paper §V-B,
+// Algorithm 1, Fig. 4) together with the feature engineering of Table II.
+//
+// The structure is stored in the execution-step form ChainNet consumes
+// (§V-C1): fragment node j and its device node joined by the placement
+// edge form execution step E_j; the workflow edges order the steps of each
+// chain into its execution sequence. A flat homogeneous edge list over the
+// node numbering [services | fragments | devices] is also exposed for the
+// GIN/GAT baselines, which treat the graph as ordinary message passing.
+#pragma once
+
+#include <vector>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+
+namespace chainnet::edge {
+
+/// Whether node features (and prediction targets) use the generalization
+/// modifications of Table II ("md" row) or the raw quantities ("ori" row,
+/// the GIN*/GAT* configuration of Table V).
+enum class FeatureMode { kModified, kOriginal };
+
+inline constexpr int kServiceFeatureDim = 1;
+inline constexpr int kFragmentFeatureDim = 3;
+inline constexpr int kDeviceFeatureDim = 1;
+
+/// One execution step E_j: a fragment node, its device node, and the
+/// placement edge between them. Fragment nodes are identified with their
+/// step index (a fragment belongs to exactly one step).
+struct ExecutionStep {
+  int chain = -1;        ///< service chain i
+  int position = -1;     ///< 0-based position j within the chain
+  int device_node = -1;  ///< index into device-node arrays (0..d-1)
+  int device = -1;       ///< device index in the EdgeSystem
+};
+
+struct PlacementGraph {
+  int num_chains = 0;
+
+  /// chain -> its execution sequence: ordered step ids (E_1 ... E_Ti).
+  std::vector<std::vector<int>> sequences;
+  /// All execution steps; index = fragment-node id.
+  std::vector<ExecutionStep> steps;
+  /// device node -> device index in the EdgeSystem (d used devices).
+  std::vector<int> device_node_device;
+  /// device node -> the steps that include it (F_k of eq. 14).
+  std::vector<std::vector<int>> device_node_steps;
+
+  /// Input features per node type (Table II).
+  std::vector<std::vector<double>> service_features;   ///< C x 1
+  std::vector<std::vector<double>> fragment_features;  ///< sum(T_i) x 3
+  std::vector<std::vector<double>> device_features;    ///< d x 1
+
+  /// Denormalization context: lambda_i and the chain's total processing
+  /// time sum_j t_p_ij under this placement. Needed to map the model's
+  /// ratio outputs back to throughput/latency (Table II "md" row).
+  std::vector<double> arrival_rate;
+  std::vector<double> total_processing;
+
+  int num_fragments() const { return static_cast<int>(steps.size()); }
+  int num_devices() const {
+    return static_cast<int>(device_node_device.size());
+  }
+  /// Total node count C + sum(T_i) + d — the x-axis of Fig. 12a/b.
+  int num_nodes() const {
+    return num_chains + num_fragments() + num_devices();
+  }
+
+  // ------------------------------------------------------------------
+  // Homogeneous view for the GIN/GAT baselines. Node ids: services in
+  // [0, C), fragments in [C, C + S), devices in [C + S, C + S + d).
+  struct Edge {
+    int src = -1;
+    int dst = -1;
+  };
+  /// Directed edges per Algorithm 1: placement (fragment -> device) and
+  /// workflow (device -> subsequent fragment).
+  std::vector<Edge> edges;
+
+  int service_node_id(int chain) const { return chain; }
+  int fragment_node_id(int step) const { return num_chains + step; }
+  int device_node_id(int device_node) const {
+    return num_chains + num_fragments() + device_node;
+  }
+};
+
+/// Algorithm 1 plus Table II: builds the graph and its features for a
+/// complete, valid placement.
+PlacementGraph build_graph(const EdgeSystem& system,
+                           const Placement& placement, FeatureMode mode);
+
+}  // namespace chainnet::edge

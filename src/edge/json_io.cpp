@@ -1,0 +1,119 @@
+#include "edge/json_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace chainnet::edge {
+
+using support::Json;
+
+Json to_json(const EdgeSystem& system) {
+  Json devices;
+  for (const auto& d : system.devices) {
+    Json dev;
+    dev["name"] = Json(d.name);
+    dev["memory"] = Json(d.memory_capacity);
+    dev["rate"] = Json(d.service_rate);
+    devices.push_back(std::move(dev));
+  }
+  Json chains;
+  for (const auto& c : system.chains) {
+    Json chain;
+    chain["name"] = Json(c.name);
+    chain["arrival_rate"] = Json(c.arrival_rate);
+    Json fragments;
+    for (const auto& f : c.fragments) {
+      Json frag;
+      frag["memory"] = Json(f.memory_demand);
+      frag["compute"] = Json(f.compute_demand);
+      fragments.push_back(std::move(frag));
+    }
+    chain["fragments"] = std::move(fragments);
+    chains.push_back(std::move(chain));
+  }
+  Json doc;
+  doc["devices"] = std::move(devices);
+  doc["chains"] = std::move(chains);
+  return doc;
+}
+
+Json to_json(const Placement& placement) {
+  Json rows;
+  for (const auto& chain : placement.assignment()) {
+    Json row;
+    for (int dev : chain) row.push_back(Json(dev));
+    rows.push_back(std::move(row));
+  }
+  Json doc;
+  doc["assignment"] = std::move(rows);
+  return doc;
+}
+
+EdgeSystem system_from_json(const Json& doc) {
+  EdgeSystem system;
+  for (const auto& dev : doc.at("devices").as_array()) {
+    Device d;
+    d.name = dev.get_string("name",
+                            "dev" + std::to_string(system.devices.size()));
+    d.memory_capacity = dev.at("memory").as_number();
+    d.service_rate = dev.get_number("rate", 1.0);
+    system.devices.push_back(std::move(d));
+  }
+  for (const auto& chain : doc.at("chains").as_array()) {
+    ServiceChainSpec c;
+    c.name = chain.get_string(
+        "name", "chain" + std::to_string(system.chains.size()));
+    c.arrival_rate = chain.at("arrival_rate").as_number();
+    for (const auto& frag : chain.at("fragments").as_array()) {
+      FragmentSpec f;
+      f.memory_demand = frag.get_number("memory", 1.0);
+      f.compute_demand = frag.at("compute").as_number();
+      c.fragments.push_back(f);
+    }
+    system.chains.push_back(std::move(c));
+  }
+  system.validate();
+  return system;
+}
+
+Placement placement_from_json(const Json& doc) {
+  std::vector<std::vector<int>> assignment;
+  for (const auto& row : doc.at("assignment").as_array()) {
+    std::vector<int> devices;
+    for (const auto& cell : row.as_array()) {
+      devices.push_back(static_cast<int>(cell.as_number()));
+    }
+    assignment.push_back(std::move(devices));
+  }
+  return Placement(std::move(assignment));
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+EdgeSystem load_system(const std::string& path) {
+  return system_from_json(Json::parse(read_file(path)));
+}
+
+Placement load_placement(const std::string& path) {
+  return placement_from_json(Json::parse(read_file(path)));
+}
+
+void save_json(const Json& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << doc.dump(2) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace chainnet::edge

@@ -1,0 +1,36 @@
+// JSON (de)serialization of the deployment domain — the file format the
+// CLI tool speaks, so users can describe their own fleets and services.
+//
+// System document:
+// {
+//   "devices": [{"name": "pi-0", "memory": 512, "rate": 1.5}, ...],
+//   "chains": [{"name": "vision", "arrival_rate": 2.0,
+//               "fragments": [{"memory": 1, "compute": 0.5}, ...]}, ...]
+// }
+//
+// Placement document:
+// {"assignment": [[0, 1, 2], [1, 3]]}   // device per fragment, per chain
+#pragma once
+
+#include <string>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "support/json.h"
+
+namespace chainnet::edge {
+
+support::Json to_json(const EdgeSystem& system);
+support::Json to_json(const Placement& placement);
+
+/// Throws support::JsonError on malformed documents; the resulting system
+/// is validate()d before being returned.
+EdgeSystem system_from_json(const support::Json& doc);
+Placement placement_from_json(const support::Json& doc);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+EdgeSystem load_system(const std::string& path);
+Placement load_placement(const std::string& path);
+void save_json(const support::Json& doc, const std::string& path);
+
+}  // namespace chainnet::edge

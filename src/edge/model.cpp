@@ -1,0 +1,56 @@
+#include "edge/model.h"
+
+#include <stdexcept>
+
+namespace chainnet::edge {
+
+int EdgeSystem::total_fragments() const {
+  int total = 0;
+  for (const auto& c : chains) total += c.length();
+  return total;
+}
+
+double EdgeSystem::total_arrival_rate() const {
+  double total = 0.0;
+  for (const auto& c : chains) total += c.arrival_rate;
+  return total;
+}
+
+double EdgeSystem::processing_time(int chain, int fragment, int device) const {
+  const auto& frag = chains.at(chain).fragments.at(fragment);
+  const auto& dev = devices.at(device);
+  return frag.compute_demand / dev.service_rate;
+}
+
+void EdgeSystem::validate() const {
+  if (devices.empty()) throw std::invalid_argument("EdgeSystem: no devices");
+  if (chains.empty()) throw std::invalid_argument("EdgeSystem: no chains");
+  for (const auto& d : devices) {
+    if (d.memory_capacity <= 0.0) {
+      throw std::invalid_argument("EdgeSystem: device '" + d.name +
+                                  "' has non-positive memory capacity");
+    }
+    if (d.service_rate <= 0.0) {
+      throw std::invalid_argument("EdgeSystem: device '" + d.name +
+                                  "' has non-positive service rate");
+    }
+  }
+  for (const auto& c : chains) {
+    if (c.arrival_rate <= 0.0) {
+      throw std::invalid_argument("EdgeSystem: chain '" + c.name +
+                                  "' has non-positive arrival rate");
+    }
+    if (c.fragments.empty()) {
+      throw std::invalid_argument("EdgeSystem: chain '" + c.name +
+                                  "' has no fragments");
+    }
+    for (const auto& f : c.fragments) {
+      if (f.memory_demand < 0.0 || f.compute_demand <= 0.0) {
+        throw std::invalid_argument("EdgeSystem: chain '" + c.name +
+                                    "' has invalid fragment demands");
+      }
+    }
+  }
+}
+
+}  // namespace chainnet::edge

@@ -1,0 +1,54 @@
+// Domain model of an edge AI service system (paper §II): heterogeneous
+// devices, DNN services partitioned into chains of fragments, and the
+// placement decision variables p_{i,j,k}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chainnet::edge {
+
+/// An edge device k: memory capacity M_k and service rate R_k.
+struct Device {
+  std::string name;
+  double memory_capacity = 0.0;  ///< M_k
+  double service_rate = 1.0;     ///< R_k (work units per time unit)
+};
+
+/// One DNN fragment j of a service chain: memory demand m_ij and
+/// computational demand r_ij. Its processing time on device k is r_ij / R_k.
+struct FragmentSpec {
+  double memory_demand = 1.0;   ///< m_ij
+  double compute_demand = 1.0;  ///< r_ij
+};
+
+/// A service chain i: Poisson arrivals of rate lambda_i feeding a linear
+/// chain of fragments executed in order, each on a separate device.
+struct ServiceChainSpec {
+  std::string name;
+  double arrival_rate = 1.0;  ///< lambda_i
+  std::vector<FragmentSpec> fragments;
+
+  int length() const { return static_cast<int>(fragments.size()); }
+};
+
+/// The deployable system: devices plus the services that must be placed.
+struct EdgeSystem {
+  std::vector<Device> devices;
+  std::vector<ServiceChainSpec> chains;
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+  int num_chains() const { return static_cast<int>(chains.size()); }
+  /// Sum over chains of T_i.
+  int total_fragments() const;
+  /// lambda_total = sum_i lambda_i (denominator of eq. 18).
+  double total_arrival_rate() const;
+  /// Processing time of fragment (i, j) on device k: r_ij / R_k.
+  double processing_time(int chain, int fragment, int device) const;
+
+  /// Throws std::invalid_argument on structural problems (empty chains,
+  /// non-positive rates/capacities).
+  void validate() const;
+};
+
+}  // namespace chainnet::edge

@@ -1,0 +1,117 @@
+#include "edge/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace chainnet::edge {
+
+Placement::Placement(const EdgeSystem& system) {
+  assignment_.reserve(system.chains.size());
+  for (const auto& chain : system.chains) {
+    assignment_.emplace_back(chain.fragments.size(), -1);
+  }
+}
+
+Placement::Placement(std::vector<std::vector<int>> assignment)
+    : assignment_(std::move(assignment)) {}
+
+bool Placement::complete() const {
+  for (const auto& chain : assignment_) {
+    for (int dev : chain) {
+      if (dev < 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> Placement::used_devices() const {
+  std::set<int> used;
+  for (const auto& chain : assignment_) {
+    for (int dev : chain) {
+      if (dev >= 0) used.insert(dev);
+    }
+  }
+  return {used.begin(), used.end()};
+}
+
+std::vector<std::pair<int, int>> Placement::fragments_on(int device) const {
+  std::vector<std::pair<int, int>> result;
+  for (int i = 0; i < num_chains(); ++i) {
+    for (int j = 0; j < chain_length(i); ++j) {
+      if (assignment_[i][j] == device) result.emplace_back(i, j);
+    }
+  }
+  return result;
+}
+
+double Placement::memory_load(const EdgeSystem& system, int device) const {
+  double total = 0.0;
+  for (int i = 0; i < num_chains(); ++i) {
+    for (int j = 0; j < chain_length(i); ++j) {
+      if (assignment_[i][j] == device) {
+        total += system.chains[i].fragments[j].memory_demand;
+      }
+    }
+  }
+  return total;
+}
+
+double Placement::processing_load(const EdgeSystem& system, int device) const {
+  double total = 0.0;
+  for (int i = 0; i < num_chains(); ++i) {
+    for (int j = 0; j < chain_length(i); ++j) {
+      if (assignment_[i][j] == device) {
+        total += system.processing_time(i, j, device);
+      }
+    }
+  }
+  return total;
+}
+
+bool Placement::memory_feasible(const EdgeSystem& system) const {
+  for (int k = 0; k < system.num_devices(); ++k) {
+    if (memory_load(system, k) > system.devices[k].memory_capacity + 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Placement::distinct_devices_within_chains() const {
+  for (const auto& chain : assignment_) {
+    std::set<int> seen;
+    for (int dev : chain) {
+      if (dev >= 0 && !seen.insert(dev).second) return false;
+    }
+  }
+  return true;
+}
+
+void Placement::validate(const EdgeSystem& system) const {
+  if (num_chains() != system.num_chains()) {
+    throw std::invalid_argument("Placement: chain count mismatch");
+  }
+  for (int i = 0; i < num_chains(); ++i) {
+    if (chain_length(i) != system.chains[i].length()) {
+      throw std::invalid_argument("Placement: fragment count mismatch in '" +
+                                  system.chains[i].name + "'");
+    }
+    for (int j = 0; j < chain_length(i); ++j) {
+      const int dev = assignment_[i][j];
+      if (dev < 0 || dev >= system.num_devices()) {
+        throw std::invalid_argument("Placement: fragment (" +
+                                    std::to_string(i) + "," +
+                                    std::to_string(j) +
+                                    ") has invalid device");
+      }
+    }
+  }
+  if (!distinct_devices_within_chains()) {
+    throw std::invalid_argument(
+        "Placement: a chain places two fragments on one device");
+  }
+}
+
+}  // namespace chainnet::edge

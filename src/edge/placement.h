@@ -1,0 +1,71 @@
+// Placement decisions (paper eq. 1): the assignment of every fragment to a
+// device, stored densely as assignment[i][j] = k. Provides the feasibility
+// checks, per-device aggregates (Delta m_k, Delta t_k of Table II), and the
+// structural invariants relied on by the optimizer and the graph builder.
+#pragma once
+
+#include <vector>
+
+#include "edge/model.h"
+
+namespace chainnet::edge {
+
+class Placement {
+ public:
+  Placement() = default;
+  /// Builds an unassigned placement shaped like the system's chains
+  /// (every entry -1).
+  explicit Placement(const EdgeSystem& system);
+  /// Builds from an explicit assignment.
+  explicit Placement(std::vector<std::vector<int>> assignment);
+
+  int device_of(int chain, int fragment) const {
+    return assignment_[chain][fragment];
+  }
+  void assign(int chain, int fragment, int device) {
+    assignment_[chain][fragment] = device;
+  }
+
+  int num_chains() const { return static_cast<int>(assignment_.size()); }
+  int chain_length(int chain) const {
+    return static_cast<int>(assignment_[chain].size());
+  }
+  const std::vector<std::vector<int>>& assignment() const {
+    return assignment_;
+  }
+
+  /// True when every fragment has a device.
+  bool complete() const;
+
+  /// Devices used by at least one fragment, ascending (the paper's d used
+  /// devices; d <= D).
+  std::vector<int> used_devices() const;
+
+  /// Fragments (chain, fragment index) placed on `device`.
+  std::vector<std::pair<int, int>> fragments_on(int device) const;
+
+  /// Delta m_k: total memory demand of all fragments assigned to `device`.
+  double memory_load(const EdgeSystem& system, int device) const;
+
+  /// Delta t_k: total processing time of all fragments assigned to
+  /// `device` (Table II legend).
+  double processing_load(const EdgeSystem& system, int device) const;
+
+  /// Memory feasibility: Delta m_k <= M_k for every device (eq. 2).
+  bool memory_feasible(const EdgeSystem& system) const;
+
+  /// True when no two fragments of the same chain share a device (§II:
+  /// "each of its fragments is executed on a separate device").
+  bool distinct_devices_within_chains() const;
+
+  /// Full structural check against the system; throws std::invalid_argument
+  /// with a description of the first violation.
+  void validate(const EdgeSystem& system) const;
+
+  bool operator==(const Placement&) const = default;
+
+ private:
+  std::vector<std::vector<int>> assignment_;
+};
+
+}  // namespace chainnet::edge

@@ -1,0 +1,207 @@
+#include "edge/problem.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace chainnet::edge {
+
+using support::AcyclicPhaseType;
+using support::Distribution;
+using support::Exponential;
+using support::LowerBounded;
+using support::Rng;
+using support::Uniform;
+
+NetworkGenParams NetworkGenParams::type1() {
+  NetworkGenParams p;
+  p.max_devices = 10;
+  p.max_chains = 3;
+  p.min_fragments = 2;
+  p.max_fragments = 6;
+  p.memory_capacity = 50.0;
+  p.interarrival_mean = std::make_shared<Uniform>(0.1, 10.0);
+  // U(0,2) with a tiny floor: a zero processing time has no queueing
+  // meaning and would break the t_p-ratio features.
+  p.processing_time = std::make_shared<LowerBounded>(
+      std::make_unique<Uniform>(0.0, 2.0), 1e-3);
+  return p;
+}
+
+NetworkGenParams NetworkGenParams::type2() {
+  NetworkGenParams p;
+  p.max_devices = 80;
+  p.max_chains = 12;
+  p.min_fragments = 2;
+  p.max_fragments = 12;
+  p.memory_capacity = 100.0;
+  p.interarrival_mean = std::make_shared<LowerBounded>(
+      std::make_unique<AcyclicPhaseType>(2.0, 5.0), 1.0);
+  p.processing_time = std::make_shared<LowerBounded>(
+      std::make_unique<AcyclicPhaseType>(0.1, 10.0), 0.05);
+  return p;
+}
+
+namespace {
+
+/// Draws `count` distinct integers from [0, n) uniformly (partial
+/// Fisher-Yates over an index pool).
+std::vector<int> sample_distinct(int n, int count, Rng& rng) {
+  if (count > n) throw std::logic_error("sample_distinct: count > n");
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    const auto j = rng.uniform_int(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace
+
+NetworkSample generate_network_sample(const NetworkGenParams& params,
+                                      Rng& rng) {
+  if (!params.interarrival_mean || !params.processing_time) {
+    throw std::invalid_argument("NetworkGenParams: missing distributions");
+  }
+  NetworkSample sample;
+  auto& sys = sample.system;
+
+  const int num_chains =
+      static_cast<int>(rng.uniform_int(1, params.max_chains));
+  std::vector<int> lengths(num_chains);
+  int longest = 0;
+  for (auto& t : lengths) {
+    t = static_cast<int>(
+        rng.uniform_int(params.min_fragments, params.max_fragments));
+    longest = std::max(longest, t);
+  }
+  // Enough devices for a distinct-device placement of the longest chain.
+  const int num_devices = static_cast<int>(
+      rng.uniform_int(longest, std::max(longest, params.max_devices)));
+
+  sys.devices.reserve(num_devices);
+  for (int k = 0; k < num_devices; ++k) {
+    sys.devices.push_back(Device{"dev" + std::to_string(k),
+                                 params.memory_capacity, 1.0});
+  }
+  sys.chains.reserve(num_chains);
+  for (int i = 0; i < num_chains; ++i) {
+    ServiceChainSpec chain;
+    chain.name = "chain" + std::to_string(i);
+    chain.arrival_rate = 1.0 / params.interarrival_mean->sample(rng);
+    chain.fragments.reserve(lengths[i]);
+    for (int j = 0; j < lengths[i]; ++j) {
+      // Devices all have unit rate, so compute demand == processing time.
+      chain.fragments.push_back(
+          FragmentSpec{1.0, params.processing_time->sample(rng)});
+    }
+    sys.chains.push_back(std::move(chain));
+  }
+
+  sample.placement = Placement(sys);
+  for (int i = 0; i < num_chains; ++i) {
+    const auto devices = sample_distinct(num_devices, lengths[i], rng);
+    for (int j = 0; j < lengths[i]; ++j) {
+      sample.placement.assign(i, j, devices[j]);
+    }
+  }
+  return sample;
+}
+
+PlacementProblemParams PlacementProblemParams::paper(int num_devices) {
+  PlacementProblemParams p;
+  p.num_devices = num_devices;
+  return p;
+}
+
+EdgeSystem generate_placement_problem(const PlacementProblemParams& params,
+                                      Rng& rng) {
+  if (params.num_devices <= params.max_fragments) {
+    throw std::invalid_argument(
+        "generate_placement_problem: needs more devices than the longest "
+        "chain (paper §VII non-triviality assumption)");
+  }
+  EdgeSystem sys;
+  sys.devices.reserve(params.num_devices);
+  Uniform service_rate(0.5, 1.0);
+  for (int k = 0; k < params.num_devices; ++k) {
+    sys.devices.push_back(Device{"dev" + std::to_string(k),
+                                 params.memory_capacity,
+                                 service_rate.sample(rng)});
+  }
+  LowerBounded interarrival(std::make_unique<Exponential>(1.0),
+                            params.interarrival_floor);
+  Uniform compute(0.01, 0.1);
+  for (int i = 0; i < params.num_chains; ++i) {
+    ServiceChainSpec chain;
+    chain.name = "chain" + std::to_string(i);
+    chain.arrival_rate = 1.0 / interarrival.sample(rng);
+    const int frags = static_cast<int>(
+        rng.uniform_int(params.min_fragments, params.max_fragments));
+    for (int j = 0; j < frags; ++j) {
+      chain.fragments.push_back(FragmentSpec{1.0, compute.sample(rng)});
+    }
+    sys.chains.push_back(std::move(chain));
+  }
+  return sys;
+}
+
+Placement random_placement(const EdgeSystem& system, Rng& rng) {
+  system.validate();
+  Placement placement(system);
+  for (int i = 0; i < system.num_chains(); ++i) {
+    const int frags = system.chains[i].length();
+    if (frags > system.num_devices()) {
+      throw std::invalid_argument(
+          "random_placement: chain '" + system.chains[i].name +
+          "' has more fragments than there are devices");
+    }
+    const auto devices = sample_distinct(system.num_devices(), frags, rng);
+    for (int j = 0; j < frags; ++j) placement.assign(i, j, devices[j]);
+  }
+  return placement;
+}
+
+EdgeSystem case_study_system() {
+  EdgeSystem sys;
+  // Device fleet of §VIII-D; memory in KB, service rate in GFLOP/s.
+  sys.devices = {
+      {"orangepi-zero-0", 128.0 * 1024.0, 4.8},
+      {"orangepi-zero-1", 128.0 * 1024.0, 4.8},
+      {"raspberrypi-aplus-0", 256.0 * 1024.0, 0.218},
+      {"raspberrypi-aplus-1", 256.0 * 1024.0, 0.218},
+      {"raspberrypi-3aplus", 512.0 * 1024.0, 5.0},
+  };
+  // Fragment profiles per model type. Memory demands span the paper's
+  // 4 KB .. 51879 KB range; compute demands (GFLOP) are synthesized so
+  // that processing times on the fast devices are commensurate with the
+  // 0.6-0.7 s interarrival times (see DESIGN.md, substitutions).
+  struct Profile {
+    const char* name;
+    double interarrival;  // seconds
+    std::vector<FragmentSpec> fragments;
+  };
+  const std::vector<Profile> profiles = {
+      {"vgg16", 0.7,
+       {{51879.0, 0.66}, {25600.0, 0.46}, {12800.0, 0.30}, {4096.0, 0.12}}},
+      {"vgg19", 0.7,
+       {{51879.0, 0.80}, {30720.0, 0.53}, {15360.0, 0.36}, {5120.0, 0.13}}},
+      {"cnn28", 0.6, {{20480.0, 0.40}, {10240.0, 0.27}, {4096.0, 0.10}}},
+      {"intrusion-cnn", 0.6, {{2048.0, 0.08}, {512.0, 0.04}, {4.0, 0.007}}},
+  };
+  for (const auto& profile : profiles) {
+    for (int copy = 0; copy < 2; ++copy) {
+      ServiceChainSpec chain;
+      chain.name = std::string(profile.name) + "-" + std::to_string(copy);
+      chain.arrival_rate = 1.0 / profile.interarrival;
+      chain.fragments = profile.fragments;
+      sys.chains.push_back(std::move(chain));
+    }
+  }
+  return sys;
+}
+
+}  // namespace chainnet::edge

@@ -1,0 +1,82 @@
+// Random generators for the paper's experiment inputs:
+//  * Table III  — Type I / Type II network samples used to train and test
+//    the GNN surrogates (a sample = system + a random placement);
+//  * Table VII  — placement problems for the surrogate-optimization study
+//    (a problem = system whose placement the optimizer must decide);
+//  * §VIII-D    — the real-parameter case study (OrangePi/RaspberryPi
+//    devices, VGG16/VGG19/CNN chains).
+#pragma once
+
+#include <memory>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "support/distributions.h"
+#include "support/rng.h"
+
+namespace chainnet::edge {
+
+/// Table III parameters. Distributions describe how the per-chain mean
+/// interarrival time and per-fragment processing time are sampled; memory
+/// demand is one fixed unit per fragment (§VIII-A1).
+struct NetworkGenParams {
+  int max_devices = 10;
+  int max_chains = 3;
+  int min_fragments = 2;
+  int max_fragments = 6;
+  double memory_capacity = 50.0;
+  std::shared_ptr<const support::Distribution> interarrival_mean;
+  std::shared_ptr<const support::Distribution> processing_time;
+
+  /// Table III "Type I" column.
+  static NetworkGenParams type1();
+  /// Table III "Type II" column (APH-distributed parameters, lower bounds
+  /// 1 and 0.05 per the table footnote).
+  static NetworkGenParams type2();
+};
+
+/// A dataset sample: the generated system plus the random placement whose
+/// performance the simulator will label.
+struct NetworkSample {
+  EdgeSystem system;
+  Placement placement;
+};
+
+/// Draws one random (system, placement) pair. Fragments of a chain land on
+/// distinct uniformly-chosen devices; the device count is drawn so that a
+/// distinct-device placement always exists. Memory feasibility is *not*
+/// enforced (the paper deliberately lets placements exceed capacity so the
+/// dataset covers lossy regimes).
+NetworkSample generate_network_sample(const NetworkGenParams& params,
+                                      support::Rng& rng);
+
+/// Table VII parameters for placement-problem generation.
+struct PlacementProblemParams {
+  int num_devices = 20;  ///< varied as 20 / 40 / 80 / 120 in the paper
+  int num_chains = 12;
+  int min_fragments = 2;
+  int max_fragments = 12;
+  double memory_capacity = 100.0;
+  double interarrival_floor = 0.01;
+
+  static PlacementProblemParams paper(int num_devices);
+};
+
+/// Draws one placement problem: the system only (lambda_i, R_k, r_ij, M_k);
+/// the initial placement comes from optim::initial_placement.
+EdgeSystem generate_placement_problem(const PlacementProblemParams& params,
+                                      support::Rng& rng);
+
+/// Uniformly random valid placement: each chain's fragments land on
+/// distinct uniformly-chosen devices (the same placement law the Table III
+/// sample generator uses). Requires enough devices for the longest chain.
+Placement random_placement(const EdgeSystem& system, support::Rng& rng);
+
+/// The §VIII-D case study: 5 devices (2x OrangePi Zero, 2x Raspberry Pi A+,
+/// 1x Raspberry Pi 3A+) and 8 service chains (2 each of VGG16, VGG19, a
+/// 28-layer CNN, an intrusion-detection CNN; 28 fragments total). Memory in
+/// KB, compute demands synthesized within the paper's published ranges —
+/// see DESIGN.md for the substitution rationale.
+EdgeSystem case_study_system();
+
+}  // namespace chainnet::edge

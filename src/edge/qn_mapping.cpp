@@ -1,0 +1,54 @@
+#include "edge/qn_mapping.h"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace chainnet::edge {
+
+using chainnet::support::Deterministic;
+using chainnet::support::Distribution;
+using chainnet::support::Exponential;
+
+queueing::QnModel build_qn(const EdgeSystem& system,
+                           const Placement& placement,
+                           ServiceModel service_model) {
+  system.validate();
+  placement.validate(system);
+
+  queueing::QnModel qn;
+  const auto used = placement.used_devices();
+  std::unordered_map<int, int> station_of;  // device index -> station index
+  station_of.reserve(used.size());
+  for (int dev : used) {
+    station_of.emplace(dev, static_cast<int>(qn.stations.size()));
+    qn.stations.push_back(queueing::StationSpec{
+        system.devices[dev].name, system.devices[dev].memory_capacity});
+  }
+
+  for (int i = 0; i < system.num_chains(); ++i) {
+    const auto& chain = system.chains[i];
+    queueing::ChainSpec spec;
+    spec.name = chain.name;
+    spec.interarrival = std::make_unique<Exponential>(1.0 / chain.arrival_rate);
+    for (int j = 0; j < chain.length(); ++j) {
+      const int dev = placement.device_of(i, j);
+      const double tp = system.processing_time(i, j, dev);
+      std::unique_ptr<Distribution> service;
+      switch (service_model) {
+        case ServiceModel::kExponential:
+          service = std::make_unique<Exponential>(tp);
+          break;
+        case ServiceModel::kDeterministic:
+          service = std::make_unique<Deterministic>(tp);
+          break;
+      }
+      spec.steps.emplace_back(station_of.at(dev), std::move(service),
+                              chain.fragments[j].memory_demand);
+    }
+    qn.chains.push_back(std::move(spec));
+  }
+  return qn;
+}
+
+}  // namespace chainnet::edge

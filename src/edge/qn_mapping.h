@@ -1,0 +1,28 @@
+// Mapping from a placement decision to its open queueing network abstraction
+// (paper Fig. 1 -> Fig. 2). Used both to generate ground truth (training
+// data) and to evaluate candidate placements during simulation-based search.
+#pragma once
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "queueing/network.h"
+
+namespace chainnet::edge {
+
+/// How per-step service times are modeled. The paper treats the system as an
+/// open QN simulated in JMT; we default to exponential service with mean
+/// r_ij / R_k, and expose deterministic service for sensitivity studies.
+enum class ServiceModel { kExponential, kDeterministic };
+
+/// Builds the QN for (system, placement). Stations are the *used* devices
+/// (unused devices carry no traffic and are omitted, matching the graph
+/// representation's d <= D device nodes). The station order matches
+/// placement.used_devices().
+///
+/// Network transmission time is deliberately not modeled: as the paper
+/// argues (§III), it acts as a pure delay and does not affect throughput or
+/// per-device queueing.
+queueing::QnModel build_qn(const EdgeSystem& system, const Placement& placement,
+                           ServiceModel service_model = ServiceModel::kExponential);
+
+}  // namespace chainnet::edge

@@ -1,0 +1,368 @@
+#include "gnn/baselines.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/variable.h"
+
+namespace chainnet::gnn {
+
+using edge::FeatureMode;
+using edge::PlacementGraph;
+using support::Rng;
+using namespace chainnet::tensor;
+
+std::vector<std::vector<double>> homogeneous_features(
+    const PlacementGraph& g) {
+  std::vector<std::vector<double>> feats;
+  feats.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (int i = 0; i < g.num_chains; ++i) {
+    feats.push_back({1.0, 0.0, 0.0, g.service_features[i][0], 0.0, 0.0});
+  }
+  for (int s = 0; s < g.num_fragments(); ++s) {
+    const auto& f = g.fragment_features[s];
+    feats.push_back({0.0, 1.0, 0.0, f[0], f[1], f[2]});
+  }
+  for (int n = 0; n < g.num_devices(); ++n) {
+    feats.push_back({0.0, 0.0, 1.0, g.device_features[n][0], 0.0, 0.0});
+  }
+  return feats;
+}
+
+std::vector<std::vector<int>> bidirectional_adjacency(
+    const PlacementGraph& g) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(g.num_nodes()));
+  for (const auto& e : g.edges) {
+    adj[static_cast<std::size_t>(e.dst)].push_back(e.src);
+    adj[static_cast<std::size_t>(e.src)].push_back(e.dst);
+  }
+  return adj;
+}
+
+namespace {
+
+/// Shared readout: per chain, concat(service embedding, mean fragment
+/// embedding) -> one MLP per predicted quantity.
+struct Readout {
+  std::unique_ptr<Mlp> tput;
+  std::unique_ptr<Mlp> latency;
+
+  Readout(const BaselineConfig& cfg, Rng& rng, const std::string& name) {
+    const std::size_t h = static_cast<std::size_t>(cfg.hidden);
+    const Activation out_act = cfg.mode == FeatureMode::kModified
+                                   ? Activation::kSigmoid
+                                   : Activation::kNone;
+    const auto make = [&](const std::string& head_name) {
+      return std::make_unique<Mlp>(std::vector<std::size_t>{2 * h, h, 1},
+                                   Activation::kRelu, out_act, rng,
+                                   name + "." + head_name);
+    };
+    if (cfg.head == PredictionHead::kThroughput ||
+        cfg.head == PredictionHead::kBoth) {
+      tput = make("tput");
+    }
+    if (cfg.head == PredictionHead::kLatency ||
+        cfg.head == PredictionHead::kBoth) {
+      latency = make("latency");
+    }
+  }
+};
+
+std::vector<ChainOutput> apply_readout(const Readout& readout,
+                                       const PlacementGraph& g,
+                                       const std::vector<Var>& node_embed) {
+  std::vector<ChainOutput> outputs(static_cast<std::size_t>(g.num_chains));
+  for (int i = 0; i < g.num_chains; ++i) {
+    std::vector<Var> frag_embeds;
+    frag_embeds.reserve(g.sequences[i].size());
+    for (int s : g.sequences[i]) {
+      frag_embeds.push_back(
+          node_embed[static_cast<std::size_t>(g.fragment_node_id(s))]);
+    }
+    const Var z = concat(
+        {node_embed[static_cast<std::size_t>(g.service_node_id(i))],
+         mean_of(frag_embeds)});
+    auto& out = outputs[static_cast<std::size_t>(i)];
+    if (readout.tput) out.throughput = readout.tput->forward(z);
+    if (readout.latency) out.latency = readout.latency->forward(z);
+  }
+  return outputs;
+}
+
+std::vector<Var> input_embeddings(const PlacementGraph& g) {
+  const auto feats = homogeneous_features(g);
+  std::vector<Var> nodes;
+  nodes.reserve(feats.size());
+  for (const auto& f : feats) nodes.push_back(Var::vector(f));
+  return nodes;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- GAT
+
+struct Gat::Impl : Module {
+  BaselineConfig config;
+  // Per layer, per head: projection W and the split attention vectors
+  // a_src, a_dst (standard GAT scoring e_uv = lrelu(a_src.Wh_u + a_dst.Wh_v)).
+  struct Head {
+    Var w;
+    Var a_src;
+    Var a_dst;
+  };
+  std::vector<std::vector<Head>> layers;
+  std::unique_ptr<Readout> readout;
+
+  Impl(const BaselineConfig& cfg, Rng& rng) : config(cfg) {
+    const std::size_t h = static_cast<std::size_t>(cfg.hidden);
+    for (int l = 0; l < cfg.layers; ++l) {
+      const std::size_t in =
+          l == 0 ? static_cast<std::size_t>(kHomoFeatureDim) : h;
+      std::vector<Head> heads;
+      for (int a = 0; a < cfg.heads; ++a) {
+        const std::string base =
+            "gat.l" + std::to_string(l) + ".h" + std::to_string(a);
+        Head head;
+        head.w = register_glorot(base + ".w", Shape{h, in}, rng);
+        head.a_src = register_glorot(base + ".a_src", Shape{h, 1}, rng);
+        head.a_dst = register_glorot(base + ".a_dst", Shape{h, 1}, rng);
+        heads.push_back(head);
+      }
+      layers.push_back(std::move(heads));
+    }
+    readout = std::make_unique<Readout>(cfg, rng, "gat");
+    if (readout->tput) register_module("gat.tput", readout->tput.get());
+    if (readout->latency) {
+      register_module("gat.latency", readout->latency.get());
+    }
+  }
+
+  std::vector<Var> propagate(const PlacementGraph& g) {
+    auto nodes = input_embeddings(g);
+    const auto adj = bidirectional_adjacency(g);
+    for (const auto& heads : layers) {
+      std::vector<Var> next(nodes.size());
+      // Precompute projections per head.
+      std::vector<std::vector<Var>> proj(heads.size());
+      std::vector<std::vector<Var>> src_score(heads.size());
+      std::vector<std::vector<Var>> dst_score(heads.size());
+      for (std::size_t a = 0; a < heads.size(); ++a) {
+        proj[a].reserve(nodes.size());
+        for (const auto& nv : nodes) {
+          proj[a].push_back(matvec(heads[a].w, nv));
+        }
+        src_score[a].reserve(nodes.size());
+        dst_score[a].reserve(nodes.size());
+        for (const auto& p : proj[a]) {
+          src_score[a].push_back(dot(heads[a].a_src, p));
+          dst_score[a].push_back(dot(heads[a].a_dst, p));
+        }
+      }
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        std::vector<Var> head_outputs;
+        head_outputs.reserve(heads.size());
+        for (std::size_t a = 0; a < heads.size(); ++a) {
+          // Neighborhood including self-loop.
+          std::vector<Var> scores;
+          std::vector<Var> values;
+          const auto attend = [&](std::size_t u) {
+            scores.push_back(
+                leaky_relu(add(src_score[a][u], dst_score[a][v]), 0.2));
+            values.push_back(proj[a][u]);
+          };
+          attend(v);
+          for (int u : adj[v]) attend(static_cast<std::size_t>(u));
+          // Numerically stable softmax over the scalar scores: subtract the
+          // (detached) maximum — a constant shift leaves both the softmax
+          // value and its gradient unchanged.
+          double max_score = scores.front().item();
+          for (const auto& s : scores) {
+            max_score = std::max(max_score, s.item());
+          }
+          std::vector<Var> exps;
+          exps.reserve(scores.size());
+          for (const auto& s : scores) {
+            exps.push_back(exp_(add_scalar(s, -max_score)));
+          }
+          Var denom = exps.size() == 1 ? exps.front() : sum_of(exps);
+          Var inv_denom = pow_neg1(denom);
+          std::vector<Var> weights;
+          weights.reserve(scores.size());
+          for (const auto& e : exps) weights.push_back(mul(e, inv_denom));
+          head_outputs.push_back(weighted_sum(weights, values));
+        }
+        next[v] = relu(mean_of(head_outputs));
+      }
+      nodes = std::move(next);
+    }
+    return nodes;
+  }
+
+  static Var pow_neg1(const Var& x) {
+    // 1/x via exp(-log(x)); x > 0 because it is a sum of exponentials.
+    return exp_(neg(log_(x)));
+  }
+};
+
+Gat::Gat(const BaselineConfig& config, Rng& rng)
+    : impl_(std::make_unique<Impl>(config, rng)) {
+  register_module("gat", impl_.get());
+}
+
+Gat::~Gat() = default;
+
+std::vector<ChainOutput> Gat::forward(const PlacementGraph& g) {
+  const auto nodes = impl_->propagate(g);
+  return apply_readout(*impl_->readout, g, nodes);
+}
+
+edge::FeatureMode Gat::feature_mode() const { return impl_->config.mode; }
+
+bool Gat::ratio_outputs() const {
+  return impl_->config.mode == FeatureMode::kModified;
+}
+
+std::string Gat::name() const {
+  return impl_->config.mode == FeatureMode::kModified ? "GAT" : "GAT*";
+}
+
+// -------------------------------------------------------------------- GIN
+
+struct Gin::Impl : Module {
+  BaselineConfig config;
+  struct Layer {
+    Var epsilon;  ///< scalar (1 + eps) uses learnable eps
+    std::unique_ptr<Mlp> mlp;
+  };
+  std::vector<Layer> layers;
+  std::unique_ptr<Readout> readout;
+
+  Impl(const BaselineConfig& cfg, Rng& rng) : config(cfg) {
+    const std::size_t h = static_cast<std::size_t>(cfg.hidden);
+    for (int l = 0; l < cfg.layers; ++l) {
+      const std::size_t in =
+          l == 0 ? static_cast<std::size_t>(kHomoFeatureDim) : h;
+      Layer layer;
+      layer.epsilon =
+          register_zeros("gin.l" + std::to_string(l) + ".eps", Shape{1, 1});
+      layer.mlp = std::make_unique<Mlp>(std::vector<std::size_t>{in, h, h},
+                                        Activation::kRelu, Activation::kRelu,
+                                        rng, "gin.l" + std::to_string(l));
+      register_module("gin.l" + std::to_string(l), layer.mlp.get());
+      layers.push_back(std::move(layer));
+    }
+    readout = std::make_unique<Readout>(cfg, rng, "gin");
+    if (readout->tput) register_module("gin.tput", readout->tput.get());
+    if (readout->latency) {
+      register_module("gin.latency", readout->latency.get());
+    }
+  }
+
+  std::vector<Var> propagate(const PlacementGraph& g) {
+    auto nodes = input_embeddings(g);
+    const auto adj = bidirectional_adjacency(g);
+    for (const auto& layer : layers) {
+      std::vector<Var> next(nodes.size());
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        // (1 + eps) h_v + sum of neighbors.
+        std::vector<Var> terms;
+        terms.reserve(adj[v].size() + 2);
+        terms.push_back(nodes[v]);
+        terms.push_back(
+            weighted_sum({layer.epsilon}, {nodes[v]}));  // eps * h_v
+        for (int u : adj[v]) terms.push_back(nodes[static_cast<std::size_t>(u)]);
+        next[v] = layer.mlp->forward(sum_of(terms));
+      }
+      nodes = std::move(next);
+    }
+    return nodes;
+  }
+};
+
+Gin::Gin(const BaselineConfig& config, Rng& rng)
+    : impl_(std::make_unique<Impl>(config, rng)) {
+  register_module("gin", impl_.get());
+}
+
+Gin::~Gin() = default;
+
+std::vector<ChainOutput> Gin::forward(const PlacementGraph& g) {
+  const auto nodes = impl_->propagate(g);
+  return apply_readout(*impl_->readout, g, nodes);
+}
+
+edge::FeatureMode Gin::feature_mode() const { return impl_->config.mode; }
+
+bool Gin::ratio_outputs() const {
+  return impl_->config.mode == FeatureMode::kModified;
+}
+
+std::string Gin::name() const {
+  return impl_->config.mode == FeatureMode::kModified ? "GIN" : "GIN*";
+}
+
+// -------------------------------------------------------------------- GCN
+
+struct Gcn::Impl : Module {
+  BaselineConfig config;
+  std::vector<Var> weights;  ///< per-layer projection
+  std::unique_ptr<Readout> readout;
+
+  Impl(const BaselineConfig& cfg, Rng& rng) : config(cfg) {
+    const std::size_t h = static_cast<std::size_t>(cfg.hidden);
+    for (int l = 0; l < cfg.layers; ++l) {
+      const std::size_t in =
+          l == 0 ? static_cast<std::size_t>(kHomoFeatureDim) : h;
+      weights.push_back(register_glorot("gcn.l" + std::to_string(l) + ".w",
+                                        Shape{h, in}, rng));
+    }
+    readout = std::make_unique<Readout>(cfg, rng, "gcn");
+    if (readout->tput) register_module("gcn.tput", readout->tput.get());
+    if (readout->latency) {
+      register_module("gcn.latency", readout->latency.get());
+    }
+  }
+
+  std::vector<Var> propagate(const PlacementGraph& g) {
+    auto nodes = input_embeddings(g);
+    const auto adj = bidirectional_adjacency(g);
+    for (const auto& w : weights) {
+      std::vector<Var> next(nodes.size());
+      for (std::size_t v = 0; v < nodes.size(); ++v) {
+        std::vector<Var> neighborhood;
+        neighborhood.reserve(adj[v].size() + 1);
+        neighborhood.push_back(nodes[v]);
+        for (int u : adj[v]) {
+          neighborhood.push_back(nodes[static_cast<std::size_t>(u)]);
+        }
+        next[v] = relu(matvec(w, mean_of(neighborhood)));
+      }
+      nodes = std::move(next);
+    }
+    return nodes;
+  }
+};
+
+Gcn::Gcn(const BaselineConfig& config, Rng& rng)
+    : impl_(std::make_unique<Impl>(config, rng)) {
+  register_module("gcn", impl_.get());
+}
+
+Gcn::~Gcn() = default;
+
+std::vector<ChainOutput> Gcn::forward(const PlacementGraph& g) {
+  const auto nodes = impl_->propagate(g);
+  return apply_readout(*impl_->readout, g, nodes);
+}
+
+edge::FeatureMode Gcn::feature_mode() const { return impl_->config.mode; }
+
+bool Gcn::ratio_outputs() const {
+  return impl_->config.mode == FeatureMode::kModified;
+}
+
+std::string Gcn::name() const {
+  return impl_->config.mode == FeatureMode::kModified ? "GCN" : "GCN*";
+}
+
+}  // namespace chainnet::gnn

@@ -1,0 +1,93 @@
+// Baseline GNN surrogates of §VIII-B2: graph attention networks (GAT,
+// Velickovic et al.) and graph isomorphism networks (GIN, Xu et al.).
+//
+// Both operate on the homogeneous view of the placement graph: nodes are
+// [services | fragments | devices] with type-one-hot + padded features, and
+// messages flow along the Algorithm-1 edges in both directions (standard
+// practice for directed inputs to neighborhood-aggregation GNNs). Per-chain
+// readout concatenates the chain's service-node embedding with the mean of
+// its fragment-node embeddings and feeds an MLP head.
+//
+// Matching the paper, a baseline instance predicts a single quantity
+// (PredictionHead::kThroughput or kLatency); "starred" variants (GAT*/GIN*
+// in Table V) are obtained by constructing with FeatureMode::kOriginal,
+// which also switches the targets back to raw X_i / L_i.
+#pragma once
+
+#include <memory>
+
+#include "gnn/model.h"
+#include "support/rng.h"
+
+namespace chainnet::gnn {
+
+struct BaselineConfig {
+  int hidden = 32;  ///< paper: 64
+  int layers = 4;   ///< paper: 8 (GAT) / 12 (GIN)
+  int heads = 2;    ///< attention heads (GAT, Table IV)
+  edge::FeatureMode mode = edge::FeatureMode::kModified;
+  PredictionHead head = PredictionHead::kThroughput;
+};
+
+/// Homogeneous input feature width: 3 type bits + 3 padded feature slots.
+inline constexpr int kHomoFeatureDim = 6;
+
+class Gat final : public GraphModel {
+ public:
+  Gat(const BaselineConfig& config, support::Rng& rng);
+  ~Gat() override;
+
+  std::vector<ChainOutput> forward(const edge::PlacementGraph& g) override;
+  edge::FeatureMode feature_mode() const override;
+  bool ratio_outputs() const override;
+  std::string name() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class Gin final : public GraphModel {
+ public:
+  Gin(const BaselineConfig& config, support::Rng& rng);
+  ~Gin() override;
+
+  std::vector<ChainOutput> forward(const edge::PlacementGraph& g) override;
+  edge::FeatureMode feature_mode() const override;
+  bool ratio_outputs() const override;
+  std::string name() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Graph convolutional network (Kipf & Welling style mean aggregation) —
+/// an extra baseline beyond the paper's two, useful as a sanity floor:
+/// h'_v = act(W * mean(h_u : u in N(v) + self)).
+class Gcn final : public GraphModel {
+ public:
+  Gcn(const BaselineConfig& config, support::Rng& rng);
+  ~Gcn() override;
+
+  std::vector<ChainOutput> forward(const edge::PlacementGraph& g) override;
+  edge::FeatureMode feature_mode() const override;
+  bool ratio_outputs() const override;
+  std::string name() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Assembles the homogeneous per-node input features for a graph under the
+/// given mode (exposed for tests).
+std::vector<std::vector<double>> homogeneous_features(
+    const edge::PlacementGraph& g);
+
+/// Bidirectional adjacency lists over homogeneous node ids (exposed for
+/// tests): adj[v] lists every u with an edge u->v or v->u in Algorithm 1.
+std::vector<std::vector<int>> bidirectional_adjacency(
+    const edge::PlacementGraph& g);
+
+}  // namespace chainnet::gnn

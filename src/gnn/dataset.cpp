@@ -1,0 +1,206 @@
+#include "gnn/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "edge/qn_mapping.h"
+#include "support/rng.h"
+
+namespace chainnet::gnn {
+
+using edge::EdgeSystem;
+using edge::FeatureMode;
+using edge::Placement;
+
+void Sample::build_graphs() {
+  graph_modified = edge::build_graph(system, placement, FeatureMode::kModified);
+  graph_original = edge::build_graph(system, placement, FeatureMode::kOriginal);
+}
+
+std::size_t Dataset::total_chains() const {
+  std::size_t total = 0;
+  for (const auto& s : samples) total += s.system.chains.size();
+  return total;
+}
+
+Sample label_sample(EdgeSystem system, Placement placement,
+                    const LabelingConfig& config) {
+  Sample sample;
+  sample.system = std::move(system);
+  sample.placement = std::move(placement);
+
+  double max_interarrival = 0.0;
+  for (const auto& chain : sample.system.chains) {
+    max_interarrival = std::max(max_interarrival, 1.0 / chain.arrival_rate);
+  }
+  queueing::SimConfig sim;
+  sim.horizon = config.arrivals_per_chain * max_interarrival /
+                (1.0 - config.warmup_fraction);
+  sim.warmup_fraction = config.warmup_fraction;
+  sim.seed = config.seed;
+
+  const auto qn = edge::build_qn(sample.system, sample.placement);
+  const auto result = queueing::simulate(qn, sim);
+
+  const auto num_chains = sample.system.chains.size();
+  sample.throughput.resize(num_chains);
+  sample.latency.resize(num_chains);
+  sample.has_latency.resize(num_chains);
+  for (std::size_t i = 0; i < num_chains; ++i) {
+    sample.throughput[i] = result.chains[i].throughput;
+    sample.latency[i] = result.chains[i].mean_latency;
+    sample.has_latency[i] =
+        result.chains[i].completions >= config.min_completions_for_latency;
+  }
+  sample.build_graphs();
+  return sample;
+}
+
+Dataset generate_dataset(const edge::NetworkGenParams& params, int count,
+                         const LabelingConfig& config, std::uint64_t seed) {
+  Dataset ds;
+  ds.samples.reserve(static_cast<std::size_t>(count));
+  support::Rng rng(seed);
+  for (int n = 0; n < count; ++n) {
+    auto gen = edge::generate_network_sample(params, rng);
+    LabelingConfig cfg = config;
+    cfg.seed = rng();
+    ds.samples.push_back(
+        label_sample(std::move(gen.system), std::move(gen.placement), cfg));
+  }
+  return ds;
+}
+
+// ------------------------------------------------------------- binary IO
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'N', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("dataset file truncated");
+  return v;
+}
+
+void put_string(std::ofstream& out, const std::string& s) {
+  put(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::ifstream& in) {
+  const auto len = get<std::uint64_t>(in);
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("dataset file truncated");
+  return s;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(dataset.samples.size()));
+  for (const auto& s : dataset.samples) {
+    put(out, static_cast<std::uint64_t>(s.system.devices.size()));
+    for (const auto& d : s.system.devices) {
+      put_string(out, d.name);
+      put(out, d.memory_capacity);
+      put(out, d.service_rate);
+    }
+    put(out, static_cast<std::uint64_t>(s.system.chains.size()));
+    for (const auto& c : s.system.chains) {
+      put_string(out, c.name);
+      put(out, c.arrival_rate);
+      put(out, static_cast<std::uint64_t>(c.fragments.size()));
+      for (const auto& f : c.fragments) {
+        put(out, f.memory_demand);
+        put(out, f.compute_demand);
+      }
+    }
+    for (std::size_t i = 0; i < s.system.chains.size(); ++i) {
+      for (int j = 0; j < s.system.chains[i].length(); ++j) {
+        put(out, static_cast<std::int32_t>(
+                     s.placement.device_of(static_cast<int>(i), j)));
+      }
+    }
+    for (std::size_t i = 0; i < s.system.chains.size(); ++i) {
+      put(out, s.throughput[i]);
+      put(out, s.latency[i]);
+      put(out, s.has_latency[i]);
+    }
+  }
+  if (!out) throw std::runtime_error("save_dataset: write failed " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_dataset: bad magic in " + path);
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_dataset: unsupported version");
+  }
+  Dataset ds;
+  const auto count = get<std::uint64_t>(in);
+  ds.samples.resize(count);
+  for (auto& s : ds.samples) {
+    const auto num_devices = get<std::uint64_t>(in);
+    s.system.devices.resize(num_devices);
+    for (auto& d : s.system.devices) {
+      d.name = get_string(in);
+      d.memory_capacity = get<double>(in);
+      d.service_rate = get<double>(in);
+    }
+    const auto num_chains = get<std::uint64_t>(in);
+    s.system.chains.resize(num_chains);
+    for (auto& c : s.system.chains) {
+      c.name = get_string(in);
+      c.arrival_rate = get<double>(in);
+      c.fragments.resize(get<std::uint64_t>(in));
+      for (auto& f : c.fragments) {
+        f.memory_demand = get<double>(in);
+        f.compute_demand = get<double>(in);
+      }
+    }
+    s.placement = Placement(s.system);
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      for (int j = 0; j < s.system.chains[i].length(); ++j) {
+        s.placement.assign(static_cast<int>(i), j, get<std::int32_t>(in));
+      }
+    }
+    s.throughput.resize(num_chains);
+    s.latency.resize(num_chains);
+    s.has_latency.resize(num_chains);
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      s.throughput[i] = get<double>(in);
+      s.latency[i] = get<double>(in);
+      s.has_latency[i] = get<std::uint8_t>(in);
+    }
+    s.build_graphs();
+  }
+  return ds;
+}
+
+bool dataset_file_exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+}  // namespace chainnet::gnn

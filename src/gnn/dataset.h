@@ -1,0 +1,71 @@
+// Dataset machinery for surrogate training: a sample couples a generated
+// (system, placement) pair with the simulator's ground-truth per-chain
+// throughput and latency (paper §VIII-A1). Samples cache both feature
+// variants of their graph so every model (modified vs original features)
+// trains from the same underlying data, as in Table V.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edge/graph.h"
+#include "edge/problem.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::gnn {
+
+struct Sample {
+  edge::EdgeSystem system;
+  edge::Placement placement;
+  /// Ground truth per chain (X_i^gt, L_i^gt).
+  std::vector<double> throughput;
+  std::vector<double> latency;
+  /// False when the chain had too few completions for a latency estimate;
+  /// such chains contribute no latency loss/metric.
+  std::vector<std::uint8_t> has_latency;
+
+  /// Feature graphs, built once (derived, not serialized).
+  edge::PlacementGraph graph_modified;
+  edge::PlacementGraph graph_original;
+
+  const edge::PlacementGraph& graph(edge::FeatureMode mode) const {
+    return mode == edge::FeatureMode::kModified ? graph_modified
+                                                : graph_original;
+  }
+  void build_graphs();
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+  /// Total number of service chains (the Q of eq. 13 across the set).
+  std::size_t total_chains() const;
+};
+
+/// Controls ground-truth simulation effort. The horizon is chosen per
+/// sample so the slowest chain receives at least `arrivals_per_chain`
+/// arrivals; `min_completions_for_latency` gates has_latency.
+struct LabelingConfig {
+  double arrivals_per_chain = 1000.0;
+  double warmup_fraction = 0.1;
+  std::uint64_t min_completions_for_latency = 20;
+  std::uint64_t seed = 7;
+};
+
+/// Simulates one (system, placement) pair and returns the labeled sample
+/// (graphs built).
+Sample label_sample(edge::EdgeSystem system, edge::Placement placement,
+                    const LabelingConfig& config);
+
+/// Generates `count` Table-III samples and labels each by simulation.
+Dataset generate_dataset(const edge::NetworkGenParams& params, int count,
+                         const LabelingConfig& config, std::uint64_t seed);
+
+/// Binary cache (systems, placements, labels; graphs rebuilt on load).
+void save_dataset(const Dataset& dataset, const std::string& path);
+Dataset load_dataset(const std::string& path);
+bool dataset_file_exists(const std::string& path);
+
+}  // namespace chainnet::gnn

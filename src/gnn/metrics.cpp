@@ -1,0 +1,106 @@
+#include "gnn/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chainnet::gnn {
+
+double ape(double predicted, double ground_truth, double eps) {
+  return std::abs(predicted - ground_truth) /
+         std::max(std::abs(ground_truth), eps);
+}
+
+std::vector<ChainError> evaluate(GraphModel& model, const Dataset& dataset) {
+  std::vector<ChainError> errors;
+  errors.reserve(dataset.total_chains());
+  for (const auto& sample : dataset.samples) {
+    const auto& g = sample.graph(model.feature_mode());
+    const auto preds = predict_physical(model, g);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      ChainError e;
+      e.num_nodes = g.num_nodes();
+      e.num_chains = g.num_chains;
+      if (preds[i].has_throughput) {
+        e.has_throughput = true;
+        e.ape_throughput = ape(preds[i].throughput, sample.throughput[i]);
+      }
+      if (preds[i].has_latency && sample.has_latency[i]) {
+        e.has_latency = true;
+        e.ape_latency = ape(preds[i].latency, sample.latency[i]);
+      }
+      errors.push_back(e);
+    }
+  }
+  return errors;
+}
+
+ApeSummary summarize(const std::vector<double>& apes) {
+  ApeSummary s;
+  s.count = apes.size();
+  if (apes.empty()) return s;
+  std::vector<double> sorted = apes;
+  std::sort(sorted.begin(), sorted.end());
+  s.mape = support::mean_of(sorted);
+  s.p50 = support::percentile_sorted(sorted, 0.5);
+  s.p75 = support::percentile_sorted(sorted, 0.75);
+  s.p95 = support::percentile_sorted(sorted, 0.95);
+  s.p99 = support::percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+std::vector<double> throughput_apes(const std::vector<ChainError>& errors) {
+  std::vector<double> out;
+  out.reserve(errors.size());
+  for (const auto& e : errors) {
+    if (e.has_throughput) out.push_back(e.ape_throughput);
+  }
+  return out;
+}
+
+std::vector<double> latency_apes(const std::vector<ChainError>& errors) {
+  std::vector<double> out;
+  out.reserve(errors.size());
+  for (const auto& e : errors) {
+    if (e.has_latency) out.push_back(e.ape_latency);
+  }
+  return out;
+}
+
+std::vector<GroupedBox> group_by(const std::vector<ChainError>& errors,
+                                 GroupKey key, int buckets) {
+  std::vector<GroupedBox> result;
+  if (errors.empty() || buckets <= 0) return result;
+  const auto key_of = [key](const ChainError& e) {
+    return key == GroupKey::kNumNodes ? static_cast<double>(e.num_nodes)
+                                      : static_cast<double>(e.num_chains);
+  };
+  double lo = key_of(errors.front()), hi = lo;
+  for (const auto& e : errors) {
+    lo = std::min(lo, key_of(e));
+    hi = std::max(hi, key_of(e));
+  }
+  const double width = (hi - lo) / buckets;
+  for (int b = 0; b < buckets; ++b) {
+    const double blo = lo + b * width;
+    const double bhi = b + 1 == buckets ? hi : lo + (b + 1) * width;
+    std::vector<double> tput, lat;
+    for (const auto& e : errors) {
+      const double k = key_of(e);
+      const bool in_bucket =
+          (k >= blo && k < bhi) || (b + 1 == buckets && k == hi);
+      if (!in_bucket) continue;
+      if (e.has_throughput) tput.push_back(e.ape_throughput);
+      if (e.has_latency) lat.push_back(e.ape_latency);
+    }
+    if (tput.empty() && lat.empty()) continue;
+    GroupedBox box;
+    box.key_lo = blo;
+    box.key_hi = bhi;
+    box.throughput = support::box_summary(tput);
+    box.latency = support::box_summary(lat);
+    result.push_back(box);
+  }
+  return result;
+}
+
+}  // namespace chainnet::gnn

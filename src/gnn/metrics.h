@@ -1,0 +1,62 @@
+// Prediction-quality metrics of §VIII-B1: per-chain absolute percentage
+// error (APE), its distribution percentiles (Table V), MAPE (Fig. 11,
+// Table VI), and grouped box summaries (Fig. 12).
+#pragma once
+
+#include <vector>
+
+#include "gnn/dataset.h"
+#include "gnn/model.h"
+#include "support/stats.h"
+
+namespace chainnet::gnn {
+
+/// APE |P - G| / |G| (as a fraction, not percent). Guards the G ~ 0 case by
+/// returning |P - G| / max(|G|, eps).
+double ape(double predicted, double ground_truth, double eps = 1e-9);
+
+/// One evaluated chain: errors plus grouping keys for Fig. 12.
+struct ChainError {
+  double ape_throughput = 0.0;
+  double ape_latency = 0.0;
+  bool has_throughput = false;
+  bool has_latency = false;
+  int num_nodes = 0;   ///< graph size group key (Fig. 12a/b)
+  int num_chains = 0;  ///< chain count group key (Fig. 12c/d)
+};
+
+/// Runs `model` over every sample and collects per-chain errors.
+std::vector<ChainError> evaluate(GraphModel& model, const Dataset& dataset);
+
+/// Aggregates of an APE list.
+struct ApeSummary {
+  double mape = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::size_t count = 0;
+};
+
+ApeSummary summarize(const std::vector<double>& apes);
+
+/// Extracts the throughput / latency APE vectors from evaluation results.
+std::vector<double> throughput_apes(const std::vector<ChainError>& errors);
+std::vector<double> latency_apes(const std::vector<ChainError>& errors);
+
+/// Partitions errors into `buckets` groups by a key (e.g. num_nodes) using
+/// equal-width ranges between the observed min and max key; returns one
+/// box summary per non-empty bucket together with its key range.
+struct GroupedBox {
+  double key_lo = 0.0;
+  double key_hi = 0.0;
+  support::BoxSummary throughput;
+  support::BoxSummary latency;
+};
+
+enum class GroupKey { kNumNodes, kNumChains };
+
+std::vector<GroupedBox> group_by(const std::vector<ChainError>& errors,
+                                 GroupKey key, int buckets);
+
+}  // namespace chainnet::gnn

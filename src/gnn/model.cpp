@@ -1,0 +1,74 @@
+#include "gnn/model.h"
+
+#include <algorithm>
+
+namespace chainnet::gnn {
+
+namespace {
+constexpr double kRatioFloor = 1e-4;
+}
+
+double encode_throughput(const edge::PlacementGraph& g, int chain, double x,
+                         bool ratio) {
+  if (!ratio) return x;
+  const double lambda = g.arrival_rate[chain];
+  return std::clamp(x / lambda, 0.0, 1.0);
+}
+
+double encode_latency(const edge::PlacementGraph& g, int chain, double l,
+                      bool ratio) {
+  if (!ratio) return l;
+  if (l <= 0.0) return 1.0;
+  return std::clamp(g.total_processing[chain] / l, 0.0, 1.0);
+}
+
+double decode_throughput(const edge::PlacementGraph& g, int chain, double t,
+                         bool ratio) {
+  if (!ratio) return t;
+  return std::clamp(t, 0.0, 1.0) * g.arrival_rate[chain];
+}
+
+double decode_latency(const edge::PlacementGraph& g, int chain, double t,
+                      bool ratio) {
+  if (!ratio) return t;
+  return g.total_processing[chain] / std::max(t, kRatioFloor);
+}
+
+std::vector<ChainValues> GraphModel::forward_values(
+    const edge::PlacementGraph& g) {
+  const auto outputs = forward(g);
+  std::vector<ChainValues> values(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].throughput.defined()) {
+      values[i].has_throughput = true;
+      values[i].throughput = outputs[i].throughput.item();
+    }
+    if (outputs[i].latency.defined()) {
+      values[i].has_latency = true;
+      values[i].latency = outputs[i].latency.item();
+    }
+  }
+  return values;
+}
+
+std::vector<ChainPerf> predict_physical(GraphModel& model,
+                                        const edge::PlacementGraph& g) {
+  const auto values = model.forward_values(g);
+  const bool ratio = model.ratio_outputs();
+  std::vector<ChainPerf> result(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int chain = static_cast<int>(i);
+    if (values[i].has_throughput) {
+      result[i].has_throughput = true;
+      result[i].throughput =
+          decode_throughput(g, chain, values[i].throughput, ratio);
+    }
+    if (values[i].has_latency) {
+      result[i].has_latency = true;
+      result[i].latency = decode_latency(g, chain, values[i].latency, ratio);
+    }
+  }
+  return result;
+}
+
+}  // namespace chainnet::gnn

@@ -1,0 +1,86 @@
+// Common interface for all graph surrogate models (ChainNet and the GIN/GAT
+// baselines), plus the target-space transforms of Table II.
+//
+// Models predict in *target space*: when ratio_outputs() is true the two
+// outputs are X_i / lambda_i and (sum_j t_p_ij) / L_i — both in (0, 1) —
+// otherwise raw X_i and L_i. The helpers below convert between target space
+// and physical space so training and evaluation share one code path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edge/graph.h"
+#include "tensor/nn.h"
+
+namespace chainnet::gnn {
+
+/// Which quantities a model predicts. ChainNet predicts both concurrently
+/// (its headline design point); the paper's baselines are trained per
+/// quantity ("the other models require separate training phases").
+enum class PredictionHead { kThroughput, kLatency, kBoth };
+
+/// Per-chain model output in target space. Undefined Vars mean the model
+/// does not predict that quantity (see PredictionHead).
+struct ChainOutput {
+  tensor::Var throughput;
+  tensor::Var latency;
+};
+
+/// Per-chain target-space values from an inference-only pass.
+struct ChainValues {
+  double throughput = 0.0;
+  double latency = 0.0;
+  bool has_throughput = false;
+  bool has_latency = false;
+};
+
+class GraphModel : public tensor::Module {
+ public:
+  /// Runs the model on one placement graph; returns one output per chain.
+  virtual std::vector<ChainOutput> forward(const edge::PlacementGraph& g) = 0;
+
+  /// Inference-only pass returning target-space values without building an
+  /// autodiff graph. The default adapter calls forward(); models on the
+  /// optimizer's hot path (ChainNet) override it with an allocation-free
+  /// implementation that must match forward() bit-for-bit in tests.
+  virtual std::vector<ChainValues> forward_values(
+      const edge::PlacementGraph& g);
+
+  /// Feature variant this model consumes (Table II "md" vs "ori").
+  virtual edge::FeatureMode feature_mode() const = 0;
+  /// Whether outputs are the (0,1) ratios of Table II.
+  virtual bool ratio_outputs() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Physical ground truth / prediction for one chain. The has_* flags mirror
+/// which heads the producing model defines (see PredictionHead).
+struct ChainPerf {
+  double throughput = 0.0;
+  double latency = 0.0;
+  bool has_throughput = false;
+  bool has_latency = false;
+};
+
+/// Target-space encoding of a physical value for chain `i` of graph `g`.
+/// Ratios are clamped into [0, 1] to absorb simulation noise.
+double encode_throughput(const edge::PlacementGraph& g, int chain, double x,
+                         bool ratio);
+double encode_latency(const edge::PlacementGraph& g, int chain, double l,
+                      bool ratio);
+
+/// Inverse transforms (target space -> physical). Ratio predictions are
+/// clamped to a small positive floor before inversion.
+double decode_throughput(const edge::PlacementGraph& g, int chain, double t,
+                         bool ratio);
+double decode_latency(const edge::PlacementGraph& g, int chain, double t,
+                      bool ratio);
+
+/// Convenience: full physical prediction for every chain of a graph (runs
+/// forward, detaches, decodes).
+std::vector<ChainPerf> predict_physical(GraphModel& model,
+                                        const edge::PlacementGraph& g);
+
+}  // namespace chainnet::gnn

@@ -1,0 +1,156 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/rng.h"
+#include "tensor/optimizer.h"
+
+namespace chainnet::gnn {
+
+using namespace chainnet::tensor;
+
+namespace {
+
+/// Squared-error terms of eq. (13) for one sample, in target space.
+/// Returns the per-chain sum (X term + L term) and the number of chains
+/// contributing (Q increment).
+struct SampleLoss {
+  Var loss;          ///< undefined if nothing contributed
+  std::size_t count = 0;
+};
+
+SampleLoss sample_loss(GraphModel& model, const Sample& sample) {
+  const auto& g = sample.graph(model.feature_mode());
+  const bool ratio = model.ratio_outputs();
+  const auto outputs = model.forward(g);
+  std::vector<Var> terms;
+  SampleLoss result;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const int chain = static_cast<int>(i);
+    bool contributed = false;
+    if (outputs[i].throughput.defined()) {
+      const double target =
+          encode_throughput(g, chain, sample.throughput[i], ratio);
+      Var d = add_scalar(outputs[i].throughput, -target);
+      terms.push_back(mul(d, d));
+      contributed = true;
+    }
+    if (outputs[i].latency.defined() && sample.has_latency[i]) {
+      const double target =
+          encode_latency(g, chain, sample.latency[i], ratio);
+      Var d = add_scalar(outputs[i].latency, -target);
+      terms.push_back(mul(d, d));
+      contributed = true;
+    }
+    if (contributed) ++result.count;
+  }
+  if (!terms.empty()) {
+    result.loss = terms.size() == 1 ? terms.front() : sum_of(terms);
+  }
+  return result;
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+void clip_gradients(GraphModel& model, double max_norm) {
+  double sq = 0.0;
+  const auto params = model.parameters();
+  for (const auto* p : params) {
+    for (double g : p->var.grad()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale_factor = max_norm / norm;
+  for (auto* p : params) {
+    auto& node = p->var.node();
+    for (auto& g : node.grad) g *= scale_factor;
+  }
+}
+
+}  // namespace
+
+double evaluate_loss(GraphModel& model, const Dataset& dataset) {
+  double total = 0.0;
+  std::size_t q = 0;
+  for (const auto& sample : dataset.samples) {
+    const auto sl = sample_loss(model, sample);
+    if (sl.loss.defined()) {
+      total += sl.loss.item();
+      q += sl.count;
+    }
+  }
+  return q ? total / (2.0 * static_cast<double>(q)) : 0.0;
+}
+
+TrainReport train(GraphModel& model, const Dataset& training,
+                  const Dataset* validation, const TrainConfig& config) {
+  TrainReport report;
+  const auto start = std::chrono::steady_clock::now();
+
+  Adam adam(model.parameters(), config.learning_rate);
+  LrSchedule schedule(config.learning_rate, config.lr_decay,
+                      static_cast<std::size_t>(config.lr_decay_every));
+  support::Rng rng(config.seed);
+
+  std::vector<std::size_t> order(training.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    adam.set_lr(schedule.lr_at(static_cast<std::size_t>(epoch)));
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<std::size_t>(
+                                  rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t epoch_q = 0;
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      const std::size_t batch_end = std::min(
+          order.size(), pos + static_cast<std::size_t>(config.batch_size));
+      model.zero_grad();
+      std::vector<Var> batch_terms;
+      std::size_t batch_q = 0;
+      for (std::size_t b = pos; b < batch_end; ++b) {
+        const auto sl = sample_loss(model, training.samples[order[b]]);
+        if (sl.loss.defined()) {
+          batch_terms.push_back(sl.loss);
+          batch_q += sl.count;
+        }
+      }
+      pos = batch_end;
+      if (batch_terms.empty()) continue;
+      Var total = batch_terms.size() == 1 ? batch_terms.front()
+                                          : sum_of(batch_terms);
+      // Eq. (13): L = (1 / 2Q) * sum of squared errors.
+      Var loss = scale(total, 1.0 / (2.0 * static_cast<double>(batch_q)));
+      loss.backward();
+      if (config.clip_grad_norm > 0.0) {
+        clip_gradients(model, config.clip_grad_norm);
+      }
+      adam.step();
+      epoch_loss += total.item();
+      epoch_q += batch_q;
+    }
+    const double train_loss =
+        epoch_q ? epoch_loss / (2.0 * static_cast<double>(epoch_q)) : 0.0;
+    report.train_loss.push_back(train_loss);
+    double val_loss = std::numeric_limits<double>::quiet_NaN();
+    if (validation != nullptr) {
+      val_loss = evaluate_loss(model, *validation);
+      report.val_loss.push_back(val_loss);
+    }
+    if (config.on_epoch) config.on_epoch(epoch, train_loss, val_loss);
+  }
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace chainnet::gnn

@@ -1,0 +1,42 @@
+// Training loop shared by ChainNet and the baselines: Adam, the joint MSE
+// objective of eq. (13) over whichever heads the model defines, step lr
+// decay (Table IV), and per-epoch train/validation loss curves (Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gnn/dataset.h"
+#include "gnn/model.h"
+
+namespace chainnet::gnn {
+
+struct TrainConfig {
+  int epochs = 30;          ///< paper: 200
+  int batch_size = 32;      ///< paper: 128
+  double learning_rate = 1e-3;
+  double lr_decay = 0.9;    ///< "decay 10% per 10 epochs"
+  int lr_decay_every = 10;
+  /// Global gradient-norm clipping threshold (0 disables). Useful for the
+  /// raw-output ablations whose unnormalized targets produce huge losses.
+  double clip_grad_norm = 0.0;
+  std::uint64_t seed = 99;
+  /// Called after each epoch with (epoch, train_loss, val_loss or NaN).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainReport {
+  std::vector<double> train_loss;  ///< per epoch
+  std::vector<double> val_loss;    ///< per epoch (empty without val set)
+  double seconds = 0.0;
+};
+
+/// Trains in place. `validation` may be null. Returns the loss curves.
+TrainReport train(GraphModel& model, const Dataset& training,
+                  const Dataset* validation, const TrainConfig& config);
+
+/// Mean eq.-(13) loss of the model over a dataset (no gradient step).
+double evaluate_loss(GraphModel& model, const Dataset& dataset);
+
+}  // namespace chainnet::gnn

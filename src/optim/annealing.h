@@ -1,0 +1,79 @@
+// Simulated-annealing placement search (§VII): the neighborhood move
+// (fragment relocation with optional swap-back of displaced fragments),
+// Metropolis acceptance on total throughput, geometric cooling, and the
+// multi-trial driver used in §VIII-C (each trial restarts from the same
+// initial placement with a fresh random stream — Fig. 14a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "optim/evaluator.h"
+#include "support/rng.h"
+
+namespace chainnet::optim {
+
+struct SaConfig {
+  int max_steps = 100;           ///< search steps per trial (§VIII-C2)
+  double initial_temperature = 0.0;  ///< tau_0; 0 = auto (see annealing.cpp)
+  double cooling_rate = 0.9;     ///< gamma (§VIII-C2)
+  std::uint64_t seed = 1;
+  /// Candidate placements must satisfy the memory constraint of eq. (2);
+  /// the move generator redraws up to this many times per step.
+  int max_move_attempts = 50;
+  /// When set, SaResult::best_placements records the best decision at every
+  /// trajectory point (used to post-simulate the Fig. 14c-d curves).
+  bool record_best_placements = false;
+};
+
+/// One recorded point of a search trajectory (drives Fig. 14-15 curves).
+struct TrajectoryPoint {
+  int step = 0;                ///< cumulative step index across trials
+  double seconds = 0.0;        ///< wall-clock since the search began
+  double current = 0.0;        ///< objective of the current decision
+  double best = 0.0;           ///< best objective seen so far
+};
+
+struct SaResult {
+  edge::Placement best;
+  double best_objective = 0.0;
+  std::vector<TrajectoryPoint> trajectory;
+  /// Parallel to trajectory when SaConfig::record_best_placements is set.
+  std::vector<edge::Placement> best_placements;
+  std::uint64_t evaluations = 0;
+  double seconds = 0.0;
+  int trials = 0;
+};
+
+/// Generates one candidate neighbor of `current` per the paper's move:
+/// pick a random (chain, fragment), move it to a random other device not
+/// already hosting that chain, and swap back a random subset of the
+/// displaced device's foreign fragments. Returns false if no feasible move
+/// was found within config.max_move_attempts.
+bool propose_move(const edge::EdgeSystem& system,
+                  const edge::Placement& current, support::Rng& rng,
+                  const SaConfig& config, edge::Placement& out);
+
+/// Runs one SA trial from `initial`.
+SaResult anneal(const edge::EdgeSystem& system, const edge::Placement& initial,
+                PlacementEvaluator& evaluator, const SaConfig& config);
+
+/// Multi-trial driver: runs `trials` independent trials (seed varied),
+/// each restarting from `initial`; trajectories are concatenated with
+/// cumulative step/time axes and the best decision over all trials is
+/// returned.
+SaResult anneal_trials(const edge::EdgeSystem& system,
+                       const edge::Placement& initial,
+                       PlacementEvaluator& evaluator, const SaConfig& config,
+                       int trials);
+
+/// Time-budget driver (fixed-time comparison, §VIII-C4a): keeps starting
+/// new trials until `budget_seconds` of wall-clock time is exhausted.
+SaResult anneal_for(const edge::EdgeSystem& system,
+                    const edge::Placement& initial,
+                    PlacementEvaluator& evaluator, const SaConfig& config,
+                    double budget_seconds);
+
+}  // namespace chainnet::optim

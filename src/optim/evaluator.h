@@ -1,0 +1,78 @@
+// Placement evaluators: the objective-function oracles plugged into the
+// simulated-annealing search of §VII. The baseline evaluates candidates by
+// simulation (the paper's JMT-based search); the surrogate evaluates them
+// with a trained GNN, which is the ChainNet speed advantage measured in
+// Fig. 14-15.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/surrogate.h"
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "edge/qn_mapping.h"
+#include "queueing/approximation.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::optim {
+
+class PlacementEvaluator {
+ public:
+  virtual ~PlacementEvaluator() = default;
+  /// Estimated objective of eq. (2): total throughput of the placement.
+  virtual double total_throughput(const edge::EdgeSystem& system,
+                                  const edge::Placement& placement) = 0;
+  /// Number of objective evaluations performed so far.
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ protected:
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Ground-truth-by-simulation evaluator (the baseline search oracle).
+class SimulationEvaluator final : public PlacementEvaluator {
+ public:
+  SimulationEvaluator(queueing::SimConfig config,
+                      edge::ServiceModel service_model =
+                          edge::ServiceModel::kExponential)
+      : config_(config), service_model_(service_model) {}
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override;
+
+ private:
+  queueing::SimConfig config_;
+  edge::ServiceModel service_model_;
+};
+
+/// GNN-surrogate evaluator (the ChainNet search oracle).
+class SurrogateEvaluator final : public PlacementEvaluator {
+ public:
+  explicit SurrogateEvaluator(core::Surrogate surrogate)
+      : surrogate_(surrogate) {}
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override;
+
+ private:
+  core::Surrogate surrogate_;
+};
+
+/// Training-free analytical oracle: the M/M/1/K decomposition of
+/// queueing/approximation.h. Faster than simulation and needs no GNN, but
+/// biased under heavy sharing — included as the "classical alternative"
+/// the paper's related work dismisses, so benches can quantify that claim.
+class ApproximationEvaluator final : public PlacementEvaluator {
+ public:
+  explicit ApproximationEvaluator(queueing::ApproxConfig config = {})
+      : config_(config) {}
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override;
+
+ private:
+  queueing::ApproxConfig config_;
+};
+
+}  // namespace chainnet::optim

@@ -1,0 +1,69 @@
+#include "optim/initial.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace chainnet::optim {
+
+using edge::EdgeSystem;
+using edge::Placement;
+
+Placement initial_placement(const EdgeSystem& system) {
+  system.validate();
+  const int num_devices = system.num_devices();
+  for (const auto& chain : system.chains) {
+    if (chain.length() > num_devices) {
+      throw std::invalid_argument(
+          "initial_placement: chain '" + chain.name +
+          "' has more fragments than there are devices");
+    }
+  }
+
+  std::vector<double> remaining(static_cast<std::size_t>(num_devices));
+  std::vector<bool> used(static_cast<std::size_t>(num_devices), false);
+  for (int k = 0; k < num_devices; ++k) {
+    remaining[static_cast<std::size_t>(k)] =
+        system.devices[k].memory_capacity;
+  }
+
+  Placement placement(system);
+  for (int i = 0; i < system.num_chains(); ++i) {
+    for (int j = 0; j < system.chains[i].length(); ++j) {
+      // Rank: unused first, then larger remaining memory; device index
+      // breaks ties deterministically.
+      int best = -1;
+      for (int k = 0; k < num_devices; ++k) {
+        // Skip devices already executing a fragment of this chain.
+        bool same_chain = false;
+        for (int jj = 0; jj < j; ++jj) {
+          if (placement.device_of(i, jj) == k) {
+            same_chain = true;
+            break;
+          }
+        }
+        if (same_chain) continue;
+        if (best < 0) {
+          best = k;
+          continue;
+        }
+        const auto ku = static_cast<std::size_t>(k);
+        const auto bu = static_cast<std::size_t>(best);
+        const bool k_better =
+            (!used[ku] && used[bu]) ||
+            (used[ku] == used[bu] && remaining[ku] > remaining[bu]);
+        if (k_better) best = k;
+      }
+      if (best < 0) {
+        throw std::logic_error("initial_placement: no eligible device");
+      }
+      placement.assign(i, j, best);
+      const auto bu = static_cast<std::size_t>(best);
+      used[bu] = true;
+      remaining[bu] -= system.chains[i].fragments[j].memory_demand;
+    }
+  }
+  return placement;
+}
+
+}  // namespace chainnet::optim

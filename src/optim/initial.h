@@ -1,0 +1,19 @@
+// Ranking-score initial placement (§VIII-C2): devices are ranked with
+// unused devices strictly above used ones and, within each group, by
+// remaining memory capacity; each fragment in turn takes the best-ranked
+// device that its chain does not already occupy; scores are updated and
+// devices re-ranked after every assignment. The result is the "vanilla
+// deployment that pursues a lower loss rate" every search trial starts
+// from (and p_0 of eq. 19).
+#pragma once
+
+#include "edge/model.h"
+#include "edge/placement.h"
+
+namespace chainnet::optim {
+
+/// Builds the initial placement. Throws std::invalid_argument when a chain
+/// is longer than the device count (no distinct-device placement exists).
+edge::Placement initial_placement(const edge::EdgeSystem& system);
+
+}  // namespace chainnet::optim

@@ -1,0 +1,102 @@
+#include "queueing/analytical.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chainnet::queueing {
+
+Mm1kMetrics mm1k(double lambda, double mu, int K) {
+  if (lambda <= 0.0 || mu <= 0.0 || K < 1) {
+    throw std::invalid_argument("mm1k: invalid parameters");
+  }
+  const double rho = lambda / mu;
+  Mm1kMetrics m;
+  if (std::abs(rho - 1.0) < 1e-12) {
+    // Uniform distribution over 0..K states.
+    const double states = static_cast<double>(K + 1);
+    m.loss_probability = 1.0 / states;
+    m.mean_jobs = static_cast<double>(K) / 2.0;
+    m.utilization = static_cast<double>(K) / states;
+  } else {
+    const double rK1 = std::pow(rho, K + 1);
+    const double denom = 1.0 - rK1;
+    m.loss_probability = (1.0 - rho) * std::pow(rho, K) / denom;
+    m.mean_jobs = rho / (1.0 - rho) -
+                  static_cast<double>(K + 1) * rK1 / denom;
+    const double p0 = (1.0 - rho) / denom;
+    m.utilization = 1.0 - p0;
+  }
+  m.throughput = lambda * (1.0 - m.loss_probability);
+  m.mean_response = m.mean_jobs / m.throughput;  // Little's law
+  return m;
+}
+
+Mm1Metrics mm1(double lambda, double mu) {
+  if (lambda <= 0.0 || mu <= 0.0 || lambda >= mu) {
+    throw std::invalid_argument("mm1: requires 0 < lambda < mu");
+  }
+  const double rho = lambda / mu;
+  Mm1Metrics m;
+  m.mean_jobs = rho / (1.0 - rho);
+  m.mean_response = 1.0 / (mu - lambda);
+  m.utilization = rho;
+  return m;
+}
+
+double erlang_c(int servers, double offered_load) {
+  if (servers < 1 || offered_load < 0.0 ||
+      offered_load >= static_cast<double>(servers)) {
+    throw std::invalid_argument("erlang_c: requires 0 <= a < c");
+  }
+  // C(c, a) = c B(c, a) / (c - a (1 - B(c, a))).
+  const double b = erlang_b(servers, offered_load);
+  const double c = static_cast<double>(servers);
+  return c * b / (c - offered_load * (1.0 - b));
+}
+
+MmcMetrics mmc(double lambda, double mu, int servers) {
+  if (lambda <= 0.0 || mu <= 0.0 || servers < 1 ||
+      lambda >= static_cast<double>(servers) * mu) {
+    throw std::invalid_argument("mmc: requires 0 < lambda < c * mu");
+  }
+  const double a = lambda / mu;  // offered load in Erlangs
+  const double c = static_cast<double>(servers);
+  MmcMetrics m;
+  m.wait_probability = erlang_c(servers, a);
+  m.utilization = a / c;
+  const double mean_queue = m.wait_probability * a / (c - a);
+  m.mean_jobs = mean_queue + a;
+  m.mean_response = m.mean_jobs / lambda;  // Little's law
+  return m;
+}
+
+double mg1_mean_jobs(double rho, double service_scv) {
+  if (rho < 0.0 || rho >= 1.0 || service_scv < 0.0) {
+    throw std::invalid_argument("mg1_mean_jobs: requires 0 <= rho < 1");
+  }
+  return rho + rho * rho * (1.0 + service_scv) / (2.0 * (1.0 - rho));
+}
+
+double mg1_mean_response(double lambda, double mean_service,
+                         double service_scv) {
+  if (lambda <= 0.0 || mean_service <= 0.0) {
+    throw std::invalid_argument("mg1_mean_response: invalid parameters");
+  }
+  const double rho = lambda * mean_service;
+  return mg1_mean_jobs(rho, service_scv) / lambda;  // Little's law
+}
+
+double erlang_b(int servers, double offered_load) {
+  if (servers < 0 || offered_load < 0.0) {
+    throw std::invalid_argument("erlang_b: invalid parameters");
+  }
+  // Standard numerically stable recurrence:
+  // B(0) = 1; B(c) = a B(c-1) / (c + a B(c-1)).
+  double b = 1.0;
+  for (int c = 1; c <= servers; ++c) {
+    b = offered_load * b / (static_cast<double>(c) + offered_load * b);
+  }
+  return b;
+}
+
+}  // namespace chainnet::queueing

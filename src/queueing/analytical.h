@@ -1,0 +1,62 @@
+// Closed-form results for elementary queues. These are not used by the
+// surrogate itself (no closed forms exist for the paper's multi-chain
+// finite-buffer networks — that is the point of ChainNet); they validate the
+// DES engine in the property-based test suite.
+#pragma once
+
+namespace chainnet::queueing {
+
+/// Steady-state metrics of an M/M/1/K queue (Poisson arrivals rate lambda,
+/// exponential service rate mu, at most K jobs in system incl. in service).
+struct Mm1kMetrics {
+  double loss_probability = 0.0;  ///< P(arrival finds system full)
+  double mean_jobs = 0.0;         ///< E[number in system]
+  double throughput = 0.0;        ///< lambda * (1 - loss_probability)
+  double mean_response = 0.0;     ///< E[sojourn] of admitted jobs (Little)
+  double utilization = 0.0;       ///< P(server busy)
+};
+
+/// Exact M/M/1/K analysis. Requires lambda > 0, mu > 0, K >= 1. Handles the
+/// rho == 1 boundary analytically.
+Mm1kMetrics mm1k(double lambda, double mu, int K);
+
+/// Steady-state metrics of the infinite-buffer M/M/1 queue; requires
+/// rho = lambda/mu < 1.
+struct Mm1Metrics {
+  double mean_jobs = 0.0;
+  double mean_response = 0.0;
+  double utilization = 0.0;
+};
+
+Mm1Metrics mm1(double lambda, double mu);
+
+/// Erlang-B blocking probability B(c, a) for an M/M/c/c loss system with
+/// offered load a = lambda/mu (used as an extra cross-check of loss
+/// accounting via the c = 1 special case, and exercised in tests).
+double erlang_b(int servers, double offered_load);
+
+/// Erlang-C waiting probability C(c, a) for an M/M/c queue with infinite
+/// buffer; requires a < c.
+double erlang_c(int servers, double offered_load);
+
+/// Steady-state metrics of the infinite-buffer M/M/c queue; requires
+/// lambda < c * mu. Validates the simulator's multi-server extension.
+struct MmcMetrics {
+  double mean_jobs = 0.0;       ///< E[number in system]
+  double mean_response = 0.0;   ///< E[sojourn]
+  double utilization = 0.0;     ///< lambda / (c mu), per-server busy frac
+  double wait_probability = 0.0;
+};
+
+MmcMetrics mmc(double lambda, double mu, int servers);
+
+/// Pollaczek-Khinchine mean number in system for M/G/1 with utilization
+/// rho = lambda * E[S] < 1 and service SCV c2:
+/// L = rho + rho^2 (1 + c2) / (2 (1 - rho)).
+double mg1_mean_jobs(double rho, double service_scv);
+
+/// M/G/1 mean sojourn time via Little's law on mg1_mean_jobs.
+double mg1_mean_response(double lambda, double mean_service,
+                         double service_scv);
+
+}  // namespace chainnet::queueing

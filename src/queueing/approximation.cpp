@@ -1,0 +1,142 @@
+#include "queueing/approximation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "queueing/analytical.h"
+
+namespace chainnet::queueing {
+
+double ApproxResult::total_throughput() const {
+  double total = 0.0;
+  for (const auto& c : chains) total += c.throughput;
+  return total;
+}
+
+ApproxResult approximate(const QnModel& model, const ApproxConfig& config) {
+  model.validate();
+  if (config.max_iterations <= 0 || config.relaxation <= 0.0 ||
+      config.relaxation > 1.0) {
+    throw std::invalid_argument("ApproxConfig: invalid parameters");
+  }
+  const std::size_t num_stations = model.stations.size();
+  const std::size_t num_chains = model.chains.size();
+
+  // Static per-station structure: which (chain, step) pairs visit it.
+  struct Visit {
+    std::size_t chain;
+    std::size_t step;
+  };
+  std::vector<std::vector<Visit>> visits(num_stations);
+  for (std::size_t i = 0; i < num_chains; ++i) {
+    for (std::size_t j = 0; j < model.chains[i].steps.size(); ++j) {
+      visits[static_cast<std::size_t>(model.chains[i].steps[j].station)]
+          .push_back({i, j});
+    }
+  }
+
+  // Buffer sizes in jobs: capacity / mean memory demand of visiting jobs
+  // (>= 1 so the M/M/1/K analysis is defined).
+  std::vector<int> buffer(num_stations, 1);
+  for (std::size_t k = 0; k < num_stations; ++k) {
+    if (visits[k].empty()) continue;
+    double mean_demand = 0.0;
+    for (const auto& v : visits[k]) {
+      mean_demand += model.chains[v.chain].steps[v.step].memory_demand;
+    }
+    mean_demand /= static_cast<double>(visits[k].size());
+    const double cap = model.stations[k].memory_capacity;
+    buffer[k] = std::max(
+        1, static_cast<int>(std::floor(cap / std::max(mean_demand, 1e-12))));
+    // Cap to keep pow() in mm1k well conditioned; beyond ~1e4 jobs the
+    // finite buffer is effectively infinite for any reachable load.
+    buffer[k] = std::min(buffer[k], 10000);
+  }
+
+  // Fixed point on per-station blocking probabilities.
+  std::vector<double> blocking(num_stations, 0.0);
+  ApproxResult result;
+  result.blocking.assign(num_stations, 0.0);
+
+  for (int it = 0; it < config.max_iterations; ++it) {
+    // Thinned flow of chain i into step j: lambda_i * prod_{j' < j}
+    // (1 - blocking at station of j').
+    std::vector<double> station_lambda(num_stations, 0.0);
+    std::vector<double> station_work(num_stations, 0.0);  // load in time/s
+    for (std::size_t i = 0; i < num_chains; ++i) {
+      double flow = model.chains[i].arrival_rate();
+      for (const auto& step : model.chains[i].steps) {
+        const auto k = static_cast<std::size_t>(step.station);
+        // The flow *offered* to station k (before its own blocking).
+        station_lambda[k] += flow;
+        station_work[k] += flow * step.service->mean();
+        flow *= std::max(0.0, 1.0 - blocking[k]);
+      }
+    }
+
+    double delta = 0.0;
+    for (std::size_t k = 0; k < num_stations; ++k) {
+      double next = 0.0;
+      if (station_lambda[k] > 1e-12 && station_work[k] > 1e-12) {
+        // Aggregate exponential server whose mean service time is the
+        // flow-weighted mean across visiting classes.
+        const double mean_service = station_work[k] / station_lambda[k];
+        const auto m =
+            mm1k(station_lambda[k], 1.0 / mean_service, buffer[k]);
+        next = m.loss_probability;
+      }
+      const double relaxed =
+          blocking[k] + config.relaxation * (next - blocking[k]);
+      delta = std::max(delta, std::abs(relaxed - blocking[k]));
+      blocking[k] = relaxed;
+    }
+    result.iterations = it + 1;
+    if (delta < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.blocking = blocking;
+
+  // Final sweep: per-chain throughput and latency from the fixed point.
+  result.chains.resize(num_chains);
+  // Recompute station metrics once more for sojourn times.
+  std::vector<double> station_lambda(num_stations, 0.0);
+  std::vector<double> station_work(num_stations, 0.0);
+  for (std::size_t i = 0; i < num_chains; ++i) {
+    double flow = model.chains[i].arrival_rate();
+    for (const auto& step : model.chains[i].steps) {
+      const auto k = static_cast<std::size_t>(step.station);
+      station_lambda[k] += flow;
+      station_work[k] += flow * step.service->mean();
+      flow *= std::max(0.0, 1.0 - blocking[k]);
+    }
+  }
+  std::vector<double> sojourn(num_stations, 0.0);
+  for (std::size_t k = 0; k < num_stations; ++k) {
+    if (station_lambda[k] > 1e-12 && station_work[k] > 1e-12) {
+      const double mean_service = station_work[k] / station_lambda[k];
+      sojourn[k] =
+          mm1k(station_lambda[k], 1.0 / mean_service, buffer[k])
+              .mean_response;
+    }
+  }
+  for (std::size_t i = 0; i < num_chains; ++i) {
+    const double lambda = model.chains[i].arrival_rate();
+    double flow = lambda;
+    double latency = 0.0;
+    for (const auto& step : model.chains[i].steps) {
+      const auto k = static_cast<std::size_t>(step.station);
+      flow *= std::max(0.0, 1.0 - blocking[k]);
+      latency += sojourn[k];
+    }
+    auto& chain = result.chains[i];
+    chain.throughput = flow;
+    chain.mean_latency = latency;
+    chain.loss_probability = lambda > 0.0 ? 1.0 - flow / lambda : 0.0;
+  }
+  return result;
+}
+
+}  // namespace chainnet::queueing

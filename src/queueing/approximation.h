@@ -1,0 +1,62 @@
+// Fixed-point decomposition approximation for open multi-chain queueing
+// networks with finite memory buffers and loss.
+//
+// The paper argues (§III) that no accurate closed-form analysis exists for
+// this model class — that gap is ChainNet's motivation. This module
+// implements the classical *approximate* alternative the literature offers
+// (station-by-station M/M/1/K decomposition with flow thinning, in the
+// spirit of Shi 1995 / Thomas 2006): it is fast and needs no training, but
+// it ignores inter-station correlations and non-Poisson internal flows, so
+// its error grows with congestion and sharing. It serves two purposes:
+//  * an additional, training-free baseline evaluator for the optimizer;
+//  * an accuracy yardstick in the benches (approximation vs simulation vs
+//    ChainNet), quantifying the paper's "approximations are not accurate
+//    enough" premise.
+//
+// Method: each station k is modeled as M/M/1/K_k where
+//   K_k    = max jobs that fit in memory (capacity / mean per-job demand),
+//   lambda_k = sum of thinned chain flows entering k,
+//   mu_k   = aggregate service rate under the current flow mix.
+// Chain flows are thinned by each visited station's blocking probability;
+// blocking probabilities and flows are iterated to a fixed point.
+#pragma once
+
+#include <vector>
+
+#include "queueing/network.h"
+
+namespace chainnet::queueing {
+
+struct ApproxConfig {
+  int max_iterations = 200;
+  double tolerance = 1e-9;
+  /// Under-relaxation factor in (0, 1]; values < 1 damp oscillations of
+  /// the fixed point in heavily loaded networks.
+  double relaxation = 0.5;
+};
+
+struct ApproxChainResult {
+  double throughput = 0.0;      ///< X_i after all thinning stages
+  double mean_latency = 0.0;    ///< sum of per-station sojourn times
+  double loss_probability = 0.0;
+};
+
+struct ApproxResult {
+  std::vector<ApproxChainResult> chains;
+  /// Per-station blocking probability at the fixed point.
+  std::vector<double> blocking;
+  int iterations = 0;
+  bool converged = false;
+
+  double total_throughput() const;
+};
+
+/// Runs the decomposition. Requires a valid model (validate() passes).
+/// Limitations (documented, by design): assumes single-server FCFS
+/// stations and deterministic chain routing — the paper's model class;
+/// multi-server stations, early exits, link failures and Markovian routing
+/// are simulator extensions the decomposition does not see.
+ApproxResult approximate(const QnModel& model,
+                         const ApproxConfig& config = {});
+
+}  // namespace chainnet::queueing

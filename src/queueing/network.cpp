@@ -1,0 +1,136 @@
+#include "queueing/network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chainnet::queueing {
+
+ChainStep::ChainStep(const ChainStep& other)
+    : station(other.station),
+      service(other.service ? other.service->clone() : nullptr),
+      memory_demand(other.memory_demand),
+      exit_probability(other.exit_probability),
+      link_failure_probability(other.link_failure_probability) {}
+
+ChainStep& ChainStep::operator=(const ChainStep& other) {
+  if (this != &other) {
+    station = other.station;
+    service = other.service ? other.service->clone() : nullptr;
+    memory_demand = other.memory_demand;
+    exit_probability = other.exit_probability;
+    link_failure_probability = other.link_failure_probability;
+  }
+  return *this;
+}
+
+ChainSpec::ChainSpec(const ChainSpec& other)
+    : name(other.name),
+      interarrival(other.interarrival ? other.interarrival->clone() : nullptr),
+      steps(other.steps),
+      routing(other.routing) {}
+
+ChainSpec& ChainSpec::operator=(const ChainSpec& other) {
+  if (this != &other) {
+    name = other.name;
+    interarrival = other.interarrival ? other.interarrival->clone() : nullptr;
+    steps = other.steps;
+    routing = other.routing;
+  }
+  return *this;
+}
+
+double ChainSpec::arrival_rate() const {
+  if (!interarrival) throw std::logic_error("ChainSpec: no arrival process");
+  const double mean = interarrival->mean();
+  if (mean <= 0.0) throw std::logic_error("ChainSpec: non-positive mean");
+  return 1.0 / mean;
+}
+
+double ChainSpec::total_mean_service() const {
+  double total = 0.0;
+  for (const auto& s : steps) {
+    if (s.service) total += s.service->mean();
+  }
+  return total;
+}
+
+void QnModel::validate() const {
+  if (stations.empty()) throw std::invalid_argument("QnModel: no stations");
+  if (chains.empty()) throw std::invalid_argument("QnModel: no chains");
+  for (const auto& st : stations) {
+    if (st.memory_capacity <= 0.0) {
+      throw std::invalid_argument("QnModel: station '" + st.name +
+                                  "' has non-positive memory capacity");
+    }
+    if (st.servers < 1) {
+      throw std::invalid_argument("QnModel: station '" + st.name +
+                                  "' needs at least one server");
+    }
+  }
+  for (const auto& ch : chains) {
+    if (!ch.interarrival) {
+      throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                  "' has no arrival process");
+    }
+    if (ch.steps.empty()) {
+      throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                  "' has no steps");
+    }
+    for (const auto& s : ch.steps) {
+      if (s.station < 0 || s.station >= static_cast<int>(stations.size())) {
+        throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                    "' references invalid station index");
+      }
+      if (!s.service) {
+        throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                    "' has a step without service process");
+      }
+      if (s.memory_demand < 0.0) {
+        throw std::invalid_argument("QnModel: negative memory demand");
+      }
+      if (s.exit_probability < 0.0 || s.exit_probability >= 1.0) {
+        throw std::invalid_argument(
+            "QnModel: exit probability must be in [0, 1)");
+      }
+      if (s.link_failure_probability < 0.0 ||
+          s.link_failure_probability >= 1.0) {
+        throw std::invalid_argument(
+            "QnModel: link failure probability must be in [0, 1)");
+      }
+    }
+    if (ch.has_markovian_routing()) {
+      const std::size_t t = ch.steps.size();
+      if (ch.routing.size() != t) {
+        throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                    "' routing must have one row per step");
+      }
+      for (const auto& row : ch.routing) {
+        if (row.size() != t + 1) {
+          throw std::invalid_argument(
+              "QnModel: chain '" + ch.name +
+              "' routing rows need T+1 columns (last = completion)");
+        }
+        double total = 0.0;
+        for (double p : row) {
+          if (p < 0.0 || p > 1.0) {
+            throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                        "' routing probability out of range");
+          }
+          total += p;
+        }
+        if (std::abs(total - 1.0) > 1e-9) {
+          throw std::invalid_argument("QnModel: chain '" + ch.name +
+                                      "' routing row does not sum to 1");
+        }
+      }
+    }
+  }
+}
+
+double QnModel::total_arrival_rate() const {
+  double total = 0.0;
+  for (const auto& ch : chains) total += ch.arrival_rate();
+  return total;
+}
+
+}  // namespace chainnet::queueing

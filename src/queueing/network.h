@@ -1,0 +1,108 @@
+// Open multi-chain queueing network model with finite (memory) buffers and
+// loss — the stochastic abstraction the paper uses for edge AI deployments
+// (§III, Fig. 2). A QnModel is pure description; the DES engine in
+// simulator.h executes it.
+//
+// Semantics:
+//  * Each service chain i has its own renewal arrival process (Poisson in
+//    the paper) and visits a fixed sequence of stations (deterministic
+//    routing — the paper's core assumption).
+//  * A station is a single FCFS server with a memory budget. A job at step
+//    j of chain i occupies memory_demand while queued and in service; an
+//    arriving job that does not fit is LOST and leaves the network.
+//  * Service time at a step is drawn from the step's service distribution
+//    (exponential with mean r_ij / R_k by default, matching open-QN use).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/distributions.h"
+
+namespace chainnet::queueing {
+
+/// A queueing station (one edge device). memory_capacity bounds the total
+/// memory of jobs simultaneously queued or in service. `servers` generalizes
+/// the paper's single-server devices to multi-core devices (M/M/c behavior
+/// under exponential service); the paper's model is servers == 1.
+struct StationSpec {
+  std::string name;
+  double memory_capacity = 0.0;
+  int servers = 1;
+};
+
+/// One visit of a chain to a station.
+struct ChainStep {
+  int station = -1;  ///< index into QnModel::stations
+  std::unique_ptr<chainnet::support::Distribution> service;
+  double memory_demand = 1.0;
+  /// Early-exit extension (paper §X future work): probability that a job
+  /// leaves the chain *successfully* after completing this step instead of
+  /// proceeding to the next one (models early-exit DNNs). 0 = pure chain.
+  /// Ignored on the last step (jobs always complete there).
+  double exit_probability = 0.0;
+  /// Link-failure extension (paper §X future work): probability that the
+  /// transmission *into* this step fails and the job is LOST (the paper's
+  /// "probabilistic routing of jobs on failed links to a sink node").
+  /// Applies to external arrivals at the first step too.
+  double link_failure_probability = 0.0;
+
+  ChainStep() = default;
+  ChainStep(int st, std::unique_ptr<chainnet::support::Distribution> svc,
+            double mem, double exit_prob = 0.0, double link_fail = 0.0)
+      : station(st),
+        service(std::move(svc)),
+        memory_demand(mem),
+        exit_probability(exit_prob),
+        link_failure_probability(link_fail) {}
+  ChainStep(const ChainStep& other);
+  ChainStep& operator=(const ChainStep& other);
+  ChainStep(ChainStep&&) noexcept = default;
+  ChainStep& operator=(ChainStep&&) noexcept = default;
+};
+
+/// A service chain: arrival process plus the ordered station visits.
+///
+/// Routing between steps is deterministic (j -> j+1) by default — the
+/// paper's core assumption. The Markovian-routing extension (§X future
+/// work) replaces it with a row-stochastic matrix: `routing[j][k]` is the
+/// probability of visiting step k after completing step j, and
+/// `routing[j][T]` (one past the last step) the probability of successful
+/// completion. Cycles (rework loops) are allowed. When `routing` is empty,
+/// deterministic chain routing plus the per-step exit_probability applies.
+struct ChainSpec {
+  std::string name;
+  std::unique_ptr<chainnet::support::Distribution> interarrival;
+  std::vector<ChainStep> steps;
+  std::vector<std::vector<double>> routing;
+
+  /// True when the Markovian routing matrix is in use.
+  bool has_markovian_routing() const { return !routing.empty(); }
+
+  ChainSpec() = default;
+  ChainSpec(const ChainSpec& other);
+  ChainSpec& operator=(const ChainSpec& other);
+  ChainSpec(ChainSpec&&) noexcept = default;
+  ChainSpec& operator=(ChainSpec&&) noexcept = default;
+
+  /// Mean arrival rate lambda_i = 1 / E[interarrival].
+  double arrival_rate() const;
+  /// Sum of mean service times over all steps (the paper's sum of t_p).
+  double total_mean_service() const;
+};
+
+/// The whole network. Validation (validate()) checks index ranges, positive
+/// capacities, and non-empty chains; the simulator calls it on entry.
+struct QnModel {
+  std::vector<StationSpec> stations;
+  std::vector<ChainSpec> chains;
+
+  /// Throws std::invalid_argument with a description on structural errors.
+  void validate() const;
+
+  /// Sum of all chain arrival rates (lambda_total in eq. 18).
+  double total_arrival_rate() const;
+};
+
+}  // namespace chainnet::queueing

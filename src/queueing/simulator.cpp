@@ -1,0 +1,380 @@
+#include "queueing/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "support/stats.h"
+
+namespace chainnet::queueing {
+
+using chainnet::support::Rng;
+using chainnet::support::TimeWeightedStats;
+
+namespace {
+
+struct Job {
+  int chain = -1;
+  int step = -1;
+  double entered_system = 0.0;  ///< chain arrival time (for e2e latency)
+};
+
+enum class EventType : std::uint8_t { kArrival, kDeparture };
+
+struct Event {
+  double time;
+  std::uint64_t seq;  ///< tie-breaker for deterministic ordering
+  EventType type;
+  int index;  ///< chain for arrivals, station for departures
+  Job job;    ///< the departing job (departure events only)
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct StationState {
+  double capacity = 0.0;
+  int servers = 1;
+  double used_memory = 0.0;
+  int in_service = 0;
+  std::deque<Job> waiting;  ///< admitted jobs not yet in service
+  TimeWeightedStats jobs_tw;
+  TimeWeightedStats memory_tw;
+  TimeWeightedStats busy_tw;  ///< fraction of servers busy
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+};
+
+class Engine {
+ public:
+  Engine(const QnModel& model, const SimConfig& config)
+      : model_(model), config_(config), rng_(config.seed) {
+    model.validate();
+    if (config.horizon <= 0.0 || config.warmup_fraction < 0.0 ||
+        config.warmup_fraction >= 1.0) {
+      throw std::invalid_argument("SimConfig: invalid horizon or warmup");
+    }
+    warmup_ = config.horizon * config.warmup_fraction;
+    stations_.resize(model.stations.size());
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      stations_[k].capacity = model.stations[k].memory_capacity;
+      stations_[k].servers = model.stations[k].servers;
+    }
+    chain_stats_.resize(model.chains.size());
+    latency_.resize(model.chains.size());
+    if (config.ci_batches > 0) {
+      batch_completions_.assign(
+          model.chains.size(),
+          std::vector<std::uint64_t>(
+              static_cast<std::size_t>(config.ci_batches), 0));
+    }
+    arrival_rng_.reserve(model.chains.size());
+    service_rng_.reserve(model.chains.size());
+    routing_rng_.reserve(model.chains.size());
+    for (std::size_t i = 0; i < model.chains.size(); ++i) {
+      arrival_rng_.push_back(rng_.child(3 * i));
+      service_rng_.push_back(rng_.child(3 * i + 1));
+      routing_rng_.push_back(rng_.child(3 * i + 2));
+    }
+  }
+
+  SimResult run() {
+    for (int i = 0; i < static_cast<int>(model_.chains.size()); ++i) {
+      schedule_arrival(i, 0.0);
+    }
+    while (!events_.empty() && events_.top().time <= config_.horizon &&
+           event_count_ < config_.max_events) {
+      const Event ev = events_.top();
+      events_.pop();
+      ++event_count_;
+      now_ = ev.time;
+      if (ev.type == EventType::kArrival) {
+        handle_arrival(ev.index);
+      } else {
+        handle_departure(ev.index, ev.job);
+      }
+    }
+    now_ = config_.horizon;
+    return collect();
+  }
+
+ private:
+  bool in_window() const { return now_ >= warmup_; }
+
+  void record_loss(const Job& job) {
+    auto& stats = chain_stats_[job.chain];
+    ++stats.losses;
+    if (stats.losses_by_step.size() <=
+        static_cast<std::size_t>(job.step)) {
+      stats.losses_by_step.resize(
+          model_.chains[job.chain].steps.size(), 0);
+    }
+    ++stats.losses_by_step[static_cast<std::size_t>(job.step)];
+  }
+
+  void schedule_arrival(int chain, double from) {
+    const double dt =
+        model_.chains[chain].interarrival->sample(arrival_rng_[chain]);
+    push_event({from + dt, seq_++, EventType::kArrival, chain, Job{}});
+  }
+
+  void push_event(Event ev) { events_.push(ev); }
+
+  /// Records a change in station occupancy at time `now_`. Must be called
+  /// AFTER the queue/memory modification: the previous value's area over
+  /// [last change, now] is closed and the new value starts holding. Times
+  /// are clipped to the measurement window so pre-warmup history carries
+  /// zero weight.
+  void touch_station(int k) {
+    auto& st = stations_[k];
+    const double t = std::max(now_, warmup_);
+    st.jobs_tw.update(
+        t - warmup_,
+        static_cast<double>(st.waiting.size()) + st.in_service);
+    st.memory_tw.update(t - warmup_, st.used_memory);
+    st.busy_tw.update(t - warmup_, static_cast<double>(st.in_service) /
+                                       static_cast<double>(st.servers));
+  }
+
+  void start_service(int k, const Job& job) {
+    auto& st = stations_[k];
+    const auto& step = model_.chains[job.chain].steps[job.step];
+    const double svc = step.service->sample(service_rng_[job.chain]);
+    ++st.in_service;
+    push_event({now_ + svc, seq_++, EventType::kDeparture, k, job});
+  }
+
+  /// Attempts to place `job` at its current step's station. Returns false
+  /// and records a loss when memory does not suffice.
+  void offer(Job job) {
+    const auto& step = model_.chains[job.chain].steps[job.step];
+    // Link-failure extension: the transmission into this step may fail,
+    // dropping the job before it reaches the station's buffer.
+    if (step.link_failure_probability > 0.0 &&
+        routing_rng_[static_cast<std::size_t>(job.chain)].bernoulli(
+            step.link_failure_probability)) {
+      if (in_window()) record_loss(job);
+      return;
+    }
+    auto& st = stations_[step.station];
+    if (st.used_memory + step.memory_demand > st.capacity + 1e-12) {
+      if (in_window()) {
+        record_loss(job);
+        ++st.rejected;
+      }
+      return;
+    }
+    st.used_memory += step.memory_demand;
+    if (in_window()) ++st.admitted;
+    if (st.in_service < st.servers) {
+      start_service(step.station, job);
+    } else {
+      st.waiting.push_back(job);
+    }
+    touch_station(step.station);
+  }
+
+  void handle_arrival(int chain) {
+    schedule_arrival(chain, now_);
+    if (in_window()) ++chain_stats_[chain].arrivals;
+    offer(Job{chain, 0, now_});
+  }
+
+  void handle_departure(int k, Job job) {
+    auto& st = stations_[k];
+    if (st.in_service <= 0) {
+      throw std::logic_error("departure from idle station");
+    }
+    --st.in_service;
+    const auto& step = model_.chains[job.chain].steps[job.step];
+    st.used_memory -= step.memory_demand;
+    if (!st.waiting.empty()) {
+      const Job next = st.waiting.front();
+      st.waiting.pop_front();
+      start_service(k, next);
+    }
+    touch_station(k);
+
+    const auto& chain = model_.chains[job.chain];
+    int next_step;
+    if (chain.has_markovian_routing()) {
+      // Markovian-routing extension: sample the next step from the
+      // row-stochastic routing matrix; column T means completion.
+      const auto& row =
+          chain.routing[static_cast<std::size_t>(job.step)];
+      double u = routing_rng_[static_cast<std::size_t>(job.chain)]
+                     .uniform01();
+      next_step = static_cast<int>(chain.steps.size());  // completion
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        if (u < row[k]) {
+          next_step = static_cast<int>(k);
+          break;
+        }
+        u -= row[k];
+      }
+    } else {
+      const bool is_last =
+          job.step + 1 >= static_cast<int>(chain.steps.size());
+      // Early-exit extension: a job may complete the service after this
+      // step with the step's exit probability (ignored on the last step).
+      const bool exits_early =
+          !is_last && step.exit_probability > 0.0 &&
+          routing_rng_[static_cast<std::size_t>(job.chain)].bernoulli(
+              step.exit_probability);
+      next_step = is_last || exits_early
+                      ? static_cast<int>(chain.steps.size())
+                      : job.step + 1;
+    }
+    if (next_step < static_cast<int>(chain.steps.size())) {
+      job.step = next_step;
+      offer(job);
+    } else if (in_window()) {
+      ++chain_stats_[job.chain].completions;
+      latency_[job.chain].add(now_ - job.entered_system);
+      if (config_.ci_batches > 0) {
+        const double span = config_.horizon - warmup_;
+        auto batch = static_cast<std::size_t>(
+            (now_ - warmup_) / span * config_.ci_batches);
+        batch = std::min(batch,
+                         static_cast<std::size_t>(config_.ci_batches - 1));
+        batch_completions_[static_cast<std::size_t>(job.chain)][batch] += 1;
+      }
+    }
+  }
+
+  SimResult collect() {
+    SimResult result;
+    result.measured_time = config_.horizon - warmup_;
+    result.events = event_count_;
+    result.chains.resize(model_.chains.size());
+    for (std::size_t i = 0; i < model_.chains.size(); ++i) {
+      auto& cr = result.chains[i];
+      cr = chain_stats_[i];
+      cr.losses_by_step.resize(model_.chains[i].steps.size(), 0);
+      cr.throughput =
+          static_cast<double>(cr.completions) / result.measured_time;
+      cr.mean_latency = latency_[i].mean();
+      cr.loss_probability =
+          cr.arrivals
+              ? static_cast<double>(cr.losses) / static_cast<double>(cr.arrivals)
+              : 0.0;
+      if (config_.ci_batches > 1) {
+        // Batch-means 95% CI on throughput: each window's completion rate
+        // is one (approximately independent) observation.
+        const double span =
+            result.measured_time / static_cast<double>(config_.ci_batches);
+        chainnet::support::RunningStats batches;
+        for (std::uint64_t count : batch_completions_[i]) {
+          batches.add(static_cast<double>(count) / span);
+        }
+        cr.throughput_ci =
+            1.96 * batches.stddev() /
+            std::sqrt(static_cast<double>(config_.ci_batches));
+      }
+    }
+    result.stations.resize(stations_.size());
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      auto& st = stations_[k];
+      auto& sr = result.stations[k];
+      touch_station(static_cast<int>(k));
+      sr.mean_jobs = st.jobs_tw.average(result.measured_time);
+      sr.mean_memory_used = st.memory_tw.average(result.measured_time);
+      sr.utilization = st.busy_tw.average(result.measured_time);
+      sr.admitted = st.admitted;
+      sr.rejected = st.rejected;
+    }
+    return result;
+  }
+
+  const QnModel& model_;
+  SimConfig config_;
+  Rng rng_;
+  std::vector<Rng> arrival_rng_;
+  std::vector<Rng> service_rng_;
+  std::vector<Rng> routing_rng_;
+  double warmup_ = 0.0;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t event_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<StationState> stations_;
+  std::vector<ChainResult> chain_stats_;
+  std::vector<chainnet::support::RunningStats> latency_;
+  std::vector<std::vector<std::uint64_t>> batch_completions_;
+};
+
+}  // namespace
+
+double SimResult::total_throughput() const {
+  double total = 0.0;
+  for (const auto& c : chains) total += c.throughput;
+  return total;
+}
+
+double SimResult::loss_probability(double total_arrival_rate) const {
+  if (total_arrival_rate <= 0.0) return 0.0;
+  return (total_arrival_rate - total_throughput()) / total_arrival_rate;
+}
+
+SimResult simulate(const QnModel& model, const SimConfig& config) {
+  return Engine(model, config).run();
+}
+
+SimResult simulate_replicated(const QnModel& model, const SimConfig& config,
+                              int replications) {
+  if (replications <= 0) {
+    throw std::invalid_argument("simulate_replicated: replications <= 0");
+  }
+  SimResult acc;
+  Rng seeder(config.seed);
+  for (int r = 0; r < replications; ++r) {
+    SimConfig c = config;
+    c.seed = seeder();
+    SimResult one = simulate(model, c);
+    if (r == 0) {
+      acc = std::move(one);
+      continue;
+    }
+    for (std::size_t i = 0; i < acc.chains.size(); ++i) {
+      auto& a = acc.chains[i];
+      const auto& b = one.chains[i];
+      a.arrivals += b.arrivals;
+      a.completions += b.completions;
+      a.losses += b.losses;
+      for (std::size_t s = 0; s < b.losses_by_step.size(); ++s) {
+        a.losses_by_step[s] += b.losses_by_step[s];
+      }
+      a.throughput += b.throughput;
+      a.mean_latency += b.mean_latency;
+      a.loss_probability += b.loss_probability;
+    }
+    for (std::size_t k = 0; k < acc.stations.size(); ++k) {
+      auto& a = acc.stations[k];
+      const auto& b = one.stations[k];
+      a.mean_jobs += b.mean_jobs;
+      a.mean_memory_used += b.mean_memory_used;
+      a.utilization += b.utilization;
+      a.admitted += b.admitted;
+      a.rejected += b.rejected;
+    }
+    acc.events += one.events;
+  }
+  const double inv = 1.0 / static_cast<double>(replications);
+  for (auto& c : acc.chains) {
+    c.throughput *= inv;
+    c.mean_latency *= inv;
+    c.loss_probability *= inv;
+  }
+  for (auto& s : acc.stations) {
+    s.mean_jobs *= inv;
+    s.mean_memory_used *= inv;
+    s.utilization *= inv;
+  }
+  return acc;
+}
+
+}  // namespace chainnet::queueing

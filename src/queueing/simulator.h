@@ -1,0 +1,74 @@
+// Discrete-event simulator for QnModel — the ground-truth engine standing in
+// for the paper's JMT runs (§VIII-A1). Produces per-chain throughput,
+// end-to-end latency and loss probability, plus per-station occupancy
+// statistics for Little's-law validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/network.h"
+#include "support/rng.h"
+
+namespace chainnet::queueing {
+
+/// Simulation controls. The run executes events until `horizon` simulated
+/// time units (or `max_events`, a runaway guard). Statistics collected
+/// before warmup_fraction * horizon are discarded as transient, mirroring
+/// the paper's "after discarding the initial transient".
+struct SimConfig {
+  double horizon = 10000.0;
+  double warmup_fraction = 0.1;
+  std::uint64_t max_events = 200'000'000;
+  std::uint64_t seed = 1;
+  /// Number of batch-means windows used for the throughput confidence
+  /// interval (0 disables CI computation).
+  int ci_batches = 20;
+};
+
+/// Per-chain steady-state estimates.
+struct ChainResult {
+  std::uint64_t arrivals = 0;     ///< jobs arrived after warmup
+  std::uint64_t completions = 0;  ///< jobs that finished the whole chain
+  std::uint64_t losses = 0;       ///< jobs dropped at any step
+  /// Losses broken down by the step at which the job was dropped (buffer
+  /// overflow or link failure entering that step). Sums to `losses`.
+  std::vector<std::uint64_t> losses_by_step;
+  double throughput = 0.0;        ///< completions per time unit (X_i)
+  double mean_latency = 0.0;      ///< mean end-to-end time of completions
+  double loss_probability = 0.0;  ///< losses / arrivals
+  /// Half-width of the ~95% batch-means confidence interval on throughput
+  /// (0 when SimConfig::ci_batches == 0).
+  double throughput_ci = 0.0;
+};
+
+/// Per-station steady-state estimates.
+struct StationResult {
+  double mean_jobs = 0.0;         ///< time-average number in station (queue+service)
+  double mean_memory_used = 0.0;  ///< time-average occupied memory
+  double utilization = 0.0;       ///< time-average fraction of busy servers
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+};
+
+struct SimResult {
+  std::vector<ChainResult> chains;
+  std::vector<StationResult> stations;
+  double measured_time = 0.0;  ///< horizon minus warmup
+  std::uint64_t events = 0;
+
+  /// Total throughput over all chains (objective of eq. 2).
+  double total_throughput() const;
+  /// Overall loss probability (eq. 18) given the model's arrival rates.
+  double loss_probability(double total_arrival_rate) const;
+};
+
+/// Runs one replication. Deterministic given (model, config.seed).
+SimResult simulate(const QnModel& model, const SimConfig& config);
+
+/// Averages `replications` independent runs (seeds derived from
+/// config.seed) — used where the paper averages repeated simulations.
+SimResult simulate_replicated(const QnModel& model, const SimConfig& config,
+                              int replications);
+
+}  // namespace chainnet::queueing

@@ -1,0 +1,149 @@
+// Random-variate distributions used by the network generators (Table III /
+// Table VII of the paper) and by the queueing simulator's service and
+// inter-arrival processes.
+//
+// The notable member of this family is the Acyclic Phase-Type distribution
+// APH(mean, scv) used by the paper's Type II generator: it is fitted from a
+// target mean and squared coefficient of variation (SCV = Var / mean^2)
+// through classic two-moment matching:
+//   * SCV >= 1: two-phase hyper-exponential with balanced means,
+//   * SCV  < 1: Erlang-k with a perturbed first phase (generalized Erlang),
+//     where k = ceil(1 / SCV).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace chainnet::support {
+
+/// Abstract positive-valued distribution. Implementations are immutable and
+/// cheap to copy through clone(); sampling draws from a caller-owned Rng so
+/// the same distribution object can serve many independent streams.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Analytic mean of the distribution.
+  virtual double mean() const = 0;
+
+  /// Analytic variance of the distribution.
+  virtual double variance() const = 0;
+
+  /// Short human-readable description, e.g. "Exp(0.5)".
+  virtual std::string describe() const = 0;
+
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+
+  /// Squared coefficient of variation Var / mean^2.
+  double scv() const;
+};
+
+/// Degenerate distribution: always returns `value`.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Exponential distribution parameterized by its mean (not rate).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override { return rng.exponential(mean_); }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+};
+
+/// Continuous uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override;
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Acyclic phase-type distribution fitted to a target (mean, SCV) pair.
+///
+/// Internally a sequence of exponential phases traversed left to right,
+/// with an optional probabilistic split for the hyper-exponential branch:
+///   * hyper-exponential (SCV >= 1): with probability p take the fast phase,
+///     otherwise the slow phase (both single-phase branches);
+///   * generalized Erlang (SCV < 1): k serial phases, the first with a rate
+///     different from the remaining k-1 identical phases.
+class AcyclicPhaseType final : public Distribution {
+ public:
+  /// Fits the distribution to the requested mean (> 0) and SCV (> 0).
+  /// Throws std::invalid_argument for non-positive parameters.
+  AcyclicPhaseType(double mean, double scv);
+
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return scv_ * mean_ * mean_; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+  /// Number of exponential phases in the fitted representation.
+  int phases() const { return num_phases_; }
+
+ private:
+  double mean_;
+  double scv_;
+  int num_phases_;
+  // Hyper-exponential branch (SCV >= 1).
+  bool hyper_ = false;
+  double p_fast_ = 0.0;
+  double mean_fast_ = 0.0;
+  double mean_slow_ = 0.0;
+  // Generalized Erlang branch (SCV < 1).
+  double mean_first_ = 0.0;
+  double mean_rest_ = 0.0;
+};
+
+/// A distribution truncated below at `floor`: samples below the floor are
+/// clamped up to it. Used by the paper's generators, which impose lower
+/// bounds on Type II interarrival times and processing times (Table III).
+class LowerBounded final : public Distribution {
+ public:
+  LowerBounded(std::unique_ptr<Distribution> inner, double floor);
+  double sample(Rng& rng) const override;
+  /// Mean/variance are estimated analytically only for the clamp-free case;
+  /// for clamped distributions they report the inner moments (documented
+  /// approximation — the generators only need sampling).
+  double mean() const override { return inner_->mean(); }
+  double variance() const override { return inner_->variance(); }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  std::unique_ptr<Distribution> inner_;
+  double floor_;
+};
+
+}  // namespace chainnet::support

@@ -1,0 +1,92 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace chainnet::support {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state, which is a
+  // fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Lemire-style rejection-free multiply-shift is fine here; the bias for
+  // span << 2^64 is negligible for simulation purposes, but we still apply
+  // rejection to keep the generator exactly uniform.
+  std::uint64_t x, r;
+  do {
+    x = (*this)();
+    r = x % span;
+  } while (x - r > std::uint64_t(-span));
+  return lo + static_cast<std::int64_t>(r);
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse transform; 1 - u in (0,1] avoids log(0).
+  return -mean * std::log1p(-uniform01());
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+Rng Rng::child(std::uint64_t salt) noexcept {
+  std::uint64_t mix = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace chainnet::support

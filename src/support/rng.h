@@ -1,0 +1,64 @@
+// Deterministic, fast pseudo-random number generation for simulation and
+// training. xoshiro256++ (Blackman & Vigna) seeded through splitmix64 so a
+// single 64-bit seed yields a well-mixed full state. Streams can be forked
+// with jump() semantics via child(), giving independent sub-streams for
+// parallel replications without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chainnet::support {
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator so it
+/// can be plugged into <random> distributions, though the library ships its
+/// own distribution objects (see distributions.h) for reproducibility across
+/// standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed variate with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child stream: equivalent to seeding a fresh
+  /// generator from this stream's next output mixed with `salt`.
+  Rng child(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step: used for seeding and hashing small integer tuples into
+/// stream salts.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace chainnet::support

@@ -1,0 +1,75 @@
+// Streaming and batch statistics used throughout the simulator, the GNN
+// metrics (APE/MAPE distributions, Table V / Fig. 11-12), and the search
+// experiment reports (Fig. 14-15).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace chainnet::support {
+
+/// Welford online accumulator for mean and variance; numerically stable for
+/// long simulation runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant process (e.g. queue length
+/// or memory occupancy over simulated time).
+class TimeWeightedStats {
+ public:
+  /// Records that the process held `value` since the previous update time.
+  void update(double now, double value) noexcept;
+  /// Closes the window at `now` and returns the time average.
+  double average(double now) const noexcept;
+
+ private:
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double area_ = 0.0;
+  bool started_ = false;
+};
+
+/// Linear-interpolation percentile (the "exclusive" R-6/NIST flavor used by
+/// most plotting tools). `q` in [0, 1]. Sorts a copy of the input.
+double percentile(std::span<const double> values, double q);
+
+/// Percentile on data the caller has already sorted ascending.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Five-number summary for box plots (Fig. 12): min, Q1, median, Q3, max.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+BoxSummary box_summary(std::span<const double> values);
+
+/// Mean of a span (0 for empty).
+double mean_of(std::span<const double> values);
+
+}  // namespace chainnet::support

@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace chainnet::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  os.flush();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+  if (!impl_->out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << values[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << values[i];
+  }
+  impl_->out << '\n';
+}
+
+}  // namespace chainnet::support

@@ -1,0 +1,50 @@
+// Minimal fixed-width ASCII table printer used by the bench drivers to emit
+// the paper's tables (Table V, Table VI, ...) and figure series in a form
+// that is easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chainnet::support {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column alignment, a header rule, and an optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows of (x, series...) values as CSV — one file per figure so the
+/// plots can be regenerated externally.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace chainnet::support

@@ -1,0 +1,256 @@
+#include "tensor/nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chainnet::tensor {
+
+using chainnet::support::Rng;
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect(out);
+  return out;
+}
+
+std::vector<const Parameter*> Module::parameters() const {
+  std::vector<Parameter*> out;
+  const_cast<Module*>(this)->collect(out);
+  return {out.begin(), out.end()};
+}
+
+void Module::collect(std::vector<Parameter*>& out) {
+  for (auto& p : params_) out.push_back(p.get());
+  for (auto& [prefix, child] : children_) child->collect(out);
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->var.node().zero_grad();
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t total = 0;
+  for (const Parameter* p : parameters()) total += p->var.size();
+  return total;
+}
+
+Var Module::register_glorot(const std::string& name, Shape shape, Rng& rng) {
+  std::vector<double> w(shape.size());
+  glorot_uniform(w, shape.cols, shape.rows, rng);
+  auto p = std::make_unique<Parameter>();
+  p->name = name;
+  p->var = Var::leaf(shape, std::move(w), /*requires_grad=*/true);
+  Var v = p->var;
+  params_.push_back(std::move(p));
+  return v;
+}
+
+Var Module::register_zeros(const std::string& name, Shape shape) {
+  auto p = std::make_unique<Parameter>();
+  p->name = name;
+  p->var = Var::leaf(shape, std::vector<double>(shape.size(), 0.0),
+                     /*requires_grad=*/true);
+  Var v = p->var;
+  params_.push_back(std::move(p));
+  return v;
+}
+
+void Module::register_module(const std::string& prefix, Module* child) {
+  children_.emplace_back(prefix, child);
+}
+
+void glorot_uniform(std::span<double> weights, std::size_t fan_in,
+                    std::size_t fan_out, Rng& rng) {
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& w : weights) w = rng.uniform(-a, a);
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng,
+               const std::string& name)
+    : in_(in), out_(out) {
+  if (in == 0 || out == 0) throw std::invalid_argument("Linear: zero size");
+  w_ = register_glorot(name + ".w", Shape{out, in}, rng);
+  b_ = register_zeros(name + ".b", Shape{out, 1});
+}
+
+Var Linear::forward(const Var& x) const { return add(matvec(w_, x), b_); }
+
+namespace {
+
+/// out = W x + b over raw buffers (W row-major [rows x cols]).
+void raw_affine(std::span<const double> w, std::span<const double> b,
+                std::span<const double> x, std::span<double> out,
+                std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = b.empty() ? 0.0 : b[r];
+    const double* row = w.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+}
+
+inline double sigmoid_value(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+void Linear::forward_values(std::span<const double> x,
+                            std::span<double> out) const {
+  if (x.size() != in_ || out.size() != out_) {
+    throw std::invalid_argument("Linear::forward_values: size mismatch");
+  }
+  raw_affine(w_.value(), b_.value(), x, out, out_, in_);
+}
+
+void apply_activation_values(std::span<double> x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (auto& v : x) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kTanh:
+      for (auto& v : x) v = std::tanh(v);
+      return;
+    case Activation::kSigmoid:
+      for (auto& v : x) v = sigmoid_value(v);
+      return;
+    case Activation::kLeakyRelu:
+      for (auto& v : x) v = v > 0.0 ? v : 0.01 * v;
+      return;
+    case Activation::kSoftplus:
+      for (auto& v : x) {
+        v = std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+      }
+      return;
+  }
+  throw std::logic_error("apply_activation_values: unknown activation");
+}
+
+// ------------------------------------------------------------------ Mlp
+
+Var apply_activation(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return relu(x);
+    case Activation::kTanh:
+      return tanh_(x);
+    case Activation::kSigmoid:
+      return sigmoid(x);
+    case Activation::kLeakyRelu:
+      return leaky_relu(x);
+    case Activation::kSoftplus:
+      return softplus(x);
+  }
+  throw std::logic_error("apply_activation: unknown activation");
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden,
+         Activation output, Rng& rng, const std::string& name)
+    : hidden_(hidden), output_(output) {
+  if (layer_sizes.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output sizes");
+  }
+  for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    layers_.push_back(std::make_unique<Linear>(
+        layer_sizes[l], layer_sizes[l + 1], rng,
+        name + ".fc" + std::to_string(l)));
+    register_module(name + ".fc" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Var Mlp::forward(Var x) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    x = layers_[l]->forward(x);
+    x = apply_activation(x, l + 1 == layers_.size() ? output_ : hidden_);
+  }
+  return x;
+}
+
+void Mlp::forward_values(std::span<const double> x,
+                         std::span<double> out) const {
+  std::vector<double> a(x.begin(), x.end());
+  std::vector<double> b;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    b.assign(layers_[l]->out_features(), 0.0);
+    layers_[l]->forward_values(a, b);
+    apply_activation_values(
+        b, l + 1 == layers_.size() ? output_ : hidden_);
+    a.swap(b);
+  }
+  if (out.size() != a.size()) {
+    throw std::invalid_argument("Mlp::forward_values: bad output size");
+  }
+  std::copy(a.begin(), a.end(), out.begin());
+}
+
+// -------------------------------------------------------------- GruCell
+
+GruCell::GruCell(std::size_t input, std::size_t hidden, Rng& rng,
+                 const std::string& name)
+    : input_(input), hidden_(hidden) {
+  if (input == 0 || hidden == 0) throw std::invalid_argument("GruCell: zero");
+  const Shape wi{hidden, input};
+  const Shape wh{hidden, hidden};
+  const Shape bs{hidden, 1};
+  w_ir_ = register_glorot(name + ".w_ir", wi, rng);
+  w_iz_ = register_glorot(name + ".w_iz", wi, rng);
+  w_in_ = register_glorot(name + ".w_in", wi, rng);
+  w_hr_ = register_glorot(name + ".w_hr", wh, rng);
+  w_hz_ = register_glorot(name + ".w_hz", wh, rng);
+  w_hn_ = register_glorot(name + ".w_hn", wh, rng);
+  b_ir_ = register_zeros(name + ".b_ir", bs);
+  b_iz_ = register_zeros(name + ".b_iz", bs);
+  b_in_ = register_zeros(name + ".b_in", bs);
+  b_hr_ = register_zeros(name + ".b_hr", bs);
+  b_hz_ = register_zeros(name + ".b_hz", bs);
+  b_hn_ = register_zeros(name + ".b_hn", bs);
+}
+
+Var GruCell::forward(const Var& h, const Var& x) const {
+  if (h.size() != hidden_ || x.size() != input_) {
+    throw std::invalid_argument("GruCell::forward: size mismatch");
+  }
+  Var r = sigmoid(add(add(matvec(w_ir_, x), b_ir_),
+                      add(matvec(w_hr_, h), b_hr_)));
+  Var z = sigmoid(add(add(matvec(w_iz_, x), b_iz_),
+                      add(matvec(w_hz_, h), b_hz_)));
+  Var n = tanh_(add(add(matvec(w_in_, x), b_in_),
+                    mul(r, add(matvec(w_hn_, h), b_hn_))));
+  // h' = (1 - z) * n + z * h  ==  n - z*n + z*h
+  return add(sub(n, mul(z, n)), mul(z, h));
+}
+
+void GruCell::forward_values(std::span<const double> h,
+                             std::span<const double> x,
+                             std::span<double> h_out) const {
+  if (h.size() != hidden_ || x.size() != input_ || h_out.size() != hidden_) {
+    throw std::invalid_argument("GruCell::forward_values: size mismatch");
+  }
+  // Scratch: r, z, n-input part, n-hidden part.
+  std::vector<double> r(hidden_), z(hidden_), ni(hidden_), nh(hidden_);
+  raw_affine(w_ir_.value(), b_ir_.value(), x, r, hidden_, input_);
+  raw_affine(w_iz_.value(), b_iz_.value(), x, z, hidden_, input_);
+  raw_affine(w_in_.value(), b_in_.value(), x, ni, hidden_, input_);
+  std::vector<double> tmp(hidden_);
+  raw_affine(w_hr_.value(), b_hr_.value(), h, tmp, hidden_, hidden_);
+  for (std::size_t i = 0; i < hidden_; ++i) {
+    r[i] = sigmoid_value(r[i] + tmp[i]);
+  }
+  raw_affine(w_hz_.value(), b_hz_.value(), h, tmp, hidden_, hidden_);
+  for (std::size_t i = 0; i < hidden_; ++i) {
+    z[i] = sigmoid_value(z[i] + tmp[i]);
+  }
+  raw_affine(w_hn_.value(), b_hn_.value(), h, nh, hidden_, hidden_);
+  for (std::size_t i = 0; i < hidden_; ++i) {
+    const double n = std::tanh(ni[i] + r[i] * nh[i]);
+    h_out[i] = (1.0 - z[i]) * n + z[i] * h[i];
+  }
+}
+
+}  // namespace chainnet::tensor

@@ -1,0 +1,134 @@
+// Neural-network modules built on the autodiff Vars: Linear, MLP, GRUCell,
+// plus Glorot (Xavier) initialization as prescribed by the paper (§V-E).
+// Modules expose their parameters through a registry so optimizers and the
+// serializer can traverse any composed model uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/variable.h"
+
+namespace chainnet::tensor {
+
+/// A named trainable tensor. The underlying Node persists across forward
+/// passes; only intermediates are rebuilt each pass.
+struct Parameter {
+  std::string name;
+  Var var;
+};
+
+/// Base for anything that owns parameters. Submodules register their
+/// parameters into the parent's registry with a dotted name prefix.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its registered submodules.
+  std::vector<Parameter*> parameters();
+  std::vector<const Parameter*> parameters() const;
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total number of scalar weights.
+  std::size_t parameter_count() const;
+
+ protected:
+  /// Creates and registers a parameter of the given shape, Glorot-uniform
+  /// initialized with fan_in/fan_out taken from the shape (cols/rows).
+  Var register_glorot(const std::string& name, Shape shape,
+                      chainnet::support::Rng& rng);
+  /// Creates and registers a zero-initialized parameter (biases).
+  Var register_zeros(const std::string& name, Shape shape);
+  /// Registers a submodule so its parameters appear under `prefix.`.
+  void register_module(const std::string& prefix, Module* child);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  void collect(std::vector<Parameter*>& out);
+};
+
+/// Glorot-uniform initialization: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+void glorot_uniform(std::span<double> weights, std::size_t fan_in,
+                    std::size_t fan_out, chainnet::support::Rng& rng);
+
+/// y = W x + b, with W: [out, in].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, chainnet::support::Rng& rng,
+         const std::string& name = "linear");
+  Var forward(const Var& x) const;
+
+  /// Inference-only evaluation into a caller buffer (out = W x + b); no
+  /// autodiff graph is built. `out` must have out_features() elements.
+  void forward_values(std::span<const double> x,
+                      std::span<double> out) const;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Var w_, b_;
+};
+
+/// Supported hidden/output nonlinearities for MLP.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid, kLeakyRelu, kSoftplus };
+
+Var apply_activation(const Var& x, Activation act);
+
+/// Multi-layer perceptron: Linear -> act -> ... -> Linear -> out_act.
+/// The paper's MLP_tput / MLP_latency heads (eq. 12) are instances with a
+/// sigmoid output when learning the (0,1)-ratio targets of Table II.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden,
+      Activation output, chainnet::support::Rng& rng,
+      const std::string& name = "mlp");
+  Var forward(Var x) const;
+
+  /// Inference-only evaluation; `out` must have output-layer width.
+  void forward_values(std::span<const double> x, std::span<double> out) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_, output_;
+};
+
+/// Applies an activation elementwise to a raw buffer (inference path).
+void apply_activation_values(std::span<double> x, Activation act);
+
+/// Gated recurrent unit cell (Cho et al. 2014), used for the paper's three
+/// update functions phi_C, phi_F, phi_D (§V-D4):
+///   r = sigmoid(W_ir x + b_ir + W_hr h + b_hr)
+///   z = sigmoid(W_iz x + b_iz + W_hz h + b_hz)
+///   n = tanh  (W_in x + b_in + r * (W_hn h + b_hn))
+///   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(std::size_t input, std::size_t hidden, chainnet::support::Rng& rng,
+          const std::string& name = "gru");
+  /// Returns the next hidden state h'. `h` has size hidden, `x` size input.
+  Var forward(const Var& h, const Var& x) const;
+
+  /// Inference-only evaluation into `h_out` (size hidden); no graph built.
+  /// `h_out` may not alias `h`.
+  void forward_values(std::span<const double> h, std::span<const double> x,
+                      std::span<double> h_out) const;
+
+  std::size_t input_size() const { return input_; }
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t input_, hidden_;
+  Var w_ir_, w_iz_, w_in_;
+  Var w_hr_, w_hz_, w_hn_;
+  Var b_ir_, b_iz_, b_in_;
+  Var b_hr_, b_hz_, b_hn_;
+};
+
+}  // namespace chainnet::tensor

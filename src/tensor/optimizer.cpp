@@ -1,0 +1,68 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chainnet::tensor {
+
+LrSchedule::LrSchedule(double base_lr, double decay_factor,
+                       std::size_t decay_every_epochs)
+    : base_(base_lr), factor_(decay_factor), every_(decay_every_epochs) {
+  if (base_lr <= 0.0 || decay_factor <= 0.0 || decay_every_epochs == 0) {
+    throw std::invalid_argument("LrSchedule: invalid parameters");
+  }
+}
+
+double LrSchedule::lr_at(std::size_t epoch) const {
+  return base_ * std::pow(factor_, static_cast<double>(epoch / every_));
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Sgd::step() {
+  for (Parameter* p : params_) {
+    auto& node = p->var.node();
+    node.ensure_grad();
+    for (std::size_t i = 0; i < node.value.size(); ++i) {
+      node.value[i] -= lr_ * node.grad[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->var.size(), 0.0);
+    v_.emplace_back(p->var.size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& node = params_[pi]->var.node();
+    node.ensure_grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < node.value.size(); ++i) {
+      const double g = node.grad[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      node.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace chainnet::tensor

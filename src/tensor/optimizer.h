@@ -1,0 +1,62 @@
+// First-order optimizers over Module parameters. The paper trains with Adam
+// (Table IV: lr = 0.001, decayed by 10% every 10 epochs); the decay is
+// modeled by LrSchedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/nn.h"
+
+namespace chainnet::tensor {
+
+/// Step-decay learning-rate schedule: lr(epoch) = base * factor^(epoch/every).
+class LrSchedule {
+ public:
+  LrSchedule(double base_lr, double decay_factor = 0.9,
+             std::size_t decay_every_epochs = 10);
+  double lr_at(std::size_t epoch) const;
+
+ private:
+  double base_;
+  double factor_;
+  std::size_t every_;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the gradients currently stored on the
+  /// parameters, then the caller typically zero-grads the module.
+  virtual void step() = 0;
+  virtual void set_lr(double lr) = 0;
+};
+
+/// Plain stochastic gradient descent (used in tests as a reference).
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr);
+  void step() override;
+  void set_lr(double lr) override { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+/// Adam (Kingma & Ba 2014) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+  void set_lr(double lr) override { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace chainnet::tensor

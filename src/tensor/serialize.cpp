@@ -1,0 +1,92 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace chainnet::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'N', 'W', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("parameter file truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  const auto params = module.parameters();
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_pod(out, static_cast<std::uint64_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(out, static_cast<std::uint64_t>(p->var.shape().rows));
+    write_pod(out, static_cast<std::uint64_t>(p->var.shape().cols));
+    const auto vals = p->var.value();
+    out.write(reinterpret_cast<const char*>(vals.data()),
+              static_cast<std::streamsize>(vals.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed " + path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  auto params = module.parameters();
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const auto name_len = read_pod<std::uint64_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const auto rows = read_pod<std::uint64_t>(in);
+    const auto cols = read_pod<std::uint64_t>(in);
+    if (name != p->name || rows != p->var.shape().rows ||
+        cols != p->var.shape().cols) {
+      throw std::runtime_error("load_parameters: mismatch at parameter '" +
+                               p->name + "' in " + path);
+    }
+    auto vals = p->var.mutable_value();
+    in.read(reinterpret_cast<char*>(vals.data()),
+            static_cast<std::streamsize>(vals.size() * sizeof(double)));
+    if (!in) throw std::runtime_error("load_parameters: truncated " + path);
+  }
+}
+
+bool is_parameter_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace chainnet::tensor

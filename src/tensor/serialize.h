@@ -1,0 +1,29 @@
+// Binary (de)serialization of module parameters. Used by the bench cache so
+// each model is trained once and reused across the table/figure drivers.
+//
+// Format (little-endian):
+//   magic "CNWT" | u32 version | u64 param-count |
+//   per parameter: u64 name-len | name bytes | u64 rows | u64 cols |
+//                  rows*cols f64 values
+// Loading matches parameters by name and shape; a mismatch throws, so stale
+// caches fail loudly rather than silently corrupting a model.
+#pragma once
+
+#include <string>
+
+#include "tensor/nn.h"
+
+namespace chainnet::tensor {
+
+/// Writes all parameters of `module` to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `module`. Throws
+/// std::runtime_error on I/O failure or on any name/shape mismatch.
+void load_parameters(Module& module, const std::string& path);
+
+/// True if `path` exists and starts with the serializer magic.
+bool is_parameter_file(const std::string& path);
+
+}  // namespace chainnet::tensor

@@ -1,0 +1,140 @@
+// Reverse-mode automatic differentiation over small dense tensors.
+//
+// This is the ML substrate for the whole library: ChainNet, the GAT/GIN
+// baselines, and their training loops are built exclusively on the ops in
+// this header. The design is a dynamic tape ("define-by-run"): every op
+// allocates a graph node holding its value, a gradient buffer, links to its
+// parents, and a closure that scatters the node's gradient back to them.
+// backward() runs a topological sweep from the loss node.
+//
+// Tensors are rank-1 (vectors) or rank-2 (row-major matrices), which covers
+// all models in the paper (embeddings are H-vectors, weights are matrices).
+// Values are double precision so finite-difference gradient checks in the
+// test suite can be tight.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace chainnet::tensor {
+
+/// Tensor shape: rows x cols. Vectors are represented as {n, 1}.
+struct Shape {
+  std::size_t rows = 0;
+  std::size_t cols = 1;
+
+  std::size_t size() const noexcept { return rows * cols; }
+  bool operator==(const Shape&) const = default;
+  bool is_vector() const noexcept { return cols == 1; }
+  bool is_scalar() const noexcept { return rows == 1 && cols == 1; }
+  std::string str() const;
+};
+
+/// One node in the autodiff graph. Users interact through Var; Node is
+/// exposed only for optimizer/serialization access to parameter storage.
+struct Node {
+  Shape shape;
+  std::vector<double> value;
+  std::vector<double> grad;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Scatters this node's grad into the parents' grad buffers.
+  std::function<void(Node&)> backward_fn;
+
+  void ensure_grad();
+  void zero_grad() noexcept;
+};
+
+/// Value-semantics handle to a graph node. Copying a Var aliases the same
+/// node (like torch tensors); ops build new nodes.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// Creates a leaf holding `values` with the given shape.
+  static Var leaf(Shape shape, std::vector<double> values,
+                  bool requires_grad = false);
+  /// Creates a leaf vector.
+  static Var vector(std::vector<double> values, bool requires_grad = false);
+  /// Creates a scalar leaf.
+  static Var scalar(double value, bool requires_grad = false);
+  /// Creates a zero-filled leaf.
+  static Var zeros(Shape shape, bool requires_grad = false);
+
+  bool defined() const noexcept { return node_ != nullptr; }
+  const Shape& shape() const { return node_->shape; }
+  std::size_t size() const { return node_->shape.size(); }
+
+  std::span<const double> value() const { return node_->value; }
+  std::span<double> mutable_value() { return node_->value; }
+  std::span<const double> grad() const { return node_->grad; }
+  double item() const;
+
+  Node& node() { return *node_; }
+  const Node& node() const { return *node_; }
+  const std::shared_ptr<Node>& ptr() const { return node_; }
+
+  /// Runs reverse-mode AD from this (scalar) node. Seeds d(this)/d(this)=1
+  /// and accumulates gradients into every reachable node with
+  /// requires_grad. Gradients accumulate across calls until zeroed.
+  void backward() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// ----------------------------------------------------------------- ops
+// All ops validate shapes and throw std::invalid_argument on mismatch.
+
+Var add(const Var& a, const Var& b);          // elementwise, same shape
+Var sub(const Var& a, const Var& b);          // elementwise, same shape
+Var mul(const Var& a, const Var& b);          // elementwise, same shape
+Var scale(const Var& a, double s);            // a * s
+Var add_scalar(const Var& a, double s);       // a + s
+Var neg(const Var& a);
+
+/// Matrix-vector product: [m,n] x [n] -> [m].
+Var matvec(const Var& w, const Var& x);
+/// Matrix-matrix product: [m,k] x [k,n] -> [m,n].
+Var matmul(const Var& a, const Var& b);
+/// Inner product of two equal-length vectors -> scalar.
+Var dot(const Var& a, const Var& b);
+
+/// Concatenation of vectors into one vector (in argument order).
+Var concat(const std::vector<Var>& parts);
+
+/// Elementwise activations.
+Var sigmoid(const Var& a);
+Var tanh_(const Var& a);
+Var relu(const Var& a);
+Var leaky_relu(const Var& a, double slope = 0.01);
+Var softplus(const Var& a);
+Var exp_(const Var& a);
+Var log_(const Var& a);  // natural log; input must be positive
+
+/// Softmax over a vector -> vector of the same length.
+Var softmax(const Var& a);
+
+/// Reductions to scalar.
+Var sum(const Var& a);
+Var mean(const Var& a);
+
+/// Elementwise mean of equally-shaped vectors: (1/n) * sum_i parts[i].
+Var mean_of(const std::vector<Var>& parts);
+/// Elementwise sum of equally-shaped vectors.
+Var sum_of(const std::vector<Var>& parts);
+
+/// Scalar-weighted sum: sum_i weights[i] * vectors[i], weights are scalar
+/// Vars (used for attention aggregation, eq. 16 of the paper).
+Var weighted_sum(const std::vector<Var>& weights,
+                 const std::vector<Var>& vectors);
+
+/// (a - b)^2 reduced to the scalar mean — the building block of eq. (13).
+Var mse(const Var& a, const Var& b);
+
+}  // namespace chainnet::tensor

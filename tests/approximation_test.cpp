@@ -1,0 +1,137 @@
+#include "queueing/approximation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/analytical.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Exponential;
+
+QnModel single_station(double lambda, double mu, int K) {
+  QnModel qn;
+  qn.stations.push_back({"s0", static_cast<double>(K)});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(1.0 / mu), 1.0);
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(Approximation, ExactForSingleMm1k) {
+  // One station, one chain: the decomposition IS the M/M/1/K formula.
+  for (const auto& [lambda, mu, K] :
+       {std::tuple{0.8, 1.0, 5}, {2.0, 1.0, 3}, {0.5, 2.0, 10}}) {
+    const auto qn = single_station(lambda, mu, K);
+    const auto approx = approximate(qn);
+    const auto exact = mm1k(lambda, mu, K);
+    EXPECT_TRUE(approx.converged);
+    EXPECT_NEAR(approx.chains[0].throughput, exact.throughput, 1e-6);
+    EXPECT_NEAR(approx.chains[0].loss_probability, exact.loss_probability,
+                1e-6);
+    EXPECT_NEAR(approx.chains[0].mean_latency, exact.mean_response, 1e-6);
+  }
+}
+
+TEST(Approximation, RejectsBadConfig) {
+  const auto qn = single_station(1.0, 1.0, 3);
+  ApproxConfig cfg;
+  cfg.max_iterations = 0;
+  EXPECT_THROW(approximate(qn, cfg), std::invalid_argument);
+  cfg = ApproxConfig{};
+  cfg.relaxation = 0.0;
+  EXPECT_THROW(approximate(qn, cfg), std::invalid_argument);
+}
+
+QnModel tandem(double lambda, std::vector<double> service_means,
+               double capacity) {
+  QnModel qn;
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  for (std::size_t k = 0; k < service_means.size(); ++k) {
+    qn.stations.push_back({"s" + std::to_string(k), capacity});
+    chain.steps.emplace_back(static_cast<int>(k),
+                             std::make_unique<Exponential>(service_means[k]),
+                             1.0);
+  }
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(Approximation, NearExactForLightlyLoadedTandem) {
+  // Low utilization, big buffers: negligible loss, latency close to the
+  // Jackson sum — the regime where decomposition is known to be good.
+  const auto qn = tandem(0.3, {0.5, 0.8}, 200.0);
+  const auto approx = approximate(qn);
+  SimConfig sim;
+  sim.horizon = 300000.0;
+  sim.seed = 5;
+  const auto truth = simulate(qn, sim);
+  EXPECT_NEAR(approx.chains[0].throughput, truth.chains[0].throughput,
+              0.02 * truth.chains[0].throughput);
+  EXPECT_NEAR(approx.chains[0].mean_latency, truth.chains[0].mean_latency,
+              0.08 * truth.chains[0].mean_latency);
+}
+
+TEST(Approximation, ReasonableForOverloadedTandem) {
+  // Heavy overload: the first station's loss dominates and the
+  // decomposition should land within ~15% of simulated throughput.
+  const auto qn = tandem(3.0, {0.9, 0.5}, 5.0);
+  const auto approx = approximate(qn);
+  SimConfig sim;
+  sim.horizon = 100000.0;
+  sim.seed = 7;
+  const auto truth = simulate(qn, sim);
+  EXPECT_NEAR(approx.chains[0].throughput, truth.chains[0].throughput,
+              0.15 * truth.chains[0].throughput);
+  EXPECT_GT(approx.chains[0].loss_probability, 0.4);
+}
+
+TEST(Approximation, ThroughputNeverExceedsArrivalRate) {
+  const auto qn = tandem(2.0, {0.6, 0.6, 0.6}, 4.0);
+  const auto approx = approximate(qn);
+  EXPECT_LE(approx.chains[0].throughput, 2.0 + 1e-9);
+  EXPECT_GE(approx.chains[0].throughput, 0.0);
+}
+
+TEST(Approximation, SharedStationCouplesChains) {
+  // Two chains share one station; raising chain 1's load must reduce
+  // chain 0's approximate throughput.
+  const auto build = [](double lambda1) {
+    QnModel qn;
+    qn.stations.push_back({"shared", 5.0});
+    for (int i = 0; i < 2; ++i) {
+      ChainSpec chain;
+      chain.name = "c" + std::to_string(i);
+      chain.interarrival = std::make_unique<Exponential>(
+          i == 0 ? 1.0 : 1.0 / lambda1);
+      chain.steps.emplace_back(0, std::make_unique<Exponential>(0.5), 1.0);
+      qn.chains.push_back(std::move(chain));
+    }
+    return qn;
+  };
+  const double light = approximate(build(0.2)).chains[0].throughput;
+  const double heavy = approximate(build(3.0)).chains[0].throughput;
+  EXPECT_LT(heavy, light);
+}
+
+TEST(Approximation, BlockingIsPerStationAndBounded) {
+  const auto qn = tandem(5.0, {0.9, 0.9}, 3.0);
+  const auto approx = approximate(qn);
+  ASSERT_EQ(approx.blocking.size(), 2u);
+  for (double b : approx.blocking) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LT(b, 1.0);
+  }
+  // Upstream station sees the raw overload; downstream sees thinned flow.
+  EXPECT_GT(approx.blocking[0], approx.blocking[1]);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

@@ -1,0 +1,322 @@
+#include "tensor/variable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace chainnet::tensor {
+namespace {
+
+using chainnet::testing::expect_gradient_matches;
+
+TEST(Shape, SizeAndPredicates) {
+  EXPECT_EQ((Shape{3, 4}).size(), 12u);
+  EXPECT_TRUE((Shape{5, 1}).is_vector());
+  EXPECT_FALSE((Shape{5, 2}).is_vector());
+  EXPECT_TRUE((Shape{1, 1}).is_scalar());
+  EXPECT_EQ((Shape{2, 3}).str(), "[2,3]");
+}
+
+TEST(Var, LeafConstruction) {
+  auto v = Var::vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.value()[1], 2.0);
+  EXPECT_THROW(Var::leaf(Shape{2, 2}, {1.0}), std::invalid_argument);
+}
+
+TEST(Var, ItemRequiresScalar) {
+  EXPECT_DOUBLE_EQ(Var::scalar(5.0).item(), 5.0);
+  EXPECT_THROW(Var::vector({1.0, 2.0}).item(), std::invalid_argument);
+}
+
+TEST(Var, BackwardRequiresScalar) {
+  auto v = Var::vector({1.0, 2.0}, true);
+  EXPECT_THROW(v.backward(), std::invalid_argument);
+}
+
+TEST(Ops, AddValuesAndShapeCheck) {
+  auto a = Var::vector({1.0, 2.0});
+  auto b = Var::vector({10.0, 20.0});
+  auto c = add(a, b);
+  EXPECT_DOUBLE_EQ(c.value()[0], 11.0);
+  EXPECT_DOUBLE_EQ(c.value()[1], 22.0);
+  EXPECT_THROW(add(a, Var::vector({1.0, 2.0, 3.0})), std::invalid_argument);
+}
+
+TEST(Ops, MatvecValues) {
+  auto w = Var::leaf(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  auto x = Var::vector({1.0, 0.0, -1.0});
+  auto y = matvec(w, x);
+  EXPECT_DOUBLE_EQ(y.value()[0], -2.0);
+  EXPECT_DOUBLE_EQ(y.value()[1], -2.0);
+}
+
+TEST(Ops, MatmulValues) {
+  auto a = Var::leaf(Shape{2, 2}, {1, 2, 3, 4});
+  auto b = Var::leaf(Shape{2, 2}, {5, 6, 7, 8});
+  auto c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.value()[0], 19.0);
+  EXPECT_DOUBLE_EQ(c.value()[1], 22.0);
+  EXPECT_DOUBLE_EQ(c.value()[2], 43.0);
+  EXPECT_DOUBLE_EQ(c.value()[3], 50.0);
+}
+
+TEST(Ops, ConcatValuesAndOrder) {
+  auto a = Var::vector({1.0});
+  auto b = Var::vector({2.0, 3.0});
+  auto c = concat({a, b});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.value()[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.value()[2], 3.0);
+}
+
+TEST(Ops, SoftmaxNormalizes) {
+  auto s = softmax(Var::vector({1.0, 2.0, 3.0}));
+  double sum = 0.0;
+  for (double v : s.value()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(s.value()[2], s.value()[1]);
+}
+
+TEST(Ops, SoftmaxStableForLargeInputs) {
+  auto s = softmax(Var::vector({1000.0, 1001.0}));
+  EXPECT_TRUE(std::isfinite(s.value()[0]));
+  EXPECT_NEAR(s.value()[0] + s.value()[1], 1.0, 1e-12);
+}
+
+TEST(Ops, ReductionValues) {
+  auto v = Var::vector({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(sum(v).item(), 6.0);
+  EXPECT_DOUBLE_EQ(mean(v).item(), 2.0);
+}
+
+TEST(Ops, MseValue) {
+  auto a = Var::vector({1.0, 3.0});
+  auto b = Var::vector({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(mse(a, b).item(), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Ops, LogRejectsNonPositive) {
+  EXPECT_THROW(log_(Var::vector({0.0})), std::domain_error);
+  EXPECT_THROW(log_(Var::vector({-1.0})), std::domain_error);
+}
+
+TEST(Backward, LeafGradAccumulatesAcrossRebuiltGraphs) {
+  // The accumulation contract: leaves keep their gradients across backward
+  // calls, while each forward pass builds fresh intermediates (this is how
+  // the trainer accumulates a batch).
+  auto x = Var::vector({2.0}, true);
+  sum(mul(x, x)).backward();
+  sum(mul(x, x)).backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 8.0);  // 2 * (2x) at x=2
+}
+
+TEST(Backward, SharedSubgraphCountedOnce) {
+  auto x = Var::vector({3.0}, true);
+  auto y = mul(x, x);       // x^2
+  auto z = add(y, y);       // 2 x^2 -> dz/dx = 4x = 12
+  sum(z).backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 12.0);
+}
+
+TEST(Backward, NoGradLeafUntouched) {
+  auto x = Var::vector({1.0}, false);
+  auto y = Var::vector({2.0}, true);
+  auto z = mul(x, y);
+  sum(z).backward();
+  EXPECT_TRUE(x.grad().empty());
+  EXPECT_DOUBLE_EQ(y.grad()[0], 1.0);
+}
+
+// ------------------------- finite-difference gradient checks -----------
+
+/// Each case builds loss = mean(op(x, maybe y)) and checks d loss / d x.
+TEST(GradCheck, Add) {
+  auto x = Var::vector({0.5, -1.2, 2.0}, true);
+  auto y = Var::vector({1.0, 0.3, -0.7}, true);
+  auto build = [&] { return mean(mul(add(x, y), add(x, y))).item(); };
+  auto loss = mean(mul(add(x, y), add(x, y)));
+  loss.backward();
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+}
+
+TEST(GradCheck, Sub) {
+  auto x = Var::vector({0.5, -1.2}, true);
+  auto y = Var::vector({1.0, 0.3}, true);
+  auto build = [&] { return mean(mul(sub(x, y), sub(x, y))).item(); };
+  mean(mul(sub(x, y), sub(x, y))).backward();
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+}
+
+TEST(GradCheck, Mul) {
+  auto x = Var::vector({0.5, -1.2, 0.1}, true);
+  auto y = Var::vector({1.0, 0.3, 2.0}, true);
+  auto build = [&] { return sum(mul(x, y)).item(); };
+  sum(mul(x, y)).backward();
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+}
+
+TEST(GradCheck, ScaleAndAddScalar) {
+  auto x = Var::vector({0.5, -1.2}, true);
+  auto build = [&] { return sum(add_scalar(scale(x, 3.0), 2.0)).item(); };
+  sum(add_scalar(scale(x, 3.0), 2.0)).backward();
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, Matvec) {
+  auto w = Var::leaf(Shape{2, 3}, {0.1, -0.2, 0.3, 0.4, 0.5, -0.6}, true);
+  auto x = Var::vector({1.0, -1.0, 0.5}, true);
+  auto build = [&] { return mean(mul(matvec(w, x), matvec(w, x))).item(); };
+  mean(mul(matvec(w, x), matvec(w, x))).backward();
+  expect_gradient_matches(w, build);
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, Matmul) {
+  auto a = Var::leaf(Shape{2, 3}, {0.1, -0.2, 0.3, 0.4, 0.5, -0.6}, true);
+  auto b = Var::leaf(Shape{3, 2}, {1.0, 0.0, -1.0, 0.5, 0.2, 0.7}, true);
+  auto build = [&] { return mean(mul(matmul(a, b), matmul(a, b))).item(); };
+  mean(mul(matmul(a, b), matmul(a, b))).backward();
+  expect_gradient_matches(a, build);
+  expect_gradient_matches(b, build);
+}
+
+TEST(GradCheck, Dot) {
+  auto x = Var::vector({0.5, -1.2, 0.1}, true);
+  auto y = Var::vector({1.0, 0.3, 2.0}, true);
+  auto build = [&] { return dot(x, y).item(); };
+  dot(x, y).backward();
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+}
+
+TEST(GradCheck, Concat) {
+  auto x = Var::vector({0.5, -1.2}, true);
+  auto y = Var::vector({1.0}, true);
+  auto build = [&] {
+    auto c = concat({x, y});
+    return mean(mul(c, c)).item();
+  };
+  {
+    auto c = concat({x, y});
+    mean(mul(c, c)).backward();
+  }
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+}
+
+TEST(GradCheck, Activations) {
+  struct Case {
+    const char* name;
+    Var (*fn)(const Var&);
+  };
+  const Case cases[] = {
+      {"sigmoid", [](const Var& v) { return sigmoid(v); }},
+      {"tanh", [](const Var& v) { return tanh_(v); }},
+      {"softplus", [](const Var& v) { return softplus(v); }},
+      {"exp", [](const Var& v) { return exp_(v); }},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto x = Var::vector({0.5, -1.2, 2.0, -0.1}, true);
+    auto build = [&] { return sum(c.fn(x)).item(); };
+    sum(c.fn(x)).backward();
+    expect_gradient_matches(x, build);
+  }
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  auto x = Var::vector({0.5, -1.2, 2.0}, true);
+  auto build = [&] { return sum(relu(x)).item(); };
+  sum(relu(x)).backward();
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, LeakyReluAwayFromKink) {
+  auto x = Var::vector({0.5, -1.2, 2.0}, true);
+  auto build = [&] { return sum(leaky_relu(x, 0.2)).item(); };
+  sum(leaky_relu(x, 0.2)).backward();
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, Log) {
+  auto x = Var::vector({0.5, 1.2, 2.0}, true);
+  auto build = [&] { return sum(log_(x)).item(); };
+  sum(log_(x)).backward();
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, Softmax) {
+  auto x = Var::vector({0.5, -1.2, 2.0}, true);
+  auto t = Var::vector({1.0, 0.0, 0.0});
+  auto build = [&] { return mse(softmax(x), t).item(); };
+  mse(softmax(x), t).backward();
+  expect_gradient_matches(x, build);
+}
+
+TEST(GradCheck, SumOfAndMeanOf) {
+  auto x = Var::vector({0.5, -1.2}, true);
+  auto y = Var::vector({1.0, 0.3}, true);
+  auto z = Var::vector({-0.4, 0.9}, true);
+  auto build = [&] {
+    auto m = mean_of({x, y, z});
+    auto s = sum_of({x, y});
+    return add(sum(mul(m, m)), sum(mul(s, s))).item();
+  };
+  {
+    auto m = mean_of({x, y, z});
+    auto s = sum_of({x, y});
+    add(sum(mul(m, m)), sum(mul(s, s))).backward();
+  }
+  expect_gradient_matches(x, build);
+  expect_gradient_matches(y, build);
+  expect_gradient_matches(z, build);
+}
+
+TEST(GradCheck, WeightedSum) {
+  auto w1 = Var::scalar(0.3, true);
+  auto w2 = Var::scalar(-0.8, true);
+  auto v1 = Var::vector({1.0, 2.0}, true);
+  auto v2 = Var::vector({-0.5, 0.7}, true);
+  auto build = [&] {
+    auto ws = weighted_sum({w1, w2}, {v1, v2});
+    return sum(mul(ws, ws)).item();
+  };
+  {
+    auto ws = weighted_sum({w1, w2}, {v1, v2});
+    sum(mul(ws, ws)).backward();
+  }
+  expect_gradient_matches(w1, build);
+  expect_gradient_matches(w2, build);
+  expect_gradient_matches(v1, build);
+  expect_gradient_matches(v2, build);
+}
+
+TEST(GradCheck, DeepComposition) {
+  // A GRU-like composition exercising many ops at once.
+  auto w = Var::leaf(Shape{3, 3},
+                     {0.1, -0.2, 0.3, 0.0, 0.5, -0.6, 0.2, 0.1, -0.3}, true);
+  auto x = Var::vector({0.4, -0.9, 1.1}, true);
+  auto build = [&] {
+    auto z = sigmoid(matvec(w, x));
+    auto n = tanh_(matvec(w, mul(z, x)));
+    auto h = add(mul(z, n), sub(x, mul(z, x)));
+    return mean(mul(h, h)).item();
+  };
+  {
+    auto z = sigmoid(matvec(w, x));
+    auto n = tanh_(matvec(w, mul(z, x)));
+    auto h = add(mul(z, n), sub(x, mul(z, x)));
+    mean(mul(h, h)).backward();
+  }
+  expect_gradient_matches(w, build, 1e-6, 1e-4);
+  expect_gradient_matches(x, build, 1e-6, 1e-4);
+}
+
+}  // namespace
+}  // namespace chainnet::tensor

@@ -1,0 +1,216 @@
+#include "gnn/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "edge/graph.h"
+#include "test_util.h"
+
+namespace chainnet::gnn {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+using support::Rng;
+
+edge::PlacementGraph modified_graph() {
+  return edge::build_graph(small_system(), small_placement(),
+                           edge::FeatureMode::kModified);
+}
+
+BaselineConfig tiny_config(PredictionHead head = PredictionHead::kThroughput) {
+  BaselineConfig cfg;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.head = head;
+  return cfg;
+}
+
+TEST(HomogeneousFeatures, TypeOneHotAndPadding) {
+  const auto g = modified_graph();
+  const auto feats = homogeneous_features(g);
+  ASSERT_EQ(feats.size(), 11u);
+  // Service node 0: type bit 0 set, lambda slot carries feature.
+  EXPECT_DOUBLE_EQ(feats[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(feats[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(feats[0][3], 1.0);  // modified service feature
+  // Fragment node: type bit 1, three feature slots.
+  EXPECT_DOUBLE_EQ(feats[2][1], 1.0);
+  // Device node: type bit 2.
+  EXPECT_DOUBLE_EQ(feats[7][2], 1.0);
+  for (const auto& f : feats) EXPECT_EQ(f.size(), 6u);
+}
+
+TEST(BidirectionalAdjacency, EveryEdgeBothWays) {
+  const auto g = modified_graph();
+  const auto adj = bidirectional_adjacency(g);
+  ASSERT_EQ(adj.size(), 11u);
+  for (const auto& e : g.edges) {
+    const auto& out = adj[static_cast<std::size_t>(e.src)];
+    const auto& in = adj[static_cast<std::size_t>(e.dst)];
+    EXPECT_NE(std::find(out.begin(), out.end(), e.dst), out.end());
+    EXPECT_NE(std::find(in.begin(), in.end(), e.src), in.end());
+  }
+  // Service nodes stay isolated (degree 0) per Algorithm 1.
+  EXPECT_TRUE(adj[0].empty());
+  EXPECT_TRUE(adj[1].empty());
+}
+
+TEST(Gat, ForwardShapesAndRange) {
+  Rng rng(1);
+  Gat gat(tiny_config(), rng);
+  const auto out = gat.forward(modified_graph());
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& o : out) {
+    ASSERT_TRUE(o.throughput.defined());
+    EXPECT_FALSE(o.latency.defined());  // single-head baseline
+    const double v = o.throughput.item();
+    EXPECT_GT(v, 0.0);  // sigmoid output in modified mode
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_EQ(gat.name(), "GAT");
+  EXPECT_TRUE(gat.ratio_outputs());
+}
+
+TEST(Gat, StarVariantUsesRawFeaturesAndOutputs) {
+  Rng rng(2);
+  auto cfg = tiny_config();
+  cfg.mode = edge::FeatureMode::kOriginal;
+  Gat gat(cfg, rng);
+  EXPECT_EQ(gat.name(), "GAT*");
+  EXPECT_FALSE(gat.ratio_outputs());
+  EXPECT_EQ(gat.feature_mode(), edge::FeatureMode::kOriginal);
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   edge::FeatureMode::kOriginal);
+  const auto out = gat.forward(g);
+  EXPECT_TRUE(std::isfinite(out[0].throughput.item()));
+}
+
+TEST(Gat, DeterministicForward) {
+  Rng rng(3);
+  Gat gat(tiny_config(), rng);
+  const auto g = modified_graph();
+  const double a = gat.forward(g)[0].throughput.item();
+  const double b = gat.forward(g)[0].throughput.item();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Gat, GradientsReachAllParameters) {
+  Rng rng(4);
+  Gat gat(tiny_config(PredictionHead::kBoth), rng);
+  const auto g = modified_graph();
+  const auto out = gat.forward(g);
+  tensor::Var loss = tensor::add(out[0].throughput, out[1].latency);
+  loss.backward();
+  std::size_t touched = 0;
+  for (auto* p : gat.parameters()) {
+    for (double gr : p->var.grad()) {
+      if (gr != 0.0) {
+        ++touched;
+        break;
+      }
+    }
+  }
+  // Nearly all parameters should receive gradient (readout + all layers).
+  EXPECT_GT(touched, gat.parameters().size() / 2);
+}
+
+TEST(Gin, ForwardAndVariants) {
+  Rng rng(5);
+  Gin gin(tiny_config(PredictionHead::kLatency), rng);
+  const auto out = gin.forward(modified_graph());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].throughput.defined());
+  ASSERT_TRUE(out[0].latency.defined());
+  EXPECT_GT(out[0].latency.item(), 0.0);
+  EXPECT_LT(out[0].latency.item(), 1.0);
+  EXPECT_EQ(gin.name(), "GIN");
+
+  auto cfg = tiny_config();
+  cfg.mode = edge::FeatureMode::kOriginal;
+  Rng rng2(6);
+  Gin star(cfg, rng2);
+  EXPECT_EQ(star.name(), "GIN*");
+}
+
+TEST(Gin, DifferentGraphsGiveDifferentOutputs) {
+  Rng rng(7);
+  Gin gin(tiny_config(), rng);
+  const auto sys = small_system();
+  const auto g1 = edge::build_graph(sys, small_placement(),
+                                    edge::FeatureMode::kModified);
+  edge::Placement other(std::vector<std::vector<int>>{{3, 1, 2}, {1, 0}});
+  const auto g2 =
+      edge::build_graph(sys, other, edge::FeatureMode::kModified);
+  EXPECT_NE(gin.forward(g1)[0].throughput.item(),
+            gin.forward(g2)[0].throughput.item());
+}
+
+TEST(Gat, StableOnExtremeRawFeatures) {
+  // Regression: raw-feature (GAT*) inputs can be large (M_k, lambda); the
+  // attention softmax must not overflow to NaN/Inf.
+  Rng rng(41);
+  auto cfg = tiny_config();
+  cfg.mode = edge::FeatureMode::kOriginal;
+  Gat gat(cfg, rng);
+  auto sys = small_system();
+  sys.devices[0].memory_capacity = 1e6;
+  sys.chains[0].arrival_rate = 500.0;
+  sys.chains[0].fragments[0].compute_demand = 300.0;
+  const auto g = edge::build_graph(sys, small_placement(),
+                                   edge::FeatureMode::kOriginal);
+  const auto out = gat.forward(g);
+  for (const auto& o : out) {
+    EXPECT_TRUE(std::isfinite(o.throughput.item()));
+  }
+}
+
+TEST(Gcn, ForwardRangesAndNames) {
+  Rng rng(21);
+  Gcn gcn(tiny_config(PredictionHead::kBoth), rng);
+  const auto out = gcn.forward(modified_graph());
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& o : out) {
+    ASSERT_TRUE(o.throughput.defined());
+    ASSERT_TRUE(o.latency.defined());
+    EXPECT_GT(o.throughput.item(), 0.0);
+    EXPECT_LT(o.throughput.item(), 1.0);
+  }
+  EXPECT_EQ(gcn.name(), "GCN");
+  auto cfg = tiny_config();
+  cfg.mode = edge::FeatureMode::kOriginal;
+  Rng rng2(22);
+  EXPECT_EQ(Gcn(cfg, rng2).name(), "GCN*");
+}
+
+TEST(Gcn, GradientsFlow) {
+  Rng rng(23);
+  Gcn gcn(tiny_config(), rng);
+  const auto out = gcn.forward(modified_graph());
+  out[0].throughput.backward();
+  std::size_t touched = 0;
+  for (auto* p : gcn.parameters()) {
+    for (double gr : p->var.grad()) {
+      if (gr != 0.0) {
+        ++touched;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(touched, 0u);
+}
+
+TEST(Gin, ParameterCountScalesWithLayers) {
+  Rng rng(8);
+  auto cfg2 = tiny_config();
+  auto cfg4 = tiny_config();
+  cfg4.layers = 4;
+  Gin small(cfg2, rng);
+  Gin big(cfg4, rng);
+  EXPECT_GT(big.parameter_count(), small.parameter_count());
+}
+
+}  // namespace
+}  // namespace chainnet::gnn

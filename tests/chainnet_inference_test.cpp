@@ -1,0 +1,86 @@
+// Equivalence tests for ChainNet's inference-only path: forward_values()
+// must reproduce the autodiff forward() to floating-point roundoff on every
+// configuration (attention / mean aggregation, both output modes), across
+// random systems including large Type-II graphs.
+#include <gtest/gtest.h>
+
+#include "core/chainnet.h"
+#include "edge/graph.h"
+#include "edge/problem.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace chainnet::core {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+using support::Rng;
+
+void expect_paths_match(ChainNet& model, const edge::PlacementGraph& g,
+                        double tol = 1e-12) {
+  const auto slow = model.forward(g);
+  const auto fast = model.forward_values(g);
+  ASSERT_EQ(slow.size(), fast.size());
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    ASSERT_TRUE(fast[i].has_throughput);
+    ASSERT_TRUE(fast[i].has_latency);
+    EXPECT_NEAR(slow[i].throughput.item(), fast[i].throughput, tol);
+    EXPECT_NEAR(slow[i].latency.item(), fast[i].latency, tol);
+  }
+}
+
+TEST(ChainNetFastInference, MatchesAutodiffOnSmallSystem) {
+  Rng rng(3);
+  ChainNetConfig cfg;
+  cfg.hidden = 16;
+  cfg.iterations = 3;
+  ChainNet model(cfg, rng);
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   model.feature_mode());
+  expect_paths_match(model, g);
+}
+
+TEST(ChainNetFastInference, MatchesOnMeanAggregationVariant) {
+  Rng rng(5);
+  ChainNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.iterations = 2;
+  cfg.attention_aggregation = false;
+  ChainNet model(cfg, rng);
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   model.feature_mode());
+  expect_paths_match(model, g);
+}
+
+TEST(ChainNetFastInference, MatchesOnRawOutputVariant) {
+  Rng rng(7);
+  auto cfg = ChainNetConfig::ablation_beta();
+  cfg.hidden = 8;
+  cfg.iterations = 2;
+  ChainNet model(cfg, rng);
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   model.feature_mode());
+  expect_paths_match(model, g);
+}
+
+class FastInferenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastInferenceSweep, MatchesOnRandomTypeIIGraphs) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  ChainNetConfig cfg;
+  cfg.hidden = 12;
+  cfg.iterations = 3;
+  ChainNet model(cfg, rng);
+  auto params = edge::NetworkGenParams::type2();
+  Rng gen(200 + static_cast<std::uint64_t>(GetParam()));
+  const auto sample = edge::generate_network_sample(params, gen);
+  const auto g = edge::build_graph(sample.system, sample.placement,
+                                   model.feature_mode());
+  expect_paths_match(model, g, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastInferenceSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace chainnet::core

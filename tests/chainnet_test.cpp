@@ -1,0 +1,205 @@
+#include "core/chainnet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/surrogate.h"
+#include "edge/graph.h"
+#include "test_util.h"
+
+namespace chainnet::core {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+using support::Rng;
+
+ChainNetConfig tiny_config() {
+  ChainNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.iterations = 2;
+  return cfg;
+}
+
+edge::PlacementGraph graph_for(const ChainNet& model) {
+  return edge::build_graph(small_system(), small_placement(),
+                           model.feature_mode());
+}
+
+TEST(ChainNet, ConfigPresets) {
+  EXPECT_EQ(ChainNetConfig::paper().hidden, 64);
+  EXPECT_EQ(ChainNetConfig::paper().iterations, 8);
+  EXPECT_FALSE(ChainNetConfig::ablation_alpha().modified_inputs);
+  EXPECT_FALSE(ChainNetConfig::ablation_alpha().modified_outputs);
+  EXPECT_TRUE(ChainNetConfig::ablation_beta().modified_inputs);
+  EXPECT_FALSE(ChainNetConfig::ablation_beta().modified_outputs);
+  EXPECT_FALSE(ChainNetConfig::ablation_delta().modified_inputs);
+  EXPECT_TRUE(ChainNetConfig::ablation_delta().modified_outputs);
+}
+
+TEST(ChainNet, NamesReflectAblation) {
+  Rng rng(1);
+  EXPECT_EQ(ChainNet(tiny_config(), rng).name(), "ChainNet");
+  auto a = tiny_config();
+  a.modified_inputs = a.modified_outputs = false;
+  EXPECT_EQ(ChainNet(a, rng).name(), "ChainNet-alpha");
+  auto b = tiny_config();
+  b.modified_outputs = false;
+  EXPECT_EQ(ChainNet(b, rng).name(), "ChainNet-beta");
+  auto d = tiny_config();
+  d.modified_inputs = false;
+  EXPECT_EQ(ChainNet(d, rng).name(), "ChainNet-delta");
+  auto na = tiny_config();
+  na.attention_aggregation = false;
+  EXPECT_EQ(ChainNet(na, rng).name(), "ChainNet-noattn");
+}
+
+TEST(ChainNet, RejectsBadConfig) {
+  Rng rng(2);
+  auto cfg = tiny_config();
+  cfg.hidden = 0;
+  EXPECT_THROW(ChainNet(cfg, rng), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.iterations = 0;
+  EXPECT_THROW(ChainNet(cfg, rng), std::invalid_argument);
+}
+
+TEST(ChainNet, ForwardProducesBothHeadsInRange) {
+  Rng rng(3);
+  ChainNet model(tiny_config(), rng);
+  const auto out = model.forward(graph_for(model));
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& o : out) {
+    ASSERT_TRUE(o.throughput.defined());
+    ASSERT_TRUE(o.latency.defined());
+    EXPECT_GT(o.throughput.item(), 0.0);
+    EXPECT_LT(o.throughput.item(), 1.0);
+    EXPECT_GT(o.latency.item(), 0.0);
+    EXPECT_LT(o.latency.item(), 1.0);
+  }
+}
+
+TEST(ChainNet, DeterministicForward) {
+  Rng rng(4);
+  ChainNet model(tiny_config(), rng);
+  const auto g = graph_for(model);
+  EXPECT_DOUBLE_EQ(model.forward(g)[0].throughput.item(),
+                   model.forward(g)[0].throughput.item());
+}
+
+TEST(ChainNet, SensitiveToPlacementChanges) {
+  Rng rng(5);
+  ChainNet model(tiny_config(), rng);
+  const auto sys = small_system();
+  const auto g1 = edge::build_graph(sys, small_placement(),
+                                    model.feature_mode());
+  edge::Placement other(std::vector<std::vector<int>>{{3, 1, 2}, {1, 0}});
+  const auto g2 = edge::build_graph(sys, other, model.feature_mode());
+  EXPECT_NE(model.forward(g1)[0].throughput.item(),
+            model.forward(g2)[0].throughput.item());
+}
+
+TEST(ChainNet, SensitiveToArrivalRate) {
+  Rng rng(6);
+  ChainNet model(tiny_config(), rng);
+  auto sys = small_system();
+  const auto g1 = edge::build_graph(sys, small_placement(),
+                                    model.feature_mode());
+  sys.chains[0].arrival_rate = 5.0;
+  const auto g2 = edge::build_graph(sys, small_placement(),
+                                    model.feature_mode());
+  EXPECT_NE(model.forward(g1)[0].throughput.item(),
+            model.forward(g2)[0].throughput.item());
+}
+
+TEST(ChainNet, GradientsReachAllParameterGroups) {
+  Rng rng(7);
+  ChainNet model(tiny_config(), rng);
+  const auto g = graph_for(model);
+  const auto out = model.forward(g);
+  tensor::Var loss = tensor::add(
+      tensor::add(out[0].throughput, out[0].latency),
+      tensor::add(out[1].throughput, out[1].latency));
+  loss.backward();
+  std::size_t nonzero_params = 0;
+  for (auto* p : model.parameters()) {
+    bool touched = false;
+    for (double gr : p->var.grad()) touched |= gr != 0.0;
+    if (touched) ++nonzero_params;
+  }
+  // Encoders, GRUs, attention and both MLP heads all participate: the
+  // shared device (device 1) guarantees the attention path is exercised.
+  EXPECT_GT(nonzero_params, model.parameters().size() * 3 / 4);
+}
+
+TEST(ChainNet, SingleFragmentChainWorks) {
+  Rng rng(8);
+  ChainNet model(tiny_config(), rng);
+  edge::EdgeSystem sys;
+  sys.devices = {{"d0", 10.0, 1.0}, {"d1", 10.0, 1.0}};
+  edge::ServiceChainSpec chain;
+  chain.name = "solo";
+  chain.arrival_rate = 1.0;
+  chain.fragments = {{1.0, 0.5}};
+  sys.chains = {chain};
+  edge::Placement p(std::vector<std::vector<int>>{{0}});
+  const auto g = edge::build_graph(sys, p, model.feature_mode());
+  const auto out = model.forward(g);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::isfinite(out[0].throughput.item()));
+}
+
+TEST(ChainNet, MeanAttentionVariantRuns) {
+  Rng rng(9);
+  auto cfg = tiny_config();
+  cfg.attention_aggregation = false;
+  ChainNet model(cfg, rng);
+  const auto out = model.forward(graph_for(model));
+  EXPECT_TRUE(std::isfinite(out[0].throughput.item()));
+}
+
+TEST(ChainNet, RawOutputAblationsAreUnbounded) {
+  Rng rng(10);
+  auto cfg = tiny_config();
+  cfg.modified_outputs = false;
+  ChainNet model(cfg, rng);
+  EXPECT_FALSE(model.ratio_outputs());
+  EXPECT_EQ(model.feature_mode(), edge::FeatureMode::kModified);
+  // Forward still runs and produces finite values.
+  const auto out = model.forward(graph_for(model));
+  EXPECT_TRUE(std::isfinite(out[0].throughput.item()));
+}
+
+TEST(ChainNet, ParameterCountMatchesArchitecture) {
+  Rng rng(11);
+  ChainNet model(tiny_config(), rng);
+  const std::size_t h = 8;
+  // Encoders: (1+3+1) inputs -> h with bias.
+  const std::size_t enc = (1 * h + h) + (3 * h + h) + (1 * h + h);
+  // Three GRUs with input 2h: 3 * (3*(h*2h) + 3*(h*h) + 6h).
+  const std::size_t gru = 3 * (3 * (h * 2 * h) + 3 * (h * h) + 6 * h);
+  // Attention: 2 heads * (h*3h + h + 2h*2h).
+  const std::size_t attn = 2 * (h * 3 * h + h + 2 * h * 2 * h);
+  // Two MLP heads: (h*h + h) + (h*1 + 1) each.
+  const std::size_t mlp = 2 * ((h * h + h) + (h + 1));
+  EXPECT_EQ(model.parameter_count(), enc + gru + attn + mlp);
+}
+
+TEST(Surrogate, TotalThroughputSumsDecodedChains) {
+  Rng rng(12);
+  ChainNet model(tiny_config(), rng);
+  Surrogate surrogate(model);
+  const auto sys = small_system();
+  const auto preds = surrogate.predict(sys, small_placement());
+  ASSERT_EQ(preds.size(), 2u);
+  double manual = preds[0].throughput + preds[1].throughput;
+  EXPECT_NEAR(surrogate.total_throughput(sys, small_placement()), manual,
+              1e-12);
+  // Ratio decoding bounds throughput by the arrival rate.
+  EXPECT_LE(preds[0].throughput, 0.8 + 1e-9);
+  EXPECT_LE(preds[1].throughput, 0.4 + 1e-9);
+}
+
+}  // namespace
+}  // namespace chainnet::core

@@ -1,0 +1,108 @@
+#include "gnn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_util.h"
+
+namespace chainnet::gnn {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+LabelingConfig fast_labeling() {
+  LabelingConfig cfg;
+  cfg.arrivals_per_chain = 300.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(LabelSample, ProducesConsistentGroundTruth) {
+  const auto s = label_sample(small_system(), small_placement(),
+                              fast_labeling());
+  ASSERT_EQ(s.throughput.size(), 2u);
+  // Lightly loaded system: throughput close to arrival rates.
+  EXPECT_NEAR(s.throughput[0], 0.8, 0.1);
+  EXPECT_NEAR(s.throughput[1], 0.4, 0.1);
+  EXPECT_TRUE(s.has_latency[0]);
+  // Latency at least the total processing time.
+  EXPECT_GE(s.latency[0], 1.0);
+  // Graphs built for both feature modes.
+  EXPECT_EQ(s.graph_modified.num_nodes(), 11);
+  EXPECT_EQ(s.graph_original.num_nodes(), 11);
+  EXPECT_DOUBLE_EQ(s.graph(edge::FeatureMode::kOriginal)
+                       .service_features[0][0],
+                   0.8);
+}
+
+TEST(GenerateDataset, CountAndValidity) {
+  const auto params = edge::NetworkGenParams::type1();
+  const auto ds = generate_dataset(params, 12, fast_labeling(), 42);
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_GE(ds.total_chains(), 12u);
+  for (const auto& s : ds.samples) {
+    EXPECT_NO_THROW(s.placement.validate(s.system));
+    for (std::size_t i = 0; i < s.throughput.size(); ++i) {
+      // Throughput can never exceed the arrival rate beyond the sampling
+      // noise of the short labeling run (~300 arrivals -> a few percent).
+      EXPECT_LE(s.throughput[i], s.system.chains[i].arrival_rate * 1.2);
+      EXPECT_GE(s.throughput[i], 0.0);
+    }
+  }
+}
+
+TEST(GenerateDataset, DeterministicGivenSeed) {
+  const auto params = edge::NetworkGenParams::type1();
+  const auto a = generate_dataset(params, 3, fast_labeling(), 7);
+  const auto b = generate_dataset(params, 3, fast_labeling(), 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].placement.assignment(),
+              b.samples[i].placement.assignment());
+    EXPECT_EQ(a.samples[i].throughput, b.samples[i].throughput);
+  }
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "chainnet_ds_test.bin")
+          .string();
+  const auto params = edge::NetworkGenParams::type1();
+  const auto original = generate_dataset(params, 5, fast_labeling(), 9);
+  save_dataset(original, path);
+  EXPECT_TRUE(dataset_file_exists(path));
+  const auto loaded = load_dataset(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.samples[i];
+    const auto& b = loaded.samples[i];
+    EXPECT_EQ(a.placement.assignment(), b.placement.assignment());
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.has_latency, b.has_latency);
+    EXPECT_EQ(a.system.chains.size(), b.system.chains.size());
+    EXPECT_DOUBLE_EQ(a.system.chains[0].arrival_rate,
+                     b.system.chains[0].arrival_rate);
+    // Graphs are rebuilt on load.
+    EXPECT_EQ(a.graph_modified.num_nodes(), b.graph_modified.num_nodes());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/dataset.bin"), std::runtime_error);
+  EXPECT_FALSE(dataset_file_exists("/nonexistent/dataset.bin"));
+}
+
+TEST(LabelSample, OverloadedChainHasLowThroughputRatio) {
+  auto sys = small_system();
+  sys.chains[0].arrival_rate = 10.0;  // far above service capacity
+  const auto s =
+      label_sample(std::move(sys), small_placement(), fast_labeling());
+  EXPECT_LT(s.throughput[0], 4.0);  // heavy loss
+}
+
+}  // namespace
+}  // namespace chainnet::gnn

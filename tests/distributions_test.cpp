@@ -1,0 +1,144 @@
+#include "support/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace chainnet::support {
+namespace {
+
+/// Empirical (mean, variance) over n samples.
+std::pair<double, double> sample_moments(const Distribution& d, int n,
+                                         std::uint64_t seed = 123) {
+  Rng rng(seed);
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) stats.add(d.sample(rng));
+  return {stats.mean(), stats.variance()};
+}
+
+TEST(Deterministic, AlwaysReturnsValue) {
+  Deterministic d(3.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 3.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.scv(), 0.0);
+}
+
+TEST(Deterministic, RejectsNegative) {
+  EXPECT_THROW(Deterministic(-1.0), std::invalid_argument);
+}
+
+TEST(Exponential, MomentsMatch) {
+  Exponential d(0.7);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.7);
+  EXPECT_NEAR(d.scv(), 1.0, 1e-12);
+  const auto [m, v] = sample_moments(d, 300000);
+  EXPECT_NEAR(m, 0.7, 0.01);
+  EXPECT_NEAR(v, 0.49, 0.02);
+}
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-2.0), std::invalid_argument);
+}
+
+TEST(Uniform, MomentsMatch) {
+  Uniform d(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_NEAR(d.variance(), 16.0 / 12.0, 1e-12);
+  const auto [m, v] = sample_moments(d, 200000);
+  EXPECT_NEAR(m, 3.0, 0.02);
+  EXPECT_NEAR(v, 16.0 / 12.0, 0.03);
+}
+
+TEST(Uniform, RejectsInvertedBounds) {
+  EXPECT_THROW(Uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(LowerBounded, ClampsSamples) {
+  LowerBounded d(std::make_unique<Uniform>(0.0, 2.0), 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.sample(rng), 0.5);
+}
+
+TEST(LowerBounded, NoEffectWhenFloorBelowSupport) {
+  LowerBounded d(std::make_unique<Uniform>(1.0, 2.0), 0.0);
+  const auto [m, v] = sample_moments(d, 100000);
+  EXPECT_NEAR(m, 1.5, 0.01);
+  EXPECT_NEAR(v, 1.0 / 12.0, 0.01);
+}
+
+TEST(Clone, PreservesBehaviour) {
+  AcyclicPhaseType original(2.0, 5.0);
+  auto copy = original.clone();
+  Rng a(77), b(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(original.sample(a), copy->sample(b));
+  }
+}
+
+TEST(Aph, RejectsInvalidParameters) {
+  EXPECT_THROW(AcyclicPhaseType(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AcyclicPhaseType(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(AcyclicPhaseType(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Aph, PhaseCountMatchesScv) {
+  EXPECT_EQ(AcyclicPhaseType(1.0, 5.0).phases(), 2);    // hyper-exponential
+  EXPECT_EQ(AcyclicPhaseType(1.0, 0.5).phases(), 2);    // Erlang-2 mix
+  EXPECT_EQ(AcyclicPhaseType(1.0, 0.25).phases(), 4);   // Erlang-4 mix
+  EXPECT_EQ(AcyclicPhaseType(1.0, 0.11).phases(), 10);  // ceil(1/0.11) = 10
+}
+
+TEST(Aph, Describe) {
+  EXPECT_EQ(AcyclicPhaseType(2.0, 5.0).describe(), "APH(2,5)");
+}
+
+/// Two-moment matching must reproduce (mean, SCV) across both fitting
+/// branches — the property the Type II generator of Table III relies on.
+class AphMomentTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AphMomentTest, EmpiricalMomentsMatchTargets) {
+  const auto [mean, scv] = GetParam();
+  AcyclicPhaseType d(mean, scv);
+  EXPECT_DOUBLE_EQ(d.mean(), mean);
+  EXPECT_NEAR(d.scv(), scv, 1e-12);
+  Rng rng(4242);
+  RunningStats stats;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), mean, 0.02 * mean + 5.0 * mean * std::sqrt(scv) /
+                                      std::sqrt(static_cast<double>(n)));
+  const double empirical_scv =
+      stats.variance() / (stats.mean() * stats.mean());
+  EXPECT_NEAR(empirical_scv, scv, 0.08 * std::max(scv, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanScvGrid, AphMomentTest,
+    ::testing::Values(std::make_tuple(2.0, 5.0),    // Table III Type II arrivals
+                      std::make_tuple(0.1, 10.0),   // Table III Type II service
+                      std::make_tuple(1.0, 1.0),    // exponential boundary
+                      std::make_tuple(1.0, 2.0),
+                      std::make_tuple(3.0, 8.0),
+                      std::make_tuple(1.0, 0.5),    // Erlang branch
+                      std::make_tuple(2.0, 0.25),
+                      std::make_tuple(0.5, 0.34),
+                      std::make_tuple(5.0, 0.12)));
+
+TEST(Aph, SamplesArePositive) {
+  for (const double scv : {0.2, 0.7, 1.0, 4.0}) {
+    AcyclicPhaseType d(1.0, scv);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace chainnet::support

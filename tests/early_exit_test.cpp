@@ -1,0 +1,125 @@
+// Tests for the early-exit extension (paper §X future work): jobs may leave
+// a chain successfully after intermediate steps with a per-step
+// probability, modeling early-exit DNNs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Exponential;
+
+QnModel exit_tandem(double lambda, double exit_prob, double capacity) {
+  QnModel qn;
+  qn.stations.push_back({"s0", capacity});
+  qn.stations.push_back({"s1", capacity});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.2), 1.0,
+                           exit_prob);
+  chain.steps.emplace_back(1, std::make_unique<Exponential>(0.2), 1.0);
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(EarlyExit, ValidateRejectsOutOfRange) {
+  auto qn = exit_tandem(1.0, 0.5, 100.0);
+  EXPECT_NO_THROW(qn.validate());
+  qn.chains[0].steps[0].exit_probability = 1.0;
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+  qn.chains[0].steps[0].exit_probability = -0.1;
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+}
+
+TEST(EarlyExit, ZeroProbabilityMatchesPureChain) {
+  const auto qn = exit_tandem(1.0, 0.0, 100000.0);
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 3;
+  const auto r = simulate(qn, cfg);
+  // Stable, no loss: second station sees the full flow.
+  EXPECT_NEAR(r.chains[0].throughput, 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(r.stations[1].admitted) /
+                  static_cast<double>(r.stations[0].admitted),
+              1.0, 0.01);
+}
+
+TEST(EarlyExit, ThinsDownstreamFlowGeometrically) {
+  const double q = 0.4;
+  const auto qn = exit_tandem(1.0, q, 100000.0);
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 5;
+  const auto r = simulate(qn, cfg);
+  // Station 1 receives only (1 - q) of the admitted flow.
+  EXPECT_NEAR(static_cast<double>(r.stations[1].admitted) /
+                  static_cast<double>(r.stations[0].admitted),
+              1.0 - q, 0.02);
+  // Early exits are completions, not losses: throughput stays ~lambda.
+  EXPECT_NEAR(r.chains[0].throughput, 1.0, 0.02);
+  EXPECT_EQ(r.chains[0].losses, 0u);
+}
+
+TEST(EarlyExit, ReducesMeanLatency) {
+  // Exiting early skips the second station's service.
+  const auto no_exit = exit_tandem(1.0, 0.0, 100000.0);
+  const auto with_exit = exit_tandem(1.0, 0.6, 100000.0);
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 7;
+  const double full = simulate(no_exit, cfg).chains[0].mean_latency;
+  const double early = simulate(with_exit, cfg).chains[0].mean_latency;
+  EXPECT_LT(early, full);
+  // Mean latency is roughly service0 + (1-q) * sojourn1; with q = 0.6 the
+  // second stage contributes ~40%.
+  EXPECT_GT(early, 0.3 * full);
+}
+
+TEST(EarlyExit, ReducesLossUnderDownstreamOverload) {
+  // The second station is the bottleneck; exits ahead of it save jobs.
+  const auto build = [](double q) {
+    QnModel qn;
+    qn.stations.push_back({"s0", 100000.0});
+    qn.stations.push_back({"bottleneck", 3.0});
+    ChainSpec chain;
+    chain.name = "c0";
+    chain.interarrival = std::make_unique<Exponential>(0.5);
+    chain.steps.emplace_back(0, std::make_unique<Exponential>(0.1), 1.0, q);
+    chain.steps.emplace_back(1, std::make_unique<Exponential>(1.0), 1.0);
+    qn.chains.push_back(std::move(chain));
+    return qn;
+  };
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 11;
+  const auto lossy = simulate(build(0.0), cfg);
+  const auto saved = simulate(build(0.7), cfg);
+  EXPECT_GT(lossy.chains[0].loss_probability, 0.3);
+  EXPECT_LT(saved.chains[0].loss_probability,
+            lossy.chains[0].loss_probability * 0.6);
+}
+
+TEST(EarlyExit, LastStepExitIgnored) {
+  // exit_probability on the last step has no effect (jobs complete there
+  // anyway) — but it must still validate and simulate.
+  QnModel qn;
+  qn.stations.push_back({"s0", 100.0});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.2), 1.0, 0.9);
+  qn.chains.push_back(std::move(chain));
+  SimConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.seed = 13;
+  const auto r = simulate(qn, cfg);
+  EXPECT_NEAR(r.chains[0].throughput, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

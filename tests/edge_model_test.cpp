@@ -1,0 +1,121 @@
+#include "edge/model.h"
+
+#include <gtest/gtest.h>
+
+#include "edge/placement.h"
+#include "test_util.h"
+
+namespace chainnet::edge {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(EdgeSystem, CountsAndRates) {
+  const auto sys = small_system();
+  EXPECT_EQ(sys.num_devices(), 4);
+  EXPECT_EQ(sys.num_chains(), 2);
+  EXPECT_EQ(sys.total_fragments(), 5);
+  EXPECT_DOUBLE_EQ(sys.total_arrival_rate(), 1.2);
+}
+
+TEST(EdgeSystem, ProcessingTimeUsesDeviceRate) {
+  const auto sys = small_system();
+  // Fragment (0,0) has r = 0.5; device 2 has R = 2.0.
+  EXPECT_DOUBLE_EQ(sys.processing_time(0, 0, 2), 0.25);
+  // Device 3 has R = 0.5.
+  EXPECT_DOUBLE_EQ(sys.processing_time(0, 0, 3), 1.0);
+}
+
+TEST(EdgeSystem, ValidateCatchesBadInputs) {
+  auto sys = small_system();
+  EXPECT_NO_THROW(sys.validate());
+  sys.devices[0].memory_capacity = 0.0;
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+  sys = small_system();
+  sys.chains[0].arrival_rate = -1.0;
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+  sys = small_system();
+  sys.chains[1].fragments.clear();
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+  sys = small_system();
+  sys.chains[0].fragments[0].compute_demand = 0.0;
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(Placement, ShapeFromSystem) {
+  const auto sys = small_system();
+  Placement p(sys);
+  EXPECT_EQ(p.num_chains(), 2);
+  EXPECT_EQ(p.chain_length(0), 3);
+  EXPECT_EQ(p.chain_length(1), 2);
+  EXPECT_FALSE(p.complete());
+  p.assign(0, 0, 1);
+  EXPECT_EQ(p.device_of(0, 0), 1);
+}
+
+TEST(Placement, UsedDevicesSortedUnique) {
+  const auto p = small_placement();
+  const auto used = p.used_devices();
+  EXPECT_EQ(used, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Placement, FragmentsOnSharedDevice) {
+  const auto p = small_placement();
+  const auto on1 = p.fragments_on(1);
+  ASSERT_EQ(on1.size(), 2u);
+  EXPECT_EQ(on1[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(on1[1], (std::pair<int, int>{1, 0}));
+  EXPECT_TRUE(p.fragments_on(7).empty());
+}
+
+TEST(Placement, LoadsOnDevice) {
+  const auto sys = small_system();
+  const auto p = small_placement();
+  // Device 1 runs fragments (0,1) r=0.7 and (1,0) r=0.2 at rate 1.0.
+  EXPECT_DOUBLE_EQ(p.memory_load(sys, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p.processing_load(sys, 1), 0.9);
+  EXPECT_DOUBLE_EQ(p.memory_load(sys, 2), 1.0);
+}
+
+TEST(Placement, MemoryFeasibility) {
+  auto sys = small_system();
+  const auto p = small_placement();
+  EXPECT_TRUE(p.memory_feasible(sys));
+  sys.devices[1].memory_capacity = 1.5;  // holds 2 units of demand
+  EXPECT_FALSE(p.memory_feasible(sys));
+}
+
+TEST(Placement, DistinctDevicesInvariant) {
+  Placement ok(std::vector<std::vector<int>>{{0, 1}, {0, 1}});
+  EXPECT_TRUE(ok.distinct_devices_within_chains());
+  Placement bad(std::vector<std::vector<int>>{{0, 0}});
+  EXPECT_FALSE(bad.distinct_devices_within_chains());
+}
+
+TEST(Placement, ValidateRejectsStructuralErrors) {
+  const auto sys = small_system();
+  EXPECT_NO_THROW(small_placement().validate(sys));
+  // Wrong chain count.
+  Placement wrong_chains(std::vector<std::vector<int>>{{0, 1, 2}});
+  EXPECT_THROW(wrong_chains.validate(sys), std::invalid_argument);
+  // Unassigned fragment.
+  Placement incomplete(sys);
+  EXPECT_THROW(incomplete.validate(sys), std::invalid_argument);
+  // Out-of-range device.
+  Placement bad_device(std::vector<std::vector<int>>{{0, 1, 9}, {1, 3}});
+  EXPECT_THROW(bad_device.validate(sys), std::invalid_argument);
+  // Duplicate device within a chain.
+  Placement dup(std::vector<std::vector<int>>{{0, 1, 0}, {1, 3}});
+  EXPECT_THROW(dup.validate(sys), std::invalid_argument);
+}
+
+TEST(Placement, EqualityComparesAssignments) {
+  EXPECT_EQ(small_placement(), small_placement());
+  auto other = small_placement();
+  other.assign(0, 0, 3);
+  EXPECT_NE(other, small_placement());
+}
+
+}  // namespace
+}  // namespace chainnet::edge

@@ -1,0 +1,84 @@
+#include "optim/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/chainnet.h"
+#include "edge/qn_mapping.h"
+#include "optim/initial.h"
+#include "queueing/approximation.h"
+#include "test_util.h"
+
+namespace chainnet::optim {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(SimulationEvaluator, CountsEvaluationsAndIsDeterministic) {
+  queueing::SimConfig cfg;
+  cfg.horizon = 2000.0;
+  cfg.seed = 5;
+  SimulationEvaluator eval(cfg);
+  const auto sys = small_system();
+  EXPECT_EQ(eval.evaluations(), 0u);
+  const double a = eval.total_throughput(sys, small_placement());
+  const double b = eval.total_throughput(sys, small_placement());
+  EXPECT_EQ(eval.evaluations(), 2u);
+  EXPECT_DOUBLE_EQ(a, b);  // fixed seed => same estimate
+  EXPECT_GT(a, 0.0);
+  EXPECT_LE(a, sys.total_arrival_rate() * 1.1);
+}
+
+TEST(SimulationEvaluator, DeterministicServiceOption) {
+  // Under overload with tiny buffers, service-time variability changes the
+  // loss rate: deterministic service (M/D/1/K-like) loses fewer jobs than
+  // exponential, so the evaluated objective must be higher.
+  auto sys = small_system();
+  for (auto& d : sys.devices) d.memory_capacity = 2.0;
+  for (auto& c : sys.chains) c.arrival_rate *= 4.0;
+  queueing::SimConfig cfg;
+  cfg.horizon = 20000.0;
+  SimulationEvaluator exp_eval(cfg, edge::ServiceModel::kExponential);
+  SimulationEvaluator det_eval(cfg, edge::ServiceModel::kDeterministic);
+  const double a = exp_eval.total_throughput(sys, small_placement());
+  const double b = det_eval.total_throughput(sys, small_placement());
+  EXPECT_GT(b, a);
+}
+
+TEST(SurrogateEvaluator, BoundedByOfferedLoad) {
+  support::Rng rng(3);
+  core::ChainNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.iterations = 2;
+  core::ChainNet model(cfg, rng);
+  SurrogateEvaluator eval{core::Surrogate(model)};
+  const auto sys = small_system();
+  const double x = eval.total_throughput(sys, small_placement());
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, sys.total_arrival_rate() + 1e-9);
+  EXPECT_EQ(eval.evaluations(), 1u);
+}
+
+TEST(ApproximationEvaluator, MatchesDirectApproximation) {
+  ApproximationEvaluator eval;
+  const auto sys = small_system();
+  const double via_eval = eval.total_throughput(sys, small_placement());
+  const auto qn = edge::build_qn(sys, small_placement());
+  const double direct = queueing::approximate(qn).total_throughput();
+  EXPECT_DOUBLE_EQ(via_eval, direct);
+}
+
+TEST(ApproximationEvaluator, TracksSimulationOnLightLoad) {
+  const auto sys = small_system();
+  const auto placement = initial_placement(sys);
+  ApproximationEvaluator approx;
+  queueing::SimConfig cfg;
+  cfg.horizon = 50000.0;
+  SimulationEvaluator sim(cfg);
+  const double a = approx.total_throughput(sys, placement);
+  const double s = sim.total_throughput(sys, placement);
+  EXPECT_NEAR(a, s, 0.1 * s);
+}
+
+}  // namespace
+}  // namespace chainnet::optim

@@ -1,0 +1,174 @@
+#include "edge/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace chainnet::edge {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(GraphBuilder, NodeCountsFollowAlgorithm1) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  // C + sum(T_i) + d = 2 + 5 + 4.
+  EXPECT_EQ(g.num_chains, 2);
+  EXPECT_EQ(g.num_fragments(), 5);
+  EXPECT_EQ(g.num_devices(), 4);
+  EXPECT_EQ(g.num_nodes(), 11);
+}
+
+TEST(GraphBuilder, UnusedDevicesGetNoNode) {
+  // Only devices 0 and 1 used => d = 2 device nodes.
+  Placement p(std::vector<std::vector<int>>{{0, 1, 0}, {1, 0}});
+  // Device 0 repeats within chain 0 -> invalid; use a valid variant.
+  Placement valid(std::vector<std::vector<int>>{{0, 1, 2}, {1, 0}});
+  const auto g =
+      build_graph(small_system(), valid, FeatureMode::kModified);
+  EXPECT_EQ(g.num_devices(), 3);
+  EXPECT_EQ(g.device_node_device, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GraphBuilder, SequencesPreserveExecutionOrder) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  ASSERT_EQ(g.sequences.size(), 2u);
+  EXPECT_EQ(g.sequences[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.sequences[1], (std::vector<int>{3, 4}));
+  for (int i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < g.sequences[i].size(); ++j) {
+      const auto& step = g.steps[g.sequences[i][j]];
+      EXPECT_EQ(step.chain, i);
+      EXPECT_EQ(step.position, static_cast<int>(j));
+    }
+  }
+}
+
+TEST(GraphBuilder, DeviceStepIndexIsInverse) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  // Shared device 1 hosts steps 1 (chain 0 frag 1) and 3 (chain 1 frag 0).
+  int shared_node = -1;
+  for (int n = 0; n < g.num_devices(); ++n) {
+    if (g.device_node_device[n] == 1) shared_node = n;
+  }
+  ASSERT_GE(shared_node, 0);
+  EXPECT_EQ(g.device_node_steps[shared_node], (std::vector<int>{1, 3}));
+  // Every step appears in exactly one device node's list.
+  std::multiset<int> all_steps;
+  for (const auto& steps : g.device_node_steps) {
+    all_steps.insert(steps.begin(), steps.end());
+  }
+  EXPECT_EQ(all_steps.size(), 5u);
+  for (int s = 0; s < 5; ++s) EXPECT_EQ(all_steps.count(s), 1u);
+}
+
+TEST(GraphBuilder, EdgeCountMatchesAlgorithm1) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  // Placement edges: one per fragment (5). Workflow edges: T_i - 1 per
+  // chain (2 + 1).
+  EXPECT_EQ(g.edges.size(), 5u + 3u);
+}
+
+TEST(GraphBuilder, WorkflowEdgesGoDeviceToNextFragment) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  // The workflow edge after step 0 (chain 0, device 0) points to the
+  // fragment node of step 1.
+  bool found = false;
+  for (const auto& e : g.edges) {
+    if (e.src == g.device_node_id(g.steps[0].device_node) &&
+        e.dst == g.fragment_node_id(1)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphBuilder, ServiceNodesAreIsolated) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.src, g.num_chains);
+    EXPECT_GE(e.dst, g.num_chains);
+  }
+}
+
+TEST(GraphBuilder, ModifiedFeaturesMatchTableII) {
+  const auto sys = small_system();
+  const auto p = small_placement();
+  const auto g = build_graph(sys, p, FeatureMode::kModified);
+  // Service feature is the constant 1.
+  EXPECT_DOUBLE_EQ(g.service_features[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(g.service_features[1][0], 1.0);
+  // Step 1 = chain 0 fragment 1 on device 1 (rate 1): t_p = 0.7.
+  // lambda_0 = 0.8; delta_t(dev1) = 0.7 + 0.2; m = 1; M = 50.
+  const auto& f = g.fragment_features[1];
+  EXPECT_NEAR(f[0], 0.7 * 0.8, 1e-12);
+  EXPECT_NEAR(f[1], 0.7 / 0.9, 1e-12);
+  EXPECT_NEAR(f[2], 1.0 / 50.0, 1e-12);
+  // Device feature for device 1: delta_m / M = 2 / 50.
+  int shared_node = -1;
+  for (int n = 0; n < g.num_devices(); ++n) {
+    if (g.device_node_device[n] == 1) shared_node = n;
+  }
+  EXPECT_NEAR(g.device_features[shared_node][0], 2.0 / 50.0, 1e-12);
+}
+
+TEST(GraphBuilder, OriginalFeaturesAreRaw) {
+  const auto sys = small_system();
+  const auto g = build_graph(sys, small_placement(), FeatureMode::kOriginal);
+  EXPECT_DOUBLE_EQ(g.service_features[0][0], 0.8);  // lambda_1
+  const auto& f = g.fragment_features[1];
+  EXPECT_DOUBLE_EQ(f[0], 0.7);  // t_p
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // m
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // padding
+  EXPECT_DOUBLE_EQ(g.device_features[0][0], 50.0);  // M_k
+}
+
+TEST(GraphBuilder, DenormalizationContext) {
+  const auto sys = small_system();
+  const auto g = build_graph(sys, small_placement(), FeatureMode::kModified);
+  EXPECT_DOUBLE_EQ(g.arrival_rate[0], 0.8);
+  EXPECT_DOUBLE_EQ(g.arrival_rate[1], 0.4);
+  // Chain 0 on devices 0,1,2 (rates 1,1,2): 0.5 + 0.7 + 0.15.
+  EXPECT_NEAR(g.total_processing[0], 1.35, 1e-12);
+  // Chain 1 on devices 1,3 (rates 1,0.5): 0.2 + 1.8.
+  EXPECT_NEAR(g.total_processing[1], 2.0, 1e-12);
+}
+
+TEST(GraphBuilder, ProcessingTimeDependsOnPlacement) {
+  const auto sys = small_system();
+  Placement a(std::vector<std::vector<int>>{{0, 1, 2}, {1, 3}});
+  Placement b(std::vector<std::vector<int>>{{3, 1, 2}, {1, 3}});
+  const auto ga = build_graph(sys, a, FeatureMode::kOriginal);
+  const auto gb = build_graph(sys, b, FeatureMode::kOriginal);
+  // Fragment (0,0) moves from rate-1 device 0 to rate-0.5 device 3.
+  EXPECT_DOUBLE_EQ(ga.fragment_features[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(gb.fragment_features[0][0], 1.0);
+}
+
+TEST(GraphBuilder, RejectsInvalidPlacement) {
+  Placement incomplete(small_system());
+  EXPECT_THROW(
+      build_graph(small_system(), incomplete, FeatureMode::kModified),
+      std::invalid_argument);
+}
+
+TEST(GraphBuilder, HomogeneousNodeIdRanges) {
+  const auto g =
+      build_graph(small_system(), small_placement(), FeatureMode::kModified);
+  EXPECT_EQ(g.service_node_id(1), 1);
+  EXPECT_EQ(g.fragment_node_id(0), 2);
+  EXPECT_EQ(g.fragment_node_id(4), 6);
+  EXPECT_EQ(g.device_node_id(0), 7);
+  EXPECT_EQ(g.device_node_id(3), 10);
+}
+
+}  // namespace
+}  // namespace chainnet::edge

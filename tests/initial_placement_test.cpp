@@ -1,0 +1,77 @@
+#include "optim/initial.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "edge/problem.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace chainnet::optim {
+namespace {
+
+using chainnet::testing::small_system;
+
+TEST(InitialPlacement, ValidAndDistinct) {
+  const auto sys = small_system();
+  const auto p = initial_placement(sys);
+  EXPECT_NO_THROW(p.validate(sys));
+  EXPECT_TRUE(p.complete());
+  EXPECT_TRUE(p.distinct_devices_within_chains());
+}
+
+TEST(InitialPlacement, SpreadsAcrossUnusedDevicesFirst) {
+  // 4 devices, 5 fragments: the first 4 assignments must hit 4 distinct
+  // devices (unused ranks above used).
+  const auto sys = small_system();
+  const auto p = initial_placement(sys);
+  std::set<int> first_four = {p.device_of(0, 0), p.device_of(0, 1),
+                              p.device_of(0, 2), p.device_of(1, 0)};
+  EXPECT_EQ(first_four.size(), 4u);
+}
+
+TEST(InitialPlacement, PrefersLargerRemainingMemory) {
+  edge::EdgeSystem sys;
+  sys.devices = {{"small", 10.0, 1.0}, {"large", 100.0, 1.0}};
+  edge::ServiceChainSpec chain;
+  chain.name = "c";
+  chain.arrival_rate = 1.0;
+  chain.fragments = {{1.0, 1.0}};
+  sys.chains = {chain};
+  const auto p = initial_placement(sys);
+  EXPECT_EQ(p.device_of(0, 0), 1);  // larger memory wins
+}
+
+TEST(InitialPlacement, HandlesManyChainsOnFewDevices) {
+  auto params = edge::PlacementProblemParams::paper(20);
+  support::Rng rng(3);
+  const auto sys = edge::generate_placement_problem(params, rng);
+  const auto p = initial_placement(sys);
+  EXPECT_NO_THROW(p.validate(sys));
+  // All 20 devices should be used: there are far more fragments than
+  // devices and the ranking prefers unused ones.
+  EXPECT_EQ(p.used_devices().size(), 20u);
+}
+
+TEST(InitialPlacement, ThrowsWhenChainLongerThanFleet) {
+  edge::EdgeSystem sys;
+  sys.devices = {{"d0", 10.0, 1.0}, {"d1", 10.0, 1.0}};
+  edge::ServiceChainSpec chain;
+  chain.name = "long";
+  chain.arrival_rate = 1.0;
+  chain.fragments = {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  sys.chains = {chain};
+  EXPECT_THROW(initial_placement(sys), std::invalid_argument);
+}
+
+TEST(InitialPlacement, DeterministicOutput) {
+  auto params = edge::PlacementProblemParams::paper(20);
+  support::Rng rng(9);
+  const auto sys = edge::generate_placement_problem(params, rng);
+  EXPECT_EQ(initial_placement(sys).assignment(),
+            initial_placement(sys).assignment());
+}
+
+}  // namespace
+}  // namespace chainnet::optim

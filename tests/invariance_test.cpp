@@ -1,0 +1,109 @@
+// Structural invariance properties of the surrogate stack:
+//  * device relabeling: renaming/reordering device indices (an arbitrary
+//    choice of the system description) must not change any chain's
+//    prediction;
+//  * chain reordering: permuting the chains must permute the outputs;
+//  * unused devices: adding devices that no fragment uses must not change
+//    predictions (they do not appear in the graph at all).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/chainnet.h"
+#include "edge/graph.h"
+#include "gnn/model.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace chainnet::core {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+using support::Rng;
+
+ChainNet make_model(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  ChainNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.iterations = 3;
+  return ChainNet(cfg, rng);
+}
+
+std::vector<gnn::ChainPerf> predict(ChainNet& model,
+                                    const edge::EdgeSystem& sys,
+                                    const edge::Placement& p) {
+  const auto g = edge::build_graph(sys, p, model.feature_mode());
+  return gnn::predict_physical(model, g);
+}
+
+TEST(Invariance, DeviceRelabelingPreservesPredictions) {
+  auto model = make_model();
+  const auto sys = small_system();
+  const auto base = predict(model, sys, small_placement());
+
+  // Swap devices 0 and 3 everywhere (specs and assignments).
+  auto permuted_sys = sys;
+  std::swap(permuted_sys.devices[0], permuted_sys.devices[3]);
+  edge::Placement permuted(std::vector<std::vector<int>>{{3, 1, 2}, {1, 0}});
+  const auto renamed = predict(model, permuted_sys, permuted);
+
+  ASSERT_EQ(base.size(), renamed.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base[i].throughput, renamed[i].throughput, 1e-9);
+    EXPECT_NEAR(base[i].latency, renamed[i].latency, 1e-9);
+  }
+}
+
+TEST(Invariance, ChainReorderingPermutesOutputs) {
+  auto model = make_model();
+  const auto sys = small_system();
+  const auto base = predict(model, sys, small_placement());
+
+  auto swapped_sys = sys;
+  std::swap(swapped_sys.chains[0], swapped_sys.chains[1]);
+  edge::Placement swapped(std::vector<std::vector<int>>{{1, 3}, {0, 1, 2}});
+  const auto permuted = predict(model, swapped_sys, swapped);
+
+  ASSERT_EQ(permuted.size(), 2u);
+  EXPECT_NEAR(permuted[0].throughput, base[1].throughput, 1e-9);
+  EXPECT_NEAR(permuted[1].throughput, base[0].throughput, 1e-9);
+  EXPECT_NEAR(permuted[0].latency, base[1].latency, 1e-9);
+  EXPECT_NEAR(permuted[1].latency, base[0].latency, 1e-9);
+}
+
+TEST(Invariance, UnusedDevicesAreIgnored) {
+  auto model = make_model();
+  const auto sys = small_system();
+  const auto base = predict(model, sys, small_placement());
+
+  auto extended = sys;
+  extended.devices.push_back({"idle-1", 30.0, 3.0});
+  extended.devices.push_back({"idle-2", 80.0, 0.1});
+  const auto same = predict(model, extended, small_placement());
+
+  ASSERT_EQ(base.size(), same.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base[i].throughput, same[i].throughput, 1e-12);
+    EXPECT_NEAR(base[i].latency, same[i].latency, 1e-12);
+  }
+}
+
+TEST(Invariance, FragmentOrderWithinChainMatters) {
+  // The execution sequence is directional: reversing a chain's fragments
+  // is a *different* deployment and should generally predict differently.
+  auto model = make_model();
+  auto sys = small_system();
+  // Make the two fragments of chain 1 distinguishable in compute.
+  sys.chains[1].fragments[0].compute_demand = 0.1;
+  sys.chains[1].fragments[1].compute_demand = 1.5;
+  const auto forward = predict(model, sys, small_placement());
+  auto reversed_sys = sys;
+  std::reverse(reversed_sys.chains[1].fragments.begin(),
+               reversed_sys.chains[1].fragments.end());
+  const auto reversed = predict(model, reversed_sys, small_placement());
+  EXPECT_NE(forward[1].latency, reversed[1].latency);
+}
+
+}  // namespace
+}  // namespace chainnet::core

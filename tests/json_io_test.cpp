@@ -1,0 +1,96 @@
+#include "edge/json_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_util.h"
+
+namespace chainnet::edge {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(JsonIo, SystemRoundTrip) {
+  const auto original = small_system();
+  const auto doc = to_json(original);
+  const auto restored = system_from_json(doc);
+  ASSERT_EQ(restored.num_devices(), original.num_devices());
+  ASSERT_EQ(restored.num_chains(), original.num_chains());
+  for (int k = 0; k < original.num_devices(); ++k) {
+    EXPECT_EQ(restored.devices[k].name, original.devices[k].name);
+    EXPECT_DOUBLE_EQ(restored.devices[k].memory_capacity,
+                     original.devices[k].memory_capacity);
+    EXPECT_DOUBLE_EQ(restored.devices[k].service_rate,
+                     original.devices[k].service_rate);
+  }
+  for (int i = 0; i < original.num_chains(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.chains[i].arrival_rate,
+                     original.chains[i].arrival_rate);
+    ASSERT_EQ(restored.chains[i].length(), original.chains[i].length());
+    for (int j = 0; j < original.chains[i].length(); ++j) {
+      EXPECT_DOUBLE_EQ(restored.chains[i].fragments[j].compute_demand,
+                       original.chains[i].fragments[j].compute_demand);
+    }
+  }
+}
+
+TEST(JsonIo, PlacementRoundTrip) {
+  const auto original = small_placement();
+  const auto restored = placement_from_json(to_json(original));
+  EXPECT_EQ(restored.assignment(), original.assignment());
+}
+
+TEST(JsonIo, ParsesHandWrittenSystem) {
+  const auto doc = support::Json::parse(R"({
+    "devices": [
+      {"name": "pi", "memory": 512, "rate": 1.5},
+      {"memory": 256}
+    ],
+    "chains": [
+      {"name": "vision", "arrival_rate": 2.0,
+       "fragments": [{"memory": 2, "compute": 0.5}, {"compute": 0.3}]}
+    ]
+  })");
+  const auto sys = system_from_json(doc);
+  EXPECT_EQ(sys.devices[0].name, "pi");
+  EXPECT_DOUBLE_EQ(sys.devices[1].service_rate, 1.0);  // default rate
+  EXPECT_EQ(sys.devices[1].name, "dev1");              // default name
+  EXPECT_DOUBLE_EQ(sys.chains[0].fragments[1].memory_demand, 1.0);
+  EXPECT_DOUBLE_EQ(sys.chains[0].fragments[0].memory_demand, 2.0);
+}
+
+TEST(JsonIo, RejectsInvalidSystems) {
+  // Valid JSON but an invalid system (validate() must fire).
+  const auto doc = support::Json::parse(R"({
+    "devices": [{"name": "d", "memory": -5}],
+    "chains": [{"arrival_rate": 1,
+                "fragments": [{"compute": 1}]}]
+  })");
+  EXPECT_THROW(system_from_json(doc), std::invalid_argument);
+  // Structurally missing fields.
+  EXPECT_THROW(system_from_json(support::Json::parse("{}")),
+               support::JsonError);
+}
+
+TEST(JsonIo, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto sys_path = (fs::temp_directory_path() / "cn_sys.json").string();
+  const auto pl_path = (fs::temp_directory_path() / "cn_pl.json").string();
+  save_json(to_json(small_system()), sys_path);
+  save_json(to_json(small_placement()), pl_path);
+  const auto sys = load_system(sys_path);
+  const auto placement = load_placement(pl_path);
+  EXPECT_NO_THROW(placement.validate(sys));
+  std::remove(sys_path.c_str());
+  std::remove(pl_path.c_str());
+}
+
+TEST(JsonIo, MissingFileThrows) {
+  EXPECT_THROW(load_system("/nonexistent/system.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chainnet::edge

@@ -1,0 +1,187 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace chainnet::support {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, Whitespace) {
+  const auto j = Json::parse("  {\n\t\"a\" : [ 1 , 2 ] }\r\n");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto j = Json::parse(
+      R"({"devices":[{"name":"pi","memory":512}],"ok":true,"n":null})");
+  EXPECT_EQ(j.at("devices").as_array().size(), 1u);
+  EXPECT_EQ(j.at("devices").as_array()[0].at("name").as_string(), "pi");
+  EXPECT_DOUBLE_EQ(j.at("devices").as_array()[0].at("memory").as_number(),
+                   512.0);
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_TRUE(j.at("n").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto j = Json::parse(R"("a\"b\\c\/d\ne\tfA")");
+  EXPECT_EQ(j.as_string(), "a\"b\\c/d\ne\tfA");
+}
+
+TEST(JsonParse, UnicodeEscapeUtf8) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"bad\\q\""), JsonError);
+  EXPECT_THROW(Json::parse("-"), JsonError);
+  EXPECT_THROW(Json::parse("\"ctrl\x01\""), JsonError);
+}
+
+TEST(JsonError, CarriesOffset) {
+  try {
+    Json::parse("[1, x]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(JsonAccess, TypeMismatchThrows) {
+  const auto j = Json::parse("[1]");
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(j.as_number(), JsonError);
+  EXPECT_THROW(Json::parse("{}").at("missing"), JsonError);
+}
+
+TEST(JsonAccess, GetWithFallback) {
+  const auto j = Json::parse(R"({"a": 2, "s": "x"})");
+  EXPECT_DOUBLE_EQ(j.get_number("a", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(j.get_number("b", 7.5), 7.5);
+  EXPECT_EQ(j.get_string("s", "d"), "x");
+  EXPECT_EQ(j.get_string("t", "d"), "d");
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_FALSE(j.has("zz"));
+}
+
+TEST(JsonBuild, OperatorIndexAndPushBack) {
+  Json doc;
+  doc["name"] = Json("chainnet");
+  doc["count"] = Json(3);
+  Json list;
+  list.push_back(Json(1.0));
+  list.push_back(Json(true));
+  doc["list"] = std::move(list);
+  EXPECT_EQ(doc.at("name").as_string(), "chainnet");
+  EXPECT_EQ(doc.at("list").as_array().size(), 2u);
+}
+
+TEST(JsonDump, RoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":"q\"r"})";
+  const auto j = Json::parse(text);
+  const auto again = Json::parse(j.dump());
+  EXPECT_EQ(j, again);
+}
+
+TEST(JsonDump, PrettyPrintContainsNewlines) {
+  const auto j = Json::parse(R"({"a": [1, 2]})");
+  const auto pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  const auto half = Json(0.5).dump();
+  EXPECT_NE(half.find('.'), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Json("a\nb").dump(), "\"a\\nb\"");
+  EXPECT_EQ(Json(std::string(1, '\x02')).dump(), "\"\\u0002\"");
+}
+
+// Randomized roundtrip: build arbitrary trees, dump (compact and pretty),
+// parse back, compare for equality.
+namespace {
+
+Json random_json(Rng& rng, int depth) {
+  const auto pick = depth >= 3 ? rng.uniform_int(0, 3)   // leaves only
+                               : rng.uniform_int(0, 5);
+  switch (pick) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.bernoulli(0.5));
+    case 2:
+      return Json(rng.uniform(-1e6, 1e6));
+    case 3: {
+      std::string s;
+      const auto len = rng.uniform_int(0, 12);
+      for (int i = 0; i < len; ++i) {
+        // Mix printable ASCII with characters that need escaping.
+        const char* pool = "abcXYZ 09_\"\\\n\t/";
+        s += pool[rng.uniform_int(0, 15)];
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array arr;
+      const auto len = rng.uniform_int(0, 4);
+      for (int i = 0; i < len; ++i) arr.push_back(random_json(rng, depth + 1));
+      return Json(std::move(arr));
+    }
+    default: {
+      Json::Object obj;
+      const auto len = rng.uniform_int(0, 4);
+      for (int i = 0; i < len; ++i) {
+        obj.emplace("k" + std::to_string(i), random_json(rng, depth + 1));
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+}  // namespace
+
+class JsonFuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzzRoundTrip, DumpParseIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u);
+  for (int n = 0; n < 50; ++n) {
+    const Json original = random_json(rng, 0);
+    EXPECT_EQ(Json::parse(original.dump()), original);
+    EXPECT_EQ(Json::parse(original.dump(2)), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzRoundTrip, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace chainnet::support

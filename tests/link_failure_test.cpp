@@ -1,0 +1,108 @@
+// Tests for the link-failure extension (paper §X future work): jobs may be
+// dropped on the transmission into a step, independently of buffer state.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Exponential;
+
+QnModel failing_tandem(double lambda, double fail0, double fail1) {
+  QnModel qn;
+  qn.stations.push_back({"s0", 1e6});
+  qn.stations.push_back({"s1", 1e6});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.2), 1.0, 0.0,
+                           fail0);
+  chain.steps.emplace_back(1, std::make_unique<Exponential>(0.2), 1.0, 0.0,
+                           fail1);
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(LinkFailure, ValidateRejectsOutOfRange) {
+  auto qn = failing_tandem(1.0, 0.3, 0.0);
+  EXPECT_NO_THROW(qn.validate());
+  qn.chains[0].steps[1].link_failure_probability = 1.0;
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+  qn.chains[0].steps[1].link_failure_probability = -0.5;
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+}
+
+TEST(LinkFailure, FirstHopFailuresThinExternalArrivals) {
+  const double q = 0.25;
+  const auto qn = failing_tandem(1.0, q, 0.0);
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 3;
+  const auto r = simulate(qn, cfg);
+  // Throughput = lambda * (1 - q); dropped jobs count as losses.
+  EXPECT_NEAR(r.chains[0].throughput, 1.0 - q, 0.02);
+  EXPECT_NEAR(r.chains[0].loss_probability, q, 0.02);
+  EXPECT_NEAR(static_cast<double>(r.stations[0].admitted) /
+                  static_cast<double>(r.chains[0].arrivals),
+              1.0 - q, 0.02);
+}
+
+TEST(LinkFailure, MidChainFailuresCompound) {
+  const auto qn = failing_tandem(1.0, 0.2, 0.3);
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 5;
+  const auto r = simulate(qn, cfg);
+  // Survival through both links: (1 - 0.2) * (1 - 0.3) = 0.56.
+  EXPECT_NEAR(r.chains[0].throughput, 0.56, 0.02);
+  EXPECT_NEAR(r.chains[0].loss_probability, 0.44, 0.02);
+}
+
+TEST(LinkFailure, CombinesWithBufferLoss) {
+  // Tight buffer downstream: total loss must exceed pure link loss.
+  QnModel qn;
+  qn.stations.push_back({"s0", 1e6});
+  qn.stations.push_back({"tight", 2.0});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(0.5);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.1), 1.0, 0.0,
+                           0.1);
+  chain.steps.emplace_back(1, std::make_unique<Exponential>(0.6), 1.0);
+  qn.chains.push_back(std::move(chain));
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 7;
+  const auto r = simulate(qn, cfg);
+  EXPECT_GT(r.chains[0].loss_probability, 0.1);
+  EXPECT_GT(r.stations[1].rejected, 0u);
+}
+
+TEST(LinkFailure, CombinesWithEarlyExit) {
+  // A job that exits early never traverses the failing second link.
+  QnModel qn;
+  qn.stations.push_back({"s0", 1e6});
+  qn.stations.push_back({"s1", 1e6});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.1), 1.0,
+                           /*exit=*/0.5, /*fail=*/0.0);
+  chain.steps.emplace_back(1, std::make_unique<Exponential>(0.1), 1.0,
+                           /*exit=*/0.0, /*fail=*/0.4);
+  qn.chains.push_back(std::move(chain));
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 9;
+  const auto r = simulate(qn, cfg);
+  // Completion probability = 0.5 (early exit) + 0.5 * 0.6 (survive link).
+  EXPECT_NEAR(r.chains[0].throughput, 0.8, 0.02);
+  EXPECT_NEAR(r.chains[0].loss_probability, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

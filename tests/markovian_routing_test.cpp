@@ -1,0 +1,138 @@
+// Tests for the Markovian-routing extension (paper §X future work): jobs
+// route probabilistically between steps, including branches and rework
+// cycles; expected visit counts follow (I - P)^-1 applied to the entry
+// distribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Exponential;
+
+QnModel base_model(int steps, double lambda = 1.0) {
+  QnModel qn;
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  for (int s = 0; s < steps; ++s) {
+    qn.stations.push_back({"s" + std::to_string(s), 1e6});
+    chain.steps.emplace_back(s, std::make_unique<Exponential>(0.05), 1.0);
+  }
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(MarkovianRouting, ValidateChecksMatrixShapeAndStochasticity) {
+  auto qn = base_model(2);
+  qn.chains[0].routing = {{0.0, 0.5, 0.5}};  // wrong row count
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+  qn.chains[0].routing = {{0.0, 0.5}, {0.0, 1.0}};  // wrong column count
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+  qn.chains[0].routing = {{0.0, 0.5, 0.4}, {0.0, 0.0, 1.0}};  // sums != 1
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+  qn.chains[0].routing = {{0.0, 0.5, 0.5}, {0.0, 0.0, 1.0}};
+  EXPECT_NO_THROW(qn.validate());
+}
+
+TEST(MarkovianRouting, DeterministicMatrixMatchesChainRouting) {
+  // Routing j -> j+1 with probability 1 reproduces the default chain.
+  auto chain_qn = base_model(2);
+  auto matrix_qn = base_model(2);
+  matrix_qn.chains[0].routing = {{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 3;
+  const auto a = simulate(chain_qn, cfg);
+  const auto b = simulate(matrix_qn, cfg);
+  EXPECT_NEAR(a.chains[0].throughput, b.chains[0].throughput, 0.02);
+  EXPECT_NEAR(a.chains[0].mean_latency, b.chains[0].mean_latency, 0.05);
+}
+
+TEST(MarkovianRouting, BranchSplitsVisits) {
+  // Step 0 branches to step 1 or step 2 with probability 1/2 each; both
+  // then complete. Visit ratio at stations 1 and 2 should be ~1:1, and
+  // each sees half the flow of station 0.
+  auto qn = base_model(3);
+  qn.chains[0].routing = {
+      {0.0, 0.5, 0.5, 0.0},
+      {0.0, 0.0, 0.0, 1.0},
+      {0.0, 0.0, 0.0, 1.0},
+  };
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 5;
+  const auto r = simulate(qn, cfg);
+  const double s0 = static_cast<double>(r.stations[0].admitted);
+  EXPECT_NEAR(static_cast<double>(r.stations[1].admitted) / s0, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(r.stations[2].admitted) / s0, 0.5, 0.02);
+  EXPECT_NEAR(r.chains[0].throughput, 1.0, 0.03);
+}
+
+TEST(MarkovianRouting, ReworkLoopVisitsFollowGeometricMean) {
+  // Step 0 reworks itself with probability q: expected visits per job are
+  // 1 / (1 - q) (geometric), visible in the station's admission count.
+  const double q = 0.4;
+  auto qn = base_model(1);
+  qn.chains[0].routing = {{q, 1.0 - q}};
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 7;
+  const auto r = simulate(qn, cfg);
+  const double visits_per_job =
+      static_cast<double>(r.stations[0].admitted) /
+      static_cast<double>(r.chains[0].arrivals);
+  EXPECT_NEAR(visits_per_job, 1.0 / (1.0 - q), 0.05);
+  // All jobs eventually complete (no loss with huge buffers).
+  EXPECT_NEAR(r.chains[0].throughput, 1.0, 0.03);
+}
+
+TEST(MarkovianRouting, TwoStepCycleMatchesLinearSystem) {
+  // 0 -> 1 always; 1 -> 0 with probability 0.25, else complete. Expected
+  // visits: v0 = 1 + 0.25 v1, v1 = v0 => v0 = v1 = 1/(1 - 0.25) = 4/3.
+  auto qn = base_model(2);
+  qn.chains[0].routing = {
+      {0.0, 1.0, 0.0},
+      {0.25, 0.0, 0.75},
+  };
+  SimConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 9;
+  const auto r = simulate(qn, cfg);
+  const double arrivals = static_cast<double>(r.chains[0].arrivals);
+  EXPECT_NEAR(static_cast<double>(r.stations[0].admitted) / arrivals,
+              4.0 / 3.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(r.stations[1].admitted) / arrivals,
+              4.0 / 3.0, 0.05);
+}
+
+TEST(MarkovianRouting, LossStillAppliesOnRoutedHops) {
+  // Branch into a zero-capacity-ish station: those jobs are lost.
+  QnModel qn;
+  qn.stations.push_back({"entry", 1e6});
+  qn.stations.push_back({"tiny", 1.0});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.05), 1.0);
+  chain.steps.emplace_back(1, std::make_unique<Exponential>(5.0), 1.0);
+  chain.routing = {
+      {0.0, 0.5, 0.5},
+      {0.0, 0.0, 1.0},
+  };
+  qn.chains.push_back(std::move(chain));
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 11;
+  const auto r = simulate(qn, cfg);
+  // Half the jobs attempt the slow tiny station; most of those are lost.
+  EXPECT_GT(r.chains[0].loss_probability, 0.3);
+  EXPECT_LT(r.chains[0].loss_probability, 0.55);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

@@ -1,0 +1,153 @@
+#include "gnn/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace chainnet::gnn {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(Ape, Basics) {
+  EXPECT_NEAR(ape(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(ape(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(ape(2.0, -1.0), 3.0, 1e-12);
+  // Guarded near-zero ground truth.
+  EXPECT_LT(ape(0.0, 0.0), 1e-6);
+}
+
+TEST(Summarize, PercentilesAndMape) {
+  std::vector<double> apes;
+  for (int i = 1; i <= 100; ++i) apes.push_back(static_cast<double>(i));
+  const auto s = summarize(apes);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mape, 50.5, 1e-9);
+  EXPECT_NEAR(s.p75, 75.25, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Summarize, Empty) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mape, 0.0);
+}
+
+TEST(TargetTransforms, ThroughputRoundTrip) {
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   edge::FeatureMode::kModified);
+  const double x = 0.6;  // chain 0, lambda = 0.8
+  const double t = encode_throughput(g, 0, x, true);
+  EXPECT_NEAR(t, 0.75, 1e-12);
+  EXPECT_NEAR(decode_throughput(g, 0, t, true), x, 1e-12);
+  // Raw mode is identity.
+  EXPECT_DOUBLE_EQ(encode_throughput(g, 0, x, false), x);
+}
+
+TEST(TargetTransforms, ThroughputClampsAboveLambda) {
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   edge::FeatureMode::kModified);
+  EXPECT_DOUBLE_EQ(encode_throughput(g, 0, 5.0, true), 1.0);
+}
+
+TEST(TargetTransforms, LatencyRoundTrip) {
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   edge::FeatureMode::kModified);
+  // Chain 0 total processing = 1.35; latency 2.7 -> ratio 0.5.
+  const double t = encode_latency(g, 0, 2.7, true);
+  EXPECT_NEAR(t, 0.5, 1e-12);
+  EXPECT_NEAR(decode_latency(g, 0, t, true), 2.7, 1e-12);
+}
+
+TEST(TargetTransforms, LatencyDecodingGuardsZeroRatio) {
+  const auto g = edge::build_graph(small_system(), small_placement(),
+                                   edge::FeatureMode::kModified);
+  EXPECT_TRUE(std::isfinite(decode_latency(g, 0, 0.0, true)));
+}
+
+/// A fake model that predicts fixed target-space values, used to check the
+/// evaluation plumbing without training.
+class ConstantModel final : public GraphModel {
+ public:
+  ConstantModel(double tput_ratio, double lat_ratio)
+      : tput_(tput_ratio), lat_(lat_ratio) {}
+  std::vector<ChainOutput> forward(const edge::PlacementGraph& g) override {
+    std::vector<ChainOutput> out(static_cast<std::size_t>(g.num_chains));
+    for (auto& o : out) {
+      o.throughput = tensor::Var::scalar(tput_);
+      o.latency = tensor::Var::scalar(lat_);
+    }
+    return out;
+  }
+  edge::FeatureMode feature_mode() const override {
+    return edge::FeatureMode::kModified;
+  }
+  bool ratio_outputs() const override { return true; }
+  std::string name() const override { return "Constant"; }
+
+ private:
+  double tput_, lat_;
+};
+
+Dataset tiny_dataset() {
+  LabelingConfig cfg;
+  cfg.arrivals_per_chain = 300.0;
+  Dataset ds;
+  ds.samples.push_back(label_sample(small_system(), small_placement(), cfg));
+  return ds;
+}
+
+TEST(Evaluate, PerfectRatioPredictionsHaveTinyApe) {
+  auto ds = tiny_dataset();
+  const auto& s = ds.samples[0];
+  // Feed back the exact encoded ground truth of chain 0 as the constant.
+  const auto& g = s.graph_modified;
+  ConstantModel model(encode_throughput(g, 0, s.throughput[0], true),
+                      encode_latency(g, 0, s.latency[0], true));
+  const auto errors = evaluate(model, ds);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_TRUE(errors[0].has_throughput);
+  EXPECT_NEAR(errors[0].ape_throughput, 0.0, 1e-9);
+  EXPECT_NEAR(errors[0].ape_latency, 0.0, 1e-9);
+  // Chain 1 has different ground truth, so nonzero error there.
+  EXPECT_GT(errors[1].ape_throughput, 0.0);
+  EXPECT_EQ(errors[0].num_nodes, 11);
+  EXPECT_EQ(errors[0].num_chains, 2);
+}
+
+TEST(Evaluate, ApeVectorsFilterFlags) {
+  auto ds = tiny_dataset();
+  ds.samples[0].has_latency[1] = 0;  // drop one latency label
+  ConstantModel model(0.5, 0.5);
+  const auto errors = evaluate(model, ds);
+  EXPECT_EQ(throughput_apes(errors).size(), 2u);
+  EXPECT_EQ(latency_apes(errors).size(), 1u);
+}
+
+TEST(GroupBy, BucketsSplitRange) {
+  std::vector<ChainError> errors;
+  for (int n = 10; n <= 50; n += 10) {
+    ChainError e;
+    e.num_nodes = n;
+    e.num_chains = n / 10;
+    e.has_throughput = true;
+    e.ape_throughput = static_cast<double>(n) / 100.0;
+    errors.push_back(e);
+  }
+  const auto groups = group_by(errors, GroupKey::kNumNodes, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  // Equal-width buckets over [10, 50]: [10, 30) and [30, 50].
+  EXPECT_EQ(groups[0].throughput.count, 2u);  // 10, 20
+  EXPECT_EQ(groups[1].throughput.count, 3u);  // 30, 40, 50
+  EXPECT_DOUBLE_EQ(groups[0].key_lo, 10.0);
+  EXPECT_DOUBLE_EQ(groups[1].key_hi, 50.0);
+}
+
+TEST(GroupBy, EmptyInput) {
+  EXPECT_TRUE(group_by({}, GroupKey::kNumChains, 3).empty());
+}
+
+}  // namespace
+}  // namespace chainnet::gnn

@@ -1,0 +1,116 @@
+// Validation of the multi-server station extension against M/M/c (Erlang-C)
+// and M/M/c/c (Erlang-B) closed forms, plus analytical unit tests of the
+// new formulas themselves.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "queueing/analytical.h"
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Exponential;
+
+QnModel multi_server(double lambda, double mu, int servers,
+                     double capacity) {
+  QnModel qn;
+  qn.stations.push_back({"s0", capacity, servers});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(1.0 / mu), 1.0);
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(ErlangC, KnownValuesAndBounds) {
+  // C(1, a) for a < 1 equals a (waiting prob of M/M/1 = rho).
+  EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+  // Erlang-C exceeds Erlang-B for the same (c, a).
+  EXPECT_GT(erlang_c(4, 3.0), erlang_b(4, 3.0));
+  EXPECT_THROW(erlang_c(2, 2.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
+}
+
+TEST(Mmc, ReducesToMm1) {
+  const auto multi = mmc(0.7, 1.0, 1);
+  const auto single = mm1(0.7, 1.0);
+  EXPECT_NEAR(multi.mean_jobs, single.mean_jobs, 1e-12);
+  EXPECT_NEAR(multi.mean_response, single.mean_response, 1e-12);
+  EXPECT_NEAR(multi.utilization, single.utilization, 1e-12);
+}
+
+TEST(Mmc, PoolingBeatsSplitting) {
+  // One pooled M/M/2 outperforms two separate M/M/1 at the same total load.
+  const auto pooled = mmc(1.4, 1.0, 2);
+  const auto split = mm1(0.7, 1.0);
+  EXPECT_LT(pooled.mean_response, split.mean_response);
+}
+
+TEST(Mmc, RejectsUnstable) {
+  EXPECT_THROW(mmc(2.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(mmc(-1.0, 1.0, 2), std::invalid_argument);
+}
+
+TEST(StationSpec, ValidatesServerCount) {
+  auto qn = multi_server(1.0, 1.0, 0, 10.0);
+  EXPECT_THROW(qn.validate(), std::invalid_argument);
+}
+
+class MmcSimTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(MmcSimTest, MatchesErlangC) {
+  const auto [lambda, mu, servers] = GetParam();
+  // Huge memory => effectively infinite buffer.
+  const auto qn = multi_server(lambda, mu, servers, 1e9);
+  SimConfig cfg;
+  cfg.horizon = 300000.0 / lambda;
+  cfg.seed = 77;
+  const auto sim = simulate(qn, cfg);
+  const auto exact = mmc(lambda, mu, servers);
+  EXPECT_NEAR(sim.stations[0].mean_jobs, exact.mean_jobs,
+              0.05 * exact.mean_jobs);
+  EXPECT_NEAR(sim.stations[0].utilization, exact.utilization,
+              0.02 * exact.utilization);
+  EXPECT_NEAR(sim.chains[0].mean_latency, exact.mean_response,
+              0.05 * exact.mean_response);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaMuServersGrid, MmcSimTest,
+    ::testing::Values(std::make_tuple(1.4, 1.0, 2),
+                      std::make_tuple(2.5, 1.0, 3),
+                      std::make_tuple(0.9, 0.5, 4),
+                      std::make_tuple(6.0, 1.0, 8)));
+
+TEST(MmcSim, LossSystemMatchesErlangB) {
+  // capacity == servers (unit memory): an M/M/c/c loss system.
+  const double lambda = 4.0, mu = 1.0;
+  const int c = 3;
+  const auto qn = multi_server(lambda, mu, c, static_cast<double>(c));
+  SimConfig cfg;
+  cfg.horizon = 200000.0 / lambda;
+  cfg.seed = 11;
+  const auto sim = simulate(qn, cfg);
+  const double expected = erlang_b(c, lambda / mu);
+  EXPECT_NEAR(sim.chains[0].loss_probability, expected, 0.03 * expected);
+  // No waiting room is ever used.
+  EXPECT_LE(sim.stations[0].mean_jobs, static_cast<double>(c));
+}
+
+TEST(MmcSim, MoreServersReduceLatency) {
+  SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.seed = 13;
+  const auto one = simulate(multi_server(0.9, 1.0, 1, 1e9), cfg);
+  const auto two = simulate(multi_server(0.9, 1.0, 2, 1e9), cfg);
+  EXPECT_LT(two.chains[0].mean_latency, one.chains[0].mean_latency);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

@@ -1,0 +1,100 @@
+#include "tensor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chainnet::tensor {
+namespace {
+
+using chainnet::support::Rng;
+
+/// A module exposing one free parameter vector for optimizer tests.
+class FreeParams : public Module {
+ public:
+  explicit FreeParams(std::vector<double> init) {
+    var_ = register_zeros("theta", Shape{init.size(), 1});
+    std::copy(init.begin(), init.end(), var_.mutable_value().begin());
+  }
+  Var var() { return var_; }
+
+ private:
+  Var var_;
+};
+
+TEST(LrSchedule, StepDecay) {
+  LrSchedule sched(0.001, 0.9, 10);
+  EXPECT_DOUBLE_EQ(sched.lr_at(0), 0.001);
+  EXPECT_DOUBLE_EQ(sched.lr_at(9), 0.001);
+  EXPECT_NEAR(sched.lr_at(10), 0.0009, 1e-12);
+  EXPECT_NEAR(sched.lr_at(25), 0.001 * 0.81, 1e-12);
+}
+
+TEST(LrSchedule, RejectsInvalid) {
+  EXPECT_THROW(LrSchedule(0.0, 0.9, 10), std::invalid_argument);
+  EXPECT_THROW(LrSchedule(0.1, -1.0, 10), std::invalid_argument);
+  EXPECT_THROW(LrSchedule(0.1, 0.9, 0), std::invalid_argument);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  FreeParams m({5.0, -3.0});
+  Sgd sgd(m.parameters(), 0.1);
+  for (int i = 0; i < 200; ++i) {
+    m.zero_grad();
+    auto loss = mean(mul(m.var(), m.var()));
+    loss.backward();
+    sgd.step();
+  }
+  EXPECT_NEAR(m.var().value()[0], 0.0, 1e-6);
+  EXPECT_NEAR(m.var().value()[1], 0.0, 1e-6);
+}
+
+TEST(Sgd, SingleStepIsGradientTimesLr) {
+  FreeParams m({2.0});
+  Sgd sgd(m.parameters(), 0.5);
+  m.zero_grad();
+  auto loss = mean(mul(m.var(), m.var()));  // d/dx x^2 = 2x = 4
+  loss.backward();
+  sgd.step();
+  EXPECT_NEAR(m.var().value()[0], 2.0 - 0.5 * 4.0, 1e-12);
+}
+
+TEST(Adam, ConvergesOnShiftedQuadratic) {
+  FreeParams m({0.0, 0.0});
+  Adam adam(m.parameters(), 0.05);
+  const std::vector<double> target = {3.0, -1.5};
+  for (int i = 0; i < 2000; ++i) {
+    m.zero_grad();
+    auto t = Var::vector(target);
+    auto loss = mse(m.var(), t);
+    loss.backward();
+    adam.step();
+  }
+  EXPECT_NEAR(m.var().value()[0], 3.0, 1e-3);
+  EXPECT_NEAR(m.var().value()[1], -1.5, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless
+  // of gradient scale.
+  FreeParams m({100.0});
+  Adam adam(m.parameters(), 0.01);
+  m.zero_grad();
+  auto loss = mean(mul(m.var(), m.var()));
+  loss.backward();
+  adam.step();
+  EXPECT_NEAR(m.var().value()[0], 100.0 - 0.01, 1e-6);
+}
+
+TEST(Adam, SetLrTakesEffect) {
+  FreeParams m({1.0});
+  Adam adam(m.parameters(), 1e-9);
+  m.zero_grad();
+  mean(mul(m.var(), m.var())).backward();
+  adam.set_lr(0.5);
+  adam.step();
+  EXPECT_NEAR(m.var().value()[0], 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace chainnet::tensor

@@ -1,0 +1,211 @@
+#include "edge/problem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace chainnet::edge {
+namespace {
+
+using support::Rng;
+
+TEST(Type1Params, MatchTableIII) {
+  const auto p = NetworkGenParams::type1();
+  EXPECT_EQ(p.max_devices, 10);
+  EXPECT_EQ(p.max_chains, 3);
+  EXPECT_EQ(p.max_fragments, 6);
+  EXPECT_DOUBLE_EQ(p.memory_capacity, 50.0);
+}
+
+TEST(Type2Params, MatchTableIII) {
+  const auto p = NetworkGenParams::type2();
+  EXPECT_EQ(p.max_devices, 80);
+  EXPECT_EQ(p.max_chains, 12);
+  EXPECT_EQ(p.max_fragments, 12);
+  EXPECT_DOUBLE_EQ(p.memory_capacity, 100.0);
+}
+
+TEST(GenerateSample, RespectsTypeIBounds) {
+  const auto params = NetworkGenParams::type1();
+  Rng rng(5);
+  for (int n = 0; n < 200; ++n) {
+    const auto s = generate_network_sample(params, rng);
+    EXPECT_NO_THROW(s.system.validate());
+    EXPECT_NO_THROW(s.placement.validate(s.system));
+    EXPECT_LE(s.system.num_chains(), 3);
+    EXPECT_GE(s.system.num_chains(), 1);
+    EXPECT_LE(s.system.num_devices(), 10);
+    for (const auto& chain : s.system.chains) {
+      EXPECT_GE(chain.length(), 2);
+      EXPECT_LE(chain.length(), 6);
+      // Interarrival mean within U(0.1, 10).
+      const double mean_ia = 1.0 / chain.arrival_rate;
+      EXPECT_GE(mean_ia, 0.1);
+      EXPECT_LE(mean_ia, 10.0);
+      for (const auto& f : chain.fragments) {
+        EXPECT_DOUBLE_EQ(f.memory_demand, 1.0);  // fixed memory unit
+        EXPECT_GT(f.compute_demand, 0.0);
+        EXPECT_LE(f.compute_demand, 2.0);
+      }
+    }
+    for (const auto& d : s.system.devices) {
+      EXPECT_DOUBLE_EQ(d.memory_capacity, 50.0);
+      EXPECT_DOUBLE_EQ(d.service_rate, 1.0);
+    }
+  }
+}
+
+TEST(GenerateSample, TypeIIBoundsAndFloors) {
+  const auto params = NetworkGenParams::type2();
+  Rng rng(7);
+  for (int n = 0; n < 100; ++n) {
+    const auto s = generate_network_sample(params, rng);
+    EXPECT_LE(s.system.num_chains(), 12);
+    EXPECT_LE(s.system.num_devices(), 80);
+    for (const auto& chain : s.system.chains) {
+      EXPECT_GE(1.0 / chain.arrival_rate, 1.0);  // table footnote floor
+      for (const auto& f : chain.fragments) {
+        EXPECT_GE(f.compute_demand, 0.05);
+      }
+    }
+  }
+}
+
+TEST(GenerateSample, FragmentsLandOnDistinctDevices) {
+  const auto params = NetworkGenParams::type1();
+  Rng rng(11);
+  for (int n = 0; n < 100; ++n) {
+    const auto s = generate_network_sample(params, rng);
+    EXPECT_TRUE(s.placement.distinct_devices_within_chains());
+  }
+}
+
+TEST(GenerateSample, DeterministicGivenSeed) {
+  const auto params = NetworkGenParams::type1();
+  Rng a(99), b(99);
+  const auto s1 = generate_network_sample(params, a);
+  const auto s2 = generate_network_sample(params, b);
+  EXPECT_EQ(s1.placement.assignment(), s2.placement.assignment());
+  EXPECT_DOUBLE_EQ(s1.system.chains[0].arrival_rate,
+                   s2.system.chains[0].arrival_rate);
+}
+
+TEST(GenerateSample, VariesAcrossDraws) {
+  const auto params = NetworkGenParams::type1();
+  Rng rng(13);
+  std::set<int> chain_counts;
+  for (int n = 0; n < 50; ++n) {
+    chain_counts.insert(generate_network_sample(params, rng).system.num_chains());
+  }
+  EXPECT_GT(chain_counts.size(), 1u);
+}
+
+TEST(GenerateSample, MissingDistributionsThrow) {
+  NetworkGenParams p = NetworkGenParams::type1();
+  p.interarrival_mean = nullptr;
+  Rng rng(1);
+  EXPECT_THROW(generate_network_sample(p, rng), std::invalid_argument);
+}
+
+TEST(PlacementProblem, MatchesTableVII) {
+  const auto params = PlacementProblemParams::paper(40);
+  Rng rng(17);
+  const auto sys = generate_placement_problem(params, rng);
+  EXPECT_EQ(sys.num_devices(), 40);
+  EXPECT_EQ(sys.num_chains(), 12);
+  for (const auto& d : sys.devices) {
+    EXPECT_GE(d.service_rate, 0.5);
+    EXPECT_LE(d.service_rate, 1.0);
+    EXPECT_DOUBLE_EQ(d.memory_capacity, 100.0);
+  }
+  for (const auto& chain : sys.chains) {
+    EXPECT_LE(chain.length(), 12);
+    EXPECT_GE(1.0 / chain.arrival_rate, 0.01);
+    for (const auto& f : chain.fragments) {
+      EXPECT_GE(f.compute_demand, 0.01);
+      EXPECT_LE(f.compute_demand, 0.1);
+    }
+  }
+}
+
+TEST(PlacementProblem, RejectsTooFewDevices) {
+  const auto params = PlacementProblemParams::paper(10);  // max frags = 12
+  Rng rng(1);
+  EXPECT_THROW(generate_placement_problem(params, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomPlacement, ValidAndVaried) {
+  const auto params = PlacementProblemParams::paper(20);
+  Rng rng(33);
+  const auto sys = generate_placement_problem(params, rng);
+  std::set<std::vector<std::vector<int>>> seen;
+  for (int n = 0; n < 20; ++n) {
+    const auto p = random_placement(sys, rng);
+    EXPECT_NO_THROW(p.validate(sys));
+    EXPECT_TRUE(p.distinct_devices_within_chains());
+    seen.insert(p.assignment());
+  }
+  EXPECT_GT(seen.size(), 15u);  // placements actually vary
+}
+
+TEST(RandomPlacement, ThrowsWhenChainTooLong) {
+  EdgeSystem sys;
+  sys.devices = {{"d0", 10.0, 1.0}};
+  ServiceChainSpec chain;
+  chain.name = "long";
+  chain.arrival_rate = 1.0;
+  chain.fragments = {{1.0, 1.0}, {1.0, 1.0}};
+  sys.chains = {chain};
+  Rng rng(1);
+  EXPECT_THROW(random_placement(sys, rng), std::invalid_argument);
+}
+
+TEST(CaseStudy, MatchesSectionVIIID) {
+  const auto sys = case_study_system();
+  EXPECT_NO_THROW(sys.validate());
+  EXPECT_EQ(sys.num_devices(), 5);
+  EXPECT_EQ(sys.num_chains(), 8);
+  EXPECT_EQ(sys.total_fragments(), 28);
+  // 4 chains of 4 fragments and 4 chains of 3.
+  int fours = 0, threes = 0;
+  for (const auto& chain : sys.chains) {
+    if (chain.length() == 4) ++fours;
+    if (chain.length() == 3) ++threes;
+    // Interarrival means are 0.7 s (4-fragment) / 0.6 s (3-fragment).
+    const double mean_ia = 1.0 / chain.arrival_rate;
+    EXPECT_NEAR(mean_ia, chain.length() == 4 ? 0.7 : 0.6, 1e-9);
+    for (const auto& f : chain.fragments) {
+      EXPECT_GE(f.memory_demand, 4.0);       // >= 4 KB
+      EXPECT_LE(f.memory_demand, 51879.0);   // <= 51879 KB
+    }
+  }
+  EXPECT_EQ(fours, 4);
+  EXPECT_EQ(threes, 4);
+  // Device fleet memory sizes in KB.
+  std::multiset<double> capacities;
+  for (const auto& d : sys.devices) capacities.insert(d.memory_capacity);
+  EXPECT_EQ(capacities.count(128.0 * 1024.0), 2u);
+  EXPECT_EQ(capacities.count(256.0 * 1024.0), 2u);
+  EXPECT_EQ(capacities.count(512.0 * 1024.0), 1u);
+}
+
+TEST(CaseStudy, IsHeavilyLoaded) {
+  // The offered computational load should exceed what the two slow Pis can
+  // absorb, making placement decisions matter (the paper's premise).
+  const auto sys = case_study_system();
+  double offered = 0.0;  // GFLOP/s demanded
+  for (const auto& chain : sys.chains) {
+    double work = 0.0;
+    for (const auto& f : chain.fragments) work += f.compute_demand;
+    offered += chain.arrival_rate * work;
+  }
+  double capacity = 0.0;
+  for (const auto& d : sys.devices) capacity += d.service_rate;
+  EXPECT_GT(offered, 0.5 * capacity);
+  EXPECT_LT(offered, capacity);  // a good placement can be mostly lossless
+}
+
+}  // namespace
+}  // namespace chainnet::edge

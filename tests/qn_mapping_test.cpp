@@ -1,0 +1,85 @@
+#include "edge/qn_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/simulator.h"
+#include "test_util.h"
+
+namespace chainnet::edge {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+TEST(QnMapping, StationsAreUsedDevices) {
+  const auto qn = build_qn(small_system(), small_placement());
+  ASSERT_EQ(qn.stations.size(), 4u);
+  EXPECT_EQ(qn.stations[0].name, "d0");
+  EXPECT_DOUBLE_EQ(qn.stations[2].memory_capacity, 40.0);
+}
+
+TEST(QnMapping, SkipsUnusedDevices) {
+  Placement p(std::vector<std::vector<int>>{{0, 1, 2}, {1, 0}});
+  const auto qn = build_qn(small_system(), p);
+  EXPECT_EQ(qn.stations.size(), 3u);  // device 3 unused
+}
+
+TEST(QnMapping, ChainRoutesFollowPlacement) {
+  const auto qn = build_qn(small_system(), small_placement());
+  ASSERT_EQ(qn.chains.size(), 2u);
+  ASSERT_EQ(qn.chains[0].steps.size(), 3u);
+  EXPECT_EQ(qn.chains[0].steps[0].station, 0);
+  EXPECT_EQ(qn.chains[0].steps[1].station, 1);
+  EXPECT_EQ(qn.chains[0].steps[2].station, 2);
+  EXPECT_EQ(qn.chains[1].steps[0].station, 1);  // shared device
+  EXPECT_EQ(qn.chains[1].steps[1].station, 3);
+}
+
+TEST(QnMapping, ServiceMeansAreProcessingTimes) {
+  const auto qn = build_qn(small_system(), small_placement());
+  // Fragment (0,2): r = 0.3 on device 2 with R = 2 -> 0.15.
+  EXPECT_NEAR(qn.chains[0].steps[2].service->mean(), 0.15, 1e-12);
+  // Fragment (1,1): r = 0.9 on device 3 with R = 0.5 -> 1.8.
+  EXPECT_NEAR(qn.chains[1].steps[1].service->mean(), 1.8, 1e-12);
+  // Exponential by default (SCV 1).
+  EXPECT_NEAR(qn.chains[0].steps[0].service->scv(), 1.0, 1e-12);
+}
+
+TEST(QnMapping, DeterministicServiceOption) {
+  const auto qn = build_qn(small_system(), small_placement(),
+                           ServiceModel::kDeterministic);
+  EXPECT_NEAR(qn.chains[0].steps[0].service->scv(), 0.0, 1e-12);
+  EXPECT_NEAR(qn.chains[0].steps[0].service->mean(), 0.5, 1e-12);
+}
+
+TEST(QnMapping, ArrivalProcessMatchesChainRate) {
+  const auto qn = build_qn(small_system(), small_placement());
+  EXPECT_NEAR(qn.chains[0].arrival_rate(), 0.8, 1e-12);
+  EXPECT_NEAR(qn.chains[1].arrival_rate(), 0.4, 1e-12);
+}
+
+TEST(QnMapping, MemoryDemandsCarriedThrough) {
+  auto sys = small_system();
+  sys.chains[0].fragments[1].memory_demand = 7.0;
+  const auto qn = build_qn(sys, small_placement());
+  EXPECT_DOUBLE_EQ(qn.chains[0].steps[1].memory_demand, 7.0);
+}
+
+TEST(QnMapping, ResultSimulates) {
+  const auto qn = build_qn(small_system(), small_placement());
+  queueing::SimConfig config;
+  config.horizon = 20000.0;
+  config.seed = 3;
+  const auto sim = queueing::simulate(qn, config);
+  // The small system is lightly loaded relative to capacity 50 buffers.
+  EXPECT_NEAR(sim.chains[0].throughput, 0.8, 0.05);
+  EXPECT_NEAR(sim.chains[1].throughput, 0.4, 0.05);
+}
+
+TEST(QnMapping, RejectsInvalidInputs) {
+  Placement incomplete(small_system());
+  EXPECT_THROW(build_qn(small_system(), incomplete), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainnet::edge

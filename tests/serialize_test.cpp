@@ -1,0 +1,79 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tensor/nn.h"
+
+namespace chainnet::tensor {
+namespace {
+
+using chainnet::support::Rng;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, RoundTripRestoresValues) {
+  const auto path = temp_path("chainnet_params_roundtrip.bin");
+  Rng rng(1);
+  Mlp a({3, 5, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  save_parameters(a, path);
+
+  Rng rng2(999);  // different init
+  Mlp b({3, 5, 2}, Activation::kRelu, Activation::kNone, rng2, "m");
+  load_parameters(b, path);
+
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->var.size(), pb[i]->var.size());
+    for (std::size_t j = 0; j < pa[i]->var.size(); ++j) {
+      EXPECT_DOUBLE_EQ(pa[i]->var.value()[j], pb[i]->var.value()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  const auto path = temp_path("chainnet_params_mismatch.bin");
+  Rng rng(1);
+  Mlp a({3, 5, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  save_parameters(a, path);
+  Mlp b({3, 6, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  EXPECT_THROW(load_parameters(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, NameMismatchThrows) {
+  const auto path = temp_path("chainnet_params_name.bin");
+  Rng rng(1);
+  Mlp a({2, 2}, Activation::kRelu, Activation::kNone, rng, "first");
+  save_parameters(a, path);
+  Mlp b({2, 2}, Activation::kRelu, Activation::kNone, rng, "second");
+  EXPECT_THROW(load_parameters(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(1);
+  Mlp m({2, 2}, Activation::kRelu, Activation::kNone, rng);
+  EXPECT_THROW(load_parameters(m, "/nonexistent/params.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, IsParameterFile) {
+  const auto path = temp_path("chainnet_params_magic.bin");
+  Rng rng(1);
+  Mlp m({2, 2}, Activation::kRelu, Activation::kNone, rng);
+  save_parameters(m, path);
+  EXPECT_TRUE(is_parameter_file(path));
+  EXPECT_FALSE(is_parameter_file("/nonexistent/params.bin"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chainnet::tensor

@@ -1,0 +1,90 @@
+// Property-based validation of the DES engine against the exact M/M/1/K
+// closed forms: a single-chain, single-station network with unit memory
+// demand and capacity K *is* an M/M/1/K queue, so simulated loss
+// probability, throughput, mean occupancy and mean response must match the
+// analytical values across the (lambda, mu, K) grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "queueing/analytical.h"
+#include "queueing/network.h"
+#include "queueing/simulator.h"
+
+namespace chainnet::queueing {
+namespace {
+
+QnModel single_station(double lambda, double mu, int K) {
+  QnModel qn;
+  qn.stations.push_back({"s0", static_cast<double>(K)});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<support::Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(
+      0, std::make_unique<support::Exponential>(1.0 / mu), 1.0);
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+class Mm1kSimTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(Mm1kSimTest, MatchesClosedForm) {
+  const auto [lambda, mu, K] = GetParam();
+  const auto qn = single_station(lambda, mu, K);
+  SimConfig config;
+  config.horizon = 400000.0 / lambda;  // ~400k arrivals
+  config.warmup_fraction = 0.05;
+  config.seed = 1234;
+  const auto sim = simulate(qn, config);
+  const auto exact = mm1k(lambda, mu, K);
+
+  const auto& chain = sim.chains[0];
+  const auto& station = sim.stations[0];
+  EXPECT_NEAR(chain.loss_probability, exact.loss_probability,
+              0.02 * std::max(exact.loss_probability, 0.05));
+  EXPECT_NEAR(chain.throughput, exact.throughput, 0.02 * exact.throughput);
+  EXPECT_NEAR(station.mean_jobs, exact.mean_jobs, 0.04 * exact.mean_jobs);
+  EXPECT_NEAR(station.utilization, exact.utilization,
+              0.02 * exact.utilization);
+  EXPECT_NEAR(chain.mean_latency, exact.mean_response,
+              0.04 * exact.mean_response);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaMuKGrid, Mm1kSimTest,
+    ::testing::Values(
+        std::make_tuple(0.5, 1.0, 5),    // light load
+        std::make_tuple(0.8, 1.0, 5),    // moderate load
+        std::make_tuple(0.95, 1.0, 10),  // near-saturation
+        std::make_tuple(1.0, 1.0, 4),    // balanced rho = 1
+        std::make_tuple(2.0, 1.0, 5),    // overload, heavy loss
+        std::make_tuple(5.0, 1.0, 3),    // extreme overload, tiny buffer
+        std::make_tuple(0.3, 2.0, 2),    // fast server, small buffer
+        std::make_tuple(1.5, 0.5, 8)));  // slow server
+
+TEST(Mm1kSim, LittleLawHoldsOnSimulatedStation) {
+  const auto qn = single_station(0.7, 1.0, 6);
+  SimConfig config;
+  config.horizon = 300000.0;
+  config.seed = 7;
+  const auto sim = simulate(qn, config);
+  // L = lambda_effective * W.
+  const double lhs = sim.stations[0].mean_jobs;
+  const double rhs = sim.chains[0].throughput * sim.chains[0].mean_latency;
+  EXPECT_NEAR(lhs, rhs, 0.02 * lhs);
+}
+
+TEST(Mm1kSim, MemoryOccupancyEqualsJobsForUnitDemand) {
+  const auto qn = single_station(0.9, 1.0, 5);
+  SimConfig config;
+  config.horizon = 100000.0;
+  config.seed = 21;
+  const auto sim = simulate(qn, config);
+  EXPECT_NEAR(sim.stations[0].mean_jobs, sim.stations[0].mean_memory_used,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

@@ -1,0 +1,303 @@
+#include "queueing/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "queueing/analytical.h"
+
+namespace chainnet::queueing {
+namespace {
+
+using support::Deterministic;
+using support::Exponential;
+
+QnModel tandem(double lambda, std::vector<double> service_means,
+               double capacity) {
+  QnModel qn;
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  for (std::size_t k = 0; k < service_means.size(); ++k) {
+    qn.stations.push_back({"s" + std::to_string(k), capacity});
+    chain.steps.emplace_back(static_cast<int>(k),
+                             std::make_unique<Exponential>(service_means[k]),
+                             1.0);
+  }
+  qn.chains.push_back(std::move(chain));
+  return qn;
+}
+
+TEST(Validate, CatchesStructuralErrors) {
+  QnModel qn;
+  EXPECT_THROW(qn.validate(), std::invalid_argument);  // no stations
+  qn.stations.push_back({"s0", 5.0});
+  EXPECT_THROW(qn.validate(), std::invalid_argument);  // no chains
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0);
+  chain.steps.emplace_back(3, std::make_unique<Exponential>(1.0), 1.0);
+  qn.chains.push_back(std::move(chain));
+  EXPECT_THROW(qn.validate(), std::invalid_argument);  // bad station index
+  qn.chains[0].steps[0].station = 0;
+  EXPECT_NO_THROW(qn.validate());
+}
+
+TEST(ChainSpec, RatesAndServiceTotals) {
+  ChainSpec chain;
+  chain.interarrival = std::make_unique<Exponential>(2.0);
+  chain.steps.emplace_back(0, std::make_unique<Deterministic>(0.3), 1.0);
+  chain.steps.emplace_back(1, std::make_unique<Deterministic>(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(chain.arrival_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(chain.total_mean_service(), 0.8);
+}
+
+TEST(ChainSpec, CopyIsDeep) {
+  ChainSpec a;
+  a.interarrival = std::make_unique<Exponential>(2.0);
+  a.steps.emplace_back(0, std::make_unique<Deterministic>(0.3), 1.0);
+  ChainSpec b = a;
+  EXPECT_NE(a.interarrival.get(), b.interarrival.get());
+  EXPECT_NE(a.steps[0].service.get(), b.steps[0].service.get());
+  EXPECT_DOUBLE_EQ(b.steps[0].service->mean(), 0.3);
+}
+
+TEST(Simulate, DeterministicForSameSeed) {
+  const auto qn = tandem(0.8, {0.5, 0.7}, 10.0);
+  SimConfig config;
+  config.horizon = 5000.0;
+  config.seed = 42;
+  const auto a = simulate(qn, config);
+  const auto b = simulate(qn, config);
+  EXPECT_EQ(a.chains[0].completions, b.chains[0].completions);
+  EXPECT_EQ(a.chains[0].losses, b.chains[0].losses);
+  EXPECT_DOUBLE_EQ(a.chains[0].mean_latency, b.chains[0].mean_latency);
+}
+
+TEST(Simulate, DifferentSeedsDiffer) {
+  const auto qn = tandem(0.8, {0.5, 0.7}, 10.0);
+  SimConfig config;
+  config.horizon = 5000.0;
+  config.seed = 1;
+  const auto a = simulate(qn, config);
+  config.seed = 2;
+  const auto b = simulate(qn, config);
+  EXPECT_NE(a.chains[0].completions, b.chains[0].completions);
+}
+
+TEST(Simulate, StableTandemLosesNothing) {
+  // Huge buffers + utilization < 1 => throughput == arrival rate.
+  const auto qn = tandem(0.5, {0.4, 0.6, 0.3}, 100000.0);
+  SimConfig config;
+  config.horizon = 200000.0;
+  config.seed = 3;
+  const auto sim = simulate(qn, config);
+  EXPECT_EQ(sim.chains[0].losses, 0u);
+  EXPECT_NEAR(sim.chains[0].throughput, 0.5, 0.01);
+}
+
+TEST(Simulate, StableTandemLatencyMatchesJacksonSum) {
+  // With unconstrained buffers, each station behaves as an independent
+  // M/M/1 (Jackson), so the end-to-end latency is the sum of per-station
+  // sojourn times 1/(mu_i - lambda).
+  const double lambda = 0.5;
+  const auto qn = tandem(lambda, {0.4, 0.8}, 100000.0);
+  SimConfig config;
+  config.horizon = 400000.0;
+  config.seed = 11;
+  const auto sim = simulate(qn, config);
+  const double expected = 1.0 / (1.0 / 0.4 - lambda) +
+                          1.0 / (1.0 / 0.8 - lambda);
+  EXPECT_NEAR(sim.chains[0].mean_latency, expected, 0.03 * expected);
+}
+
+TEST(Simulate, ThroughputNonIncreasingAlongChain) {
+  // Count completions at the last station <= admissions at the first: in a
+  // lossy tandem, each stage can only lose jobs (paper §V-C2).
+  const auto qn = tandem(2.0, {0.8, 0.9}, 3.0);
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 5;
+  const auto sim = simulate(qn, config);
+  EXPECT_LE(sim.chains[0].throughput,
+            2.0 + 0.1);  // cannot exceed arrival rate
+  EXPECT_GT(sim.chains[0].losses, 0u);
+  EXPECT_LE(sim.stations[1].admitted, sim.stations[0].admitted);
+}
+
+TEST(Simulate, ArrivalAccountingConsistent) {
+  const auto qn = tandem(1.5, {0.9}, 2.0);
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 9;
+  const auto sim = simulate(qn, config);
+  // Every measured arrival is either admitted at station 0 or lost there.
+  EXPECT_EQ(sim.chains[0].arrivals,
+            sim.stations[0].admitted + sim.stations[0].rejected);
+}
+
+TEST(Simulate, MultiChainSharedStationLossIsFelt) {
+  // Two chains share a station; the combined load overflows its buffer.
+  QnModel qn;
+  qn.stations.push_back({"shared", 4.0});
+  for (int i = 0; i < 2; ++i) {
+    ChainSpec chain;
+    chain.name = "c" + std::to_string(i);
+    chain.interarrival = std::make_unique<Exponential>(1.0);
+    chain.steps.emplace_back(0, std::make_unique<Exponential>(0.9), 1.0);
+    qn.chains.push_back(std::move(chain));
+  }
+  SimConfig config;
+  config.horizon = 100000.0;
+  config.seed = 17;
+  const auto sim = simulate(qn, config);
+  // Symmetric chains suffer comparable loss.
+  EXPECT_GT(sim.chains[0].loss_probability, 0.1);
+  EXPECT_NEAR(sim.chains[0].loss_probability, sim.chains[1].loss_probability,
+              0.05);
+  // Combined throughput cannot exceed the station's service rate.
+  EXPECT_LE(sim.total_throughput(), 1.0 / 0.9 + 0.05);
+}
+
+TEST(Simulate, HeavyFragmentBlockedByMemory) {
+  // A job needing 5 units on a 4-unit station is always rejected.
+  QnModel qn;
+  qn.stations.push_back({"tiny", 4.0});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0);
+  chain.steps.emplace_back(0, std::make_unique<Exponential>(0.1), 5.0);
+  qn.chains.push_back(std::move(chain));
+  SimConfig config;
+  config.horizon = 5000.0;
+  config.seed = 23;
+  const auto sim = simulate(qn, config);
+  EXPECT_EQ(sim.chains[0].completions, 0u);
+  EXPECT_NEAR(sim.chains[0].loss_probability, 1.0, 1e-12);
+}
+
+TEST(Simulate, DeterministicServiceD1K) {
+  // M/D/1 with big buffer: mean jobs = rho + rho^2/(2(1-rho))
+  // (Pollaczek-Khinchine with zero service variance).
+  const double lambda = 0.5, d = 1.0;
+  QnModel qn;
+  qn.stations.push_back({"s0", 100000.0});
+  ChainSpec chain;
+  chain.name = "c0";
+  chain.interarrival = std::make_unique<Exponential>(1.0 / lambda);
+  chain.steps.emplace_back(0, std::make_unique<Deterministic>(d), 1.0);
+  qn.chains.push_back(std::move(chain));
+  SimConfig config;
+  config.horizon = 400000.0;
+  config.seed = 29;
+  const auto sim = simulate(qn, config);
+  const double rho = lambda * d;
+  const double expected = rho + rho * rho / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(sim.stations[0].mean_jobs, expected, 0.03 * expected);
+}
+
+TEST(Simulate, WarmupReducesTransientBias) {
+  // A nearly saturated queue started empty underestimates occupancy
+  // without warmup relative to a warmed-up run.
+  const auto qn = tandem(0.95, {1.0}, 50.0);
+  SimConfig cold;
+  cold.horizon = 3000.0;
+  cold.warmup_fraction = 0.0;
+  cold.seed = 31;
+  SimConfig warm = cold;
+  warm.warmup_fraction = 0.5;
+  const double cold_jobs = simulate(qn, cold).stations[0].mean_jobs;
+  const double warm_jobs = simulate(qn, warm).stations[0].mean_jobs;
+  EXPECT_GT(warm_jobs, cold_jobs);
+}
+
+TEST(Simulate, RejectsBadConfig) {
+  const auto qn = tandem(1.0, {0.5}, 5.0);
+  SimConfig config;
+  config.horizon = -1.0;
+  EXPECT_THROW(simulate(qn, config), std::invalid_argument);
+  config.horizon = 10.0;
+  config.warmup_fraction = 1.0;
+  EXPECT_THROW(simulate(qn, config), std::invalid_argument);
+}
+
+TEST(Simulate, LossProbabilityHelper) {
+  const auto qn = tandem(2.0, {1.0}, 2.0);
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 37;
+  const auto sim = simulate(qn, config);
+  const double pi = sim.loss_probability(qn.total_arrival_rate());
+  EXPECT_GT(pi, 0.4);
+  EXPECT_LT(pi, 0.7);
+}
+
+TEST(Simulate, LossesByStepSumToTotal) {
+  // Two-stage tandem with tight buffers on both stations.
+  const auto qn = tandem(2.0, {0.8, 0.9}, 3.0);
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 61;
+  const auto r = simulate(qn, config);
+  ASSERT_EQ(r.chains[0].losses_by_step.size(), 2u);
+  EXPECT_EQ(r.chains[0].losses_by_step[0] + r.chains[0].losses_by_step[1],
+            r.chains[0].losses);
+  // Both steps should lose some jobs in this regime.
+  EXPECT_GT(r.chains[0].losses_by_step[0], 0u);
+  EXPECT_GT(r.chains[0].losses_by_step[1], 0u);
+}
+
+TEST(Simulate, FirstStepDominatesLossUnderFrontOverload) {
+  // The first station is the bottleneck; nearly all losses happen there.
+  const auto qn = tandem(3.0, {0.9, 0.1}, 4.0);
+  SimConfig config;
+  config.horizon = 50000.0;
+  config.seed = 67;
+  const auto r = simulate(qn, config);
+  EXPECT_GT(r.chains[0].losses_by_step[0],
+            10 * std::max<std::uint64_t>(1, r.chains[0].losses_by_step[1]));
+}
+
+TEST(Simulate, ConfidenceIntervalCoversTruth) {
+  // Stable M/M/1-ish tandem: throughput == lambda; the 95% CI should
+  // usually cover it and must shrink with a longer horizon.
+  const auto qn = tandem(0.5, {0.4}, 100000.0);
+  SimConfig short_run;
+  short_run.horizon = 20000.0;
+  short_run.seed = 51;
+  SimConfig long_run = short_run;
+  long_run.horizon = 200000.0;
+  const auto a = simulate(qn, short_run);
+  const auto b = simulate(qn, long_run);
+  EXPECT_GT(a.chains[0].throughput_ci, 0.0);
+  EXPECT_LT(b.chains[0].throughput_ci, a.chains[0].throughput_ci);
+  EXPECT_NEAR(b.chains[0].throughput, 0.5,
+              3.0 * b.chains[0].throughput_ci);
+}
+
+TEST(Simulate, CiDisabledWhenBatchesZero) {
+  const auto qn = tandem(0.5, {0.4}, 100000.0);
+  SimConfig cfg;
+  cfg.horizon = 5000.0;
+  cfg.ci_batches = 0;
+  const auto r = simulate(qn, cfg);
+  EXPECT_DOUBLE_EQ(r.chains[0].throughput_ci, 0.0);
+}
+
+TEST(SimulateReplicated, AveragesAcrossSeeds) {
+  const auto qn = tandem(0.8, {0.7}, 5.0);
+  SimConfig config;
+  config.horizon = 20000.0;
+  config.seed = 41;
+  const auto one = simulate(qn, config);
+  const auto avg = simulate_replicated(qn, config, 5);
+  // The replicated average should be close to a single long run and carry
+  // the summed counters.
+  EXPECT_NEAR(avg.chains[0].throughput, one.chains[0].throughput, 0.05);
+  EXPECT_GT(avg.chains[0].completions, one.chains[0].completions);
+  EXPECT_THROW(simulate_replicated(qn, config, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainnet::queueing

@@ -1,0 +1,131 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace chainnet::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, combined;
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {10.0, 20.0, 30.0, 40.0};
+  for (double x : xs) {
+    a.add(x);
+    combined.add(x);
+  }
+  for (double y : ys) {
+    b.add(y);
+    combined.add(y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(TimeWeightedStats, PiecewiseConstantAverage) {
+  TimeWeightedStats tw;
+  tw.update(0.0, 2.0);   // value 2 holds on [0, 4)
+  tw.update(4.0, 6.0);   // value 6 holds on [4, 10)
+  // Average over [0, 10] = (2*4 + 6*6) / 10 = 4.4.
+  EXPECT_NEAR(tw.average(10.0), 4.4, 1e-12);
+}
+
+TEST(TimeWeightedStats, NoUpdatesIsZero) {
+  TimeWeightedStats tw;
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 0.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 15.0);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  const std::vector<double> v = {50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+}
+
+TEST(Percentile, ClampsQuantile) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 2.0);
+}
+
+TEST(BoxSummary, FiveNumbers) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto b = box_summary(v);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_EQ(b.count, 5u);
+}
+
+TEST(BoxSummary, Empty) {
+  const auto b = box_summary({});
+  EXPECT_EQ(b.count, 0u);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  const std::vector<double> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 3.0);
+}
+
+}  // namespace
+}  // namespace chainnet::support

@@ -1,0 +1,65 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace chainnet::support {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"model", "mape"});
+  t.add_row({"ChainNet", "0.037"});
+  t.add_row({"GAT", "0.120"});
+  std::ostringstream os;
+  t.print(os, "Throughput");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Throughput =="), std::string::npos);
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("ChainNet"), std::string::npos);
+  EXPECT_NE(out.find("GAT"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(0.123456, 3), "0.123");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "chainnet_csv_test.csv")
+          .string();
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row(std::vector<double>{1.0, 2.5});
+    csv.row(std::vector<std::string>{"3", "4.5"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4.5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chainnet::support

@@ -1,0 +1,393 @@
+// chainnet — command-line front end for the library.
+//
+//   chainnet generate  --kind type1|type2|problem [--devices D] [--seed S]
+//                      --system out.json [--placement out.json]
+//   chainnet initial   --system s.json --out placement.json
+//   chainnet simulate  --system s.json --placement p.json
+//                      [--horizon H] [--seed S] [--json]
+//   chainnet approx    --system s.json --placement p.json [--json]
+//   chainnet train     --weights out.bin [--samples N] [--epochs E]
+//                      [--hidden H] [--iterations N] [--seed S]
+//   chainnet predict   --system s.json --placement p.json --weights w.bin
+//                      [--hidden H] [--iterations N] [--json]
+//   chainnet optimize  --system s.json (--weights w.bin | --oracle sim|approx)
+//                      [--steps N] [--trials T] [--out placement.json]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chainnet.h"
+#include "core/surrogate.h"
+#include "edge/json_io.h"
+#include "edge/problem.h"
+#include "edge/qn_mapping.h"
+#include "gnn/dataset.h"
+#include "gnn/metrics.h"
+#include "gnn/trainer.h"
+#include "optim/annealing.h"
+#include "optim/evaluator.h"
+#include "optim/experiment.h"
+#include "optim/initial.h"
+#include "queueing/approximation.h"
+#include "queueing/simulator.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "tensor/serialize.h"
+
+namespace {
+
+using namespace chainnet;
+using support::Json;
+
+/// --flag value / --flag parsing; positionals collected in order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[key] = argv[++i];
+        } else {
+          flags_[key] = "";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return flags_.count(key) > 0; }
+  std::string require(const std::string& key) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end() || it->second.empty()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() || it->second.empty() ? fallback : it->second;
+  }
+  double number(const std::string& key, double fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+  int integer(const std::string& key, int fallback) const {
+    return static_cast<int>(number(key, fallback));
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+core::ChainNetConfig model_config(const Args& args) {
+  core::ChainNetConfig cfg;
+  cfg.hidden = args.integer("hidden", 32);
+  cfg.iterations = args.integer("iterations", 4);
+  return cfg;
+}
+
+queueing::SimConfig sim_config(const edge::EdgeSystem& sys,
+                               const Args& args) {
+  double max_ia = 0.0;
+  for (const auto& chain : sys.chains) {
+    max_ia = std::max(max_ia, 1.0 / chain.arrival_rate);
+  }
+  queueing::SimConfig cfg;
+  cfg.horizon = args.number("horizon", 2000.0 * max_ia);
+  cfg.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  return cfg;
+}
+
+Json chain_report(const edge::EdgeSystem& sys, std::size_t i,
+                  double throughput, double latency, double loss) {
+  Json entry;
+  entry["chain"] = Json(sys.chains[i].name);
+  entry["throughput"] = Json(throughput);
+  entry["latency"] = Json(latency);
+  entry["loss_probability"] = Json(loss);
+  return entry;
+}
+
+void emit(const Json& report, bool as_json) {
+  if (as_json) {
+    std::cout << report.dump(2) << "\n";
+    return;
+  }
+  for (const auto& entry : report.at("chains").as_array()) {
+    std::cout << "  " << entry.at("chain").as_string()
+              << ": X=" << entry.at("throughput").as_number()
+              << "/s L=" << entry.at("latency").as_number()
+              << "s loss=" << entry.at("loss_probability").as_number()
+              << "\n";
+  }
+  if (report.has("total_throughput")) {
+    std::cout << "total throughput: "
+              << report.at("total_throughput").as_number()
+              << "/s, overall loss: "
+              << report.at("loss_probability").as_number() << "\n";
+  }
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "type1");
+  support::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1.0)));
+  edge::EdgeSystem system;
+  std::optional<edge::Placement> placement;
+  if (kind == "type1" || kind == "type2") {
+    const auto params = kind == "type1" ? edge::NetworkGenParams::type1()
+                                        : edge::NetworkGenParams::type2();
+    auto sample = edge::generate_network_sample(params, rng);
+    system = std::move(sample.system);
+    placement = std::move(sample.placement);
+  } else if (kind == "problem") {
+    system = edge::generate_placement_problem(
+        edge::PlacementProblemParams::paper(args.integer("devices", 20)),
+        rng);
+  } else if (kind == "casestudy") {
+    system = edge::case_study_system();
+  } else {
+    std::cerr << "unknown --kind '" << kind << "'\n";
+    return 1;
+  }
+  edge::save_json(edge::to_json(system), args.require("system"));
+  std::cout << "wrote system (" << system.num_chains() << " chains, "
+            << system.num_devices() << " devices) to "
+            << args.require("system") << "\n";
+  if (args.has("placement")) {
+    if (!placement) placement = optim::initial_placement(system);
+    edge::save_json(edge::to_json(*placement), args.require("placement"));
+    std::cout << "wrote placement to " << args.require("placement") << "\n";
+  }
+  return 0;
+}
+
+int cmd_initial(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto placement = optim::initial_placement(system);
+  edge::save_json(edge::to_json(placement), args.require("out"));
+  std::cout << "wrote ranking-score initial placement ("
+            << placement.used_devices().size() << " devices used) to "
+            << args.require("out") << "\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto placement = edge::load_placement(args.require("placement"));
+  placement.validate(system);
+  const auto qn = edge::build_qn(system, placement);
+  const auto result = queueing::simulate(qn, sim_config(system, args));
+  Json report;
+  Json chains;
+  for (std::size_t i = 0; i < result.chains.size(); ++i) {
+    chains.push_back(chain_report(system, i, result.chains[i].throughput,
+                                  result.chains[i].mean_latency,
+                                  result.chains[i].loss_probability));
+  }
+  report["chains"] = std::move(chains);
+  report["total_throughput"] = Json(result.total_throughput());
+  report["loss_probability"] =
+      Json(result.loss_probability(system.total_arrival_rate()));
+  report["events"] = Json(static_cast<double>(result.events));
+  emit(report, args.has("json"));
+  return 0;
+}
+
+int cmd_approx(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto placement = edge::load_placement(args.require("placement"));
+  placement.validate(system);
+  const auto qn = edge::build_qn(system, placement);
+  const auto result = queueing::approximate(qn);
+  Json report;
+  Json chains;
+  for (std::size_t i = 0; i < result.chains.size(); ++i) {
+    chains.push_back(chain_report(system, i, result.chains[i].throughput,
+                                  result.chains[i].mean_latency,
+                                  result.chains[i].loss_probability));
+  }
+  report["chains"] = std::move(chains);
+  report["total_throughput"] = Json(result.total_throughput());
+  report["loss_probability"] = Json(optim::loss_probability(
+      system, result.total_throughput()));
+  report["converged"] = Json(result.converged);
+  emit(report, args.has("json"));
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const int samples = args.integer("samples", 300);
+  gnn::LabelingConfig labeling;
+  labeling.arrivals_per_chain = args.number("label-arrivals", 1500.0);
+  std::cout << "generating " << samples << " Type I samples...\n";
+  const auto dataset = gnn::generate_dataset(
+      edge::NetworkGenParams::type1(), samples, labeling,
+      static_cast<std::uint64_t>(args.number("seed", 11.0)));
+  support::Rng rng(static_cast<std::uint64_t>(args.number("seed", 11.0)) ^
+                   0xabcd);
+  core::ChainNet model(model_config(args), rng);
+  gnn::TrainConfig tc;
+  tc.epochs = args.integer("epochs", 30);
+  tc.on_epoch = [](int epoch, double loss, double) {
+    if (epoch % 5 == 0) std::cout << "  epoch " << epoch << ": " << loss
+                                  << "\n";
+  };
+  std::cout << "training ChainNet (" << model.parameter_count()
+            << " parameters)...\n";
+  const auto report = gnn::train(model, dataset, nullptr, tc);
+  tensor::save_parameters(model, args.require("weights"));
+  std::cout << "trained in " << report.seconds << "s; weights -> "
+            << args.require("weights") << "\n";
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto placement = edge::load_placement(args.require("placement"));
+  placement.validate(system);
+  support::Rng rng(1);
+  core::ChainNet model(model_config(args), rng);
+  tensor::load_parameters(model, args.require("weights"));
+  core::Surrogate surrogate(model);
+  const auto preds = surrogate.predict(system, placement);
+  Json report;
+  Json chains;
+  double total = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    total += preds[i].throughput;
+    const double loss =
+        1.0 - preds[i].throughput / system.chains[i].arrival_rate;
+    chains.push_back(chain_report(system, i, preds[i].throughput,
+                                  preds[i].latency, loss));
+  }
+  report["chains"] = std::move(chains);
+  report["total_throughput"] = Json(total);
+  report["loss_probability"] = Json(optim::loss_probability(system, total));
+  emit(report, args.has("json"));
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  support::Rng rng(1);
+  core::ChainNet model(model_config(args), rng);
+  tensor::load_parameters(model, args.require("weights"));
+  const int samples = args.integer("samples", 100);
+  const std::string kind = args.get("kind", "type1");
+  const auto params = kind == "type2" ? edge::NetworkGenParams::type2()
+                                      : edge::NetworkGenParams::type1();
+  gnn::LabelingConfig labeling;
+  labeling.arrivals_per_chain = args.number("label-arrivals", 1500.0);
+  std::cout << "generating " << samples << " " << kind
+            << " test samples...\n";
+  const auto test = gnn::generate_dataset(
+      params, samples, labeling,
+      static_cast<std::uint64_t>(args.number("seed", 77.0)));
+  const auto errors = gnn::evaluate(model, test);
+  const auto tput = gnn::summarize(gnn::throughput_apes(errors));
+  const auto lat = gnn::summarize(gnn::latency_apes(errors));
+  std::cout << "throughput: MAPE " << tput.mape << ", p95 " << tput.p95
+            << "\nlatency:    MAPE " << lat.mape << ", p95 " << lat.p95
+            << "\n(" << tput.count << " chains evaluated)\n";
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto initial = optim::initial_placement(system);
+
+  std::unique_ptr<optim::PlacementEvaluator> evaluator;
+  std::unique_ptr<core::ChainNet> model;  // must outlive the evaluator
+  const std::string oracle = args.get("oracle", "");
+  if (args.has("weights")) {
+    support::Rng rng(1);
+    model = std::make_unique<core::ChainNet>(model_config(args), rng);
+    tensor::load_parameters(*model, args.require("weights"));
+    evaluator = std::make_unique<optim::SurrogateEvaluator>(
+        core::Surrogate(*model));
+  } else if (oracle == "approx") {
+    evaluator = std::make_unique<optim::ApproximationEvaluator>();
+  } else if (oracle == "sim" || oracle.empty()) {
+    auto cfg = sim_config(system, args);
+    cfg.horizon /= 10.0;  // cheaper per-candidate effort inside the search
+    evaluator = std::make_unique<optim::SimulationEvaluator>(cfg);
+  } else {
+    std::cerr << "unknown --oracle '" << oracle << "'\n";
+    return 1;
+  }
+
+  optim::SaConfig sa;
+  sa.max_steps = args.integer("steps", 100);
+  sa.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  const int trials = args.integer("trials", 5);
+  const auto result =
+      optim::anneal_trials(system, initial, *evaluator, sa, trials);
+
+  const auto ref = sim_config(system, args);
+  const double x0 = optim::simulated_total_throughput(system, initial, ref);
+  const double x1 =
+      optim::simulated_total_throughput(system, result.best, ref);
+  std::cout << "search: " << trials << " trials x " << sa.max_steps
+            << " steps, " << result.evaluations << " evaluations in "
+            << result.seconds << "s\n"
+            << "loss probability: initial "
+            << optim::loss_probability(system, x0) << " -> optimized "
+            << optim::loss_probability(system, x1)
+            << " (relative loss reduction "
+            << optim::relative_loss_reduction(system, x0, x1) << ")\n";
+  if (args.has("out")) {
+    edge::save_json(edge::to_json(result.best), args.require("out"));
+    std::cout << "wrote optimized placement to " << args.require("out")
+              << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: chainnet <command> [flags]\n"
+         "  generate  --kind type1|type2|problem|casestudy --system out.json"
+         " [--placement out.json] [--devices D] [--seed S]\n"
+         "  initial   --system s.json --out p.json\n"
+         "  simulate  --system s.json --placement p.json [--horizon H]"
+         " [--seed S] [--json]\n"
+         "  approx    --system s.json --placement p.json [--json]\n"
+         "  train     --weights out.bin [--samples N] [--epochs E]"
+         " [--hidden H] [--iterations N] [--seed S]\n"
+         "  predict   --system s.json --placement p.json --weights w.bin"
+         " [--json]\n"
+         "  evaluate  --weights w.bin [--kind type1|type2] [--samples N]\n"
+         "  optimize  --system s.json [--weights w.bin | --oracle"
+         " sim|approx] [--steps N] [--trials T] [--out p.json]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "initial") return cmd_initial(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "approx") return cmd_approx(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "optimize") return cmd_optimize(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
