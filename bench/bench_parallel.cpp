@@ -1,0 +1,193 @@
+// bench_parallel — throughput of the concurrent evaluation runtime.
+//
+// Measures placement evaluations/sec through runtime::EvalService for the
+// three oracle types (approximation, simulation, GNN surrogate) at thread
+// counts 1/2/4/8, reporting the speedup over the 1-thread run, plus a
+// memoization pass quantifying what the sharded EvalCache saves on a
+// revisit-heavy workload. Absolute speedups depend on the host's core
+// count (a 1-core container shows ~1x everywhere); the per-oracle
+// evals/sec column is the portable number.
+//
+//   CHAINNET_PAR_DEVICES   problem size (default 20)
+//   CHAINNET_PAR_BATCH     placements per batch (default: per-oracle)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/chainnet.h"
+#include "core/surrogate.h"
+#include "edge/problem.h"
+#include "optim/annealing.h"
+#include "optim/evaluator.h"
+#include "optim/initial.h"
+#include "queueing/simulator.h"
+#include "runtime/eval_cache.h"
+#include "runtime/eval_service.h"
+#include "runtime/thread_pool.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace chainnet;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+/// Random walk of feasible placements starting from the ranking-score
+/// initial decision — the same visitation pattern the SA drivers produce.
+std::vector<edge::Placement> walk_placements(const edge::EdgeSystem& system,
+                                             int count) {
+  std::vector<edge::Placement> placements;
+  placements.reserve(static_cast<std::size_t>(count));
+  edge::Placement current = optim::initial_placement(system);
+  support::Rng rng(17);
+  const optim::SaConfig cfg;
+  for (int i = 0; i < count; ++i) {
+    edge::Placement next;
+    if (propose_move(system, current, rng, cfg, next)) current = next;
+    placements.push_back(current);
+  }
+  return placements;
+}
+
+struct OracleSpec {
+  std::string name;
+  runtime::EvalService::EvaluatorFactory factory;
+  int batch;  ///< placements per timed batch (scaled to oracle cost)
+};
+
+void bench_oracle(const edge::EdgeSystem& system, const OracleSpec& oracle) {
+  const auto placements = walk_placements(system, oracle.batch);
+  std::printf("%-12s (%d placements/batch)\n", oracle.name.c_str(),
+              oracle.batch);
+  std::printf("  %8s %14s %10s\n", "threads", "evals/sec", "speedup");
+  double base_rate = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    runtime::ThreadPool pool(threads);
+    runtime::EvalService service(pool, oracle.factory, 99);
+    service.evaluate_batch(system, {placements.data(), 8});  // warm up
+    const auto start = Clock::now();
+    int evaluated = 0;
+    double elapsed = 0.0;
+    do {  // repeat batches until the measurement is long enough to trust
+      service.evaluate_batch(system, placements);
+      evaluated += static_cast<int>(placements.size());
+      elapsed = seconds_since(start);
+    } while (elapsed < 0.25);
+    const double rate = evaluated / elapsed;
+    if (threads == 1) base_rate = rate;
+    std::printf("  %8d %14.0f %9.2fx\n", threads, rate, rate / base_rate);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  int devices = env_int("CHAINNET_PAR_DEVICES", 20);
+  // The generator requires more devices than the longest possible chain
+  // (paper §VII non-triviality assumption).
+  auto params = edge::PlacementProblemParams::paper(devices);
+  if (devices <= params.max_fragments) {
+    std::printf("CHAINNET_PAR_DEVICES=%d too small, using %d\n", devices,
+                params.max_fragments + 1);
+    params.num_devices = params.max_fragments + 1;
+  }
+  support::Rng gen_rng(5);
+  const auto system = edge::generate_placement_problem(params, gen_rng);
+  std::printf("bench_parallel: %d chains, %d devices, %u hardware threads\n\n",
+              system.num_chains(), system.num_devices(),
+              std::thread::hardware_concurrency());
+
+  // Simulation effort comparable to the search oracle of the fig14 bench.
+  double max_ia = 0.0;
+  for (const auto& chain : system.chains) {
+    max_ia = std::max(max_ia, 1.0 / chain.arrival_rate);
+  }
+  queueing::SimConfig sim_cfg;
+  sim_cfg.horizon = 400.0 * max_ia;
+  sim_cfg.seed = 7;
+
+  // Surrogate: a fixed-seed (untrained) ChainNet per worker — inference
+  // cost is identical to a trained model's, which is all throughput needs.
+  core::ChainNetConfig model_cfg;
+
+  const int sim_batch = env_int("CHAINNET_PAR_BATCH", 48);
+  const int cheap_batch = env_int("CHAINNET_PAR_BATCH", 512);
+
+  bench_oracle(system,
+               {"approx",
+                [](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+                  return std::make_unique<optim::ApproximationEvaluator>();
+                },
+                cheap_batch});
+  bench_oracle(
+      system,
+      {"sim",
+       [sim_cfg](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+         return std::make_unique<optim::SimulationEvaluator>(sim_cfg);
+       },
+       sim_batch});
+  bench_oracle(
+      system,
+      {"surrogate",
+       [model_cfg](support::Rng)
+           -> std::unique_ptr<optim::PlacementEvaluator> {
+         support::Rng init_rng(1);
+         auto model = std::make_unique<core::ChainNet>(model_cfg, init_rng);
+         auto* raw = model.get();
+         struct OwningSurrogateEvaluator final
+             : public optim::PlacementEvaluator {
+           OwningSurrogateEvaluator(std::unique_ptr<core::ChainNet> m,
+                                    core::ChainNet* raw)
+               : model(std::move(m)), eval(core::Surrogate(*raw)) {}
+           double total_throughput(const edge::EdgeSystem& system,
+                                   const edge::Placement& placement) override {
+             record_evaluation();
+             return eval.total_throughput(system, placement);
+           }
+           std::unique_ptr<core::ChainNet> model;
+           optim::SurrogateEvaluator eval;
+         };
+         return std::make_unique<OwningSurrogateEvaluator>(std::move(model),
+                                                           raw);
+       },
+       cheap_batch});
+
+  // Memoization: the SA walk revisits states, a cache turns those into
+  // near-free hits. Second pass over an identical batch = 100% hit rate.
+  {
+    auto cache = std::make_shared<runtime::EvalCache>();
+    runtime::EvalService::EvaluatorFactory cached =
+        [sim_cfg,
+         cache](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+      return std::make_unique<runtime::CachedEvaluator>(
+          std::make_unique<optim::SimulationEvaluator>(sim_cfg), cache);
+    };
+    runtime::ThreadPool pool(2);
+    runtime::EvalService service(pool, cached, 99);
+    const auto placements = walk_placements(system, sim_batch);
+    auto start = Clock::now();
+    service.evaluate_batch(system, placements);
+    const double cold = seconds_since(start);
+    start = Clock::now();
+    service.evaluate_batch(system, placements);
+    const double warm = seconds_since(start);
+    const auto stats = cache->stats();
+    std::printf("cache (sim oracle, %zu placements): cold %.4fs, warm %.4fs "
+                "(%.0fx), %llu hits / %llu misses\n",
+                placements.size(), cold, warm, cold / std::max(warm, 1e-9),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+  }
+  return 0;
+}

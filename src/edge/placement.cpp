@@ -89,6 +89,22 @@ bool Placement::distinct_devices_within_chains() const {
   return true;
 }
 
+std::uint64_t Placement::canonical_hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  const auto mix = [&h](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  for (const auto& chain : assignment_) {
+    // Delimiter outside the device id range keeps chain shapes distinct.
+    mix(0xfffffffeu);
+    for (int dev : chain) mix(static_cast<std::uint32_t>(dev));
+  }
+  return h;
+}
+
 void Placement::validate(const EdgeSystem& system) const {
   if (num_chains() != system.num_chains()) {
     throw std::invalid_argument("Placement: chain count mismatch");

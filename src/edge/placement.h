@@ -4,6 +4,7 @@
 // structural invariants relied on by the optimizer and the graph builder.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "edge/model.h"
@@ -63,6 +64,13 @@ class Placement {
   void validate(const EdgeSystem& system) const;
 
   bool operator==(const Placement&) const = default;
+
+  /// Canonical content hash: FNV-1a over the device assignments with a
+  /// per-chain delimiter, so equal placements (operator==) hash equally and
+  /// differently-shaped assignments ([[1,2],[3]] vs [[1],[2,3]]) do not
+  /// collide structurally. Key of the runtime::EvalCache; callers must
+  /// still confirm equality on hash matches.
+  std::uint64_t canonical_hash() const noexcept;
 
  private:
   std::vector<std::vector<int>> assignment_;

@@ -11,6 +11,7 @@
 #include "edge/model.h"
 #include "edge/placement.h"
 #include "optim/evaluator.h"
+#include "runtime/eval_service.h"
 #include "support/rng.h"
 
 namespace chainnet::optim {
@@ -43,7 +44,13 @@ struct SaResult {
   /// Parallel to trajectory when SaConfig::record_best_placements is set.
   std::vector<edge::Placement> best_placements;
   std::uint64_t evaluations = 0;
+  /// Sum of per-trial durations (the serial-equivalent time axis; the
+  /// trajectory's `seconds` fields share this axis across every driver so
+  /// parallel and serial runs stay directly comparable).
   double seconds = 0.0;
+  /// Actual elapsed wall-clock of the driver call. Equals `seconds` for the
+  /// serial drivers; smaller under parallel execution.
+  double wall_seconds = 0.0;
   int trials = 0;
 };
 
@@ -75,5 +82,30 @@ SaResult anneal_for(const edge::EdgeSystem& system,
                     const edge::Placement& initial,
                     PlacementEvaluator& evaluator, const SaConfig& config,
                     double budget_seconds);
+
+/// Parallel multi-trial driver: same per-trial seeds (drawn from one seeder
+/// on config.seed) and same merge order as anneal_trials, with the trials
+/// fanned out across service.pool(); each trial runs entirely on one worker
+/// against that worker's private evaluator. With a 1-thread pool and a
+/// value-deterministic oracle this reproduces anneal_trials bit-for-bit
+/// (same best placement, objective, and evaluation count). Must be called
+/// from outside the pool; on a pool worker it degrades to the serial driver
+/// on that worker's evaluator rather than deadlocking.
+SaResult anneal_trials_parallel(const edge::EdgeSystem& system,
+                                const edge::Placement& initial,
+                                runtime::EvalService& service,
+                                const SaConfig& config, int trials);
+
+/// Batch-evaluated neighbor-pool variant: each step proposes up to
+/// `pool_size` independent moves from the current decision, scores them as
+/// one batch through the service (all workers), and Metropolis-accepts the
+/// best-scoring candidate. Reproducible across thread counts when the
+/// oracle's value depends only on the placement (fixed-seed simulation,
+/// approximation, surrogate); trajectory/evaluation semantics match
+/// anneal() with pool_size evaluations per step.
+SaResult anneal_batched(const edge::EdgeSystem& system,
+                        const edge::Placement& initial,
+                        runtime::EvalService& service, const SaConfig& config,
+                        int pool_size);
 
 }  // namespace chainnet::optim

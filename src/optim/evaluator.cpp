@@ -4,20 +4,20 @@ namespace chainnet::optim {
 
 double SimulationEvaluator::total_throughput(
     const edge::EdgeSystem& system, const edge::Placement& placement) {
-  ++evaluations_;
+  record_evaluation();
   const auto qn = edge::build_qn(system, placement, service_model_);
   return queueing::simulate(qn, config_).total_throughput();
 }
 
 double SurrogateEvaluator::total_throughput(
     const edge::EdgeSystem& system, const edge::Placement& placement) {
-  ++evaluations_;
+  record_evaluation();
   return surrogate_.total_throughput(system, placement);
 }
 
 double ApproximationEvaluator::total_throughput(
     const edge::EdgeSystem& system, const edge::Placement& placement) {
-  ++evaluations_;
+  record_evaluation();
   const auto qn = edge::build_qn(system, placement);
   return queueing::approximate(qn, config_).total_throughput();
 }

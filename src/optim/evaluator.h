@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "core/surrogate.h"
@@ -17,16 +18,33 @@
 
 namespace chainnet::optim {
 
+/// Overflow-safe counter addition: clamps at the uint64 maximum instead of
+/// wrapping, so long-running services and cross-worker aggregation report a
+/// floor rather than a wrapped-around lie.
+constexpr std::uint64_t saturating_add(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return b > std::numeric_limits<std::uint64_t>::max() - a
+             ? std::numeric_limits<std::uint64_t>::max()
+             : a + b;
+}
+
 class PlacementEvaluator {
  public:
   virtual ~PlacementEvaluator() = default;
   /// Estimated objective of eq. (2): total throughput of the placement.
   virtual double total_throughput(const edge::EdgeSystem& system,
                                   const edge::Placement& placement) = 0;
-  /// Number of objective evaluations performed so far.
-  std::uint64_t evaluations() const { return evaluations_; }
+  /// Number of *oracle* evaluations performed so far (saturating, never
+  /// wrapping). Decorators that satisfy calls without consulting the oracle
+  /// (runtime::CachedEvaluator) do not count those here — hits are reported
+  /// separately — so aggregating this across workers counts real work only.
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
 
  protected:
+  /// Overflow-safe accounting bump for implementations.
+  void record_evaluation() noexcept {
+    evaluations_ = saturating_add(evaluations_, 1);
+  }
   std::uint64_t evaluations_ = 0;
 };
 

@@ -1,0 +1,122 @@
+#include "runtime/eval_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace chainnet::runtime {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(EvalCacheConfig config) : hash_(std::move(config.hash)) {
+  if (!hash_) {
+    hash_ = [](const edge::Placement& p) { return p.canonical_hash(); };
+  }
+  const std::size_t capacity = std::max<std::size_t>(1, config.capacity);
+  std::size_t shards = round_up_pow2(std::max<std::size_t>(1, config.shards));
+  if (capacity < shards) shards = 1;
+  per_shard_capacity_ = capacity / shards;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<double> EvalCache::lookup(const edge::Placement& key) {
+  const std::uint64_t h = hash_(key);
+  Shard& shard = shard_for(h);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, end] = shard.index.equal_range(h);
+  for (; it != end; ++it) {
+    if (it->second->key == key) {  // confirm equality on hash match
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      return it->second->value;
+    }
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void EvalCache::insert(const edge::Placement& key, double value) {
+  const std::uint64_t h = hash_(key);
+  Shard& shard = shard_for(h);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, end] = shard.index.equal_range(h);
+  for (; it != end; ++it) {
+    if (it->second->key == key) {  // refresh, don't duplicate
+      it->second->value = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+  }
+  shard.lru.push_front(Entry{key, h, value});
+  shard.index.emplace(h, shard.lru.begin());
+  ++shard.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    const auto victim = std::prev(shard.lru.end());
+    auto [vit, vend] = shard.index.equal_range(victim->hash);
+    for (; vit != vend; ++vit) {
+      if (vit->second == victim) {
+        shard.index.erase(vit);
+        break;
+      }
+    }
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits = optim::saturating_add(total.hits, shard->hits);
+    total.misses = optim::saturating_add(total.misses, shard->misses);
+    total.evictions =
+        optim::saturating_add(total.evictions, shard->evictions);
+    total.insertions =
+        optim::saturating_add(total.insertions, shard->insertions);
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+void EvalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CachedEvaluator::CachedEvaluator(
+    std::unique_ptr<optim::PlacementEvaluator> inner,
+    std::shared_ptr<EvalCache> cache)
+    : inner_(std::move(inner)), cache_(std::move(cache)) {
+  if (!inner_) throw std::invalid_argument("CachedEvaluator: null inner");
+  if (!cache_) throw std::invalid_argument("CachedEvaluator: null cache");
+}
+
+double CachedEvaluator::total_throughput(const edge::EdgeSystem& system,
+                                         const edge::Placement& placement) {
+  if (const auto cached = cache_->lookup(placement)) {
+    hits_ = optim::saturating_add(hits_, 1);
+    return *cached;
+  }
+  const double value = inner_->total_throughput(system, placement);
+  record_evaluation();  // misses are the only oracle work
+  cache_->insert(placement, value);
+  return value;
+}
+
+}  // namespace chainnet::runtime

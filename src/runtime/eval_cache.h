@@ -1,0 +1,116 @@
+// Memoization for placement evaluations: a sharded, mutex-per-shard LRU
+// cache keyed by edge::Placement::canonical_hash() (with full equality
+// confirmation, so hash collisions cannot alias values), plus the
+// CachedEvaluator decorator that drops it in front of any
+// optim::PlacementEvaluator. SA search revisits placements constantly —
+// rejected moves re-propose earlier states — so memoizing the oracle saves
+// exactly the paper's expensive resource: simulator calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/placement.h"
+#include "optim/evaluator.h"
+
+namespace chainnet::runtime {
+
+struct EvalCacheConfig {
+  std::size_t capacity = 1 << 16;  ///< max entries across all shards
+  /// Shard count (rounded up to a power of two; clamped to 1 when the
+  /// capacity is smaller than the shard count). More shards = less lock
+  /// contention under concurrent lookups.
+  std::size_t shards = 8;
+  /// Key hash; defaults to Placement::canonical_hash. Override only in
+  /// tests (e.g. a constant hash to force collision handling).
+  std::function<std::uint64_t(const edge::Placement&)> hash;
+};
+
+/// Thread-safe sharded LRU map: placement -> objective value.
+class EvalCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit EvalCache(EvalCacheConfig config = {});
+
+  /// Returns the cached value and refreshes the entry's recency, or nullopt
+  /// (counted as a miss).
+  std::optional<double> lookup(const edge::Placement& key);
+
+  /// Inserts (or refreshes) key -> value, evicting the shard's least
+  /// recently used entry when the shard is full.
+  void insert(const edge::Placement& key, double value);
+
+  /// Counters aggregated over all shards.
+  Stats stats() const;
+
+  void clear();
+
+  std::size_t capacity() const noexcept {
+    return per_shard_capacity_ * shards_.size();
+  }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Entry {
+    edge::Placement key;
+    std::uint64_t hash = 0;
+    double value = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t hash) noexcept {
+    // Upper bits pick the shard; the multimap re-hashes the full value, so
+    // shard selection and bucket placement stay decorrelated.
+    return *shards_[(hash >> 48) & shard_mask_];
+  }
+
+  std::function<std::uint64_t(const edge::Placement&)> hash_;
+  std::size_t per_shard_capacity_;
+  std::size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Decorator memoizing any PlacementEvaluator through a (shareable)
+/// EvalCache. Cache hits do NOT count as oracle evaluations: evaluations()
+/// reports forwarded oracle calls only, cache_hits() reports the rest, so
+/// throughput accounting stays honest (satellite: report both).
+class CachedEvaluator final : public optim::PlacementEvaluator {
+ public:
+  CachedEvaluator(std::unique_ptr<optim::PlacementEvaluator> inner,
+                  std::shared_ptr<EvalCache> cache);
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override;
+
+  std::uint64_t cache_hits() const noexcept { return hits_; }
+  optim::PlacementEvaluator& inner() noexcept { return *inner_; }
+  const std::shared_ptr<EvalCache>& cache() const noexcept { return cache_; }
+
+ private:
+  std::unique_ptr<optim::PlacementEvaluator> inner_;
+  std::shared_ptr<EvalCache> cache_;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace chainnet::runtime

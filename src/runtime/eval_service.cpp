@@ -1,0 +1,83 @@
+#include "runtime/eval_service.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace chainnet::runtime {
+
+EvalService::EvalService(ThreadPool& pool, EvaluatorFactory factory,
+                         std::uint64_t base_seed)
+    : pool_(pool), factory_(std::move(factory)) {
+  if (!factory_) throw std::invalid_argument("EvalService: null factory");
+  const int slots = pool_.size() + 1;  // workers + the owning thread
+  evaluators_.reserve(static_cast<std::size_t>(slots));
+  for (int w = 0; w < slots; ++w) {
+    auto evaluator = factory_(worker_stream(base_seed, w));
+    if (!evaluator) {
+      throw std::invalid_argument("EvalService: factory returned null");
+    }
+    evaluators_.push_back(std::move(evaluator));
+  }
+}
+
+std::vector<double> EvalService::evaluate_batch(
+    const edge::EdgeSystem& system, std::span<const edge::Placement> batch) {
+  std::vector<double> out(batch.size());
+  if (batch.empty()) return out;
+
+  const int here = pool_.worker_index_here();
+  if (here >= 0) {
+    // Already on a pool worker: evaluate inline to avoid self-deadlock.
+    auto& evaluator = *evaluators_[static_cast<std::size_t>(here)];
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = evaluator.total_throughput(system, batch[i]);
+    }
+    return out;
+  }
+
+  std::vector<std::future<double>> futures;
+  futures.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const edge::Placement* placement = &batch[i];
+    futures.push_back(pool_.submit([this, &system, placement] {
+      const int w = pool_.worker_index_here();
+      auto& evaluator = *evaluators_[static_cast<std::size_t>(w)];
+      return evaluator.total_throughput(system, *placement);
+    }));
+  }
+  // Drain everything before rethrowing so no task can outlive the batch's
+  // referents even when an oracle throws.
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      out[i] = futures[i].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+double EvalService::evaluate(const edge::EdgeSystem& system,
+                             const edge::Placement& placement) {
+  return evaluate_batch(system, {&placement, 1}).front();
+}
+
+std::uint64_t EvalService::oracle_evaluations() const {
+  std::uint64_t total = 0;
+  for (const auto& evaluator : evaluators_) {
+    total = optim::saturating_add(total, evaluator->evaluations());
+  }
+  return total;
+}
+
+optim::PlacementEvaluator& EvalService::evaluator_here() {
+  const int here = pool_.worker_index_here();
+  const std::size_t slot =
+      here >= 0 ? static_cast<std::size_t>(here) : evaluators_.size() - 1;
+  return *evaluators_[slot];
+}
+
+}  // namespace chainnet::runtime

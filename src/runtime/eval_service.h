@@ -1,0 +1,78 @@
+// Thread-safe batched placement evaluation on top of a ThreadPool.
+//
+// EvalService owns one private PlacementEvaluator per pool worker (plus one
+// for the owning thread), built eagerly by a caller-supplied factory. Each
+// instance receives a decorrelated support::Rng stream split from a base
+// seed (worker w gets Rng(base_seed).split(w)), so simulator / approximation
+// / surrogate oracles keep fully independent state and never share a data
+// structure across threads — the whole design needs no locks on the hot
+// path. Batches fan out one task per placement; exceptions from any
+// evaluation are rethrown after the batch has fully drained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "optim/evaluator.h"
+#include "runtime/thread_pool.h"
+#include "support/rng.h"
+
+namespace chainnet::runtime {
+
+class EvalService {
+ public:
+  /// Builds one evaluator for a worker; `stream` is that worker's private,
+  /// reproducible RNG stream (use it to seed simulator configs or internal
+  /// state; ignore it for stateless oracles).
+  using EvaluatorFactory =
+      std::function<std::unique_ptr<optim::PlacementEvaluator>(
+          support::Rng stream)>;
+
+  /// The pool must outlive the service. Evaluators are constructed eagerly
+  /// on the calling thread, in worker order, so construction is
+  /// deterministic for a fixed (factory, base_seed, pool size).
+  EvalService(ThreadPool& pool, EvaluatorFactory factory,
+              std::uint64_t base_seed = 1);
+
+  /// The stream handed to worker `worker` for a given base seed — exposed
+  /// so serial code can construct a bit-identical evaluator to worker 0.
+  static support::Rng worker_stream(std::uint64_t base_seed, int worker) {
+    return support::Rng(base_seed).split(static_cast<std::uint64_t>(worker));
+  }
+
+  /// Scores every placement of the batch; out[i] corresponds to batch[i].
+  /// Thread-safe. When called from one of the pool's own workers the batch
+  /// is evaluated inline on that worker's evaluator (no re-submission, so
+  /// nested use cannot deadlock the pool).
+  std::vector<double> evaluate_batch(const edge::EdgeSystem& system,
+                                     std::span<const edge::Placement> batch);
+
+  /// Single-placement convenience (a batch of one).
+  double evaluate(const edge::EdgeSystem& system,
+                  const edge::Placement& placement);
+
+  /// Oracle evaluations summed over all per-worker evaluators (saturating).
+  /// Quiescent counters only: call with no batch in flight.
+  std::uint64_t oracle_evaluations() const;
+
+  /// The calling thread's private evaluator: its worker's instance on pool
+  /// threads, the owning-thread instance otherwise. Used by the parallel SA
+  /// drivers to run whole trials worker-locally.
+  optim::PlacementEvaluator& evaluator_here();
+
+  ThreadPool& pool() noexcept { return pool_; }
+  int worker_count() const noexcept { return pool_.size(); }
+
+ private:
+  ThreadPool& pool_;
+  EvaluatorFactory factory_;  // kept alive: factories may own shared state
+  /// Index 0..size-1: pool workers; index size: the owning thread.
+  std::vector<std::unique_ptr<optim::PlacementEvaluator>> evaluators_;
+};
+
+}  // namespace chainnet::runtime

@@ -1,0 +1,72 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chainnet::runtime {
+
+namespace {
+
+// Which pool (if any) the current thread belongs to, and at which index.
+// Per-thread, so nested/multiple pools cannot alias each other's workers.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int ThreadPool::worker_index_here() const noexcept {
+  return tl_pool == this ? tl_worker_index : -1;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(int index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the future
+  }
+}
+
+}  // namespace chainnet::runtime

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with future-returning task submission and clean
+// shutdown — the execution substrate of the concurrent evaluation runtime.
+// Tasks are plain callables; exceptions thrown inside a task are captured
+// and rethrown from the corresponding future. Workers know their own index
+// (worker_index_here), which EvalService uses to route work to per-worker
+// evaluator instances without locking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace chainnet::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(int threads = 0);
+  /// Drains pending tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions inside
+  /// `fn` surface from future::get(). Throws std::runtime_error after
+  /// shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting work, finishes everything already queued, joins the
+  /// workers. Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Index of the calling thread within THIS pool's workers, or -1 when the
+  /// caller is not one of them. Stable for the lifetime of the pool.
+  int worker_index_here() const noexcept;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop(int index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace chainnet::runtime

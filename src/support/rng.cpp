@@ -89,4 +89,19 @@ Rng Rng::child(std::uint64_t salt) noexcept {
   return Rng(splitmix64(mix));
 }
 
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Fold the full 256-bit state and the stream id through four splitmix64
+  // steps. Unlike child(), the parent state is read, not advanced, so the
+  // mapping (parent state, stream_id) -> child stream is a pure function.
+  std::uint64_t sm = s_[0] ^ (stream_id + 0x9e3779b97f4a7c15ULL);
+  std::uint64_t seed = splitmix64(sm);
+  sm ^= rotl(s_[1], 13) + stream_id * 0xbf58476d1ce4e5b9ULL;
+  seed ^= splitmix64(sm);
+  sm ^= rotl(s_[2], 29) ^ (stream_id * 0x94d049bb133111ebULL);
+  seed ^= splitmix64(sm);
+  sm ^= s_[3] + stream_id;
+  seed ^= splitmix64(sm);
+  return Rng(seed);
+}
+
 }  // namespace chainnet::support

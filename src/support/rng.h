@@ -51,6 +51,13 @@ class Rng {
   /// generator from this stream's next output mixed with `salt`.
   Rng child(std::uint64_t salt) noexcept;
 
+  /// Derives a decorrelated child stream keyed by `stream_id` WITHOUT
+  /// advancing this generator (splitmix-style mixing of the full state with
+  /// the id). Calling split(i) repeatedly on the same parent state returns
+  /// the same stream, so parallel workers / trials indexed 0..N-1 get
+  /// reproducible independent seeds regardless of creation order.
+  Rng split(std::uint64_t stream_id) const noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -18,7 +18,7 @@ class ToyEvaluator final : public PlacementEvaluator {
  public:
   double total_throughput(const edge::EdgeSystem& system,
                           const edge::Placement& placement) override {
-    ++evaluations_;
+    record_evaluation();
     double total = 0.0;
     for (int i = 0; i < system.num_chains(); ++i) {
       for (int j = 0; j < system.chains[i].length(); ++j) {

@@ -1,0 +1,183 @@
+#include "runtime/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "test_util.h"
+
+namespace chainnet::runtime {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+
+edge::Placement placement_of(int a, int b) {
+  return edge::Placement(std::vector<std::vector<int>>{{a, b}});
+}
+
+TEST(PlacementHash, EqualPlacementsHashEqually) {
+  EXPECT_EQ(small_placement().canonical_hash(),
+            small_placement().canonical_hash());
+  EXPECT_EQ(small_placement(), small_placement());
+}
+
+TEST(PlacementHash, SensitiveToAssignmentAndShape) {
+  std::set<std::uint64_t> hashes;
+  hashes.insert(placement_of(0, 1).canonical_hash());
+  hashes.insert(placement_of(1, 0).canonical_hash());
+  hashes.insert(placement_of(0, 2).canonical_hash());
+  // Same flattened devices, different chain shape.
+  hashes.insert(edge::Placement(std::vector<std::vector<int>>{{0}, {1}}).canonical_hash());
+  hashes.insert(edge::Placement(std::vector<std::vector<int>>{{0, 1}, {2}}).canonical_hash());
+  hashes.insert(edge::Placement(std::vector<std::vector<int>>{{0}, {1, 2}}).canonical_hash());
+  EXPECT_EQ(hashes.size(), 6u);
+}
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache cache;
+  const auto p = small_placement();
+  EXPECT_FALSE(cache.lookup(p).has_value());
+  cache.insert(p, 2.5);
+  const auto hit = cache.lookup(p);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 2.5);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(EvalCache, InsertRefreshesInsteadOfDuplicating) {
+  EvalCacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;
+  EvalCache cache(config);
+  const auto p = small_placement();
+  cache.insert(p, 1.0);
+  cache.insert(p, 3.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(p), 3.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(EvalCache, EvictsLeastRecentlyUsed) {
+  EvalCacheConfig config;
+  config.capacity = 3;
+  config.shards = 1;
+  EvalCache cache(config);
+  const auto p1 = placement_of(0, 1);
+  const auto p2 = placement_of(0, 2);
+  const auto p3 = placement_of(0, 3);
+  const auto p4 = placement_of(1, 2);
+  cache.insert(p1, 1.0);
+  cache.insert(p2, 2.0);
+  cache.insert(p3, 3.0);
+  ASSERT_TRUE(cache.lookup(p1).has_value());  // p2 becomes LRU
+  cache.insert(p4, 4.0);                      // evicts p2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup(p2).has_value());
+  EXPECT_TRUE(cache.lookup(p1).has_value());
+  EXPECT_TRUE(cache.lookup(p3).has_value());
+  EXPECT_TRUE(cache.lookup(p4).has_value());
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(EvalCache, CollidingHashesAreDisambiguatedByEquality) {
+  EvalCacheConfig config;
+  config.capacity = 8;
+  config.shards = 1;
+  config.hash = [](const edge::Placement&) { return 42ULL; };  // all collide
+  EvalCache cache(config);
+  const auto p1 = placement_of(0, 1);
+  const auto p2 = placement_of(1, 0);
+  const auto p3 = placement_of(2, 3);
+  cache.insert(p1, 1.0);
+  cache.insert(p2, 2.0);
+  cache.insert(p3, 3.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(p1), 1.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(p2), 2.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(p3), 3.0);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(EvalCache, ClearEmptiesEveryShard) {
+  EvalCache cache;
+  for (int i = 0; i < 32; ++i) cache.insert(placement_of(i, i + 1), i);
+  EXPECT_EQ(cache.stats().entries, 32u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(placement_of(0, 1)).has_value());
+}
+
+TEST(EvalCache, CapacityRespectedAcrossShards) {
+  EvalCacheConfig config;
+  config.capacity = 16;
+  config.shards = 4;
+  EvalCache cache(config);
+  for (int i = 0; i < 500; ++i) cache.insert(placement_of(i, i + 1), i);
+  EXPECT_LE(cache.stats().entries, 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(EvalCache, TinyCapacityClampsShardsToOne) {
+  EvalCacheConfig config;
+  config.capacity = 2;
+  config.shards = 8;
+  EvalCache cache(config);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+/// Deterministic toy oracle counting how often it is actually consulted.
+class CountingEvaluator final : public optim::PlacementEvaluator {
+ public:
+  double total_throughput(const edge::EdgeSystem&,
+                          const edge::Placement& placement) override {
+    record_evaluation();
+    return static_cast<double>(placement.canonical_hash() % 1000);
+  }
+};
+
+TEST(CachedEvaluator, HitsDoNotCountAsOracleEvaluations) {
+  const auto sys = small_system();
+  const auto p = small_placement();
+  auto cache = std::make_shared<EvalCache>();
+  CachedEvaluator cached(std::make_unique<CountingEvaluator>(), cache);
+  const double first = cached.total_throughput(sys, p);
+  const double second = cached.total_throughput(sys, p);
+  const double third = cached.total_throughput(sys, p);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_DOUBLE_EQ(first, third);
+  EXPECT_EQ(cached.inner().evaluations(), 1u);  // oracle consulted once
+  EXPECT_EQ(cached.evaluations(), 1u);          // misses only
+  EXPECT_EQ(cached.cache_hits(), 2u);           // reported separately
+}
+
+TEST(CachedEvaluator, SharingOneCacheAcrossDecorators) {
+  const auto sys = small_system();
+  const auto p = small_placement();
+  auto cache = std::make_shared<EvalCache>();
+  CachedEvaluator a(std::make_unique<CountingEvaluator>(), cache);
+  CachedEvaluator b(std::make_unique<CountingEvaluator>(), cache);
+  a.total_throughput(sys, p);
+  const double via_b = b.total_throughput(sys, p);  // served from a's work
+  EXPECT_DOUBLE_EQ(via_b, *cache->lookup(p));
+  EXPECT_EQ(b.evaluations(), 0u);
+  EXPECT_EQ(b.cache_hits(), 1u);
+}
+
+TEST(SaturatingAdd, ClampsAtMax) {
+  const auto max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(optim::saturating_add(2, 3), 5u);
+  EXPECT_EQ(optim::saturating_add(max, 1), max);
+  EXPECT_EQ(optim::saturating_add(max - 1, 1), max);
+  EXPECT_EQ(optim::saturating_add(1, max), max);
+}
+
+}  // namespace
+}  // namespace chainnet::runtime

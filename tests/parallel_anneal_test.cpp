@@ -1,0 +1,237 @@
+// Determinism and correctness of the concurrent evaluation runtime wired
+// into the SA drivers: a 1-thread anneal_trials_parallel must reproduce the
+// serial anneal_trials bit-for-bit, and batch evaluation must agree with
+// direct evaluation for every oracle that is a pure function of the
+// placement.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "optim/annealing.h"
+#include "optim/evaluator.h"
+#include "optim/initial.h"
+#include "queueing/simulator.h"
+#include "runtime/eval_cache.h"
+#include "runtime/eval_service.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+
+namespace chainnet::optim {
+namespace {
+
+using chainnet::testing::small_system;
+
+/// Value-deterministic toy oracle (same objective as annealing_test's).
+class ToyEvaluator final : public PlacementEvaluator {
+ public:
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override {
+    record_evaluation();
+    double total = 0.0;
+    for (int i = 0; i < system.num_chains(); ++i) {
+      for (int j = 0; j < system.chains[i].length(); ++j) {
+        total += 1.0 / system.processing_time(i, j, placement.device_of(i, j));
+      }
+    }
+    return total;
+  }
+};
+
+runtime::EvalService::EvaluatorFactory toy_factory() {
+  return [](support::Rng) -> std::unique_ptr<PlacementEvaluator> {
+    return std::make_unique<ToyEvaluator>();
+  };
+}
+
+/// Fixed-seed simulation oracle: the objective depends on the placement
+/// only, so results are identical no matter which worker scores it.
+runtime::EvalService::EvaluatorFactory sim_factory() {
+  queueing::SimConfig cfg;
+  cfg.horizon = 400.0;
+  cfg.seed = 9;
+  return [cfg](support::Rng) -> std::unique_ptr<PlacementEvaluator> {
+    return std::make_unique<SimulationEvaluator>(cfg);
+  };
+}
+
+SaConfig quick_sa(int steps = 25) {
+  SaConfig cfg;
+  cfg.max_steps = steps;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(EvalService, BatchMatchesDirectEvaluation) {
+  const auto sys = small_system();
+  auto current = initial_placement(sys);
+  std::vector<edge::Placement> batch;
+  support::Rng rng(3);
+  const SaConfig cfg;
+  for (int i = 0; i < 16; ++i) {
+    edge::Placement next;
+    ASSERT_TRUE(propose_move(sys, current, rng, cfg, next));
+    current = next;
+    batch.push_back(current);
+  }
+  runtime::ThreadPool pool(4);
+  runtime::EvalService service(pool, sim_factory(), 1);
+  const auto parallel = service.evaluate_batch(sys, batch);
+  const auto direct = sim_factory()(support::Rng(0));
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i], direct->total_throughput(sys, batch[i]));
+  }
+  EXPECT_EQ(service.oracle_evaluations(), batch.size());
+}
+
+TEST(EvalService, EmptyBatchIsANoOp) {
+  runtime::ThreadPool pool(2);
+  runtime::EvalService service(pool, toy_factory(), 1);
+  EXPECT_TRUE(service.evaluate_batch(small_system(), {}).empty());
+  EXPECT_EQ(service.oracle_evaluations(), 0u);
+}
+
+TEST(AnnealTrialsParallel, OneThreadMatchesSerialBitForBit) {
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  const auto cfg = quick_sa();
+
+  // Serial reference with an evaluator identical to worker 0's.
+  const auto serial_eval =
+      sim_factory()(runtime::EvalService::worker_stream(cfg.seed, 0));
+  const auto serial = anneal_trials(sys, initial, *serial_eval, cfg, 4);
+
+  runtime::ThreadPool pool(1);
+  runtime::EvalService service(pool, sim_factory(), cfg.seed);
+  const auto parallel = anneal_trials_parallel(sys, initial, service, cfg, 4);
+
+  EXPECT_DOUBLE_EQ(parallel.best_objective, serial.best_objective);
+  EXPECT_EQ(parallel.best.assignment(), serial.best.assignment());
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  EXPECT_EQ(parallel.trials, serial.trials);
+  ASSERT_EQ(parallel.trajectory.size(), serial.trajectory.size());
+  for (std::size_t i = 0; i < parallel.trajectory.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel.trajectory[i].best, serial.trajectory[i].best);
+    EXPECT_DOUBLE_EQ(parallel.trajectory[i].current,
+                     serial.trajectory[i].current);
+    EXPECT_EQ(parallel.trajectory[i].step, serial.trajectory[i].step);
+  }
+}
+
+TEST(AnnealTrialsParallel, MultiThreadMatchesSerialForPureOracles) {
+  // With a placement-pure oracle every trial computes identical numbers on
+  // any worker, and the merge order is fixed, so even a 4-thread run is an
+  // exact reproduction of the serial search.
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  const auto cfg = quick_sa();
+  const auto serial_eval = sim_factory()(support::Rng(0));
+  const auto serial = anneal_trials(sys, initial, *serial_eval, cfg, 6);
+
+  runtime::ThreadPool pool(4);
+  runtime::EvalService service(pool, sim_factory(), cfg.seed);
+  const auto parallel = anneal_trials_parallel(sys, initial, service, cfg, 6);
+
+  EXPECT_DOUBLE_EQ(parallel.best_objective, serial.best_objective);
+  EXPECT_EQ(parallel.best.assignment(), serial.best.assignment());
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+}
+
+TEST(AnnealTrialsParallel, RejectsNonPositiveTrials) {
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  runtime::ThreadPool pool(1);
+  runtime::EvalService service(pool, toy_factory(), 1);
+  EXPECT_THROW(anneal_trials_parallel(sys, initial, service, quick_sa(), 0),
+               std::invalid_argument);
+}
+
+TEST(AnnealBatched, ImprovesObjectiveAndRecordsTrajectory) {
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  runtime::ThreadPool pool(2);
+  runtime::EvalService service(pool, toy_factory(), 1);
+  ToyEvaluator reference;
+  const double initial_obj = reference.total_throughput(sys, initial);
+  const auto cfg = quick_sa(40);
+  const auto result = anneal_batched(sys, initial, service, cfg, 4);
+  EXPECT_GE(result.best_objective, initial_obj);
+  EXPECT_NO_THROW(result.best.validate(sys));
+  ASSERT_EQ(result.trajectory.size(), 41u);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i].best, result.trajectory[i - 1].best);
+  }
+  // Up to pool_size evaluations per step plus the initial one.
+  EXPECT_GE(result.evaluations, 1u);
+  EXPECT_LE(result.evaluations, 1u + 40u * 4u);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(AnnealBatched, DeterministicAcrossThreadCounts) {
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  const auto cfg = quick_sa(30);
+  runtime::ThreadPool pool1(1);
+  runtime::EvalService service1(pool1, sim_factory(), cfg.seed);
+  const auto a = anneal_batched(sys, initial, service1, cfg, 3);
+  runtime::ThreadPool pool4(4);
+  runtime::EvalService service4(pool4, sim_factory(), cfg.seed);
+  const auto b = anneal_batched(sys, initial, service4, cfg, 3);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+  EXPECT_EQ(a.best.assignment(), b.best.assignment());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(AnnealBatched, PoolSizeOneMatchesPlainAnneal) {
+  // One proposal per step, scored remotely: exactly anneal()'s decision
+  // sequence for the same seed and a placement-pure oracle.
+  const auto sys = small_system();
+  const auto initial = initial_placement(sys);
+  const auto cfg = quick_sa(30);
+  const auto serial_eval = sim_factory()(support::Rng(0));
+  const auto serial = anneal(sys, initial, *serial_eval, cfg);
+  runtime::ThreadPool pool(2);
+  runtime::EvalService service(pool, sim_factory(), cfg.seed);
+  const auto batched = anneal_batched(sys, initial, service, cfg, 1);
+  EXPECT_DOUBLE_EQ(batched.best_objective, serial.best_objective);
+  EXPECT_EQ(batched.best.assignment(), serial.best.assignment());
+}
+
+TEST(CachedEvaluatorParallel, SharedCacheAbsorbsRepeatedBatches) {
+  const auto sys = small_system();
+  auto current = initial_placement(sys);
+  std::vector<edge::Placement> batch;
+  support::Rng rng(5);
+  const SaConfig cfg;
+  for (int i = 0; i < 12; ++i) {
+    edge::Placement next;
+    ASSERT_TRUE(propose_move(sys, current, rng, cfg, next));
+    current = next;
+    batch.push_back(current);
+  }
+  auto cache = std::make_shared<runtime::EvalCache>();
+  auto inner = sim_factory();
+  runtime::EvalService::EvaluatorFactory cached =
+      [inner, cache](support::Rng stream)
+      -> std::unique_ptr<PlacementEvaluator> {
+    return std::make_unique<runtime::CachedEvaluator>(inner(stream), cache);
+  };
+  runtime::ThreadPool pool(4);
+  runtime::EvalService service(pool, cached, 1);
+  const auto first = service.evaluate_batch(sys, batch);
+  const auto second = service.evaluate_batch(sys, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+  const auto stats = cache->stats();
+  // The second pass is served from the cache entirely (the first may also
+  // hit when the walk revisits states).
+  EXPECT_GE(stats.hits, batch.size());
+  // Oracle evaluations = misses only, never more than distinct placements
+  // of the first pass.
+  EXPECT_LE(service.oracle_evaluations(), batch.size());
+}
+
+}  // namespace
+}  // namespace chainnet::optim

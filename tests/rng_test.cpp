@@ -137,6 +137,44 @@ TEST(Rng, ChildStreamsAreIndependent) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(31), b(31);
+  (void)a.split(7);
+  (void)a.split(8);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitIsDeterministicPerStreamId) {
+  const Rng parent(13);
+  Rng x = parent.split(4);
+  Rng y = parent.split(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(x(), y());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  const Rng parent(13);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  Rng c = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    if (va == vb || vb == vc || va == vc) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitDiffersFromParentOutput) {
+  Rng parent(97);
+  Rng child = parent.split(0);
+  Rng fresh(97);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == fresh()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 TEST(Rng, SplitmixAdvancesState) {
   std::uint64_t s = 0;
   const auto a = splitmix64(s);

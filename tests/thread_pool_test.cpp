@@ -1,0 +1,93 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace chainnet::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_index_here(), -1);  // caller is not a worker
+  auto index = pool.submit([&pool] { return pool.worker_index_here(); });
+  const int worker = index.get();
+  EXPECT_GE(worker, 0);
+  EXPECT_LT(worker, pool.size());
+}
+
+TEST(ThreadPool, WorkerIndexDoesNotLeakAcrossPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  // A worker of `a` is not a worker of `b`.
+  auto cross = a.submit([&b] { return b.worker_index_here(); });
+  EXPECT_EQ(cross.get(), -1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasksAndJoins) {
+  std::atomic<int> completed{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++completed;
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(completed.load(), 50);
+  EXPECT_THROW(pool.submit([] { return 0; }), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&completed] { ++completed; });
+    }
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+}  // namespace
+}  // namespace chainnet::runtime

@@ -12,6 +12,16 @@
 //                      [--hidden H] [--iterations N] [--json]
 //   chainnet optimize  --system s.json (--weights w.bin | --oracle sim|approx)
 //                      [--steps N] [--trials T] [--out placement.json]
+//                      [--threads N] [--cache-size N] [--batch K]
+//
+// --threads N  fans independent SA trials out across an N-worker pool
+//              (each worker gets a private oracle with a decorrelated
+//              seed stream); N=1 reproduces the serial driver exactly.
+// --batch K    switches to the neighbor-pool driver: K candidate moves per
+//              step, scored as one batch across the pool.
+// --cache-size N  memoizes oracle calls in a sharded LRU keyed by the
+//              placement's canonical hash; hits are reported separately
+//              and never counted as oracle evaluations.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <iostream>
@@ -34,6 +44,9 @@
 #include "optim/initial.h"
 #include "queueing/approximation.h"
 #include "queueing/simulator.h"
+#include "runtime/eval_cache.h"
+#include "runtime/eval_service.h"
+#include "runtime/thread_pool.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "tensor/serialize.h"
@@ -303,40 +316,100 @@ int cmd_optimize(const Args& args) {
   const auto system = edge::load_system(args.require("system"));
   const auto initial = optim::initial_placement(system);
 
-  std::unique_ptr<optim::PlacementEvaluator> evaluator;
-  std::unique_ptr<core::ChainNet> model;  // must outlive the evaluator
   const std::string oracle = args.get("oracle", "");
+  const int threads = std::max(1, args.integer("threads", 1));
+  const int batch = std::max(0, args.integer("batch", 0));
+  const auto cache_size =
+      static_cast<std::size_t>(std::max(0, args.integer("cache-size", 0)));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+
+  // One private oracle per worker stream; models (surrogate oracle) are
+  // parked in `models` so they outlive their evaluators.
+  auto models = std::make_shared<std::vector<std::unique_ptr<core::ChainNet>>>();
+  runtime::EvalService::EvaluatorFactory factory;
   if (args.has("weights")) {
-    support::Rng rng(1);
-    model = std::make_unique<core::ChainNet>(model_config(args), rng);
-    tensor::load_parameters(*model, args.require("weights"));
-    evaluator = std::make_unique<optim::SurrogateEvaluator>(
-        core::Surrogate(*model));
+    const std::string weights = args.require("weights");
+    const auto cfg = model_config(args);
+    factory = [models, cfg,
+               weights](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+      support::Rng init_rng(1);
+      auto model = std::make_unique<core::ChainNet>(cfg, init_rng);
+      tensor::load_parameters(*model, weights);
+      models->push_back(std::move(model));
+      return std::make_unique<optim::SurrogateEvaluator>(
+          core::Surrogate(*models->back()));
+    };
   } else if (oracle == "approx") {
-    evaluator = std::make_unique<optim::ApproximationEvaluator>();
+    factory = [](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+      return std::make_unique<optim::ApproximationEvaluator>();
+    };
   } else if (oracle == "sim" || oracle.empty()) {
     auto cfg = sim_config(system, args);
     cfg.horizon /= 10.0;  // cheaper per-candidate effort inside the search
-    evaluator = std::make_unique<optim::SimulationEvaluator>(cfg);
+    // Fixed evaluation seed across workers (common random numbers), so the
+    // objective depends on the placement only and batched / parallel runs
+    // are reproducible regardless of which worker scores a candidate.
+    factory =
+        [cfg](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+      return std::make_unique<optim::SimulationEvaluator>(cfg);
+    };
   } else {
     std::cerr << "unknown --oracle '" << oracle << "'\n";
     return 1;
   }
 
+  std::shared_ptr<runtime::EvalCache> cache;
+  if (cache_size > 0) {
+    runtime::EvalCacheConfig cache_cfg;
+    cache_cfg.capacity = cache_size;
+    cache = std::make_shared<runtime::EvalCache>(cache_cfg);
+    factory = [inner = std::move(factory), cache](support::Rng stream)
+        -> std::unique_ptr<optim::PlacementEvaluator> {
+      return std::make_unique<runtime::CachedEvaluator>(inner(stream), cache);
+    };
+  }
+
   optim::SaConfig sa;
   sa.max_steps = args.integer("steps", 100);
-  sa.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  sa.seed = seed;
   const int trials = args.integer("trials", 5);
-  const auto result =
-      optim::anneal_trials(system, initial, *evaluator, sa, trials);
+
+  optim::SaResult result;
+  if (threads > 1 || batch > 0) {
+    runtime::ThreadPool pool(threads);
+    runtime::EvalService service(pool, factory, seed);
+    result = batch > 0
+                 ? optim::anneal_batched(system, initial, service, sa, batch)
+                 : optim::anneal_trials_parallel(system, initial, service, sa,
+                                                 trials);
+  } else {
+    const auto evaluator =
+        factory(runtime::EvalService::worker_stream(seed, 0));
+    result = optim::anneal_trials(system, initial, *evaluator, sa, trials);
+  }
 
   const auto ref = sim_config(system, args);
   const double x0 = optim::simulated_total_throughput(system, initial, ref);
   const double x1 =
       optim::simulated_total_throughput(system, result.best, ref);
-  std::cout << "search: " << trials << " trials x " << sa.max_steps
-            << " steps, " << result.evaluations << " evaluations in "
-            << result.seconds << "s\n"
+  std::cout << "search: " << result.trials << " trials x " << sa.max_steps
+            << " steps, " << result.evaluations << " oracle evaluations in "
+            << result.wall_seconds << "s wall (" << threads << " thread"
+            << (threads == 1 ? "" : "s");
+  if (result.wall_seconds > 0.0) {
+    std::cout << ", "
+              << static_cast<double>(result.evaluations) /
+                     result.wall_seconds
+              << " evals/s";
+  }
+  std::cout << ")\n";
+  if (cache) {
+    const auto stats = cache->stats();
+    std::cout << "cache: " << stats.hits << " hits, " << stats.misses
+              << " misses, " << stats.evictions << " evictions, "
+              << stats.entries << " resident\n";
+  }
+  std::cout
             << "loss probability: initial "
             << optim::loss_probability(system, x0) << " -> optimized "
             << optim::loss_probability(system, x1)
@@ -365,7 +438,8 @@ int usage() {
          " [--json]\n"
          "  evaluate  --weights w.bin [--kind type1|type2] [--samples N]\n"
          "  optimize  --system s.json [--weights w.bin | --oracle"
-         " sim|approx] [--steps N] [--trials T] [--out p.json]\n";
+         " sim|approx] [--steps N] [--trials T] [--out p.json]\n"
+         "            [--threads N] [--cache-size N] [--batch K]\n";
   return 1;
 }
 
