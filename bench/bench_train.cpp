@@ -1,0 +1,133 @@
+// Training/inference throughput of the tensor substrate (ISSUE 2 bench).
+//
+// Measures, on a small fixed workload:
+//   * ChainNet training steps/s (one step = one optimizer batch) via
+//     gnn::train on a generated dataset;
+//   * autodiff forward+backward passes/s on a single placement graph;
+//   * inference forward_values calls/s on the same graph (the SA hot path).
+//
+// With the arena tape it also reports tape ops (nodes) per training pass and
+// arena bytes in use per pass, plus the steady-state tape capacity — the
+// numbers behind the "allocation-free steady state" claim in DESIGN.md.
+//
+// Usage: bench_train [epochs] (default 8; dataset/model sizes are fixed so
+// runs are comparable across commits).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/chainnet.h"
+#include "edge/graph.h"
+#include "gnn/dataset.h"
+#include "gnn/trainer.h"
+#include "support/rng.h"
+#include "tensor/tape.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chainnet;
+
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  // Fixed workload: small Type-I systems, modest ChainNet.
+  gnn::LabelingConfig lc;
+  lc.arrivals_per_chain = 300.0;
+  auto params = edge::NetworkGenParams::type1();
+  const auto ds = gnn::generate_dataset(params, 64, lc, 4242);
+
+  support::Rng rng(7);
+  core::ChainNetConfig cfg;
+  cfg.hidden = 32;
+  cfg.iterations = 4;
+  core::ChainNet model(cfg, rng);
+
+  gnn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 8;
+  tc.seed = 99;
+
+  const std::size_t batches_per_epoch =
+      (ds.samples.size() + static_cast<std::size_t>(tc.batch_size) - 1) /
+      static_cast<std::size_t>(tc.batch_size);
+
+  std::printf("bench_train: %zu samples, hidden=%d iters=%d, %d epochs, "
+              "batch=%d\n",
+              ds.samples.size(), cfg.hidden, cfg.iterations, epochs,
+              tc.batch_size);
+
+  // ---- training throughput -------------------------------------------
+  const auto report = gnn::train(model, ds, nullptr, tc);
+  const double steps =
+      static_cast<double>(batches_per_epoch) * static_cast<double>(epochs);
+  std::printf("train: %.3fs for %.0f steps -> %.1f steps/s "
+              "(%.1f samples/s), final loss %.6f\n",
+              report.seconds, steps, steps / report.seconds,
+              static_cast<double>(ds.samples.size()) *
+                  static_cast<double>(epochs) / report.seconds,
+              report.train_loss.back());
+
+  // ---- forward+backward passes/s on one graph ------------------------
+  const auto& sample0 = ds.samples.front();
+  const auto& graph = sample0.graph(model.feature_mode());
+  tensor::Tape& tape = tensor::Tape::current();
+  {
+    const int passes = 200;
+    std::size_t nodes_per_pass = 0;
+    std::size_t bytes_per_pass = 0;
+    const auto start = Clock::now();
+    double sink = 0.0;
+    for (int i = 0; i < passes; ++i) {
+      const std::size_t nodes0 = tape.node_count();
+      const std::size_t bytes0 = tape.used_bytes();
+      const tensor::Tape::Frame frame(tape);
+      const auto outputs = model.forward(graph);
+      auto loss = tensor::mse(outputs.front().throughput,
+                              tensor::Var::scalar(0.5));
+      loss.backward();
+      sink += loss.item();
+      model.zero_grad();
+      if (i == 0) {
+        nodes_per_pass = tape.node_count() - nodes0;
+        bytes_per_pass = tape.used_bytes() - bytes0;
+      }
+    }
+    const double dt = seconds_since(start);
+    std::printf("forward+backward: %d passes in %.3fs -> %.1f passes/s "
+                "(sink %.3f)\n",
+                passes, dt, passes / dt, sink);
+    std::printf("  tape: %zu ops/pass, %zu bytes/pass, capacity %zu bytes "
+                "(steady state)\n",
+                nodes_per_pass, bytes_per_pass, tape.capacity_bytes());
+  }
+
+  // ---- inference forward_values calls/s ------------------------------
+  {
+    const int calls = 2000;
+    const std::size_t cap0 = tape.capacity_bytes();
+    const auto start = Clock::now();
+    double sink = 0.0;
+    for (int i = 0; i < calls; ++i) {
+      const auto values = model.forward_values(graph);
+      sink += values.front().throughput;
+    }
+    const double dt = seconds_since(start);
+    std::printf("forward_values: %d calls in %.3fs -> %.1f calls/s "
+                "(sink %.3f)\n",
+                calls, dt, calls / dt, sink);
+    std::printf("  tape: capacity grew %zu bytes over %d calls "
+                "(0 = allocation-free inference)\n",
+                tape.capacity_bytes() - cap0, calls);
+  }
+
+  return 0;
+}

@@ -75,9 +75,19 @@ const Scale& scale() {
   return s;
 }
 
+#ifndef CHAINNET_DEFAULT_CACHE_DIR
+#define CHAINNET_DEFAULT_CACHE_DIR "chainnet_cache"
+#endif
+
 std::string cache_dir() {
+  // Priority: CHAINNET_CACHE_DIR env var, then the build-time default
+  // (bench/CMakeLists.txt points it under the build tree so benches never
+  // litter the source checkout), then a relative fallback.
   static const std::string dir = [] {
-    const fs::path p = fs::path("chainnet_cache") / scale().name;
+    const char* env = std::getenv("CHAINNET_CACHE_DIR");
+    const fs::path root =
+        (env && *env) ? fs::path(env) : fs::path(CHAINNET_DEFAULT_CACHE_DIR);
+    const fs::path p = root / scale().name;
     fs::create_directories(p);
     return p.string();
   }();

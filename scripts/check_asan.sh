@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the tensor/gnn test suites under AddressSanitizer + UBSan and run
+# them.
+#
+# Usage: scripts/check_asan.sh [extra ctest args...]
+#
+# Uses the "asan-ubsan" CMake preset (build dir: build-asan). The filter
+# covers the arena-tape substrate and everything layered on it — autodiff
+# ops, modules, optimizers, serialization, ChainNet and the baselines,
+# gradient checks, the fast-inference equivalence suite, and the trainer —
+# the code where a bump-allocator bug (stale buffer, out-of-bounds scatter,
+# use-after-release) would surface.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build build-asan -j "$(nproc)" \
+  --target autograd_test tape_test nn_test optimizer_test serialize_test \
+  baselines_test baseline_gradcheck_test chainnet_test \
+  chainnet_gradcheck_test chainnet_inference_test trainer_test \
+  invariance_test
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir build-asan \
+  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|trainer|invariance)_test' \
+  --output-on-failure "$@"
+
+echo "ASan+UBSan check passed."

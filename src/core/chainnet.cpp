@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "tensor/nn.h"
@@ -222,6 +223,39 @@ struct ChainNet::Impl : Module {
 
   using Vec = std::vector<double>;
 
+  /// Buffers reused across run_values calls so the optimizer's steady-state
+  /// inference loop performs no allocations. Per-instance state: one model
+  /// per thread, per the one-evaluator-per-worker contract of
+  /// runtime::EvalService (chainnet_cli builds one ChainNet per worker).
+  struct Workspace {
+    std::vector<Vec> service, fragment, device;
+    std::vector<Vec> fragment_prev, device_prev;
+    std::vector<Vec> service_at_step;
+    std::vector<Vec> messages;
+    Vec hs, message, h_next, m_d, h_latency, scalar;
+    Vec joint, act, att_weights, transformed;
+    Mlp::Scratch mlp;
+    GruCell::Scratch gru;
+  };
+  Workspace ws_;
+
+  /// Grows `rows` to at least n rows of `width` elements each, keeping
+  /// capacity. Row contents are unspecified; callers overwrite them.
+  static void fit_rows(std::vector<Vec>& rows, std::size_t n,
+                       std::size_t width) {
+    if (rows.size() < n) rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i].resize(width);
+  }
+
+  /// dst[0..n) = src[0..n), reusing dst's row capacity.
+  static void copy_rows(const std::vector<Vec>& src, std::size_t n,
+                        std::vector<Vec>& dst) {
+    if (dst.size() < n) dst.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i].assign(src[i].begin(), src[i].end());
+    }
+  }
+
   static void raw_matvec(std::span<const double> w, std::span<const double> x,
                          std::span<double> out) {
     const std::size_t rows = out.size();
@@ -234,13 +268,13 @@ struct ChainNet::Impl : Module {
     }
   }
 
-  /// f_multi over raw buffers; `out` has size 2H.
+  /// f_multi over raw buffers; `out` has size 2H. Scratch lives in ws_.
   void aggregate_device_messages_values(const Vec& device_prev,
-                                        const std::vector<Vec>& messages,
+                                        std::span<const Vec> messages,
                                         Vec& out) {
     const std::size_t two_h = messages.front().size();
     if (messages.size() == 1) {
-      out = messages.front();
+      out.assign(messages.front().begin(), messages.front().end());
       return;
     }
     if (!config.attention_aggregation) {
@@ -254,7 +288,14 @@ struct ChainNet::Impl : Module {
     }
     const std::size_t h = device_prev.size();
     out.assign(two_h, 0.0);
-    Vec joint(3 * h), act(h), weights(messages.size()), transformed(two_h);
+    Vec& joint = ws_.joint;
+    Vec& act = ws_.act;
+    Vec& weights = ws_.att_weights;
+    Vec& transformed = ws_.transformed;
+    joint.resize(3 * h);
+    act.resize(h);
+    weights.resize(messages.size());
+    transformed.resize(two_h);
     std::copy(device_prev.begin(), device_prev.end(), joint.begin());
     for (const auto& head : attention) {
       // Scores (eq. 15).
@@ -293,82 +334,93 @@ struct ChainNet::Impl : Module {
     const auto num_steps = static_cast<std::size_t>(g.num_fragments());
     const auto num_devices = static_cast<std::size_t>(g.num_devices());
     const auto num_chains = static_cast<std::size_t>(g.num_chains);
+    Workspace& ws = ws_;
 
-    std::vector<Vec> service(num_chains, Vec(h));
-    std::vector<Vec> fragment(num_steps, Vec(h));
-    std::vector<Vec> device(num_devices, Vec(h));
+    fit_rows(ws.service, num_chains, h);
+    fit_rows(ws.fragment, num_steps, h);
+    fit_rows(ws.device, num_devices, h);
     for (std::size_t i = 0; i < num_chains; ++i) {
-      enc_service->forward_values(g.service_features[i], service[i]);
-      tensor::apply_activation_values(service[i], Activation::kTanh);
+      enc_service->forward_values(g.service_features[i], ws.service[i]);
+      tensor::apply_activation_values(ws.service[i], Activation::kTanh);
     }
     for (std::size_t s = 0; s < num_steps; ++s) {
-      enc_fragment->forward_values(g.fragment_features[s], fragment[s]);
-      tensor::apply_activation_values(fragment[s], Activation::kTanh);
+      enc_fragment->forward_values(g.fragment_features[s], ws.fragment[s]);
+      tensor::apply_activation_values(ws.fragment[s], Activation::kTanh);
     }
     for (std::size_t n = 0; n < num_devices; ++n) {
-      enc_device->forward_values(g.device_features[n], device[n]);
-      tensor::apply_activation_values(device[n], Activation::kTanh);
+      enc_device->forward_values(g.device_features[n], ws.device[n]);
+      tensor::apply_activation_values(ws.device[n], Activation::kTanh);
     }
 
-    std::vector<Vec> service_at_step(num_steps, Vec(h));
-    Vec message(2 * h), h_next(h), m_d(2 * h);
+    fit_rows(ws.service_at_step, num_steps, h);
+    ws.hs.resize(h);
+    ws.message.resize(2 * h);
+    ws.h_next.resize(h);
+    ws.m_d.resize(2 * h);
     for (int n = 0; n < config.iterations; ++n) {
-      const std::vector<Vec> fragment_prev = fragment;
-      const std::vector<Vec> device_prev = device;
+      copy_rows(ws.fragment, num_steps, ws.fragment_prev);
+      copy_rows(ws.device, num_devices, ws.device_prev);
       for (std::size_t i = 0; i < num_chains; ++i) {
-        Vec hs = service[i];
+        ws.hs.assign(ws.service[i].begin(), ws.service[i].end());
         for (int s : g.sequences[static_cast<int>(i)]) {
           const auto su = static_cast<std::size_t>(s);
           const auto dn = static_cast<std::size_t>(g.steps[s].device_node);
-          std::copy(fragment_prev[su].begin(), fragment_prev[su].end(),
-                    message.begin());
-          std::copy(device_prev[dn].begin(), device_prev[dn].end(),
-                    message.begin() + static_cast<std::ptrdiff_t>(h));
-          phi_c->forward_values(hs, message, h_next);
-          hs = h_next;
-          service_at_step[su] = hs;
-          std::copy(hs.begin(), hs.end(), message.begin());
-          std::copy(device_prev[dn].begin(), device_prev[dn].end(),
-                    message.begin() + static_cast<std::ptrdiff_t>(h));
-          phi_f->forward_values(fragment_prev[su], message, fragment[su]);
+          std::copy(ws.fragment_prev[su].begin(), ws.fragment_prev[su].end(),
+                    ws.message.begin());
+          std::copy(ws.device_prev[dn].begin(), ws.device_prev[dn].end(),
+                    ws.message.begin() + static_cast<std::ptrdiff_t>(h));
+          phi_c->forward_values(ws.hs, ws.message, ws.h_next, ws.gru);
+          ws.hs.swap(ws.h_next);
+          ws.service_at_step[su].assign(ws.hs.begin(), ws.hs.end());
+          std::copy(ws.hs.begin(), ws.hs.end(), ws.message.begin());
+          std::copy(ws.device_prev[dn].begin(), ws.device_prev[dn].end(),
+                    ws.message.begin() + static_cast<std::ptrdiff_t>(h));
+          phi_f->forward_values(ws.fragment_prev[su], ws.message,
+                                ws.fragment[su], ws.gru);
         }
-        service[i] = hs;
+        ws.service[i].assign(ws.hs.begin(), ws.hs.end());
       }
       for (std::size_t dn = 0; dn < num_devices; ++dn) {
-        std::vector<Vec> messages;
-        messages.reserve(g.device_node_steps[dn].size());
-        for (int s : g.device_node_steps[dn]) {
-          const auto su = static_cast<std::size_t>(s);
-          Vec m(2 * h);
-          std::copy(service_at_step[su].begin(), service_at_step[su].end(),
-                    m.begin());
-          std::copy(fragment_prev[su].begin(), fragment_prev[su].end(),
-                    m.begin() + static_cast<std::ptrdiff_t>(h));
-          messages.push_back(std::move(m));
+        const auto& steps = g.device_node_steps[dn];
+        if (ws.messages.size() < steps.size()) {
+          ws.messages.resize(steps.size());
         }
-        aggregate_device_messages_values(device_prev[dn], messages, m_d);
-        phi_d->forward_values(device_prev[dn], m_d, device[dn]);
+        for (std::size_t t = 0; t < steps.size(); ++t) {
+          const auto su = static_cast<std::size_t>(steps[t]);
+          Vec& m = ws.messages[t];
+          m.resize(2 * h);
+          std::copy(ws.service_at_step[su].begin(),
+                    ws.service_at_step[su].end(), m.begin());
+          std::copy(ws.fragment_prev[su].begin(), ws.fragment_prev[su].end(),
+                    m.begin() + static_cast<std::ptrdiff_t>(h));
+        }
+        aggregate_device_messages_values(
+            ws.device_prev[dn],
+            std::span<const Vec>(ws.messages.data(), steps.size()), ws.m_d);
+        phi_d->forward_values(ws.device_prev[dn], ws.m_d, ws.device[dn],
+                              ws.gru);
       }
     }
 
     std::vector<gnn::ChainValues> outputs(num_chains);
-    Vec h_latency(h), scalar(1);
+    ws.h_latency.resize(h);
+    ws.scalar.resize(1);
     for (std::size_t i = 0; i < num_chains; ++i) {
-      mlp_tput->forward_values(service[i], scalar);
-      outputs[i].throughput = scalar[0];
+      mlp_tput->forward_values(ws.service[i], ws.scalar, ws.mlp);
+      outputs[i].throughput = ws.scalar[0];
       outputs[i].has_throughput = true;
-      h_latency.assign(h, 0.0);
+      ws.h_latency.assign(h, 0.0);
       const auto& seq = g.sequences[static_cast<int>(i)];
       for (int s : seq) {
-        const auto& f = fragment[static_cast<std::size_t>(s)];
-        for (std::size_t j = 0; j < h; ++j) h_latency[j] += f[j];
+        const auto& f = ws.fragment[static_cast<std::size_t>(s)];
+        for (std::size_t j = 0; j < h; ++j) ws.h_latency[j] += f[j];
       }
       if (config.modified_outputs) {
         const double inv = 1.0 / static_cast<double>(seq.size());
-        for (auto& v : h_latency) v *= inv;
+        for (auto& v : ws.h_latency) v *= inv;
       }
-      mlp_latency->forward_values(h_latency, scalar);
-      outputs[i].latency = scalar[0];
+      mlp_latency->forward_values(ws.h_latency, ws.scalar, ws.mlp);
+      outputs[i].latency = ws.scalar[0];
       outputs[i].has_latency = true;
     }
     return outputs;

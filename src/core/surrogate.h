@@ -12,7 +12,13 @@ namespace chainnet::core {
 
 class Surrogate {
  public:
-  /// The model must outlive the surrogate.
+  /// The model must outlive the surrogate. Prediction goes through
+  /// GraphModel::forward_values, which either avoids the autodiff tape
+  /// entirely (ChainNet's raw-buffer path) or frames the pass so the
+  /// thread-local tape is rewound per call — a Surrogate can therefore be
+  /// driven from a runtime::EvalService worker indefinitely without growing
+  /// that worker's tape. Use one Surrogate+model pair per thread; the model
+  /// holds mutable inference workspace.
   explicit Surrogate(gnn::GraphModel& model) : model_(&model) {}
 
   /// Per-chain predicted throughput and latency for a candidate placement.

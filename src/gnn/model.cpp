@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/tape.h"
+
 namespace chainnet::gnn {
 
 namespace {
@@ -36,6 +38,10 @@ double decode_latency(const edge::PlacementGraph& g, int chain, double t,
 
 std::vector<ChainValues> GraphModel::forward_values(
     const edge::PlacementGraph& g) {
+  // The adapter frames the autodiff pass: the graph is released as soon as
+  // the scalars are extracted, so repeated inference calls reuse the same
+  // tape region instead of growing it.
+  const tensor::Tape::Frame frame(tensor::Tape::current());
   const auto outputs = forward(g);
   std::vector<ChainValues> values(outputs.size());
   for (std::size_t i = 0; i < outputs.size(); ++i) {

@@ -8,6 +8,7 @@
 
 #include "support/rng.h"
 #include "tensor/optimizer.h"
+#include "tensor/tape.h"
 
 namespace chainnet::gnn {
 
@@ -65,8 +66,7 @@ void clip_gradients(GraphModel& model, double max_norm) {
   if (norm <= max_norm || norm == 0.0) return;
   const double scale_factor = max_norm / norm;
   for (auto* p : params) {
-    auto& node = p->var.node();
-    for (auto& g : node.grad) g *= scale_factor;
+    for (auto& g : p->var.mutable_grad()) g *= scale_factor;
   }
 }
 
@@ -76,6 +76,9 @@ double evaluate_loss(GraphModel& model, const Dataset& dataset) {
   double total = 0.0;
   std::size_t q = 0;
   for (const auto& sample : dataset.samples) {
+    // One tape frame per sample: the loss graph is released as soon as its
+    // scalar is read, so evaluation reuses the same arena for every sample.
+    const Tape::Frame frame(Tape::current());
     const auto sl = sample_loss(model, sample);
     if (sl.loss.defined()) {
       total += sl.loss.item();
@@ -113,6 +116,11 @@ TrainReport train(GraphModel& model, const Dataset& training,
       const std::size_t batch_end = std::min(
           order.size(), pos + static_cast<std::size_t>(config.batch_size));
       model.zero_grad();
+      // One tape frame per batch: forward graphs of all batch samples live
+      // until the optimizer step, then the whole region is rewound. After
+      // the first batch the epoch loop performs no tape allocations
+      // (pinned by tape_test).
+      const Tape::Frame frame(Tape::current());
       std::vector<Var> batch_terms;
       std::size_t batch_q = 0;
       for (std::size_t b = pos; b < batch_end; ++b) {

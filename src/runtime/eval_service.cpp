@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/tape.h"
+
 namespace chainnet::runtime {
 
 EvalService::EvalService(ThreadPool& pool, EvaluatorFactory factory,
@@ -29,6 +31,9 @@ std::vector<double> EvalService::evaluate_batch(
   const int here = pool_.worker_index_here();
   if (here >= 0) {
     // Already on a pool worker: evaluate inline to avoid self-deadlock.
+    // The frame rewinds this worker's thread-local tape after the batch, so
+    // evaluators that build autodiff graphs cannot grow it across batches.
+    const tensor::Tape::Frame frame(tensor::Tape::current());
     auto& evaluator = *evaluators_[static_cast<std::size_t>(here)];
     for (std::size_t i = 0; i < batch.size(); ++i) {
       out[i] = evaluator.total_throughput(system, batch[i]);
@@ -42,6 +47,9 @@ std::vector<double> EvalService::evaluate_batch(
     const edge::Placement* placement = &batch[i];
     futures.push_back(pool_.submit([this, &system, placement] {
       const int w = pool_.worker_index_here();
+      // Each worker owns its thread-local tape; frame the evaluation so the
+      // worker's tape is rewound once the score is extracted.
+      const tensor::Tape::Frame frame(tensor::Tape::current());
       auto& evaluator = *evaluators_[static_cast<std::size_t>(w)];
       return evaluator.total_throughput(system, *placement);
     }));

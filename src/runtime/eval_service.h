@@ -8,6 +8,16 @@
 // structure across threads — the whole design needs no locks on the hot
 // path. Batches fan out one task per placement; exceptions from any
 // evaluation are rethrown after the batch has fully drained.
+//
+// Per-worker-tape contract: the autodiff substrate keeps one thread_local
+// tensor::Tape per thread (tensor/tape.h), so each pool worker — and the
+// owning thread on the inline path — records onto its own arena with no
+// locking. EvalService frames every batch/task, rewinding the worker's tape
+// after each evaluation; steady-state evaluation therefore performs no tape
+// allocations regardless of how many placements a worker scores. Evaluators
+// must not hand tape nodes created on one worker to ops recorded on another
+// (sharing leaf parameters across threads is fine — they are read-only
+// during inference).
 #pragma once
 
 #include <cstdint>

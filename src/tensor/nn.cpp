@@ -26,7 +26,7 @@ void Module::collect(std::vector<Parameter*>& out) {
 }
 
 void Module::zero_grad() {
-  for (Parameter* p : parameters()) p->var.node().zero_grad();
+  for (Parameter* p : parameters()) p->var.zero_grad();
 }
 
 std::size_t Module::parameter_count() const {
@@ -174,19 +174,24 @@ Var Mlp::forward(Var x) const {
 
 void Mlp::forward_values(std::span<const double> x,
                          std::span<double> out) const {
-  std::vector<double> a(x.begin(), x.end());
-  std::vector<double> b;
+  Scratch scratch;
+  forward_values(x, out, scratch);
+}
+
+void Mlp::forward_values(std::span<const double> x, std::span<double> out,
+                         Scratch& s) const {
+  s.a.assign(x.begin(), x.end());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    b.assign(layers_[l]->out_features(), 0.0);
-    layers_[l]->forward_values(a, b);
+    s.b.resize(layers_[l]->out_features());
+    layers_[l]->forward_values(s.a, s.b);
     apply_activation_values(
-        b, l + 1 == layers_.size() ? output_ : hidden_);
-    a.swap(b);
+        s.b, l + 1 == layers_.size() ? output_ : hidden_);
+    s.a.swap(s.b);
   }
-  if (out.size() != a.size()) {
+  if (out.size() != s.a.size()) {
     throw std::invalid_argument("Mlp::forward_values: bad output size");
   }
-  std::copy(a.begin(), a.end(), out.begin());
+  std::copy(s.a.begin(), s.a.end(), out.begin());
 }
 
 // -------------------------------------------------------------- GruCell
@@ -229,27 +234,38 @@ Var GruCell::forward(const Var& h, const Var& x) const {
 void GruCell::forward_values(std::span<const double> h,
                              std::span<const double> x,
                              std::span<double> h_out) const {
+  Scratch scratch;
+  forward_values(h, x, h_out, scratch);
+}
+
+void GruCell::forward_values(std::span<const double> h,
+                             std::span<const double> x,
+                             std::span<double> h_out, Scratch& s) const {
   if (h.size() != hidden_ || x.size() != input_ || h_out.size() != hidden_) {
     throw std::invalid_argument("GruCell::forward_values: size mismatch");
   }
-  // Scratch: r, z, n-input part, n-hidden part.
-  std::vector<double> r(hidden_), z(hidden_), ni(hidden_), nh(hidden_);
-  raw_affine(w_ir_.value(), b_ir_.value(), x, r, hidden_, input_);
-  raw_affine(w_iz_.value(), b_iz_.value(), x, z, hidden_, input_);
-  raw_affine(w_in_.value(), b_in_.value(), x, ni, hidden_, input_);
-  std::vector<double> tmp(hidden_);
-  raw_affine(w_hr_.value(), b_hr_.value(), h, tmp, hidden_, hidden_);
+  // Scratch: r, z, n-input part, n-hidden part. Every element is fully
+  // overwritten by raw_affine, so resize (keeping capacity) suffices.
+  s.r.resize(hidden_);
+  s.z.resize(hidden_);
+  s.ni.resize(hidden_);
+  s.nh.resize(hidden_);
+  s.tmp.resize(hidden_);
+  raw_affine(w_ir_.value(), b_ir_.value(), x, s.r, hidden_, input_);
+  raw_affine(w_iz_.value(), b_iz_.value(), x, s.z, hidden_, input_);
+  raw_affine(w_in_.value(), b_in_.value(), x, s.ni, hidden_, input_);
+  raw_affine(w_hr_.value(), b_hr_.value(), h, s.tmp, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
-    r[i] = sigmoid_value(r[i] + tmp[i]);
+    s.r[i] = sigmoid_value(s.r[i] + s.tmp[i]);
   }
-  raw_affine(w_hz_.value(), b_hz_.value(), h, tmp, hidden_, hidden_);
+  raw_affine(w_hz_.value(), b_hz_.value(), h, s.tmp, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
-    z[i] = sigmoid_value(z[i] + tmp[i]);
+    s.z[i] = sigmoid_value(s.z[i] + s.tmp[i]);
   }
-  raw_affine(w_hn_.value(), b_hn_.value(), h, nh, hidden_, hidden_);
+  raw_affine(w_hn_.value(), b_hn_.value(), h, s.nh, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
-    const double n = std::tanh(ni[i] + r[i] * nh[i]);
-    h_out[i] = (1.0 - z[i]) * n + z[i] * h[i];
+    const double n = std::tanh(s.ni[i] + s.r[i] * s.nh[i]);
+    h_out[i] = (1.0 - s.z[i]) * n + s.z[i] * h[i];
   }
 }
 

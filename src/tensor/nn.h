@@ -13,8 +13,10 @@
 
 namespace chainnet::tensor {
 
-/// A named trainable tensor. The underlying Node persists across forward
-/// passes; only intermediates are rebuilt each pass.
+/// A named trainable tensor. The underlying tape node is a leaf created at
+/// module construction, outside any tape frame, so it persists across
+/// forward passes; only intermediates are rebuilt (and frame-released)
+/// each pass.
 struct Parameter {
   std::string name;
   Var var;
@@ -91,8 +93,16 @@ class Mlp : public Module {
       const std::string& name = "mlp");
   Var forward(Var x) const;
 
+  /// Reusable buffers for forward_values; hold one per call site that loops
+  /// (the SA hot path) so steady-state inference performs no allocations.
+  struct Scratch {
+    std::vector<double> a, b;
+  };
+
   /// Inference-only evaluation; `out` must have output-layer width.
   void forward_values(std::span<const double> x, std::span<double> out) const;
+  void forward_values(std::span<const double> x, std::span<double> out,
+                      Scratch& scratch) const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -115,10 +125,17 @@ class GruCell : public Module {
   /// Returns the next hidden state h'. `h` has size hidden, `x` size input.
   Var forward(const Var& h, const Var& x) const;
 
+  /// Reusable gate buffers for forward_values (see Mlp::Scratch).
+  struct Scratch {
+    std::vector<double> r, z, ni, nh, tmp;
+  };
+
   /// Inference-only evaluation into `h_out` (size hidden); no graph built.
   /// `h_out` may not alias `h`.
   void forward_values(std::span<const double> h, std::span<const double> x,
                       std::span<double> h_out) const;
+  void forward_values(std::span<const double> h, std::span<const double> x,
+                      std::span<double> h_out, Scratch& scratch) const;
 
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }

@@ -22,10 +22,11 @@ Sgd::Sgd(std::vector<Parameter*> params, double lr)
 
 void Sgd::step() {
   for (Parameter* p : params_) {
-    auto& node = p->var.node();
-    node.ensure_grad();
-    for (std::size_t i = 0; i < node.value.size(); ++i) {
-      node.value[i] -= lr_ * node.grad[i];
+    const auto g = p->var.grad();
+    if (g.empty()) continue;  // no gradient storage -> nothing to apply
+    auto v = p->var.mutable_value();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] -= lr_ * g[i];
     }
   }
 }
@@ -50,17 +51,18 @@ void Adam::step() {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t pi = 0; pi < params_.size(); ++pi) {
-    auto& node = params_[pi]->var.node();
-    node.ensure_grad();
+    const auto grads = params_[pi]->var.grad();
+    if (grads.empty()) continue;  // no gradient storage -> nothing to apply
+    auto value = params_[pi]->var.mutable_value();
     auto& m = m_[pi];
     auto& v = v_[pi];
-    for (std::size_t i = 0; i < node.value.size(); ++i) {
-      const double g = node.grad[i];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const double g = grads[i];
       m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
       v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
       const double mhat = m[i] / bc1;
       const double vhat = v[i] / bc2;
-      node.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }

@@ -1,0 +1,398 @@
+#include "tensor/tape.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+namespace chainnet::tensor {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[" << rows << "," << cols << "]";
+  return os.str();
+}
+
+namespace {
+
+// Chunk sizes (in elements) sized so one training batch of the paper-scale
+// models fits in a handful of chunks.
+constexpr std::size_t kNodeChunk = 4096;           // ~440 KiB of records
+constexpr std::size_t kDoubleChunk = std::size_t{1} << 16;  // 512 KiB
+constexpr std::size_t kLinkChunk = std::size_t{1} << 13;
+
+/// Reachability stamps for backward(). Global (not per-tape) so a graph
+/// whose leaves live on another thread's tape can never collide with a
+/// stale stamp written by that tape's own sweeps.
+std::atomic<std::uint64_t> g_stamp{0};
+
+std::uint64_t next_stamp() noexcept {
+  return g_stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Scatters `n`'s gradient into its parents — the op dispatch that replaces
+/// the per-node backward closures. The arithmetic (expression and loop
+/// order) is a verbatim port of those closures, so gradients are
+/// bit-identical to the closure-based tape.
+void scatter(const Node& n) {
+  const double* g = n.grad_buf;
+  const std::size_t sz = n.shape.size();
+  switch (n.op) {
+    case Op::kLeaf:
+      return;
+    case Op::kAdd: {
+      for (std::uint32_t pi = 0; pi < 2; ++pi) {
+        Node* p = n.parents[pi];
+        if (!p->requires_grad) continue;
+        for (std::size_t i = 0; i < sz; ++i) p->grad_buf[i] += g[i];
+      }
+      return;
+    }
+    case Op::kSub: {
+      Node* a = n.parents[0];
+      Node* b = n.parents[1];
+      if (a->requires_grad) {
+        for (std::size_t i = 0; i < sz; ++i) a->grad_buf[i] += g[i];
+      }
+      if (b->requires_grad) {
+        for (std::size_t i = 0; i < sz; ++i) b->grad_buf[i] -= g[i];
+      }
+      return;
+    }
+    case Op::kMul: {
+      Node* a = n.parents[0];
+      Node* b = n.parents[1];
+      if (a->requires_grad) {
+        for (std::size_t i = 0; i < sz; ++i) {
+          a->grad_buf[i] += g[i] * b->val[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (std::size_t i = 0; i < sz; ++i) {
+          b->grad_buf[i] += g[i] * a->val[i];
+        }
+      }
+      return;
+    }
+    case Op::kScale: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) a->grad_buf[i] += g[i] * n.aux;
+      return;
+    }
+    case Op::kAddScalar: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) a->grad_buf[i] += g[i] * 1.0;
+      return;
+    }
+    case Op::kMatVec: {
+      Node* w = n.parents[0];
+      Node* x = n.parents[1];
+      const std::size_t m = n.shape.rows;
+      const std::size_t k = w->shape.cols;
+      if (w->requires_grad) {
+        for (std::size_t r = 0; r < m; ++r) {
+          const double gr = g[r];
+          double* wrow = w->grad_buf + r * k;
+          for (std::size_t c = 0; c < k; ++c) wrow[c] += gr * x->val[c];
+        }
+      }
+      if (x->requires_grad) {
+        for (std::size_t r = 0; r < m; ++r) {
+          const double gr = g[r];
+          const double* wrow = w->val + r * k;
+          for (std::size_t c = 0; c < k; ++c) x->grad_buf[c] += gr * wrow[c];
+        }
+      }
+      return;
+    }
+    case Op::kMatMul: {
+      Node* a = n.parents[0];
+      Node* b = n.parents[1];
+      const std::size_t m = a->shape.rows;
+      const std::size_t k = a->shape.cols;
+      const std::size_t p = b->shape.cols;
+      if (a->requires_grad) {
+        for (std::size_t r = 0; r < m; ++r) {
+          for (std::size_t t = 0; t < k; ++t) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < p; ++c) {
+              acc += g[r * p + c] * b->val[t * p + c];
+            }
+            a->grad_buf[r * k + t] += acc;
+          }
+        }
+      }
+      if (b->requires_grad) {
+        for (std::size_t t = 0; t < k; ++t) {
+          for (std::size_t c = 0; c < p; ++c) {
+            double acc = 0.0;
+            for (std::size_t r = 0; r < m; ++r) {
+              acc += a->val[r * k + t] * g[r * p + c];
+            }
+            b->grad_buf[t * p + c] += acc;
+          }
+        }
+      }
+      return;
+    }
+    case Op::kDot: {
+      Node* a = n.parents[0];
+      Node* b = n.parents[1];
+      const double g0 = g[0];
+      const std::size_t len = a->shape.size();
+      if (a->requires_grad) {
+        for (std::size_t i = 0; i < len; ++i) {
+          a->grad_buf[i] += g0 * b->val[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (std::size_t i = 0; i < len; ++i) {
+          b->grad_buf[i] += g0 * a->val[i];
+        }
+      }
+      return;
+    }
+    case Op::kConcat: {
+      std::size_t off = 0;
+      for (std::uint32_t pi = 0; pi < n.num_parents; ++pi) {
+        Node* p = n.parents[pi];
+        const std::size_t psz = p->shape.size();
+        if (p->requires_grad) {
+          for (std::size_t i = 0; i < psz; ++i) {
+            p->grad_buf[i] += g[off + i];
+          }
+        }
+        off += psz;
+      }
+      return;
+    }
+    case Op::kScalarMul: {
+      Node* w = n.parents[0];
+      Node* v = n.parents[1];
+      if (w->requires_grad) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < sz; ++j) acc += g[j] * v->val[j];
+        w->grad_buf[0] += acc;
+      }
+      if (v->requires_grad) {
+        const double wv = w->val[0];
+        for (std::size_t j = 0; j < sz; ++j) v->grad_buf[j] += g[j] * wv;
+      }
+      return;
+    }
+    case Op::kSigmoid: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        const double y = n.val[i];
+        a->grad_buf[i] += g[i] * (y * (1.0 - y));
+      }
+      return;
+    }
+    case Op::kTanh: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        const double y = n.val[i];
+        a->grad_buf[i] += g[i] * (1.0 - y * y);
+      }
+      return;
+    }
+    case Op::kRelu: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += g[i] * (a->val[i] > 0.0 ? 1.0 : 0.0);
+      }
+      return;
+    }
+    case Op::kLeakyRelu: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += g[i] * (a->val[i] > 0.0 ? 1.0 : n.aux);
+      }
+      return;
+    }
+    case Op::kSoftplus: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += g[i] * (1.0 / (1.0 + std::exp(-a->val[i])));
+      }
+      return;
+    }
+    case Op::kExp: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += g[i] * n.val[i];
+      }
+      return;
+    }
+    case Op::kLog: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += g[i] * (1.0 / a->val[i]);
+      }
+      return;
+    }
+    case Op::kSoftmax: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      double dot_gy = 0.0;
+      for (std::size_t i = 0; i < sz; ++i) dot_gy += g[i] * n.val[i];
+      for (std::size_t i = 0; i < sz; ++i) {
+        a->grad_buf[i] += n.val[i] * (g[i] - dot_gy);
+      }
+      return;
+    }
+    case Op::kSum: {
+      Node* a = n.parents[0];
+      if (!a->requires_grad) return;
+      const double g0 = g[0];
+      const std::size_t len = a->shape.size();
+      for (std::size_t i = 0; i < len; ++i) a->grad_buf[i] += g0;
+      return;
+    }
+    case Op::kSumOf: {
+      for (std::uint32_t pi = 0; pi < n.num_parents; ++pi) {
+        Node* p = n.parents[pi];
+        if (!p->requires_grad) continue;
+        for (std::size_t i = 0; i < sz; ++i) p->grad_buf[i] += g[i];
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Tape::Tape()
+    : records_(kNodeChunk), doubles_(kDoubleChunk), links_(kLinkChunk) {}
+
+Tape& Tape::current() noexcept {
+  thread_local Tape tape;
+  return tape;
+}
+
+double* Tape::alloc_zeroed(std::size_t n) {
+  double* p = doubles_.allocate(n);
+  std::fill_n(p, n, 0.0);
+  return p;
+}
+
+Node* Tape::leaf(Shape shape, std::span<const double> values,
+                 bool requires_grad) {
+  Node* n = records_.allocate(1);
+  *n = Node{};
+  n->shape = shape;
+  n->tape = this;
+  n->requires_grad = requires_grad;
+  n->val = doubles_.allocate(shape.size());
+  std::copy(values.begin(), values.end(), n->val);
+  if (requires_grad) n->grad_buf = alloc_zeroed(shape.size());
+  n->index = index_.size();
+  index_.push_back(n);
+  return n;
+}
+
+Node* Tape::op_node(Op op, Shape shape, std::span<Node* const> parents,
+                    double aux) {
+  Node* n = records_.allocate(1);
+  *n = Node{};
+  n->shape = shape;
+  n->tape = this;
+  n->op = op;
+  n->aux = aux;
+  n->num_parents = static_cast<std::uint32_t>(parents.size());
+  if (!parents.empty()) {
+    n->parents = links_.allocate(parents.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      n->parents[i] = parents[i];
+      if (parents[i]->requires_grad) n->requires_grad = true;
+    }
+  }
+  // Values start zeroed: accumulation ops (sum_of) rely on it, and arena
+  // reuse would otherwise expose stale data.
+  n->val = alloc_zeroed(shape.size());
+  if (n->requires_grad) n->grad_buf = alloc_zeroed(shape.size());
+  n->index = index_.size();
+  index_.push_back(n);
+  return n;
+}
+
+void Tape::backward(Node* root) {
+  if (!root->requires_grad) {
+    // Frozen graph: no ancestor wants gradients. Seed the root anyway so
+    // the observable behavior matches the closure-based tape, which always
+    // materialized the root's gradient.
+    if (!root->grad_buf) root->grad_buf = alloc_zeroed(root->shape.size());
+    root->grad_buf[0] += 1.0;
+    return;
+  }
+  // Mark every requires_grad ancestor with a fresh stamp. Restricting the
+  // sweep to marked nodes is what keeps gradients of *other* graphs on this
+  // tape (earlier batches, finished backward calls) from being
+  // re-propagated.
+  const std::uint64_t stamp = next_stamp();
+  std::size_t lo = root->index;
+  stack_.clear();
+  root->stamp = stamp;
+  stack_.push_back(root);
+  while (!stack_.empty()) {
+    Node* n = stack_.back();
+    stack_.pop_back();
+    if (n->tape == this && n->index < lo) lo = n->index;
+    for (std::uint32_t i = 0; i < n->num_parents; ++i) {
+      Node* p = n->parents[i];
+      if (p->requires_grad && p->stamp != stamp) {
+        p->stamp = stamp;
+        stack_.push_back(p);
+      }
+    }
+  }
+  // Descending creation index is a valid reverse topological order: every
+  // parent precedes its children on the tape. Foreign-tape nodes (shared
+  // parameter leaves) are not in index_ and need no scatter.
+  root->grad_buf[0] += 1.0;
+  for (std::size_t idx = root->index + 1; idx-- > lo;) {
+    const Node* n = index_[idx];
+    if (n->stamp == stamp) scatter(*n);
+  }
+}
+
+Tape::Mark Tape::mark() const noexcept {
+  return {records_.mark(), doubles_.mark(), links_.mark(), index_.size()};
+}
+
+void Tape::release(const Mark& m) noexcept {
+  records_.release(m.records);
+  doubles_.release(m.doubles);
+  links_.release(m.links);
+  index_.resize(m.nodes);
+}
+
+void Tape::reset() noexcept {
+  records_.reset();
+  doubles_.reset();
+  links_.reset();
+  index_.clear();
+}
+
+std::size_t Tape::capacity_bytes() const noexcept {
+  return records_.capacity() * sizeof(Node) +
+         doubles_.capacity() * sizeof(double) +
+         links_.capacity() * sizeof(Node*) +
+         index_.capacity() * sizeof(Node*) + stack_.capacity() * sizeof(Node*);
+}
+
+std::size_t Tape::used_bytes() const noexcept {
+  return records_.used() * sizeof(Node) + doubles_.used() * sizeof(double) +
+         links_.used() * sizeof(Node*) + index_.size() * sizeof(Node*);
+}
+
+}  // namespace chainnet::tensor

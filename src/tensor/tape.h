@@ -1,0 +1,239 @@
+// Arena-backed autodiff tape: the allocation substrate of the tensor layer.
+//
+// The previous substrate heap-allocated one shared_ptr<Node>, three vectors
+// and a std::function backward closure per op, per forward pass. The Tape
+// replaces all of that with three bump arenas — node records, double
+// buffers (values and gradients), and parent-link arrays — whose chunks are
+// stable in memory once allocated and are never freed, only rewound. A
+// mark/release pair (or the Frame RAII helper) rolls the tape back to a
+// saved position while keeping capacity, so a steady-state training loop or
+// the optimizer's inference hot path performs zero tape allocations after
+// its first pass (pinned by tape_test's capacity probes). backward()
+// dispatches on a typed Op enum instead of per-node closures.
+//
+// Threading contract: Tape::current() is thread_local, so every thread — in
+// particular every runtime::EvalService worker — records onto its own
+// private tape and the hot path needs no locks. A graph may reference
+// *leaf* nodes that live on another thread's tape (shared model
+// parameters); every op node of a graph must live on the tape of the thread
+// that calls backward().
+//
+// Lifetime contract: Vars are non-owning handles. Releasing a frame
+// invalidates every node recorded after its mark was taken; callers must
+// extract plain values (item(), spans copied out) before the frame ends.
+// Leaves created before a frame — model parameters — survive it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace chainnet::tensor {
+
+/// Tensor shape: rows x cols. Vectors are represented as {n, 1}.
+struct Shape {
+  std::size_t rows = 0;
+  std::size_t cols = 1;
+
+  std::size_t size() const noexcept { return rows * cols; }
+  bool operator==(const Shape&) const = default;
+  bool is_vector() const noexcept { return cols == 1; }
+  bool is_scalar() const noexcept { return rows == 1 && cols == 1; }
+  std::string str() const;
+};
+
+/// Typed operation of a tape node; backward() dispatches on this instead of
+/// a per-node closure. Composite ops (neg, mean, mse, ...) are built from
+/// these primitives and never appear on the tape themselves.
+enum class Op : std::uint8_t {
+  kLeaf,
+  kAdd,
+  kSub,
+  kMul,
+  kScale,      // aux = scalar factor
+  kAddScalar,  // aux = scalar addend (gradient is a pass-through)
+  kMatVec,
+  kMatMul,
+  kDot,
+  kConcat,
+  kScalarMul,  // parents = {scalar weight, vector}; weighted_sum's element
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kLeakyRelu,  // aux = negative-side slope
+  kSoftplus,
+  kExp,
+  kLog,
+  kSoftmax,
+  kSum,
+  kSumOf,
+};
+
+class Tape;
+
+/// One record in the tape arena. Users interact through Var; the struct is
+/// exposed for the in-layer optimizer/serialization code. Gradient storage
+/// is tape-owned: it exists from creation for requires_grad nodes and there
+/// is no public way to attach it later.
+struct Node {
+  Shape shape;
+  Tape* tape = nullptr;
+  double* val = nullptr;
+  double* grad_buf = nullptr;  ///< null iff the node carries no gradient
+  Node** parents = nullptr;
+  std::size_t index = 0;       ///< creation index on `tape`
+  std::uint64_t stamp = 0;     ///< backward() reachability mark
+  std::uint32_t num_parents = 0;
+  Op op = Op::kLeaf;
+  bool requires_grad = false;
+  double aux = 0.0;            ///< per-op payload (scale factor, slope, ...)
+
+  std::span<double> value() noexcept { return {val, shape.size()}; }
+  std::span<const double> value() const noexcept {
+    return {val, shape.size()};
+  }
+  std::span<double> grad() noexcept {
+    return grad_buf ? std::span<double>{grad_buf, shape.size()}
+                    : std::span<double>{};
+  }
+  std::span<const double> grad() const noexcept {
+    return grad_buf ? std::span<const double>{grad_buf, shape.size()}
+                    : std::span<const double>{};
+  }
+};
+
+namespace detail {
+
+/// Chunked bump allocator. Chunks never move or shrink once allocated, so
+/// pointers into the arena stay valid until a release() rewinds past them;
+/// release() only moves the cursor, keeping capacity for reuse.
+template <typename T>
+class Arena {
+ public:
+  explicit Arena(std::size_t min_chunk) : min_chunk_(min_chunk) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    while (true) {
+      if (chunk_ < chunks_.size()) {
+        if (used_ + n <= sizes_[chunk_]) {
+          T* out = chunks_[chunk_].get() + used_;
+          used_ += n;
+          return out;
+        }
+        // The active chunk cannot fit n; skip ahead (its tail is reclaimed
+        // by the next release that rewinds past it).
+        ++chunk_;
+        used_ = 0;
+        continue;
+      }
+      chunks_.push_back(std::make_unique<T[]>(std::max(min_chunk_, n)));
+      sizes_.push_back(std::max(min_chunk_, n));
+    }
+  }
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const noexcept { return {chunk_, used_}; }
+  void release(const Mark& m) noexcept {
+    chunk_ = m.chunk;
+    used_ = m.used;
+  }
+  void reset() noexcept {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t s : sizes_) total += s;
+    return total;
+  }
+  std::size_t used() const noexcept {
+    std::size_t total = used_;
+    for (std::size_t c = 0; c < chunk_ && c < sizes_.size(); ++c) {
+      total += sizes_[c];
+    }
+    return total;
+  }
+
+ private:
+  std::size_t min_chunk_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::size_t> sizes_;
+  std::size_t chunk_ = 0;  ///< chunk currently bump-allocating
+  std::size_t used_ = 0;   ///< elements consumed in chunks_[chunk_]
+};
+
+}  // namespace detail
+
+class Tape {
+ public:
+  /// A saved tape position. release() restores it; marks must be released
+  /// in LIFO order (use Frame to get that automatically).
+  struct Mark {
+    detail::Arena<Node>::Mark records;
+    detail::Arena<double>::Mark doubles;
+    detail::Arena<Node*>::Mark links;
+    std::size_t nodes = 0;
+  };
+
+  /// Releases its mark on scope exit, rewinding every node/buffer recorded
+  /// inside the scope while keeping arena capacity.
+  class Frame {
+   public:
+    explicit Frame(Tape& tape) : tape_(&tape), mark_(tape.mark()) {}
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+    ~Frame() { tape_->release(mark_); }
+
+   private:
+    Tape* tape_;
+    Mark mark_;
+  };
+
+  Tape();
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// The calling thread's tape. All Var factories and ops record here.
+  static Tape& current() noexcept;
+
+  Node* leaf(Shape shape, std::span<const double> values, bool requires_grad);
+  Node* op_node(Op op, Shape shape, std::span<Node* const> parents,
+                double aux = 0.0);
+
+  /// Reverse-mode sweep from a scalar root: seeds d(root)/d(root) = 1, then
+  /// scatters gradients to every reachable requires_grad ancestor. Leaf
+  /// gradients accumulate across calls until zeroed.
+  void backward(Node* root);
+
+  Mark mark() const noexcept;
+  void release(const Mark& m) noexcept;
+  /// Rewinds to empty, keeping capacity. Drops every node including leaves;
+  /// only safe when no parameters live on this tape.
+  void reset() noexcept;
+
+  /// Bytes the tape has ever grown to (arenas + node index). Stable across
+  /// steady-state passes — the probe behind the allocation-free claim.
+  std::size_t capacity_bytes() const noexcept;
+  /// Bytes currently in use up to the cursor.
+  std::size_t used_bytes() const noexcept;
+  std::size_t node_count() const noexcept { return index_.size(); }
+
+ private:
+  double* alloc_zeroed(std::size_t n);
+
+  detail::Arena<Node> records_;
+  detail::Arena<double> doubles_;
+  detail::Arena<Node*> links_;
+  std::vector<Node*> index_;  ///< creation order; backward sweeps a suffix
+  std::vector<Node*> stack_;  ///< DFS scratch, reused across backward calls
+};
+
+}  // namespace chainnet::tensor

@@ -2,48 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace chainnet::tensor {
-
-std::string Shape::str() const {
-  std::ostringstream os;
-  os << "[" << rows << "," << cols << "]";
-  return os.str();
-}
-
-void Node::ensure_grad() {
-  if (grad.size() != value.size()) grad.assign(value.size(), 0.0);
-}
-
-void Node::zero_grad() noexcept {
-  std::fill(grad.begin(), grad.end(), 0.0);
-}
-
-namespace {
-
-[[noreturn]] void shape_error(const char* op, const Shape& a, const Shape& b) {
-  throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.str() +
-                              " vs " + b.str());
-}
-
-std::shared_ptr<Node> make_node(Shape shape, std::vector<Var> parents) {
-  auto n = std::make_shared<Node>();
-  n->shape = shape;
-  n->value.resize(shape.size());
-  for (auto& p : parents) {
-    if (p.node().requires_grad) n->requires_grad = true;
-    n->parents.push_back(p.ptr());
-  }
-  return n;
-}
-
-/// Whether gradient bookkeeping is needed for a result with these parents.
-bool any_grad(const std::shared_ptr<Node>& n) { return n->requires_grad; }
-
-}  // namespace
 
 Var Var::leaf(Shape shape, std::vector<double> values, bool requires_grad) {
   if (values.size() != shape.size()) {
@@ -51,12 +12,7 @@ Var Var::leaf(Shape shape, std::vector<double> values, bool requires_grad) {
                                 std::to_string(values.size()) +
                                 " does not match shape " + shape.str());
   }
-  auto n = std::make_shared<Node>();
-  n->shape = shape;
-  n->value = std::move(values);
-  n->requires_grad = requires_grad;
-  if (requires_grad) n->ensure_grad();
-  return Var(std::move(n));
+  return Var(Tape::current().leaf(shape, values, requires_grad));
 }
 
 Var Var::vector(std::vector<double> values, bool requires_grad) {
@@ -77,7 +33,13 @@ double Var::item() const {
     throw std::invalid_argument("Var::item: tensor is not scalar, shape " +
                                 node_->shape.str());
   }
-  return node_->value[0];
+  return node_->val[0];
+}
+
+void Var::zero_grad() noexcept {
+  if (node_ == nullptr) return;
+  auto g = node_->grad();
+  std::fill(g.begin(), g.end(), 0.0);
 }
 
 void Var::backward() const {
@@ -85,56 +47,44 @@ void Var::backward() const {
   if (!node_->shape.is_scalar()) {
     throw std::invalid_argument("backward requires a scalar output");
   }
-  // Topological order by iterative post-order DFS.
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack;
-  stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
-  while (!stack.empty()) {
-    auto& [n, idx] = stack.back();
-    if (idx < n->parents.size()) {
-      Node* p = n->parents[idx++].get();
-      if (p->requires_grad && visited.insert(p).second) {
-        stack.emplace_back(p, 0);
-      }
-    } else {
-      order.push_back(n);
-      stack.pop_back();
-    }
-  }
-  // Seed and sweep in reverse topological order.
-  for (Node* n : order) n->ensure_grad();
-  node_->grad[0] += 1.0;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* n = *it;
-    if (n->backward_fn) n->backward_fn(*n);
-  }
+  node_->tape->backward(node_);
 }
 
 // --------------------------------------------------------------- helpers
 
 namespace {
 
-using BackFn = std::function<void(Node&)>;
+[[noreturn]] void shape_error(const char* op, const Shape& a, const Shape& b) {
+  throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.str() +
+                              " vs " + b.str());
+}
 
-Var unary_ew(const Var& a, const char* /*name*/,
-             const std::function<double(double)>& f,
-             const std::function<double(double, double)>& dfdx_from_x_y) {
-  auto n = make_node(a.shape(), {a});
-  const auto& av = a.node().value;
-  for (std::size_t i = 0; i < av.size(); ++i) n->value[i] = f(av[i]);
-  if (any_grad(n)) {
-    auto ap = a.ptr();
-    auto nn = n.get();
-    n->backward_fn = [ap, nn, dfdx_from_x_y](Node& self) {
-      if (!ap->requires_grad) return;
-      ap->ensure_grad();
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        ap->grad[i] += self.grad[i] * dfdx_from_x_y(ap->value[i], nn->value[i]);
-      }
-    };
-  }
+Node* make1(Op op, Shape shape, const Var& a, double aux = 0.0) {
+  Node* parents[1] = {a.ptr()};
+  return Tape::current().op_node(op, shape, parents, aux);
+}
+
+Node* make2(Op op, Shape shape, const Var& a, const Var& b,
+            double aux = 0.0) {
+  Node* parents[2] = {a.ptr(), b.ptr()};
+  return Tape::current().op_node(op, shape, parents, aux);
+}
+
+Node* make_n(Op op, Shape shape, const std::vector<Var>& parts,
+             double aux = 0.0) {
+  // Reused scratch keeps the steady-state op path free of heap traffic.
+  thread_local std::vector<Node*> parents;
+  parents.clear();
+  parents.reserve(parts.size());
+  for (const auto& p : parts) parents.push_back(p.ptr());
+  return Tape::current().op_node(op, shape, parents, aux);
+}
+
+template <typename F>
+Var unary_ew(const Var& a, Op op, double aux, F&& f) {
+  Node* n = make1(op, a.shape(), a, aux);
+  const double* av = a.node().val;
+  for (std::size_t i = 0; i < a.size(); ++i) n->val[i] = f(av[i]);
   return Var(n);
 }
 
@@ -144,87 +94,37 @@ Var unary_ew(const Var& a, const char* /*name*/,
 
 Var add(const Var& a, const Var& b) {
   if (!(a.shape() == b.shape())) shape_error("add", a.shape(), b.shape());
-  auto n = make_node(a.shape(), {a, b});
-  for (std::size_t i = 0; i < n->value.size(); ++i) {
-    n->value[i] = a.node().value[i] + b.node().value[i];
-  }
-  if (any_grad(n)) {
-    auto ap = a.ptr(), bp = b.ptr();
-    n->backward_fn = [ap, bp](Node& self) {
-      for (auto* p : {ap.get(), bp.get()}) {
-        if (!p->requires_grad) continue;
-        p->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          p->grad[i] += self.grad[i];
-        }
-      }
-    };
-  }
+  Node* n = make2(Op::kAdd, a.shape(), a, b);
+  const double* av = a.node().val;
+  const double* bv = b.node().val;
+  for (std::size_t i = 0; i < a.size(); ++i) n->val[i] = av[i] + bv[i];
   return Var(n);
 }
 
 Var sub(const Var& a, const Var& b) {
   if (!(a.shape() == b.shape())) shape_error("sub", a.shape(), b.shape());
-  auto n = make_node(a.shape(), {a, b});
-  for (std::size_t i = 0; i < n->value.size(); ++i) {
-    n->value[i] = a.node().value[i] - b.node().value[i];
-  }
-  if (any_grad(n)) {
-    auto ap = a.ptr(), bp = b.ptr();
-    n->backward_fn = [ap, bp](Node& self) {
-      if (ap->requires_grad) {
-        ap->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          ap->grad[i] += self.grad[i];
-        }
-      }
-      if (bp->requires_grad) {
-        bp->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          bp->grad[i] -= self.grad[i];
-        }
-      }
-    };
-  }
+  Node* n = make2(Op::kSub, a.shape(), a, b);
+  const double* av = a.node().val;
+  const double* bv = b.node().val;
+  for (std::size_t i = 0; i < a.size(); ++i) n->val[i] = av[i] - bv[i];
   return Var(n);
 }
 
 Var mul(const Var& a, const Var& b) {
   if (!(a.shape() == b.shape())) shape_error("mul", a.shape(), b.shape());
-  auto n = make_node(a.shape(), {a, b});
-  for (std::size_t i = 0; i < n->value.size(); ++i) {
-    n->value[i] = a.node().value[i] * b.node().value[i];
-  }
-  if (any_grad(n)) {
-    auto ap = a.ptr(), bp = b.ptr();
-    n->backward_fn = [ap, bp](Node& self) {
-      if (ap->requires_grad) {
-        ap->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          ap->grad[i] += self.grad[i] * bp->value[i];
-        }
-      }
-      if (bp->requires_grad) {
-        bp->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          bp->grad[i] += self.grad[i] * ap->value[i];
-        }
-      }
-    };
-  }
+  Node* n = make2(Op::kMul, a.shape(), a, b);
+  const double* av = a.node().val;
+  const double* bv = b.node().val;
+  for (std::size_t i = 0; i < a.size(); ++i) n->val[i] = av[i] * bv[i];
   return Var(n);
 }
 
 Var scale(const Var& a, double s) {
-  return unary_ew(
-      a, "scale", [s](double x) { return x * s; },
-      [s](double, double) { return s; });
+  return unary_ew(a, Op::kScale, s, [s](double x) { return x * s; });
 }
 
 Var add_scalar(const Var& a, double s) {
-  return unary_ew(
-      a, "add_scalar", [s](double x) { return x + s; },
-      [](double, double) { return 1.0; });
+  return unary_ew(a, Op::kAddScalar, s, [s](double x) { return x + s; });
 }
 
 Var neg(const Var& a) { return scale(a, -1.0); }
@@ -236,35 +136,14 @@ Var matvec(const Var& w, const Var& x) {
     shape_error("matvec", w.shape(), x.shape());
   }
   const std::size_t m = w.shape().rows, k = w.shape().cols;
-  auto n = make_node(Shape{m, 1}, {w, x});
-  const double* wv = w.node().value.data();
-  const double* xv = x.node().value.data();
+  Node* n = make2(Op::kMatVec, Shape{m, 1}, w, x);
+  const double* wv = w.node().val;
+  const double* xv = x.node().val;
   for (std::size_t r = 0; r < m; ++r) {
     double acc = 0.0;
     const double* row = wv + r * k;
     for (std::size_t c = 0; c < k; ++c) acc += row[c] * xv[c];
-    n->value[r] = acc;
-  }
-  if (any_grad(n)) {
-    auto wp = w.ptr(), xp = x.ptr();
-    n->backward_fn = [wp, xp, m, k](Node& self) {
-      if (wp->requires_grad) {
-        wp->ensure_grad();
-        for (std::size_t r = 0; r < m; ++r) {
-          const double g = self.grad[r];
-          double* wrow = wp->grad.data() + r * k;
-          for (std::size_t c = 0; c < k; ++c) wrow[c] += g * xp->value[c];
-        }
-      }
-      if (xp->requires_grad) {
-        xp->ensure_grad();
-        for (std::size_t r = 0; r < m; ++r) {
-          const double g = self.grad[r];
-          const double* wrow = wp->value.data() + r * k;
-          for (std::size_t c = 0; c < k; ++c) xp->grad[c] += g * wrow[c];
-        }
-      }
-    };
+    n->val[r] = acc;
   }
   return Var(n);
 }
@@ -275,44 +154,15 @@ Var matmul(const Var& a, const Var& b) {
   }
   const std::size_t m = a.shape().rows, k = a.shape().cols,
                     p = b.shape().cols;
-  auto n = make_node(Shape{m, p}, {a, b});
-  const double* av = a.node().value.data();
-  const double* bv = b.node().value.data();
+  Node* n = make2(Op::kMatMul, Shape{m, p}, a, b);
+  const double* av = a.node().val;
+  const double* bv = b.node().val;
   for (std::size_t r = 0; r < m; ++r) {
     for (std::size_t c = 0; c < p; ++c) {
       double acc = 0.0;
       for (std::size_t t = 0; t < k; ++t) acc += av[r * k + t] * bv[t * p + c];
-      n->value[r * p + c] = acc;
+      n->val[r * p + c] = acc;
     }
-  }
-  if (any_grad(n)) {
-    auto ap = a.ptr(), bp = b.ptr();
-    n->backward_fn = [ap, bp, m, k, p](Node& self) {
-      if (ap->requires_grad) {
-        ap->ensure_grad();
-        for (std::size_t r = 0; r < m; ++r) {
-          for (std::size_t t = 0; t < k; ++t) {
-            double acc = 0.0;
-            for (std::size_t c = 0; c < p; ++c) {
-              acc += self.grad[r * p + c] * bp->value[t * p + c];
-            }
-            ap->grad[r * k + t] += acc;
-          }
-        }
-      }
-      if (bp->requires_grad) {
-        bp->ensure_grad();
-        for (std::size_t t = 0; t < k; ++t) {
-          for (std::size_t c = 0; c < p; ++c) {
-            double acc = 0.0;
-            for (std::size_t r = 0; r < m; ++r) {
-              acc += ap->value[r * k + t] * self.grad[r * p + c];
-            }
-            bp->grad[t * p + c] += acc;
-          }
-        }
-      }
-    };
   }
   return Var(n);
 }
@@ -321,30 +171,12 @@ Var dot(const Var& a, const Var& b) {
   if (!(a.shape() == b.shape()) || !a.shape().is_vector()) {
     shape_error("dot", a.shape(), b.shape());
   }
-  auto n = make_node(Shape{1, 1}, {a, b});
+  Node* n = make2(Op::kDot, Shape{1, 1}, a, b);
+  const double* av = a.node().val;
+  const double* bv = b.node().val;
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += a.node().value[i] * b.node().value[i];
-  }
-  n->value[0] = acc;
-  if (any_grad(n)) {
-    auto ap = a.ptr(), bp = b.ptr();
-    n->backward_fn = [ap, bp](Node& self) {
-      const double g = self.grad[0];
-      if (ap->requires_grad) {
-        ap->ensure_grad();
-        for (std::size_t i = 0; i < ap->value.size(); ++i) {
-          ap->grad[i] += g * bp->value[i];
-        }
-      }
-      if (bp->requires_grad) {
-        bp->ensure_grad();
-        for (std::size_t i = 0; i < bp->value.size(); ++i) {
-          bp->grad[i] += g * ap->value[i];
-        }
-      }
-    };
-  }
+  for (std::size_t i = 0; i < a.size(); ++i) acc += av[i] * bv[i];
+  n->val[0] = acc;
   return Var(n);
 }
 
@@ -357,29 +189,12 @@ Var concat(const std::vector<Var>& parts) {
     }
     total += p.size();
   }
-  auto n = make_node(Shape{total, 1}, parts);
+  Node* n = make_n(Op::kConcat, Shape{total, 1}, parts);
   std::size_t off = 0;
   for (const auto& p : parts) {
-    std::copy(p.node().value.begin(), p.node().value.end(),
-              n->value.begin() + static_cast<std::ptrdiff_t>(off));
+    const auto pv = p.value();
+    std::copy(pv.begin(), pv.end(), n->val + off);
     off += p.size();
-  }
-  if (any_grad(n)) {
-    std::vector<std::shared_ptr<Node>> ps;
-    ps.reserve(parts.size());
-    for (const auto& p : parts) ps.push_back(p.ptr());
-    n->backward_fn = [ps](Node& self) {
-      std::size_t off = 0;
-      for (const auto& p : ps) {
-        if (p->requires_grad) {
-          p->ensure_grad();
-          for (std::size_t i = 0; i < p->value.size(); ++i) {
-            p->grad[i] += self.grad[off + i];
-          }
-        }
-        off += p->value.size();
-      }
-    };
   }
   return Var(n);
 }
@@ -387,103 +202,65 @@ Var concat(const std::vector<Var>& parts) {
 // ----------------------------------------------------------- activations
 
 Var sigmoid(const Var& a) {
-  return unary_ew(
-      a, "sigmoid",
-      [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
-      [](double, double y) { return y * (1.0 - y); });
+  return unary_ew(a, Op::kSigmoid, 0.0,
+                  [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
 }
 
 Var tanh_(const Var& a) {
-  return unary_ew(
-      a, "tanh", [](double x) { return std::tanh(x); },
-      [](double, double y) { return 1.0 - y * y; });
+  return unary_ew(a, Op::kTanh, 0.0, [](double x) { return std::tanh(x); });
 }
 
 Var relu(const Var& a) {
-  return unary_ew(
-      a, "relu", [](double x) { return x > 0.0 ? x : 0.0; },
-      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+  return unary_ew(a, Op::kRelu, 0.0,
+                  [](double x) { return x > 0.0 ? x : 0.0; });
 }
 
 Var leaky_relu(const Var& a, double slope) {
-  return unary_ew(
-      a, "leaky_relu",
-      [slope](double x) { return x > 0.0 ? x : slope * x; },
-      [slope](double x, double) { return x > 0.0 ? 1.0 : slope; });
+  return unary_ew(a, Op::kLeakyRelu, slope,
+                  [slope](double x) { return x > 0.0 ? x : slope * x; });
 }
 
 Var softplus(const Var& a) {
-  return unary_ew(
-      a, "softplus",
-      [](double x) {
-        // Numerically stable: log(1 + e^x) = max(x,0) + log1p(e^-|x|).
-        return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
-      },
-      [](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+  return unary_ew(a, Op::kSoftplus, 0.0, [](double x) {
+    // Numerically stable: log(1 + e^x) = max(x,0) + log1p(e^-|x|).
+    return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+  });
 }
 
 Var exp_(const Var& a) {
-  return unary_ew(
-      a, "exp", [](double x) { return std::exp(x); },
-      [](double, double y) { return y; });
+  return unary_ew(a, Op::kExp, 0.0, [](double x) { return std::exp(x); });
 }
 
 Var log_(const Var& a) {
-  return unary_ew(
-      a, "log",
-      [](double x) {
-        if (x <= 0.0) throw std::domain_error("log: non-positive input");
-        return std::log(x);
-      },
-      [](double x, double) { return 1.0 / x; });
+  return unary_ew(a, Op::kLog, 0.0, [](double x) {
+    if (x <= 0.0) throw std::domain_error("log: non-positive input");
+    return std::log(x);
+  });
 }
 
 Var softmax(const Var& a) {
   if (!a.shape().is_vector()) {
     throw std::invalid_argument("softmax: input must be a vector");
   }
-  auto n = make_node(a.shape(), {a});
-  const auto& av = a.node().value;
+  Node* n = make1(Op::kSoftmax, a.shape(), a);
+  const auto av = a.value();
   const double mx = *std::max_element(av.begin(), av.end());
   double z = 0.0;
   for (std::size_t i = 0; i < av.size(); ++i) {
-    n->value[i] = std::exp(av[i] - mx);
-    z += n->value[i];
+    n->val[i] = std::exp(av[i] - mx);
+    z += n->val[i];
   }
-  for (auto& v : n->value) v /= z;
-  if (any_grad(n)) {
-    auto ap = a.ptr();
-    auto nn = n.get();
-    n->backward_fn = [ap, nn](Node& self) {
-      if (!ap->requires_grad) return;
-      ap->ensure_grad();
-      double dot_gy = 0.0;
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        dot_gy += self.grad[i] * nn->value[i];
-      }
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        ap->grad[i] += nn->value[i] * (self.grad[i] - dot_gy);
-      }
-    };
-  }
+  for (auto& v : n->value()) v /= z;
   return Var(n);
 }
 
 // ------------------------------------------------------------ reductions
 
 Var sum(const Var& a) {
-  auto n = make_node(Shape{1, 1}, {a});
+  Node* n = make1(Op::kSum, Shape{1, 1}, a);
   double acc = 0.0;
-  for (double v : a.node().value) acc += v;
-  n->value[0] = acc;
-  if (any_grad(n)) {
-    auto ap = a.ptr();
-    n->backward_fn = [ap](Node& self) {
-      if (!ap->requires_grad) return;
-      ap->ensure_grad();
-      for (auto& g : ap->grad) g += self.grad[0];
-    };
-  }
+  for (double v : a.value()) acc += v;
+  n->val[0] = acc;
   return Var(n);
 }
 
@@ -497,24 +274,10 @@ Var sum_of(const std::vector<Var>& parts) {
   for (const auto& p : parts) {
     if (!(p.shape() == s)) shape_error("sum_of", s, p.shape());
   }
-  auto n = make_node(s, parts);
+  Node* n = make_n(Op::kSumOf, s, parts);
   for (const auto& p : parts) {
-    for (std::size_t i = 0; i < n->value.size(); ++i) {
-      n->value[i] += p.node().value[i];
-    }
-  }
-  if (any_grad(n)) {
-    std::vector<std::shared_ptr<Node>> ps;
-    for (const auto& p : parts) ps.push_back(p.ptr());
-    n->backward_fn = [ps](Node& self) {
-      for (const auto& p : ps) {
-        if (!p->requires_grad) continue;
-        p->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          p->grad[i] += self.grad[i];
-        }
-      }
-    };
+    const double* pv = p.node().val;
+    for (std::size_t i = 0; i < s.size(); ++i) n->val[i] += pv[i];
   }
   return Var(n);
 }
@@ -534,36 +297,14 @@ Var weighted_sum(const std::vector<Var>& weights,
     if (!weights[i].shape().is_scalar()) {
       throw std::invalid_argument("weighted_sum: weights must be scalars");
     }
-    // Broadcast the scalar weight over the vector via mul with an expanded
-    // node would add a broadcast op; instead multiply through dedicated
-    // closure below.
+    // Broadcast the scalar weight over the vector with a dedicated op
+    // instead of materializing an expanded tensor.
     const Var& w = weights[i];
     const Var& v = vectors[i];
-    auto n = make_node(v.shape(), {w, v});
-    const double wv = w.node().value[0];
-    for (std::size_t j = 0; j < v.size(); ++j) {
-      n->value[j] = wv * v.node().value[j];
-    }
-    if (any_grad(n)) {
-      auto wp = w.ptr(), vp = v.ptr();
-      n->backward_fn = [wp, vp](Node& self) {
-        if (wp->requires_grad) {
-          wp->ensure_grad();
-          double acc = 0.0;
-          for (std::size_t j = 0; j < self.grad.size(); ++j) {
-            acc += self.grad[j] * vp->value[j];
-          }
-          wp->grad[0] += acc;
-        }
-        if (vp->requires_grad) {
-          vp->ensure_grad();
-          const double wv = wp->value[0];
-          for (std::size_t j = 0; j < self.grad.size(); ++j) {
-            vp->grad[j] += self.grad[j] * wv;
-          }
-        }
-      };
-    }
+    Node* n = make2(Op::kScalarMul, v.shape(), w, v);
+    const double wv = w.node().val[0];
+    const double* vv = v.node().val;
+    for (std::size_t j = 0; j < v.size(); ++j) n->val[j] = wv * vv[j];
     scaled.emplace_back(n);
   }
   return scaled.size() == 1 ? scaled.front() : sum_of(scaled);

@@ -3,9 +3,15 @@
 // This is the ML substrate for the whole library: ChainNet, the GAT/GIN
 // baselines, and their training loops are built exclusively on the ops in
 // this header. The design is a dynamic tape ("define-by-run"): every op
-// allocates a graph node holding its value, a gradient buffer, links to its
-// parents, and a closure that scatters the node's gradient back to them.
-// backward() runs a topological sweep from the loss node.
+// records a node — value buffer, optional gradient buffer, parent links and
+// a typed Op — onto the calling thread's arena-backed Tape (see tape.h).
+// backward() runs a marking pass plus a reverse sweep over the tape,
+// dispatching each node's gradient scatter on its Op.
+//
+// Vars are non-owning handles into the tape. Intermediates are reclaimed in
+// bulk by Tape::Frame scopes (the trainer frames each batch, the inference
+// adapter frames each call); parameters are leaves created outside any
+// frame and persist for the model's lifetime.
 //
 // Tensors are rank-1 (vectors) or rank-2 (row-major matrices), which covers
 // all models in the paper (embeddings are H-vectors, weights are matrices).
@@ -14,47 +20,21 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "tensor/tape.h"
+
 namespace chainnet::tensor {
 
-/// Tensor shape: rows x cols. Vectors are represented as {n, 1}.
-struct Shape {
-  std::size_t rows = 0;
-  std::size_t cols = 1;
-
-  std::size_t size() const noexcept { return rows * cols; }
-  bool operator==(const Shape&) const = default;
-  bool is_vector() const noexcept { return cols == 1; }
-  bool is_scalar() const noexcept { return rows == 1 && cols == 1; }
-  std::string str() const;
-};
-
-/// One node in the autodiff graph. Users interact through Var; Node is
-/// exposed only for optimizer/serialization access to parameter storage.
-struct Node {
-  Shape shape;
-  std::vector<double> value;
-  std::vector<double> grad;
-  bool requires_grad = false;
-  std::vector<std::shared_ptr<Node>> parents;
-  /// Scatters this node's grad into the parents' grad buffers.
-  std::function<void(Node&)> backward_fn;
-
-  void ensure_grad();
-  void zero_grad() noexcept;
-};
-
-/// Value-semantics handle to a graph node. Copying a Var aliases the same
-/// node (like torch tensors); ops build new nodes.
+/// Value-semantics handle to a tape node. Copying a Var aliases the same
+/// node (like torch tensors); ops record new nodes. Vars do not own their
+/// node: it lives until the enclosing Tape frame is released.
 class Var {
  public:
   Var() = default;
-  explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+  explicit Var(Node* node) : node_(node) {}
 
   /// Creates a leaf holding `values` with the given shape.
   static Var leaf(Shape shape, std::vector<double> values,
@@ -70,14 +50,19 @@ class Var {
   const Shape& shape() const { return node_->shape; }
   std::size_t size() const { return node_->shape.size(); }
 
-  std::span<const double> value() const { return node_->value; }
-  std::span<double> mutable_value() { return node_->value; }
-  std::span<const double> grad() const { return node_->grad; }
+  std::span<const double> value() const { return node_->value(); }
+  std::span<double> mutable_value() { return node_->value(); }
+  /// Empty until gradient storage exists (non-requires-grad leaves).
+  std::span<const double> grad() const { return node_->grad(); }
+  /// Mutable gradient access for optimizer-side updates (clipping, steps).
+  std::span<double> mutable_grad() { return node_->grad(); }
+  /// Zero-fills this node's gradient buffer, if it has one.
+  void zero_grad() noexcept;
   double item() const;
 
   Node& node() { return *node_; }
   const Node& node() const { return *node_; }
-  const std::shared_ptr<Node>& ptr() const { return node_; }
+  Node* ptr() const noexcept { return node_; }
 
   /// Runs reverse-mode AD from this (scalar) node. Seeds d(this)/d(this)=1
   /// and accumulates gradients into every reachable node with
@@ -85,7 +70,7 @@ class Var {
   void backward() const;
 
  private:
-  std::shared_ptr<Node> node_;
+  Node* node_ = nullptr;
 };
 
 // ----------------------------------------------------------------- ops

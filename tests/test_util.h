@@ -10,6 +10,7 @@
 
 #include "edge/model.h"
 #include "edge/placement.h"
+#include "tensor/tape.h"
 #include "tensor/variable.h"
 
 namespace chainnet::testing {
@@ -21,12 +22,19 @@ namespace chainnet::testing {
 inline void expect_gradient_matches(
     tensor::Var leaf, const std::function<double()>& rebuild,
     double eps = 1e-6, double tol = 1e-5) {
+  // Each rebuild() constructs a throwaway loss graph; frame it so the sweep
+  // (2 evaluations per element) reuses one tape region instead of growing
+  // the arena for thousands of graphs.
+  const auto framed_rebuild = [&rebuild] {
+    const tensor::Tape::Frame frame(tensor::Tape::current());
+    return rebuild();
+  };
   for (std::size_t i = 0; i < leaf.size(); ++i) {
     const double original = leaf.value()[i];
     leaf.mutable_value()[i] = original + eps;
-    const double up = rebuild();
+    const double up = framed_rebuild();
     leaf.mutable_value()[i] = original - eps;
-    const double down = rebuild();
+    const double down = framed_rebuild();
     leaf.mutable_value()[i] = original;
     const double numeric = (up - down) / (2.0 * eps);
     const double analytic = leaf.grad()[i];
