@@ -1,0 +1,165 @@
+// bench_serve — loopback throughput of the TCP serving layer.
+//
+// Starts an in-process serve::Server backed by the approximation oracle
+// behind the sharded EvalCache (the intended serving configuration: repeat
+// queries are cache hits), then drives single-placement queries from
+// concurrent loopback clients, sweeping client counts at two flush
+// windows. Each configuration gets a fresh server so its stats are clean;
+// the cache is shared across the sweep, as it would be across a server's
+// lifetime. After the sweep the headline configuration's `stats` response
+// is printed: batch-size histogram, latency percentiles, cache hit rate.
+//
+//   CHAINNET_SERVE_DEVICES     problem size (default 20)
+//   CHAINNET_SERVE_POOL        distinct placements queried (default 512)
+//   CHAINNET_SERVE_SECONDS     measured seconds per configuration (0.4)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "edge/problem.h"
+#include "optim/evaluator.h"
+#include "runtime/eval_cache.h"
+#include "runtime/eval_service.h"
+#include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace chainnet;
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atof(value) : fallback;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  support::Json stats;
+};
+
+RunResult run_config(runtime::EvalService& service,
+                     const edge::EdgeSystem& system,
+                     const std::shared_ptr<runtime::EvalCache>& cache,
+                     const std::vector<edge::Placement>& placements,
+                     int clients, double flush_ms, double seconds) {
+  serve::ServerConfig config;
+  config.max_batch = 32;
+  config.flush_window_ms = flush_ms;
+  config.cache = cache;
+  serve::Server server(service, config);
+  server.add_system("default", system);
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client("127.0.0.1", server.port());
+      std::size_t i = static_cast<std::size_t>(c) * 37;
+      while (!stop.load(std::memory_order_relaxed)) {
+        client.evaluate_one(placements[i % placements.size()]);
+        i += 13;  // coprime stride: clients cycle the pool out of phase
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(0.05, seconds)));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  RunResult result;
+  result.qps = static_cast<double>(queries.load()) / elapsed;
+  serve::Client stats_client("127.0.0.1", server.port());
+  result.stats = stats_client.stats();
+  server.stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  support::Rng gen_rng(5);
+  const auto system = edge::generate_placement_problem(
+      edge::PlacementProblemParams::paper(
+          std::max(env_int("CHAINNET_SERVE_DEVICES", 20), 13)),
+      gen_rng);
+  const int pool_size = std::max(env_int("CHAINNET_SERVE_POOL", 512), 1);
+  const double seconds = env_double("CHAINNET_SERVE_SECONDS", 0.4);
+
+  support::Rng rng(23);
+  std::vector<edge::Placement> placements;
+  placements.reserve(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    placements.push_back(edge::random_placement(system, rng));
+  }
+
+  auto cache = std::make_shared<runtime::EvalCache>();
+  runtime::EvalService::EvaluatorFactory factory =
+      [cache](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+    return std::make_unique<runtime::CachedEvaluator>(
+        std::make_unique<optim::ApproximationEvaluator>(), cache);
+  };
+  runtime::ThreadPool pool(4);
+  runtime::EvalService service(pool, factory, 99);
+
+  std::printf("bench_serve: %d chains, %d devices, %d-placement query pool, "
+              "%u hardware threads\n\n",
+              system.num_chains(), system.num_devices(), pool_size,
+              std::thread::hardware_concurrency());
+  std::printf("  %8s %10s %12s %10s\n", "clients", "flush_ms",
+              "queries/sec", "batches");
+
+  RunResult headline;
+  for (const double flush_ms : {0.0, 0.2}) {
+    for (const int clients : {1, 2, 4, 8}) {
+      const auto result = run_config(service, system, cache, placements,
+                                     clients, flush_ms, seconds);
+      std::printf("  %8d %10.1f %12.0f %10.0f\n", clients, flush_ms,
+                  result.qps, result.stats.at("batches").as_number());
+      headline = result;  // last = 8 clients, 0.2ms window
+    }
+  }
+
+  const auto& stats = headline.stats;
+  const auto& latency = stats.at("service_latency");
+  std::printf("\nheadline (8 clients, 0.2ms flush window): %.0f queries/sec\n",
+              headline.qps);
+  std::printf("service latency: mean %.0fus, p50 %.0fus, p95 %.0fus, "
+              "p99 %.0fus (%.0f requests)\n",
+              latency.at("mean_s").as_number() * 1e6,
+              latency.at("p50_s").as_number() * 1e6,
+              latency.at("p95_s").as_number() * 1e6,
+              latency.at("p99_s").as_number() * 1e6,
+              latency.at("count").as_number());
+  std::printf("batch-size histogram ([size] count):\n");
+  for (const auto& row : stats.at("batch_size_histogram").as_array()) {
+    std::printf("  [%3.0f] %.0f\n", row.as_array()[0].as_number(),
+                row.as_array()[1].as_number());
+  }
+  if (stats.has("cache")) {
+    const auto& c = stats.at("cache");
+    std::printf("cache: %.0f hits / %.0f misses (hit rate %.3f)\n",
+                c.at("hits").as_number(), c.at("misses").as_number(),
+                c.at("hit_rate").as_number());
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: tier-1 build + tests, then both sanitizer
+# suites (scripts/check_asan.sh, scripts/check_tsan.sh).
+#
+# Usage: scripts/check_all.sh [extra ctest args...]
+#
+# Extra arguments are forwarded to every ctest invocation. Each stage uses
+# its own build directory (build, build-asan, build-tsan), so incremental
+# reruns are cheap.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest (build/) =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+
+echo
+echo "== tier 2: AddressSanitizer + UBSan =="
+scripts/check_asan.sh "$@"
+
+echo
+echo "== tier 2: ThreadSanitizer =="
+scripts/check_tsan.sh "$@"
+
+echo
+echo "All checks passed."

@@ -4,19 +4,22 @@
 # Usage: scripts/check_tsan.sh [extra ctest args...]
 #
 # Uses the "tsan" CMake preset (build dir: build-tsan). Only the runtime
-# tests are built and run -- they exercise every lock and atomic in
-# src/runtime plus the parallel SA drivers; building the whole tree under
-# TSan would be slow and adds no coverage.
+# and serving tests are built and run -- they exercise every lock and
+# atomic in src/runtime and src/serve (accept loop, reader threads,
+# flusher, metrics) plus the parallel SA drivers; building the whole tree
+# under TSan would be slow and adds no coverage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
-  --target thread_pool_test eval_cache_test parallel_anneal_test
+  --target thread_pool_test eval_cache_test parallel_anneal_test \
+  serve_metrics_test serve_loopback_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir build-tsan -R '(thread_pool|eval_cache|parallel_anneal)_test' \
+  ctest --test-dir build-tsan \
+  -R '(thread_pool|eval_cache|parallel_anneal|serve_metrics|serve_loopback)_test' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

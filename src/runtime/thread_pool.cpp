@@ -42,6 +42,11 @@ int ThreadPool::worker_index_here() const noexcept {
   return tl_pool == this ? tl_worker_index : -1;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -51,6 +51,10 @@ class ThreadPool {
   /// caller is not one of them. Stable for the lifetime of the pool.
   int worker_index_here() const noexcept;
 
+  /// Tasks queued but not yet picked up by a worker — a live backlog gauge
+  /// (instantaneous; the value may be stale by the time it is read).
+  std::size_t queue_depth() const;
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop(int index);

@@ -1,0 +1,60 @@
+// Blocking client for the serving protocol: one TCP connection, one
+// request in flight at a time (issue concurrent requests from separate
+// Client instances — the server batches across connections). Typed server
+// failures ("overloaded", "deadline_exceeded", ...) surface as ServeError;
+// transport failures as std::runtime_error.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "serve/protocol.h"
+#include "support/json.h"
+
+namespace chainnet::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request document and returns the server's response. Throws
+  /// ServeError when the response is {"ok":false}, std::runtime_error on
+  /// transport failure. The raw escape hatch the typed helpers build on.
+  support::Json call(const support::Json& request);
+
+  /// Scores placements against the named system; out[i] matches
+  /// placements[i]. deadline_ms <= 0 means no deadline.
+  std::vector<double> evaluate(std::span<const edge::Placement> placements,
+                               const std::string& system = "default",
+                               double deadline_ms = 0.0);
+  double evaluate_one(const edge::Placement& placement,
+                      const std::string& system = "default",
+                      double deadline_ms = 0.0);
+
+  /// Registers a system on the server under `name`.
+  void load_system(const std::string& name, const edge::EdgeSystem& system);
+
+  support::Json stats();
+  void ping();
+  /// Asks the server to shut down (its owner observes this via wait()).
+  void request_shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// The eval request document `evaluate` sends — exposed so tests and the
+/// CLI can build identical requests.
+support::Json make_eval_request(std::span<const edge::Placement> placements,
+                                const std::string& system,
+                                double deadline_ms);
+
+}  // namespace chainnet::serve

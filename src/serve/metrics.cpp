@@ -1,0 +1,82 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace chainnet::serve {
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   int buckets)
+    : min_value_(min_value),
+      inv_log_growth_(1.0 / std::log(growth)),
+      upper_edges_(static_cast<std::size_t>(std::max(2, buckets))),
+      counts_(upper_edges_.size()) {
+  double edge = min_value_;
+  for (std::size_t i = 0; i + 1 < upper_edges_.size(); ++i) {
+    upper_edges_[i] = edge;
+    edge *= growth;
+  }
+  upper_edges_.back() = std::numeric_limits<double>::infinity();
+}
+
+int LatencyHistogram::bucket_for(double value) const noexcept {
+  if (!(value > min_value_)) return 0;  // also catches NaN / negatives
+  const int i =
+      1 + static_cast<int>(std::log(value / min_value_) * inv_log_growth_);
+  return std::min(i, static_cast<int>(counts_.size()) - 1);
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  counts_[static_cast<std::size_t>(bucket_for(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(std::isfinite(value) ? value : 0.0,
+                 std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.upper_edges = upper_edges_;
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && cumulative > 0) {
+      // The overflow bucket has no finite edge; report the last finite one.
+      return std::isinf(upper_edges[i]) ? upper_edges[i - 1] : upper_edges[i];
+    }
+  }
+  return upper_edges[upper_edges.size() - 2];
+}
+
+SizeHistogram::SizeHistogram(std::size_t max_size)
+    : counts_(std::max<std::size_t>(max_size, 1) + 1) {}
+
+void SizeHistogram::record(std::size_t size) noexcept {
+  counts_[std::min(size, counts_.size() - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> SizeHistogram::snapshot() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace chainnet::serve

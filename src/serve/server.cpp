@@ -1,0 +1,515 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "edge/json_io.h"
+
+namespace chainnet::serve {
+
+using support::Json;
+
+/// Shared completion state of one eval request. All mutation happens on the
+/// flusher thread (values, failure, completion); the reader thread only
+/// waits on `done` and reads afterwards, synchronized by the promise.
+struct Server::RequestState {
+  explicit RequestState(std::size_t n) : values(n), remaining(n) {}
+
+  std::vector<double> values;
+  std::atomic<std::size_t> remaining;
+  std::atomic<bool> failed{false};
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  std::promise<void> done;
+
+  void fail(ErrorCode c, const std::string& m) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      code = c;
+      message = m;
+    }
+  }
+  void complete_one() {
+    if (remaining.fetch_sub(1) == 1) done.set_value();
+  }
+};
+
+/// One placement awaiting evaluation, queued by a reader thread.
+struct Server::PendingItem {
+  std::shared_ptr<RequestState> state;
+  std::size_t index = 0;
+  const edge::EdgeSystem* system = nullptr;
+  edge::Placement placement;
+  Clock::time_point enqueued;
+  Clock::time_point deadline;  // time_point::max() when none
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::atomic<bool> done{false};
+  std::thread thread;
+};
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(runtime::EvalService& service, ServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      flush_window_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double, std::milli>(
+              std::max(0.0, config_.flush_window_ms)))) {
+  config_.max_batch = std::max(1, config_.max_batch);
+  config_.max_pending = std::max<std::size_t>(1, config_.max_pending);
+}
+
+Server::~Server() { stop(); }
+
+void Server::add_system(std::string name, edge::EdgeSystem system) {
+  system.validate();
+  std::lock_guard<std::mutex> lock(systems_mutex_);
+  auto [it, inserted] = systems_.emplace(
+      std::move(name), std::make_unique<edge::EdgeSystem>(std::move(system)));
+  if (!inserted) {
+    throw std::runtime_error("system '" + it->first +
+                             "' is already registered");
+  }
+}
+
+const edge::EdgeSystem* Server::find_system(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(systems_mutex_);
+  const auto it = systems_.find(name);
+  // Registry entries are never erased, so the pointer stays valid after
+  // the lock is dropped.
+  return it == systems_.end() ? nullptr : it->second.get();
+}
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (started_) throw std::runtime_error("Server: already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  const std::string host =
+      config_.host == "localhost" ? "127.0.0.1" : config_.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: invalid host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    throw_errno("Server: bind/listen on " + host + ":" +
+                std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    started_ = true;
+  }
+  flusher_thread_ = std::thread([this] { flusher_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+}
+
+bool Server::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  return state_cv_.wait_for(
+      lock, timeout, [this] { return shutdown_requested_ || stopped_; });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const bool was_running = started_ && !stopped_;
+    stopped_ = true;
+    if (!was_running) {
+      state_cv_.notify_all();
+      return;
+    }
+  }
+  state_cv_.notify_all();
+
+  // 1. Stop accepting: shutting the listening socket down unblocks
+  //    accept(), which then exits its loop.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Drain the batcher. New evals are rejected as shutting_down; the
+  //    flusher exits only once the pending queue is empty, so every
+  //    admitted request has its promise fulfilled after the join.
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    draining_ = true;
+  }
+  batch_cv_.notify_all();
+  if (flusher_thread_.joinable()) flusher_thread_.join();
+
+  // 3. Half-close the connections (SHUT_RD): a reader blocked in recv sees
+  //    EOF immediately, while one still writing a drained response gets to
+  //    finish the write before its next read returns 0.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listening socket shut down
+    }
+    metrics_.connections_accepted.add();
+    set_low_latency(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    reap_finished_connections();
+    conn->thread = std::thread([this, raw] { reader_loop(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::reap_finished_connections() {
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+    return true;
+  });
+}
+
+void Server::reader_loop(Connection* conn) {
+  std::string payload;
+  std::string frame_error;
+  for (;;) {
+    const FrameStatus status = read_frame(conn->fd, payload, frame_error);
+    if (status == FrameStatus::kClosed) break;
+    if (status == FrameStatus::kError) {
+      // Framing is unrecoverable — answer once, then hang up.
+      metrics_.parse_errors.add();
+      write_frame(conn->fd,
+                  error_response(ErrorCode::kParseError, frame_error).dump());
+      break;
+    }
+    const auto start = Clock::now();
+    metrics_.requests_total.add();
+    const Json response = dispatch(payload);
+    const bool written = write_frame(conn->fd, response.dump());
+    metrics_.service_latency.record(
+        std::chrono::duration<double>(Clock::now() - start).count());
+    if (!written) break;
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+Json Server::dispatch(const std::string& payload) {
+  Json request;
+  try {
+    request = Json::parse(payload);
+  } catch (const support::JsonError& e) {
+    metrics_.parse_errors.add();
+    return error_response(ErrorCode::kParseError, e.what());
+  }
+  if (!request.is_object() || !request.has("type") ||
+      !request.at("type").is_string()) {
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest,
+                          "request must be an object with a \"type\" string");
+  }
+  const std::string& type = request.at("type").as_string();
+  if (type == "ping") return ok_response();
+  if (type == "eval") return handle_eval(request);
+  if (type == "stats") {
+    Json response = stats_json();
+    response["ok"] = Json(true);
+    return response;
+  }
+  if (type == "load_system") {
+    try {
+      const std::string name = request.at("name").as_string();
+      add_system(name, edge::system_from_json(request.at("system")));
+      return ok_response();
+    } catch (const std::exception& e) {
+      metrics_.bad_requests.add();
+      return error_response(ErrorCode::kBadRequest, e.what());
+    }
+  }
+  if (type == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      shutdown_requested_ = true;
+    }
+    state_cv_.notify_all();
+    return ok_response();
+  }
+  metrics_.bad_requests.add();
+  return error_response(ErrorCode::kBadRequest,
+                        "unknown request type '" + type + "'");
+}
+
+Json Server::handle_eval(const Json& request) {
+  metrics_.eval_requests.add();
+  const std::string system_name = request.get_string("system", "default");
+  const edge::EdgeSystem* system = find_system(system_name);
+  if (system == nullptr) {
+    return error_response(ErrorCode::kUnknownSystem,
+                          "no system named '" + system_name + "' is loaded");
+  }
+
+  std::vector<edge::Placement> placements;
+  try {
+    const auto& docs = request.at("placements").as_array();
+    if (docs.empty()) {
+      throw support::JsonError("placements must be non-empty", 0);
+    }
+    placements.reserve(docs.size());
+    for (const auto& doc : docs) {
+      std::vector<std::vector<int>> assignment;
+      for (const auto& row : doc.as_array()) {
+        std::vector<int> devices;
+        for (const auto& dev : row.as_array()) {
+          const double v = dev.as_number();
+          if (v != std::floor(v)) {
+            throw support::JsonError("device index must be an integer", 0);
+          }
+          devices.push_back(static_cast<int>(v));
+        }
+        assignment.push_back(std::move(devices));
+      }
+      edge::Placement placement(std::move(assignment));
+      placement.validate(*system);
+      placements.push_back(std::move(placement));
+    }
+  } catch (const std::exception& e) {
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest, e.what());
+  }
+  metrics_.placements_received.add(placements.size());
+
+  const auto now = Clock::now();
+  auto deadline = Clock::time_point::max();
+  const double deadline_ms = request.get_number("deadline_ms", 0.0);
+  if (deadline_ms > 0.0) {
+    deadline = now + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             deadline_ms));
+  }
+
+  auto state = std::make_shared<RequestState>(placements.size());
+  auto done = state->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    if (draining_) {
+      metrics_.rejects_shutdown.add();
+      return error_response(ErrorCode::kShuttingDown, "server is draining");
+    }
+    if (pending_.size() + placements.size() > config_.max_pending) {
+      metrics_.rejects_overload.add();
+      return error_response(
+          ErrorCode::kOverloaded,
+          "pending queue full (" + std::to_string(pending_.size()) + " of " +
+              std::to_string(config_.max_pending) + " placements)");
+    }
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      pending_.push_back(PendingItem{state, i, system,
+                                     std::move(placements[i]), now,
+                                     deadline});
+    }
+  }
+  batch_cv_.notify_all();
+  done.wait();
+
+  if (state->failed.load(std::memory_order_acquire)) {
+    return error_response(state->code, state->message);
+  }
+  Json values;
+  for (double v : state->values) values.push_back(Json(v));
+  Json response = ok_response();
+  response["values"] = std::move(values);
+  return response;
+}
+
+void Server::flusher_loop() {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (draining_) return;
+      batch_cv_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      continue;
+    }
+    if (static_cast<int>(pending_.size()) < config_.max_batch && !draining_) {
+      // Wait for the batch to fill, but no longer than the flush window of
+      // the oldest pending placement.
+      const auto flush_at = pending_.front().enqueued + flush_window_;
+      batch_cv_.wait_until(lock, flush_at, [this] {
+        return static_cast<int>(pending_.size()) >= config_.max_batch ||
+               draining_;
+      });
+      if (pending_.empty()) continue;
+    }
+
+    // Pop expired items (dropped before evaluation) and a same-system
+    // prefix of up to max_batch placements; a system change ends the batch
+    // and the remainder flushes on the next iteration.
+    const auto now = Clock::now();
+    std::vector<PendingItem> expired;
+    std::vector<PendingItem> batch;
+    const edge::EdgeSystem* system = nullptr;
+    while (!pending_.empty() &&
+           static_cast<int>(batch.size()) < config_.max_batch) {
+      PendingItem& front = pending_.front();
+      if (now >= front.deadline) {
+        expired.push_back(std::move(front));
+        pending_.pop_front();
+        continue;
+      }
+      if (system == nullptr) {
+        system = front.system;
+      } else if (front.system != system) {
+        break;
+      }
+      batch.push_back(std::move(front));
+      pending_.pop_front();
+    }
+    lock.unlock();
+
+    for (auto& item : expired) {
+      metrics_.deadline_drops.add();
+      item.state->fail(ErrorCode::kDeadlineExceeded,
+                       "deadline expired before evaluation");
+      item.state->complete_one();
+    }
+    if (!batch.empty()) {
+      std::vector<edge::Placement> placements;
+      placements.reserve(batch.size());
+      for (auto& item : batch) placements.push_back(std::move(item.placement));
+      metrics_.batches_flushed.add();
+      metrics_.batch_sizes.record(batch.size());
+      try {
+        const auto values = service_.evaluate_batch(*system, placements);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          batch[i].state->values[batch[i].index] = values[i];
+        }
+        metrics_.placements_evaluated.add(batch.size());
+      } catch (const std::exception& e) {
+        for (auto& item : batch) {
+          item.state->fail(ErrorCode::kInternal, e.what());
+        }
+      }
+      for (auto& item : batch) item.state->complete_one();
+    }
+    lock.lock();
+  }
+}
+
+Json Server::stats_json() const {
+  Json doc;
+  const auto count = [](const Counter& c) {
+    return Json(static_cast<double>(c.value()));
+  };
+  doc["connections_accepted"] = count(metrics_.connections_accepted);
+  doc["requests"] = count(metrics_.requests_total);
+  doc["eval_requests"] = count(metrics_.eval_requests);
+  doc["placements_received"] = count(metrics_.placements_received);
+  doc["placements_evaluated"] = count(metrics_.placements_evaluated);
+  doc["batches"] = count(metrics_.batches_flushed);
+  doc["rejects_overload"] = count(metrics_.rejects_overload);
+  doc["rejects_shutdown"] = count(metrics_.rejects_shutdown);
+  doc["deadline_drops"] = count(metrics_.deadline_drops);
+  doc["parse_errors"] = count(metrics_.parse_errors);
+  doc["bad_requests"] = count(metrics_.bad_requests);
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    doc["queue_depth"] = Json(static_cast<double>(pending_.size()));
+  }
+  doc["pool_queue_depth"] =
+      Json(static_cast<double>(service_.pool().queue_depth()));
+
+  const auto latency = metrics_.service_latency.snapshot();
+  Json lat;
+  lat["count"] = Json(static_cast<double>(latency.total));
+  lat["mean_s"] = Json(latency.mean());
+  lat["p50_s"] = Json(latency.quantile(0.50));
+  lat["p95_s"] = Json(latency.quantile(0.95));
+  lat["p99_s"] = Json(latency.quantile(0.99));
+  doc["service_latency"] = std::move(lat);
+
+  // Batch-size histogram as [size, count] pairs, zero rows elided; the
+  // final slot aggregates sizes >= the histogram bound.
+  const auto sizes = metrics_.batch_sizes.snapshot();
+  Json histogram;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    Json row;
+    row.push_back(Json(static_cast<double>(i)));
+    row.push_back(Json(static_cast<double>(sizes[i])));
+    histogram.push_back(std::move(row));
+  }
+  if (histogram.is_null()) histogram = Json(Json::Array{});
+  doc["batch_size_histogram"] = std::move(histogram);
+
+  if (config_.cache) {
+    const auto stats = config_.cache->stats();
+    Json cache;
+    cache["hits"] = Json(static_cast<double>(stats.hits));
+    cache["misses"] = Json(static_cast<double>(stats.misses));
+    cache["entries"] = Json(static_cast<double>(stats.entries));
+    cache["evictions"] = Json(static_cast<double>(stats.evictions));
+    const double lookups = static_cast<double>(stats.hits + stats.misses);
+    cache["hit_rate"] =
+        Json(lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0);
+    doc["cache"] = std::move(cache);
+  }
+  return doc;
+}
+
+}  // namespace chainnet::serve

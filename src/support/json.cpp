@@ -176,7 +176,19 @@ class Parser {
     }
   }
 
+  /// Bounds container recursion: entered once per '{' / '['.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > Json::kMaxParseDepth) {
+        parser_.fail("nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json::Object obj;
     skip_whitespace();
@@ -202,6 +214,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json::Array arr;
     skip_whitespace();
@@ -299,31 +312,31 @@ class Parser {
   }
 
   Json parse_number() {
+    // Strict JSON grammar: the integer part, a fraction, and an exponent
+    // each require at least one digit, so hostile fragments like ".5",
+    // "5.", "-", or "1e+" are rejected instead of leniently coerced.
     const std::size_t start = pos_;
+    const auto digits = [this] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
-                                      text_[pos_]))) {
-      ++pos_;
-    }
+    if (digits() == 0) fail("invalid number");
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
-                                        text_[pos_]))) {
-        ++pos_;
-      }
+      if (digits() == 0) fail("invalid number");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
       }
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
-                                        text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
-      fail("invalid number");
+      if (digits() == 0) fail("invalid number");
     }
     const std::string token(text_.substr(start, pos_ - start));
     try {
@@ -336,6 +349,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_string(std::string& out, const std::string& s) {

@@ -6,6 +6,11 @@
 // \r \t and \uXXXX for the BMP), array, object. Parse errors throw
 // JsonError with a character offset. Numbers are doubles (adequate for the
 // domain: rates, capacities, probabilities).
+//
+// The parser is safe on untrusted input (the serving layer feeds it bytes
+// straight off the wire): malformed, truncated, or hostile documents throw
+// JsonError — never crash — and container nesting is capped at
+// kMaxParseDepth so a stream of '[' cannot overflow the stack.
 #pragma once
 
 #include <cstddef>
@@ -73,6 +78,11 @@ class Json {
   /// Object/array builders.
   Json& operator[](const std::string& key);
   void push_back(Json value);
+
+  /// Maximum container nesting parse() accepts; deeper input throws
+  /// JsonError("nesting too deep"). Far above any legitimate document in
+  /// this domain, far below stack-overflow territory.
+  static constexpr int kMaxParseDepth = 128;
 
   /// Parses a complete JSON document (trailing garbage is an error).
   static Json parse(std::string_view text);

@@ -62,6 +62,76 @@ TEST(JsonParse, Errors) {
   EXPECT_THROW(Json::parse("\"ctrl\x01\""), JsonError);
 }
 
+// The serving layer hands this parser bytes straight off the wire, so
+// hostile input must produce a JsonError — never a crash, hang, or
+// unbounded recursion.
+TEST(JsonParse, HostileCorpusThrowsCleanly) {
+  const char* corpus[] = {
+      "{",                        // truncated object
+      "[",                        // truncated array
+      "[[",                       // nested truncation
+      "{\"a\"",                   // key without value
+      "{\"a\":}",                 // missing value
+      "{\"a\":1",                 // unterminated object
+      "{:1}",                     // missing key
+      "{1:2}",                    // non-string key
+      "[1,,2]",                   // empty element
+      "[1 2]",                    // missing comma
+      "\"abc",                    // unterminated string
+      "\"\\",                     // escape at EOF
+      "\"\\u12",                  // truncated \u escape
+      "\"\\u12zq\"",              // bad hex digit
+      "tru",                      // truncated literal
+      "nulll",                    // trailing garbage after literal
+      "-",                        // sign without digits
+      "+1",                       // leading plus
+      ".5",                       // leading dot
+      "1e999999",                 // overflowing exponent
+      "\x01",                     // raw control character
+      "{\"a\":1}}",               // extra closer
+      "]",                        // closer without opener
+      "",                         // empty input
+      " \t\n",                    // whitespace only
+  };
+  for (const char* text : corpus) {
+    EXPECT_THROW(Json::parse(text), JsonError) << "input: " << text;
+  }
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotStackOverflow) {
+  // A megabyte of '[' must fail fast at the depth cap, not recurse once
+  // per byte.
+  EXPECT_THROW(Json::parse(std::string(1u << 20, '[')), JsonError);
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_THROW(Json::parse(nested(Json::kMaxParseDepth + 1)), JsonError);
+  // The cap itself parses: limit, not off-by-one.
+  const auto deep = Json::parse(nested(Json::kMaxParseDepth));
+  const Json* leaf = &deep;
+  while (leaf->is_array()) leaf = &leaf->as_array().front();
+  EXPECT_DOUBLE_EQ(leaf->as_number(), 1.0);
+  // Mixed object/array nesting hits the same cap.
+  std::string mixed;
+  for (int i = 0; i < Json::kMaxParseDepth + 1; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW(Json::parse(mixed), JsonError);
+}
+
+TEST(JsonParse, HostileLengthsDoNotCrash) {
+  // Long flat documents are fine (depth cap only bounds nesting).
+  std::string flat = "[0";
+  for (int i = 1; i < 20000; ++i) flat += "," + std::to_string(i % 10);
+  flat += "]";
+  EXPECT_EQ(Json::parse(flat).as_array().size(), 20000u);
+  // Truncated versions of a valid document always throw, never crash.
+  const std::string doc = R"({"a":[1,2,{"b":"c\u00e9"}],"d":null})";
+  for (std::size_t cut = 0; cut + 1 < doc.size(); ++cut) {
+    EXPECT_THROW(Json::parse(doc.substr(0, cut)), JsonError)
+        << "prefix length " << cut;
+  }
+}
+
 TEST(JsonError, CarriesOffset) {
   try {
     Json::parse("[1, x]");

@@ -1,0 +1,102 @@
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace chainnet::serve {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(LatencyHistogram, QuantilesBracketRecordedValues) {
+  LatencyHistogram h;
+  // 90 fast observations at ~100us, 10 slow at ~50ms.
+  for (int i = 0; i < 90; ++i) h.record(100e-6);
+  for (int i = 0; i < 10; ++i) h.record(50e-3);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 100u);
+  // Geometric buckets have <=25% edge error; allow that slack.
+  EXPECT_GE(snap.quantile(0.50), 100e-6);
+  EXPECT_LE(snap.quantile(0.50), 130e-6);
+  EXPECT_GE(snap.quantile(0.95), 50e-3);
+  EXPECT_LE(snap.quantile(0.95), 65e-3);
+  EXPECT_GE(snap.quantile(0.99), 50e-3);
+  EXPECT_NEAR(snap.mean(), (90 * 100e-6 + 10 * 50e-3) / 100, 1e-9);
+}
+
+TEST(LatencyHistogram, EmptyAndExtremeValues) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+  h.record(0.0);       // at/below the floor -> first bucket
+  h.record(-1.0);      // negative -> first bucket, not UB
+  h.record(1e9);       // beyond the range -> overflow bucket
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_EQ(snap.counts.front(), 2u);
+  EXPECT_EQ(snap.counts.back(), 1u);
+  // The overflow bucket reports the last finite edge, not infinity.
+  EXPECT_TRUE(std::isfinite(snap.quantile(1.0)));
+}
+
+TEST(LatencyHistogram, BucketEdgesAreMonotone) {
+  const auto snap = LatencyHistogram().snapshot();
+  for (std::size_t i = 1; i + 1 < snap.upper_edges.size(); ++i) {
+    EXPECT_GT(snap.upper_edges[i], snap.upper_edges[i - 1]);
+  }
+  EXPECT_TRUE(std::isinf(snap.upper_edges.back()));
+}
+
+TEST(SizeHistogram, CountsExactSizesAndClampsOverflow) {
+  SizeHistogram h(8);
+  h.record(1);
+  h.record(1);
+  h.record(3);
+  h.record(8);    // == max -> overflow slot
+  h.record(100);  // beyond max -> overflow slot
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap[1], 2u);
+  EXPECT_EQ(snap[3], 1u);
+  EXPECT_EQ(snap.back(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing) {
+  // The counters sit on the serving hot path, written by reader threads
+  // and the flusher concurrently; relaxed atomics must still account for
+  // every event. (Also the TSan target for this module.)
+  Counter counter;
+  LatencyHistogram latency;
+  SizeHistogram sizes(32);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        latency.record(1e-5 * (1 + (i + t) % 100));
+        sizes.record(static_cast<std::size_t>((i + t) % 40));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(latency.snapshot().total, kThreads * kPerThread);
+  EXPECT_EQ(sizes.total(), kThreads * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (auto c : latency.snapshot().counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace chainnet::serve

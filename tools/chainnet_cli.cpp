@@ -13,6 +13,12 @@
 //   chainnet optimize  --system s.json (--weights w.bin | --oracle sim|approx)
 //                      [--steps N] [--trials T] [--out placement.json]
 //                      [--threads N] [--cache-size N] [--batch K]
+//   chainnet serve     --system s.json (--weights w.bin | --oracle sim|approx)
+//                      [--port P] [--threads N] [--batch K] [--flush-ms W]
+//                      [--max-queue N] [--cache-size N] [--name NAME]
+//   chainnet query     --port P [--host H] (--stats | --ping | --shutdown |
+//                      --placement p.json [--system NAME] [--deadline-ms D])
+//                      [--json]
 //
 // --threads N  fans independent SA trials out across an N-worker pool
 //              (each worker gets a private oracle with a decorrelated
@@ -23,7 +29,12 @@
 //              placement's canonical hash; hits are reported separately
 //              and never counted as oracle evaluations.
 //
+// serve/query speak the length-prefixed JSON protocol of serve/protocol.h;
+// `serve` binds a TCP port (0 = ephemeral, the bound port is printed) and
+// microbatches concurrent eval requests into the shared evaluation service.
+//
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -47,6 +58,8 @@
 #include "runtime/eval_cache.h"
 #include "runtime/eval_service.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "tensor/serialize.h"
@@ -312,26 +325,25 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
-int cmd_optimize(const Args& args) {
-  const auto system = edge::load_system(args.require("system"));
-  const auto initial = optim::initial_placement(system);
+/// The oracle stack shared by `optimize` and `serve`: an evaluator factory
+/// (one private oracle per worker stream) plus the objects that must
+/// outlive the evaluators it hands out.
+struct OracleSetup {
+  runtime::EvalService::EvaluatorFactory factory;  // empty on usage error
+  std::shared_ptr<runtime::EvalCache> cache;
+  // Surrogate models are parked here so they outlive their evaluators.
+  std::shared_ptr<std::vector<std::unique_ptr<core::ChainNet>>> models =
+      std::make_shared<std::vector<std::unique_ptr<core::ChainNet>>>();
+};
 
+OracleSetup build_oracle(const Args& args, const edge::EdgeSystem& system) {
+  OracleSetup setup;
   const std::string oracle = args.get("oracle", "");
-  const int threads = std::max(1, args.integer("threads", 1));
-  const int batch = std::max(0, args.integer("batch", 0));
-  const auto cache_size =
-      static_cast<std::size_t>(std::max(0, args.integer("cache-size", 0)));
-  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
-
-  // One private oracle per worker stream; models (surrogate oracle) are
-  // parked in `models` so they outlive their evaluators.
-  auto models = std::make_shared<std::vector<std::unique_ptr<core::ChainNet>>>();
-  runtime::EvalService::EvaluatorFactory factory;
   if (args.has("weights")) {
     const std::string weights = args.require("weights");
     const auto cfg = model_config(args);
-    factory = [models, cfg,
-               weights](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+    setup.factory = [models = setup.models, cfg, weights](
+                        support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
       support::Rng init_rng(1);
       auto model = std::make_unique<core::ChainNet>(cfg, init_rng);
       tensor::load_parameters(*model, weights);
@@ -340,7 +352,8 @@ int cmd_optimize(const Args& args) {
           core::Surrogate(*models->back()));
     };
   } else if (oracle == "approx") {
-    factory = [](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+    setup.factory =
+        [](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
       return std::make_unique<optim::ApproximationEvaluator>();
     };
   } else if (oracle == "sim" || oracle.empty()) {
@@ -349,25 +362,42 @@ int cmd_optimize(const Args& args) {
     // Fixed evaluation seed across workers (common random numbers), so the
     // objective depends on the placement only and batched / parallel runs
     // are reproducible regardless of which worker scores a candidate.
-    factory =
+    setup.factory =
         [cfg](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
       return std::make_unique<optim::SimulationEvaluator>(cfg);
     };
   } else {
     std::cerr << "unknown --oracle '" << oracle << "'\n";
-    return 1;
+    return setup;  // empty factory: caller exits with a usage error
   }
 
-  std::shared_ptr<runtime::EvalCache> cache;
+  const auto cache_size =
+      static_cast<std::size_t>(std::max(0, args.integer("cache-size", 0)));
   if (cache_size > 0) {
     runtime::EvalCacheConfig cache_cfg;
     cache_cfg.capacity = cache_size;
-    cache = std::make_shared<runtime::EvalCache>(cache_cfg);
-    factory = [inner = std::move(factory), cache](support::Rng stream)
+    setup.cache = std::make_shared<runtime::EvalCache>(cache_cfg);
+    setup.factory = [inner = std::move(setup.factory), cache = setup.cache](
+                        support::Rng stream)
         -> std::unique_ptr<optim::PlacementEvaluator> {
       return std::make_unique<runtime::CachedEvaluator>(inner(stream), cache);
     };
   }
+  return setup;
+}
+
+int cmd_optimize(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  const auto initial = optim::initial_placement(system);
+
+  const int threads = std::max(1, args.integer("threads", 1));
+  const int batch = std::max(0, args.integer("batch", 0));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+
+  auto setup = build_oracle(args, system);
+  if (!setup.factory) return 1;
+  auto& factory = setup.factory;
+  const auto& cache = setup.cache;
 
   optim::SaConfig sa;
   sa.max_steps = args.integer("steps", 100);
@@ -423,6 +453,93 @@ int cmd_optimize(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_interrupt(int) { g_interrupted = 1; }
+
+int cmd_serve(const Args& args) {
+  const auto system = edge::load_system(args.require("system"));
+  auto setup = build_oracle(args, system);
+  if (!setup.factory) return 1;
+
+  const int threads = std::max(1, args.integer("threads", 4));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  runtime::ThreadPool pool(threads);
+  runtime::EvalService service(pool, setup.factory, seed);
+
+  serve::ServerConfig config;
+  config.port = args.integer("port", 0);
+  config.max_batch = args.integer("batch", 32);
+  config.flush_window_ms = args.number("flush-ms", 0.5);
+  config.max_pending =
+      static_cast<std::size_t>(std::max(1, args.integer("max-queue", 1024)));
+  config.cache = setup.cache;
+  serve::Server server(service, config);
+  server.add_system(args.get("name", "default"), system);
+  server.start();
+  std::cout << "serving '" << args.get("name", "default") << "' ("
+            << system.num_chains() << " chains, " << system.num_devices()
+            << " devices) on port " << server.port() << " with " << threads
+            << " worker thread" << (threads == 1 ? "" : "s")
+            << "; stop with SIGINT or a {\"type\":\"shutdown\"} request\n"
+            << std::flush;
+
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+  // Poll so a signal interrupts the wait promptly (wait() blocks in a
+  // condition variable no signal handler can notify).
+  while (!g_interrupted &&
+         !server.wait_for(std::chrono::milliseconds(200))) {
+  }
+  server.stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const auto& m = server.metrics();
+  std::cout << "served " << m.requests_total.value() << " requests ("
+            << m.placements_evaluated.value() << " placements in "
+            << m.batches_flushed.value() << " batches); "
+            << m.rejects_overload.value() << " overload rejects, "
+            << m.deadline_drops.value() << " deadline drops\n";
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  serve::Client client(args.get("host", "127.0.0.1"),
+                       args.integer("port", 0));
+  if (args.has("stats")) {
+    std::cout << client.stats().dump(2) << "\n";
+    return 0;
+  }
+  if (args.has("shutdown")) {
+    client.request_shutdown();
+    std::cout << "shutdown requested\n";
+    return 0;
+  }
+  if (args.has("ping")) {
+    client.ping();
+    std::cout << "ok\n";
+    return 0;
+  }
+  if (args.has("placement")) {
+    const auto placement = edge::load_placement(args.require("placement"));
+    const double value =
+        client.evaluate_one(placement, args.get("system", "default"),
+                            args.number("deadline-ms", 0.0));
+    if (args.has("json")) {
+      Json report;
+      report["total_throughput"] = Json(value);
+      std::cout << report.dump(2) << "\n";
+    } else {
+      std::cout << "total throughput: " << value << "/s\n";
+    }
+    return 0;
+  }
+  std::cerr << "query needs one of --stats, --ping, --shutdown,"
+               " --placement\n";
+  return 1;
+}
+
 int usage() {
   std::cerr
       << "usage: chainnet <command> [flags]\n"
@@ -439,7 +556,14 @@ int usage() {
          "  evaluate  --weights w.bin [--kind type1|type2] [--samples N]\n"
          "  optimize  --system s.json [--weights w.bin | --oracle"
          " sim|approx] [--steps N] [--trials T] [--out p.json]\n"
-         "            [--threads N] [--cache-size N] [--batch K]\n";
+         "            [--threads N] [--cache-size N] [--batch K]\n"
+         "  serve     --system s.json [--weights w.bin | --oracle"
+         " sim|approx] [--port P] [--threads N] [--batch K]\n"
+         "            [--flush-ms W] [--max-queue N] [--cache-size N]"
+         " [--name NAME]\n"
+         "  query     --port P [--host H] (--stats | --ping | --shutdown |"
+         " --placement p.json)\n"
+         "            [--system NAME] [--deadline-ms D] [--json]\n";
   return 1;
 }
 
@@ -458,6 +582,8 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "optimize") return cmd_optimize(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
