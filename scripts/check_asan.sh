@@ -9,7 +9,9 @@
 # ops, modules, optimizers, serialization, ChainNet and the baselines,
 # gradient checks, the fast-inference equivalence suite, and the trainer —
 # the code where a bump-allocator bug (stale buffer, out-of-bounds scatter,
-# use-after-release) would surface.
+# use-after-release) would surface. It also covers the untrusted-input
+# paths (JSON parser, serve protocol + loopback hostile requests), where
+# UBSan catches things like float-to-int casts of client-chosen values.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,12 +21,12 @@ cmake --build build-asan -j "$(nproc)" \
   --target autograd_test tape_test nn_test optimizer_test serialize_test \
   baselines_test baseline_gradcheck_test chainnet_test \
   chainnet_gradcheck_test chainnet_inference_test trainer_test \
-  invariance_test
+  invariance_test json_test serve_protocol_test serve_loopback_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-asan \
-  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|trainer|invariance)_test' \
+  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|trainer|invariance|json|serve_protocol|serve_loopback)_test' \
   --output-on-failure "$@"
 
 echo "ASan+UBSan check passed."

@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,6 +14,7 @@
 #include <cmath>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -65,6 +69,26 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Client deadlines saturate here: converting an arbitrary double to the
+/// clock's integer rep overflows for huge values, and anything beyond an
+/// hour is indistinguishable from "no deadline" for a microbatched eval.
+constexpr double kMaxDeadlineMs = 3600.0 * 1000.0;
+
+/// Bound on how long a response write may block on a peer that stopped
+/// reading, so a stalled client cannot hang graceful shutdown.
+constexpr timeval kSendTimeout{5, 0};
+
+void set_blocking_with_send_timeout(int fd) noexcept {
+  // Accepted sockets inherit O_NONBLOCK from the listener on the BSDs
+  // (not on Linux); the readers want plain blocking I/O either way.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0 && (flags & O_NONBLOCK) != 0) {
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &kSendTimeout,
+               sizeof(kSendTimeout));
 }
 
 }  // namespace
@@ -133,6 +157,19 @@ void Server::start() {
   socklen_t len = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+  // Non-blocking listener + self-pipe: the accept loop polls both, so
+  // stop() can wake it portably (shutdown() on a listening socket only
+  // interrupts accept() on Linux) and accept() itself can never block
+  // on a connection that aborted between poll() and the call.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  if (::pipe(wake_pipe_) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    throw_errno("Server: pipe");
+  }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     started_ = true;
@@ -164,12 +201,17 @@ void Server::stop() {
   }
   state_cv_.notify_all();
 
-  // 1. Stop accepting: shutting the listening socket down unblocks
-  //    accept(), which then exits its loop.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  // 1. Stop accepting: a byte down the self-pipe wakes the accept loop's
+  //    poll(), which then exits.
+  const char wake = 1;
+  while (::write(wake_pipe_[1], &wake, 1) < 0 && errno == EINTR) {
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
 
   // 2. Drain the batcher. New evals are rejected as shutting_down; the
   //    flusher exits only once the pending queue is empty, so every
@@ -183,7 +225,10 @@ void Server::stop() {
 
   // 3. Half-close the connections (SHUT_RD): a reader blocked in recv sees
   //    EOF immediately, while one still writing a drained response gets to
-  //    finish the write before its next read returns 0.
+  //    finish the write before its next read returns 0. A peer that stopped
+  //    reading (zero TCP window) cannot stall the join indefinitely: every
+  //    connection socket carries SO_SNDTIMEO, so the blocked send errors
+  //    out within kSendTimeout and the reader exits.
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     for (auto& conn : connections_) {
@@ -201,13 +246,25 @@ void Server::stop() {
 
 void Server::accept_loop() {
   for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() wrote the wake byte
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listening socket shut down
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;  // listening socket gone
     }
     metrics_.connections_accepted.add();
     set_low_latency(fd);
+    set_blocking_with_send_timeout(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -242,7 +299,15 @@ void Server::reader_loop(Connection* conn) {
     }
     const auto start = Clock::now();
     metrics_.requests_total.add();
-    const Json response = dispatch(payload);
+    Json response;
+    try {
+      response = dispatch(payload);
+    } catch (const std::exception& e) {
+      // Last-resort guard: this runs on a detached-ish std::thread, so an
+      // escaping exception would std::terminate the whole process.
+      metrics_.bad_requests.add();
+      response = error_response(ErrorCode::kInternal, e.what());
+    }
     const bool written = write_frame(conn->fd, response.dump());
     metrics_.service_latency.record(
         std::chrono::duration<double>(Clock::now() - start).count());
@@ -298,15 +363,21 @@ Json Server::dispatch(const std::string& payload) {
 
 Json Server::handle_eval(const Json& request) {
   metrics_.eval_requests.add();
-  const std::string system_name = request.get_string("system", "default");
-  const edge::EdgeSystem* system = find_system(system_name);
-  if (system == nullptr) {
-    return error_response(ErrorCode::kUnknownSystem,
-                          "no system named '" + system_name + "' is loaded");
-  }
-
+  const auto now = Clock::now();
+  const edge::EdgeSystem* system = nullptr;
   std::vector<edge::Placement> placements;
+  auto deadline = Clock::time_point::max();
+  // Every field access sits inside this try: the accessors throw on
+  // wrong-typed values, and nothing a client sends may escape as an
+  // exception.
   try {
+    const std::string system_name = request.get_string("system", "default");
+    system = find_system(system_name);
+    if (system == nullptr) {
+      return error_response(ErrorCode::kUnknownSystem,
+                            "no system named '" + system_name +
+                                "' is loaded");
+    }
     const auto& docs = request.at("placements").as_array();
     if (docs.empty()) {
       throw support::JsonError("placements must be non-empty", 0);
@@ -318,8 +389,14 @@ Json Server::handle_eval(const Json& request) {
         std::vector<int> devices;
         for (const auto& dev : row.as_array()) {
           const double v = dev.as_number();
-          if (v != std::floor(v)) {
-            throw support::JsonError("device index must be an integer", 0);
+          // Reject non-integral and int-overflowing values up front:
+          // static_cast<int> of an out-of-range double is undefined
+          // behavior, so the range check must precede the cast.
+          if (v != std::floor(v) ||
+              v < static_cast<double>(std::numeric_limits<int>::min()) ||
+              v > static_cast<double>(std::numeric_limits<int>::max())) {
+            throw support::JsonError(
+                "device index must be an integer in int range", 0);
           }
           devices.push_back(static_cast<int>(v));
         }
@@ -329,20 +406,17 @@ Json Server::handle_eval(const Json& request) {
       placement.validate(*system);
       placements.push_back(std::move(placement));
     }
+    const double deadline_ms = request.get_number("deadline_ms", 0.0);
+    if (deadline_ms > 0.0) {
+      deadline = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               std::min(deadline_ms, kMaxDeadlineMs)));
+    }
   } catch (const std::exception& e) {
     metrics_.bad_requests.add();
     return error_response(ErrorCode::kBadRequest, e.what());
   }
   metrics_.placements_received.add(placements.size());
-
-  const auto now = Clock::now();
-  auto deadline = Clock::time_point::max();
-  const double deadline_ms = request.get_number("deadline_ms", 0.0);
-  if (deadline_ms > 0.0) {
-    deadline = now + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double, std::milli>(
-                             deadline_ms));
-  }
 
   auto state = std::make_shared<RequestState>(placements.size());
   auto done = state->done.get_future();

@@ -125,6 +125,9 @@ class Server {
   bool shutdown_requested_ = false;
 
   int listen_fd_ = -1;
+  // Self-pipe that stop() writes to so the accept loop's poll() wakes
+  // portably (shutdown() on a listening socket is Linux-specific).
+  int wake_pipe_[2] = {-1, -1};
   int bound_port_ = 0;
   std::thread accept_thread_;
   std::thread flusher_thread_;

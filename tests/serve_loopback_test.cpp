@@ -225,6 +225,44 @@ TEST(ServeLoopback, TypedErrorsForBadInput) {
   server.stop();
 }
 
+TEST(ServeLoopback, HostileEvalFieldsGetTypedErrorsNotACrash) {
+  const auto system = small_system();
+  runtime::ThreadPool pool(2);
+  runtime::EvalService service(pool, approx_factory());
+  Server server(service, {});
+  server.add_system("default", system);
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  const auto placement = small_placement();
+
+  // Wrong-typed or out-of-range fields must come back as bad_request —
+  // an uncaught exception in a reader thread would kill the process.
+  const char* hostile[] = {
+      R"({"type":"eval","system":1})",
+      R"({"type":"eval","placements":[[[0]]],"deadline_ms":"soon"})",
+      R"({"type":"eval","placements":"nope"})",
+      R"({"type":"eval","placements":[[[1e300]]]})",  // overflows int
+      R"({"type":"eval","placements":[[[-1e300]]]})",
+      R"({"type":"eval","placements":[[[0.5]]]})",  // non-integral index
+  };
+  for (const char* payload : hostile) {
+    try {
+      client.call(support::Json::parse(payload));
+      FAIL() << "expected bad_request for " << payload;
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadRequest) << payload;
+    }
+  }
+
+  // The server survived all of it, and an absurd deadline saturates
+  // instead of overflowing into the past and expiring the request.
+  client.ping();
+  EXPECT_GT(client.evaluate_one(placement, "default", 1e18), 0.0);
+  EXPECT_EQ(server.metrics().deadline_drops.value(), 0u);
+  server.stop();
+}
+
 TEST(ServeLoopback, ClientShutdownRequestUnblocksWaitAndDrains) {
   const auto system = small_system();
   runtime::ThreadPool pool(2);
