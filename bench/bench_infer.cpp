@@ -1,0 +1,239 @@
+// bench_infer — surrogate inference-engine throughput (the PR-4 hot path).
+//
+// Three measurements on the paper-sized ChainNet (hidden 64, 8 iterations):
+//   1. single-stream forward_values placements/s, pre-fusion reference
+//      kernels vs the packed/blocked fused kernels (same weights; outputs
+//      are bit-identical, which this bench re-checks before timing);
+//   2. batched forward_values_batch aggregate placements/s for
+//      B in {1,2,4,8,16,32} over prebuilt graphs;
+//   3. end-to-end surrogate objective: pre-PR-equivalent scalar path
+//      (fresh build_graph allocation + reference kernels, one placement at
+//      a time) vs the current path (graph-workspace reuse + fused kernels +
+//      one batched forward over 32 placements).
+//
+// Results print to stdout and are written machine-readable to
+// BENCH_infer.json (override with CHAINNET_INFER_OUT).
+//
+//   CHAINNET_INFER_DEVICES   problem size (default 16)
+//   CHAINNET_INFER_SECONDS   min seconds per timed loop (default 0.4)
+//   CHAINNET_INFER_OUT       output JSON path (default BENCH_infer.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/chainnet.h"
+#include "core/surrogate.h"
+#include "edge/graph.h"
+#include "edge/problem.h"
+#include "gnn/model.h"
+#include "optim/annealing.h"
+#include "optim/initial.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace chainnet;
+using Clock = std::chrono::steady_clock;
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atof(value) : fallback;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+/// Runs `body` (which evaluates `unit` placements per call) repeatedly for
+/// at least min_seconds and returns aggregate placements/s.
+double time_rate(double min_seconds, int unit,
+                 const std::function<void()>& body) {
+  body();  // warm up (packs weights, sizes workspaces)
+  const auto start = Clock::now();
+  long evaluated = 0;
+  double elapsed = 0.0;
+  do {
+    body();
+    evaluated += unit;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return evaluated / elapsed;
+}
+
+/// Same SA-style visitation pattern the search drivers produce.
+std::vector<edge::Placement> walk_placements(const edge::EdgeSystem& system,
+                                             int count) {
+  std::vector<edge::Placement> placements;
+  placements.reserve(static_cast<std::size_t>(count));
+  edge::Placement current = optim::initial_placement(system);
+  support::Rng rng(17);
+  const optim::SaConfig cfg;
+  for (int i = 0; i < count; ++i) {
+    edge::Placement next;
+    if (propose_move(system, current, rng, cfg, next)) current = next;
+    placements.push_back(current);
+  }
+  return placements;
+}
+
+bool same_outputs(const std::vector<gnn::ChainValues>& a,
+                  const std::vector<gnn::ChainValues>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].has_throughput != b[i].has_throughput ||
+        a[i].has_latency != b[i].has_latency)
+      return false;
+    if (a[i].has_throughput && a[i].throughput != b[i].throughput)
+      return false;
+    if (a[i].has_latency && a[i].latency != b[i].latency) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  int devices = env_int("CHAINNET_INFER_DEVICES", 16);
+  const double min_seconds = env_double("CHAINNET_INFER_SECONDS", 0.4);
+  const char* out_env = std::getenv("CHAINNET_INFER_OUT");
+  const std::string out_path = out_env ? out_env : "BENCH_infer.json";
+
+  auto params = edge::PlacementProblemParams::paper(devices);
+  if (devices <= params.max_fragments) {
+    devices = params.max_fragments + 1;
+    params.num_devices = devices;
+  }
+  support::Rng gen_rng(5);
+  const auto system = edge::generate_placement_problem(params, gen_rng);
+
+  // Paper-sized model (Table IV): hidden 64, 8 message-passing iterations.
+  // Two instances from the same init seed — identical weights — differing
+  // only in kernel dispatch, so the speedup isolates the kernel change.
+  const auto cfg = core::ChainNetConfig::paper();
+  auto cfg_ref = cfg;
+  cfg_ref.fused_kernels = false;
+  support::Rng init_ref(1);
+  core::ChainNet reference(cfg_ref, init_ref);
+  support::Rng init_fused(1);
+  core::ChainNet fused(cfg, init_fused);
+
+  constexpr int kBatchMax = 32;
+  const auto placements = walk_placements(system, kBatchMax);
+  std::vector<edge::PlacementGraph> graphs;
+  graphs.reserve(placements.size());
+  for (const auto& p : placements) {
+    graphs.push_back(edge::build_graph(system, p, fused.feature_mode()));
+  }
+  std::vector<const edge::PlacementGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  std::printf(
+      "bench_infer: hidden=%d iterations=%d, %d chains, %d devices, "
+      "kernels=%s\n",
+      cfg.hidden, cfg.iterations, system.num_chains(), system.num_devices(),
+      tensor::kernels::isa());
+
+  // Parity gate: fused and batched outputs must be bit-identical to the
+  // reference before any throughput number is worth reporting.
+  const auto ref_out = reference.forward_values(graphs[0]);
+  if (!same_outputs(ref_out, fused.forward_values(graphs[0])) ||
+      !same_outputs(ref_out, fused.forward_values_batch(ptrs)[0])) {
+    std::printf("PARITY FAILURE: fused/batched != reference — aborting\n");
+    return 1;
+  }
+  std::printf("parity: fused and batched outputs bit-identical to "
+              "reference\n\n");
+
+  // 1. Single-stream kernels.
+  const double ref_rate = time_rate(min_seconds, kBatchMax, [&] {
+    for (const auto* g : ptrs) reference.forward_values(*g);
+  });
+  const double fused_rate = time_rate(min_seconds, kBatchMax, [&] {
+    for (const auto* g : ptrs) fused.forward_values(*g);
+  });
+  std::printf("single-stream forward_values (placements/s)\n");
+  std::printf("  %-22s %12.0f\n", "reference kernels", ref_rate);
+  std::printf("  %-22s %12.0f  (%.2fx)\n\n", "fused kernels", fused_rate,
+              fused_rate / ref_rate);
+
+  // 2. Batched forward over prebuilt graphs.
+  std::printf("batched forward_values_batch (aggregate placements/s)\n");
+  std::printf("  %5s %14s %10s\n", "B", "placements/s", "vs B=1");
+  support::Json::Array batch_rows;
+  double b1_rate = 0.0;
+  double b_last_rate = 0.0;
+  for (const int b : {1, 2, 4, 8, 16, 32}) {
+    std::span<const edge::PlacementGraph* const> span(
+        ptrs.data(), static_cast<std::size_t>(b));
+    const double rate =
+        time_rate(min_seconds, b, [&] { fused.forward_values_batch(span); });
+    if (b == 1) b1_rate = rate;
+    b_last_rate = rate;
+    std::printf("  %5d %14.0f %9.2fx\n", b, rate, rate / b1_rate);
+    support::Json::Object row;
+    row["batch"] = b;
+    row["placements_per_s"] = rate;
+    row["speedup_vs_b1"] = rate / b1_rate;
+    batch_rows.push_back(std::move(row));
+  }
+  const double b32_vs_b1 = b_last_rate / b1_rate;
+
+  // 3. End-to-end surrogate objective: what the optimizer actually calls.
+  //    Pre-PR equivalent = allocate a fresh graph per candidate and run the
+  //    reference scalar kernels; current = workspace reuse + one batched
+  //    fused forward.
+  const double e2e_scalar = time_rate(min_seconds, kBatchMax, [&] {
+    for (const auto& p : placements) {
+      const auto graph = edge::build_graph(system, p, reference.feature_mode());
+      double total = 0.0;
+      for (const auto& perf : gnn::predict_physical(reference, graph)) {
+        total += perf.throughput;
+      }
+      (void)total;
+    }
+  });
+  core::Surrogate surrogate(fused);
+  std::vector<double> scores(placements.size());
+  const double e2e_batched = time_rate(min_seconds, kBatchMax, [&] {
+    surrogate.total_throughput_batch(system, placements, scores);
+  });
+  std::printf("\nend-to-end surrogate objective (placements/s)\n");
+  std::printf("  %-38s %12.0f\n", "pre-PR scalar (fresh graphs, reference)",
+              e2e_scalar);
+  std::printf("  %-38s %12.0f  (%.2fx)\n",
+              "batched B=32 (workspace reuse, fused)", e2e_batched,
+              e2e_batched / e2e_scalar);
+
+  support::Json::Object doc;
+  support::Json::Object config;
+  config["hidden"] = cfg.hidden;
+  config["iterations"] = cfg.iterations;
+  config["devices"] = system.num_devices();
+  config["chains"] = system.num_chains();
+  config["kernel_isa"] = tensor::kernels::isa();
+  doc["config"] = std::move(config);
+  support::Json::Object single;
+  single["reference_placements_per_s"] = ref_rate;
+  single["fused_placements_per_s"] = fused_rate;
+  single["speedup"] = fused_rate / ref_rate;
+  doc["single_stream"] = std::move(single);
+  doc["batched"] = std::move(batch_rows);
+  doc["batch32_vs_batch1_speedup"] = b32_vs_b1;
+  support::Json::Object e2e;
+  e2e["prepr_scalar_placements_per_s"] = e2e_scalar;
+  e2e["batched32_placements_per_s"] = e2e_batched;
+  e2e["speedup"] = e2e_batched / e2e_scalar;
+  doc["end_to_end"] = std::move(e2e);
+
+  std::ofstream out(out_path);
+  out << support::Json(std::move(doc)).dump(2) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

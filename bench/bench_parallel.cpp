@@ -4,8 +4,10 @@
 // three oracle types (approximation, simulation, GNN surrogate) at thread
 // counts 1/2/4/8, reporting the speedup over the 1-thread run, plus a
 // memoization pass quantifying what the sharded EvalCache saves on a
-// revisit-heavy workload. Absolute speedups depend on the host's core
-// count (a 1-core container shows ~1x everywhere); the per-oracle
+// revisit-heavy workload, and a batched-vs-scalar pass showing what the
+// surrogate's lock-stepped multi-placement forward buys over one-at-a-time
+// evaluation on a single worker. Absolute speedups depend on the host's
+// core count (a 1-core container shows ~1x everywhere); the per-oracle
 // evals/sec column is the portable number.
 //
 //   CHAINNET_PAR_DEVICES   problem size (default 20)
@@ -22,6 +24,7 @@
 #include "optim/annealing.h"
 #include "optim/evaluator.h"
 #include "optim/initial.h"
+#include "oracles.h"
 #include "queueing/simulator.h"
 #include "runtime/eval_cache.h"
 #include "runtime/eval_service.h"
@@ -137,31 +140,41 @@ int main() {
          return std::make_unique<optim::SimulationEvaluator>(sim_cfg);
        },
        sim_batch});
-  bench_oracle(
-      system,
-      {"surrogate",
-       [model_cfg](support::Rng)
-           -> std::unique_ptr<optim::PlacementEvaluator> {
-         support::Rng init_rng(1);
-         auto model = std::make_unique<core::ChainNet>(model_cfg, init_rng);
-         auto* raw = model.get();
-         struct OwningSurrogateEvaluator final
-             : public optim::PlacementEvaluator {
-           OwningSurrogateEvaluator(std::unique_ptr<core::ChainNet> m,
-                                    core::ChainNet* raw)
-               : model(std::move(m)), eval(core::Surrogate(*raw)) {}
-           double total_throughput(const edge::EdgeSystem& system,
-                                   const edge::Placement& placement) override {
-             record_evaluation();
-             return eval.total_throughput(system, placement);
-           }
-           std::unique_ptr<core::ChainNet> model;
-           optim::SurrogateEvaluator eval;
-         };
-         return std::make_unique<OwningSurrogateEvaluator>(std::move(model),
-                                                           raw);
-       },
-       cheap_batch});
+  bench_oracle(system,
+               {"surrogate", bench::surrogate_factory(model_cfg), cheap_batch});
+
+  // Batched vs scalar surrogate on ONE worker: the same placements either
+  // trickle through evaluate() one at a time (B=1 scalar fused path) or go
+  // down evaluate_batch() in one lock-stepped multi-placement GNN forward.
+  // Thread-count speedups above measure parallelism; this isolates what the
+  // batch-major forward itself buys.
+  {
+    const int batch = env_int("CHAINNET_PAR_GNN_BATCH", 32);
+    const auto placements = walk_placements(system, batch);
+    runtime::ThreadPool pool(1);
+    runtime::EvalService service(pool, bench::surrogate_factory(model_cfg),
+                                 99);
+    service.evaluate_batch(system, placements);  // warm up
+    auto measure = [&](auto&& pass) {
+      const auto start = Clock::now();
+      int evaluated = 0;
+      double elapsed = 0.0;
+      do {
+        pass();
+        evaluated += static_cast<int>(placements.size());
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.25);
+      return evaluated / elapsed;
+    };
+    const double scalar_rate = measure([&] {
+      for (const auto& p : placements) service.evaluate(system, p);
+    });
+    const double batched_rate =
+        measure([&] { service.evaluate_batch(system, placements); });
+    std::printf("surrogate batched vs scalar (1 thread, batch %d): "
+                "scalar %.0f/s, batched %.0f/s, speedup %.2fx\n\n",
+                batch, scalar_rate, batched_rate, batched_rate / scalar_rate);
+  }
 
   // Memoization: the SA walk revisits states, a cache turns those into
   // near-free hits. Second pass over an identical batch = 100% hit rate.

@@ -8,6 +8,10 @@
 // the cache is shared across the sweep, as it would be across a server's
 // lifetime. After the sweep the headline configuration's `stats` response
 // is printed: batch-size histogram, latency percentiles, cache hit rate.
+// A final pass swaps in the uncached GNN surrogate oracle and compares
+// max_batch=1 against max_batch=32 under concurrent clients — the flusher's
+// aggregated batches reach the lock-stepped multi-placement forward, so the
+// qps ratio is the serving-layer view of batched-vs-scalar inference.
 //
 //   CHAINNET_SERVE_DEVICES     problem size (default 20)
 //   CHAINNET_SERVE_POOL        distinct placements queried (default 512)
@@ -20,8 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/chainnet.h"
 #include "edge/problem.h"
 #include "optim/evaluator.h"
+#include "oracles.h"
 #include "runtime/eval_cache.h"
 #include "runtime/eval_service.h"
 #include "runtime/thread_pool.h"
@@ -54,9 +60,10 @@ RunResult run_config(runtime::EvalService& service,
                      const edge::EdgeSystem& system,
                      const std::shared_ptr<runtime::EvalCache>& cache,
                      const std::vector<edge::Placement>& placements,
-                     int clients, double flush_ms, double seconds) {
+                     int clients, double flush_ms, double seconds,
+                     int max_batch = 32) {
   serve::ServerConfig config;
-  config.max_batch = 32;
+  config.max_batch = max_batch;
   config.flush_window_ms = flush_ms;
   config.cache = cache;
   serve::Server server(service, config);
@@ -160,6 +167,33 @@ int main() {
     std::printf("cache: %.0f hits / %.0f misses (hit rate %.3f)\n",
                 c.at("hits").as_number(), c.at("misses").as_number(),
                 c.at("hit_rate").as_number());
+  }
+
+  // Surrogate oracle, no cache: every query is a real GNN forward, so the
+  // flush window's batch aggregation directly exercises the lock-stepped
+  // multi-placement path. max_batch=1 forces one scalar forward per query;
+  // max_batch=32 lets concurrent clients' queries fuse into batched
+  // forwards. Same clients, same pool, same flush window — the qps ratio is
+  // the batching win as a client would observe it.
+  {
+    core::ChainNetConfig model_cfg;
+    runtime::ThreadPool gnn_pool(2);
+    runtime::EvalService gnn_service(gnn_pool,
+                                     bench::surrogate_factory(model_cfg), 99);
+    std::printf("\nsurrogate oracle (uncached, 8 clients, 0.2ms flush "
+                "window):\n");
+    double scalar_qps = 0.0;
+    double batched_qps = 0.0;
+    for (const int max_batch : {1, 32}) {
+      const auto result = run_config(gnn_service, system, nullptr, placements,
+                                     8, 0.2, seconds, max_batch);
+      (max_batch == 1 ? scalar_qps : batched_qps) = result.qps;
+      std::printf("  max_batch %2d: %7.0f queries/sec, %.0f batches\n",
+                  max_batch, result.qps,
+                  result.stats.at("batches").as_number());
+    }
+    std::printf("  batched vs scalar speedup: %.2fx\n",
+                batched_qps / scalar_qps);
   }
   return 0;
 }

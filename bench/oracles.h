@@ -1,0 +1,53 @@
+// Surrogate oracle factory shared by the runtime/serving benches: each
+// EvalService worker gets an evaluator that owns its ChainNet instance
+// (fixed init seed — an untrained model's inference cost is identical to a
+// trained one's, which is all a throughput bench needs). The evaluator
+// forwards the batch entry point so EvalService batches reach the
+// lock-stepped multi-placement GNN forward instead of the serial
+// per-placement fallback.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/chainnet.h"
+#include "core/surrogate.h"
+#include "optim/evaluator.h"
+#include "runtime/eval_service.h"
+#include "support/rng.h"
+
+namespace chainnet::bench {
+
+/// PlacementEvaluator that owns its model (SurrogateEvaluator itself only
+/// borrows one) and routes batches to Surrogate::total_throughput_batch.
+struct OwningSurrogateEvaluator final : public optim::PlacementEvaluator {
+  explicit OwningSurrogateEvaluator(std::unique_ptr<core::ChainNet> m)
+      : model(std::move(m)), eval(core::Surrogate(*model)) {}
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override {
+    record_evaluation();
+    return eval.total_throughput(system, placement);
+  }
+
+  void total_throughput_batch(const edge::EdgeSystem& system,
+                              std::span<const edge::Placement> placements,
+                              std::span<double> out) override {
+    for (std::size_t i = 0; i < placements.size(); ++i) record_evaluation();
+    eval.total_throughput_batch(system, placements, out);
+  }
+
+  std::unique_ptr<core::ChainNet> model;
+  optim::SurrogateEvaluator eval;
+};
+
+inline runtime::EvalService::EvaluatorFactory surrogate_factory(
+    const core::ChainNetConfig& cfg) {
+  return [cfg](support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+    support::Rng init_rng(1);
+    return std::make_unique<OwningSurrogateEvaluator>(
+        std::make_unique<core::ChainNet>(cfg, init_rng));
+  };
+}
+
+}  // namespace chainnet::bench

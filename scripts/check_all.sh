@@ -17,6 +17,15 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
 echo
+echo "== bench_infer smoke (batched/fused parity gate) =="
+# bench_infer refuses to emit numbers unless the fused + batched paths
+# reproduce the reference forward bit-for-bit, so a short run doubles as a
+# parity check on the exact host ISA tier in use.
+CHAINNET_INFER_SECONDS=0.05 \
+CHAINNET_INFER_OUT=build/BENCH_infer_smoke.json \
+  ./build/bench/bench_infer
+
+echo
 echo "== tier 2: AddressSanitizer + UBSan =="
 scripts/check_asan.sh "$@"
 

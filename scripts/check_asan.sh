@@ -20,13 +20,14 @@ cmake --preset asan-ubsan
 cmake --build build-asan -j "$(nproc)" \
   --target autograd_test tape_test nn_test optimizer_test serialize_test \
   baselines_test baseline_gradcheck_test chainnet_test \
-  chainnet_gradcheck_test chainnet_inference_test trainer_test \
+  chainnet_gradcheck_test chainnet_inference_test chainnet_batch_test \
+  kernels_test graph_workspace_test trainer_test \
   invariance_test json_test serve_protocol_test serve_loopback_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-asan \
-  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|trainer|invariance|json|serve_protocol|serve_loopback)_test' \
+  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|chainnet_batch|kernels|graph_workspace|trainer|invariance|json|serve_protocol|serve_loopback)_test' \
   --output-on-failure "$@"
 
 echo "ASan+UBSan check passed."

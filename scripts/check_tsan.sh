@@ -6,8 +6,10 @@
 # Uses the "tsan" CMake preset (build dir: build-tsan). Only the runtime
 # and serving tests are built and run -- they exercise every lock and
 # atomic in src/runtime and src/serve (accept loop, reader threads,
-# flusher, metrics) plus the parallel SA drivers; building the whole tree
-# under TSan would be slow and adds no coverage.
+# flusher, metrics) plus the parallel SA drivers and the batched GNN
+# forward's fan-out across pool workers (chainnet_batch_test covers the
+# kernels' thread-local packing scratch); building the whole tree under
+# TSan would be slow and adds no coverage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +17,11 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test eval_cache_test parallel_anneal_test \
-  serve_metrics_test serve_loopback_test
+  chainnet_batch_test serve_metrics_test serve_loopback_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan \
-  -R '(thread_pool|eval_cache|parallel_anneal|serve_metrics|serve_loopback)_test' \
+  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback)_test' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

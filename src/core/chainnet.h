@@ -37,6 +37,11 @@ struct ChainNetConfig {
   /// Extra (non-paper) ablation: replace the attention of eq. 14-16 with a
   /// plain mean over per-step device messages.
   bool attention_aggregation = true;
+  /// Dispatch inference through the packed/blocked kernels (kernels.h).
+  /// `false` re-runs the pre-fusion naive GEMV path — kept as the
+  /// bit-parity oracle and the bench_infer baseline; numerically the two
+  /// are identical (same per-element accumulation order).
+  bool fused_kernels = true;
 
   static ChainNetConfig paper() {
     ChainNetConfig c;
@@ -74,6 +79,14 @@ class ChainNet final : public gnn::GraphModel {
   /// the ChainNetFastInference tests.
   std::vector<gnn::ChainValues> forward_values(
       const edge::PlacementGraph& g) override;
+  /// Lock-stepped batched inference over B placements of the same system:
+  /// per-chain hidden states are packed batch-major so every GRU update of
+  /// Algorithm 2 is one GEMM with B columns, attention is scored across
+  /// all device messages of the whole batch at once, and the readout MLPs
+  /// run over C*B columns. Column b is bit-identical to forward_values on
+  /// graphs[b] (pinned by chainnet_batch_test).
+  std::vector<std::vector<gnn::ChainValues>> forward_values_batch(
+      std::span<const edge::PlacementGraph* const> graphs) override;
   edge::FeatureMode feature_mode() const override;
   bool ratio_outputs() const override;
   std::string name() const override;

@@ -1,14 +1,33 @@
 #include "core/surrogate.h"
 
-#include "edge/graph.h"
-
 namespace chainnet::core {
 
 std::vector<gnn::ChainPerf> Surrogate::predict(
     const edge::EdgeSystem& system, const edge::Placement& placement) const {
-  const auto graph =
-      edge::build_graph(system, placement, model_->feature_mode());
+  const auto& graph =
+      edge::build_graph(system, placement, model_->feature_mode(), ws_);
   return gnn::predict_physical(*model_, graph);
+}
+
+std::vector<std::vector<gnn::ChainPerf>> Surrogate::predict_batch(
+    const edge::EdgeSystem& system,
+    std::span<const edge::Placement> placements) const {
+  if (batch_ws_.size() < placements.size()) {
+    batch_ws_.resize(placements.size());
+  }
+  graph_ptrs_.clear();
+  for (std::size_t b = 0; b < placements.size(); ++b) {
+    graph_ptrs_.push_back(&edge::build_graph(
+        system, placements[b], model_->feature_mode(), batch_ws_[b]));
+  }
+  return gnn::predict_physical_batch(*model_, graph_ptrs_);
+}
+
+std::vector<gnn::ChainOutput> Surrogate::predict_with_tape(
+    const edge::EdgeSystem& system, const edge::Placement& placement) const {
+  const auto& graph =
+      edge::build_graph(system, placement, model_->feature_mode(), ws_);
+  return model_->forward(graph);
 }
 
 double Surrogate::total_throughput(const edge::EdgeSystem& system,
@@ -18,6 +37,17 @@ double Surrogate::total_throughput(const edge::EdgeSystem& system,
     total += perf.throughput;
   }
   return total;
+}
+
+void Surrogate::total_throughput_batch(
+    const edge::EdgeSystem& system,
+    std::span<const edge::Placement> placements, std::span<double> out) const {
+  const auto perfs = predict_batch(system, placements);
+  for (std::size_t b = 0; b < perfs.size(); ++b) {
+    double total = 0.0;
+    for (const auto& perf : perfs[b]) total += perf.throughput;
+    out[b] = total;
+  }
 }
 
 }  // namespace chainnet::core

@@ -4,6 +4,10 @@
 // optimization program of §VII plugs into its search loop.
 #pragma once
 
+#include <span>
+#include <vector>
+
+#include "edge/graph.h"
 #include "edge/model.h"
 #include "edge/placement.h"
 #include "gnn/model.h"
@@ -18,21 +22,55 @@ class Surrogate {
   /// thread-local tape is rewound per call — a Surrogate can therefore be
   /// driven from a runtime::EvalService worker indefinitely without growing
   /// that worker's tape. Use one Surrogate+model pair per thread; the model
-  /// holds mutable inference workspace.
+  /// and the surrogate's graph workspaces hold mutable inference state.
   explicit Surrogate(gnn::GraphModel& model) : model_(&model) {}
 
   /// Per-chain predicted throughput and latency for a candidate placement.
+  /// The candidate's graph is rebuilt into a reused workspace, so repeated
+  /// predictions allocate nothing once warm.
   std::vector<gnn::ChainPerf> predict(const edge::EdgeSystem& system,
                                       const edge::Placement& placement) const;
+
+  /// Batched prediction over candidate placements of one system, routed
+  /// through GraphModel::forward_values_batch (ChainNet lock-steps them
+  /// through Algorithm 2 as GEMMs with B columns). result[b] matches
+  /// predict(system, placements[b]) bit-for-bit.
+  std::vector<std::vector<gnn::ChainPerf>> predict_batch(
+      const edge::EdgeSystem& system,
+      std::span<const edge::Placement> placements) const;
+
+  /// Tape-building variant for gradient-needing callers: runs
+  /// model().forward() on the candidate's graph and returns the raw
+  /// target-space outputs. No tape frame is created here — the caller owns
+  /// tape lifetime (wrap the call in a tensor::Tape::Frame and extract
+  /// values/gradients before releasing it). The returned Vars reference the
+  /// graph built into this surrogate's workspace, valid until the next
+  /// predict* call.
+  std::vector<gnn::ChainOutput> predict_with_tape(
+      const edge::EdgeSystem& system,
+      const edge::Placement& placement) const;
 
   /// Predicted objective of eq. (2): sum of per-chain throughputs.
   double total_throughput(const edge::EdgeSystem& system,
                           const edge::Placement& placement) const;
 
+  /// Batched objective: out[b] = total_throughput(system, placements[b]),
+  /// bit-for-bit, through the batched forward pass. `out` must have
+  /// placements.size() elements.
+  void total_throughput_batch(const edge::EdgeSystem& system,
+                              std::span<const edge::Placement> placements,
+                              std::span<double> out) const;
+
   gnn::GraphModel& model() const { return *model_; }
 
  private:
   gnn::GraphModel* model_;
+  // Reused graph-construction buffers (see edge::GraphWorkspace): one for
+  // the scalar path, one per batch lane. Mutable because prediction is
+  // logically const; the surrogate is single-threaded by contract.
+  mutable edge::GraphWorkspace ws_;
+  mutable std::vector<edge::GraphWorkspace> batch_ws_;
+  mutable std::vector<const edge::PlacementGraph*> graph_ptrs_;
 };
 
 }  // namespace chainnet::core

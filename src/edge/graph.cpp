@@ -1,35 +1,57 @@
 #include "edge/graph.h"
 
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
 namespace chainnet::edge {
 
 PlacementGraph build_graph(const EdgeSystem& system,
                            const Placement& placement, FeatureMode mode) {
+  GraphWorkspace ws;
+  build_graph(system, placement, mode, ws);
+  return std::move(ws.graph);
+}
+
+const PlacementGraph& build_graph(const EdgeSystem& system,
+                                  const Placement& placement,
+                                  FeatureMode mode, GraphWorkspace& ws) {
   system.validate();
   placement.validate(system);
 
-  PlacementGraph g;
+  PlacementGraph& g = ws.graph;
   g.num_chains = system.num_chains();
 
-  // Device nodes: one per *used* device, in ascending device order.
-  const auto used = placement.used_devices();
-  std::unordered_map<int, int> device_node_of;
-  device_node_of.reserve(used.size());
-  for (int dev : used) {
-    device_node_of.emplace(dev, static_cast<int>(g.device_node_device.size()));
-    g.device_node_device.push_back(dev);
+  // Device nodes: one per *used* device, in ascending device order. A flat
+  // device -> node array stands in for the hash map a cold build would
+  // need; marking uses 1 ("used, id pending") so real ids (>= 0) can
+  // overwrite it in the ascending pass.
+  const int num_devices = system.num_devices();
+  ws.device_node_of.assign(num_devices, -1);
+  for (int i = 0; i < g.num_chains; ++i) {
+    for (int j = 0; j < system.chains[i].length(); ++j) {
+      ws.device_node_of[placement.device_of(i, j)] = 1;
+    }
   }
-  g.device_node_steps.resize(used.size());
+  g.device_node_device.clear();
+  for (int dev = 0; dev < num_devices; ++dev) {
+    if (ws.device_node_of[dev] != -1) {
+      ws.device_node_of[dev] = static_cast<int>(g.device_node_device.size());
+      g.device_node_device.push_back(dev);
+    }
+  }
+  const std::size_t used = g.device_node_device.size();
+  for (auto& steps : g.device_node_steps) steps.clear();
+  g.device_node_steps.resize(used);
 
   // Execution steps and sequences (Algorithm 1 lines 1-7).
+  g.steps.clear();
   g.sequences.resize(g.num_chains);
+  for (auto& seq : g.sequences) seq.clear();
   for (int i = 0; i < g.num_chains; ++i) {
     const auto& chain = system.chains[i];
     for (int j = 0; j < chain.length(); ++j) {
       const int dev = placement.device_of(i, j);
-      const int dnode = device_node_of.at(dev);
+      const int dnode = ws.device_node_of[dev];
       const int step_id = static_cast<int>(g.steps.size());
       g.steps.push_back(ExecutionStep{i, j, dnode, dev});
       g.sequences[i].push_back(step_id);
@@ -39,6 +61,7 @@ PlacementGraph build_graph(const EdgeSystem& system,
 
   // Homogeneous edges: placement (fragment -> device) and workflow
   // (device of step j -> fragment of step j+1).
+  g.edges.clear();
   for (int s = 0; s < g.num_fragments(); ++s) {
     g.edges.push_back({g.fragment_node_id(s),
                        g.device_node_id(g.steps[s].device_node)});
@@ -63,13 +86,13 @@ PlacementGraph build_graph(const EdgeSystem& system,
   }
 
   // Per-device aggregates used by the modified features.
-  std::vector<double> delta_t(used.size(), 0.0);
-  std::vector<double> delta_m(used.size(), 0.0);
+  ws.delta_t.assign(used, 0.0);
+  ws.delta_m.assign(used, 0.0);
   for (int s = 0; s < g.num_fragments(); ++s) {
     const auto& st = g.steps[s];
-    delta_t[st.device_node] +=
+    ws.delta_t[st.device_node] +=
         system.processing_time(st.chain, st.position, st.device);
-    delta_m[st.device_node] +=
+    ws.delta_m[st.device_node] +=
         system.chains[st.chain].fragments[st.position].memory_demand;
   }
 
@@ -90,7 +113,7 @@ PlacementGraph build_graph(const EdgeSystem& system,
     const double cap = system.devices[st.device].memory_capacity;
     if (mode == FeatureMode::kModified) {
       const double lambda = system.chains[st.chain].arrival_rate;
-      const double dt = delta_t[st.device_node];
+      const double dt = ws.delta_t[st.device_node];
       g.fragment_features[s] = {tp * lambda, dt > 0.0 ? tp / dt : 0.0,
                                 m / cap};
     } else {
@@ -102,7 +125,7 @@ PlacementGraph build_graph(const EdgeSystem& system,
     const double cap =
         system.devices[g.device_node_device[n]].memory_capacity;
     g.device_features[n] = {mode == FeatureMode::kModified
-                                ? delta_m[n] / cap
+                                ? ws.delta_m[n] / cap
                                 : cap};
   }
   return g;

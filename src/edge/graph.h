@@ -33,6 +33,8 @@ struct ExecutionStep {
   int position = -1;     ///< 0-based position j within the chain
   int device_node = -1;  ///< index into device-node arrays (0..d-1)
   int device = -1;       ///< device index in the EdgeSystem
+
+  bool operator==(const ExecutionStep&) const = default;
 };
 
 struct PlacementGraph {
@@ -73,6 +75,8 @@ struct PlacementGraph {
   struct Edge {
     int src = -1;
     int dst = -1;
+
+    bool operator==(const Edge&) const = default;
   };
   /// Directed edges per Algorithm 1: placement (fragment -> device) and
   /// workflow (device -> subsequent fragment).
@@ -83,11 +87,35 @@ struct PlacementGraph {
   int device_node_id(int device_node) const {
     return num_chains + num_fragments() + device_node;
   }
+
+  bool operator==(const PlacementGraph&) const = default;
+};
+
+/// Reusable buffers for build_graph. Holding one per evaluation loop (the
+/// Surrogate and each EvalService worker own one) makes graph construction
+/// allocation-free in steady state: every vector is cleared keeping
+/// capacity and refilled in place. The contained graph is valid until the
+/// next build into the same workspace.
+struct GraphWorkspace {
+  PlacementGraph graph;
+  /// device -> device-node id for the placement being built (-1 = unused);
+  /// flat array sized to the system's device count, replacing the hash map
+  /// a fresh build would allocate.
+  std::vector<int> device_node_of;
+  /// Per-device-node aggregates behind the Table II modified features.
+  std::vector<double> delta_t, delta_m;
 };
 
 /// Algorithm 1 plus Table II: builds the graph and its features for a
 /// complete, valid placement.
 PlacementGraph build_graph(const EdgeSystem& system,
                            const Placement& placement, FeatureMode mode);
+
+/// Same construction, rebuilding into `ws` (allocation-free once warm).
+/// Returns ws.graph, which is bitwise equal to a fresh build_graph result
+/// (pinned by graph_workspace_test).
+const PlacementGraph& build_graph(const EdgeSystem& system,
+                                  const Placement& placement,
+                                  FeatureMode mode, GraphWorkspace& ws);
 
 }  // namespace chainnet::edge

@@ -57,6 +57,36 @@ std::vector<ChainValues> GraphModel::forward_values(
   return values;
 }
 
+void validate_same_system_batch(
+    std::span<const edge::PlacementGraph* const> graphs) {
+  if (graphs.empty()) {
+    throw std::invalid_argument("forward_values_batch: empty batch");
+  }
+  for (const auto* g : graphs) {
+    if (g == nullptr) {
+      throw std::invalid_argument("forward_values_batch: null graph");
+    }
+  }
+  const auto& first = *graphs.front();
+  for (std::size_t b = 1; b < graphs.size(); ++b) {
+    if (graphs[b]->num_chains != first.num_chains ||
+        graphs[b]->sequences != first.sequences) {
+      throw MixedBatchError(
+          "forward_values_batch: graphs are not placements of the same "
+          "system (chain counts or execution sequences differ)");
+    }
+  }
+}
+
+std::vector<std::vector<ChainValues>> GraphModel::forward_values_batch(
+    std::span<const edge::PlacementGraph* const> graphs) {
+  validate_same_system_batch(graphs);
+  std::vector<std::vector<ChainValues>> out;
+  out.reserve(graphs.size());
+  for (const auto* g : graphs) out.push_back(forward_values(*g));
+  return out;
+}
+
 std::vector<ChainPerf> predict_physical(GraphModel& model,
                                         const edge::PlacementGraph& g) {
   const auto values = model.forward_values(g);
@@ -72,6 +102,31 @@ std::vector<ChainPerf> predict_physical(GraphModel& model,
     if (values[i].has_latency) {
       result[i].has_latency = true;
       result[i].latency = decode_latency(g, chain, values[i].latency, ratio);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<ChainPerf>> predict_physical_batch(
+    GraphModel& model, std::span<const edge::PlacementGraph* const> graphs) {
+  const auto values = model.forward_values_batch(graphs);
+  const bool ratio = model.ratio_outputs();
+  std::vector<std::vector<ChainPerf>> result(graphs.size());
+  for (std::size_t b = 0; b < graphs.size(); ++b) {
+    const auto& g = *graphs[b];
+    result[b].resize(values[b].size());
+    for (std::size_t i = 0; i < values[b].size(); ++i) {
+      const int chain = static_cast<int>(i);
+      if (values[b][i].has_throughput) {
+        result[b][i].has_throughput = true;
+        result[b][i].throughput =
+            decode_throughput(g, chain, values[b][i].throughput, ratio);
+      }
+      if (values[b][i].has_latency) {
+        result[b][i].has_latency = true;
+        result[b][i].latency =
+            decode_latency(g, chain, values[b][i].latency, ratio);
+      }
     }
   }
   return result;

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,14 @@ struct ChainValues {
   bool has_latency = false;
 };
 
+/// Thrown when a batched forward receives placement graphs that do not
+/// belong to the same system (different chain counts or execution
+/// sequences): those cannot be lock-stepped through Algorithm 2.
+class MixedBatchError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class GraphModel : public tensor::Module {
  public:
   /// Runs the model on one placement graph; returns one output per chain.
@@ -47,6 +57,16 @@ class GraphModel : public tensor::Module {
   /// implementation that must match forward() bit-for-bit in tests.
   virtual std::vector<ChainValues> forward_values(
       const edge::PlacementGraph& g);
+
+  /// Batched inference over B placements of the *same* system (equal chain
+  /// counts and execution sequences; throws MixedBatchError otherwise, or
+  /// std::invalid_argument on a null graph). Returns one ChainValues
+  /// vector per input graph, each bit-identical to forward_values on that
+  /// graph alone. The default loops forward_values; ChainNet overrides
+  /// with a lock-stepped batch-major engine whose per-step GRU updates are
+  /// single GEMMs with B columns.
+  virtual std::vector<std::vector<ChainValues>> forward_values_batch(
+      std::span<const edge::PlacementGraph* const> graphs);
 
   /// Feature variant this model consumes (Table II "md" vs "ori").
   virtual edge::FeatureMode feature_mode() const = 0;
@@ -82,5 +102,16 @@ double decode_latency(const edge::PlacementGraph& g, int chain, double t,
 /// forward, detaches, decodes).
 std::vector<ChainPerf> predict_physical(GraphModel& model,
                                         const edge::PlacementGraph& g);
+
+/// Batched predict_physical over same-system placements (see
+/// GraphModel::forward_values_batch for the batching contract).
+std::vector<std::vector<ChainPerf>> predict_physical_batch(
+    GraphModel& model, std::span<const edge::PlacementGraph* const> graphs);
+
+/// Validates a batch for lock-stepped evaluation: non-empty, no null
+/// graphs, and every graph shares graphs[0]'s chain count and execution
+/// sequences. Throws MixedBatchError / std::invalid_argument.
+void validate_same_system_batch(
+    std::span<const edge::PlacementGraph* const> graphs);
 
 }  // namespace chainnet::gnn

@@ -15,6 +15,18 @@ double SurrogateEvaluator::total_throughput(
   return surrogate_.total_throughput(system, placement);
 }
 
+void SurrogateEvaluator::total_throughput_batch(
+    const edge::EdgeSystem& system,
+    std::span<const edge::Placement> placements, std::span<double> out) {
+  if (placements.empty()) return;
+  if (placements.size() == 1) {
+    out[0] = total_throughput(system, placements[0]);
+    return;
+  }
+  for (std::size_t i = 0; i < placements.size(); ++i) record_evaluation();
+  surrogate_.total_throughput_batch(system, placements, out);
+}
+
 double ApproximationEvaluator::total_throughput(
     const edge::EdgeSystem& system, const edge::Placement& placement) {
   record_evaluation();

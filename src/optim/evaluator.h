@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 
 #include "core/surrogate.h"
 #include "edge/model.h"
@@ -34,6 +35,18 @@ class PlacementEvaluator {
   /// Estimated objective of eq. (2): total throughput of the placement.
   virtual double total_throughput(const edge::EdgeSystem& system,
                                   const edge::Placement& placement) = 0;
+  /// Batched objective: out[i] = total_throughput(system, placements[i]).
+  /// `out` must have placements.size() elements. The default is a serial
+  /// loop; oracles with a genuinely batched fast path (SurrogateEvaluator's
+  /// lock-stepped GNN forward) override it. Results are bit-identical to
+  /// the scalar loop either way.
+  virtual void total_throughput_batch(
+      const edge::EdgeSystem& system,
+      std::span<const edge::Placement> placements, std::span<double> out) {
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      out[i] = total_throughput(system, placements[i]);
+    }
+  }
   /// Number of *oracle* evaluations performed so far (saturating, never
   /// wrapping). Decorators that satisfy calls without consulting the oracle
   /// (runtime::CachedEvaluator) do not count those here — hits are reported
@@ -72,6 +85,12 @@ class SurrogateEvaluator final : public PlacementEvaluator {
 
   double total_throughput(const edge::EdgeSystem& system,
                           const edge::Placement& placement) override;
+  /// Routes the whole batch through one lock-stepped GNN forward pass
+  /// (core::Surrogate::total_throughput_batch); counts one oracle
+  /// evaluation per placement.
+  void total_throughput_batch(const edge::EdgeSystem& system,
+                              std::span<const edge::Placement> placements,
+                              std::span<double> out) override;
 
  private:
   core::Surrogate surrogate_;

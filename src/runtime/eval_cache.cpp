@@ -119,4 +119,31 @@ double CachedEvaluator::total_throughput(const edge::EdgeSystem& system,
   return value;
 }
 
+void CachedEvaluator::total_throughput_batch(
+    const edge::EdgeSystem& system,
+    std::span<const edge::Placement> placements, std::span<double> out) {
+  std::vector<std::size_t> miss_indices;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (const auto cached = cache_->lookup(placements[i])) {
+      hits_ = optim::saturating_add(hits_, 1);
+      out[i] = *cached;
+    } else {
+      miss_indices.push_back(i);
+    }
+  }
+  if (miss_indices.empty()) return;
+  // Gather the misses into a dense sub-batch so the inner oracle still sees
+  // one contiguous span (and a surrogate gets one batched forward pass).
+  std::vector<edge::Placement> misses;
+  misses.reserve(miss_indices.size());
+  for (const std::size_t i : miss_indices) misses.push_back(placements[i]);
+  std::vector<double> miss_values(miss_indices.size());
+  inner_->total_throughput_batch(system, misses, miss_values);
+  for (std::size_t m = 0; m < miss_indices.size(); ++m) {
+    record_evaluation();  // misses are the only oracle work
+    cache_->insert(placements[miss_indices[m]], miss_values[m]);
+    out[miss_indices[m]] = miss_values[m];
+  }
+}
+
 }  // namespace chainnet::runtime

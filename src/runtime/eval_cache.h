@@ -103,6 +103,13 @@ class CachedEvaluator final : public optim::PlacementEvaluator {
   double total_throughput(const edge::EdgeSystem& system,
                           const edge::Placement& placement) override;
 
+  /// Looks up every placement first, then forwards only the misses to the
+  /// inner oracle in one (sub-)batch so a surrogate oracle still gets its
+  /// lock-stepped batched forward over the uncached remainder.
+  void total_throughput_batch(const edge::EdgeSystem& system,
+                              std::span<const edge::Placement> placements,
+                              std::span<double> out) override;
+
   std::uint64_t cache_hits() const noexcept { return hits_; }
   optim::PlacementEvaluator& inner() noexcept { return *inner_; }
   const std::shared_ptr<EvalCache>& cache() const noexcept { return cache_; }

@@ -1,5 +1,6 @@
 #include "runtime/eval_service.h"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -35,31 +36,41 @@ std::vector<double> EvalService::evaluate_batch(
     // evaluators that build autodiff graphs cannot grow it across batches.
     const tensor::Tape::Frame frame(tensor::Tape::current());
     auto& evaluator = *evaluators_[static_cast<std::size_t>(here)];
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      out[i] = evaluator.total_throughput(system, batch[i]);
-    }
+    evaluator.total_throughput_batch(system, batch, out);
     return out;
   }
 
-  std::vector<std::future<double>> futures;
-  futures.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const edge::Placement* placement = &batch[i];
-    futures.push_back(pool_.submit([this, &system, placement] {
+  // Fan out in contiguous chunks — one task per worker rather than one per
+  // placement — so each worker hands its whole sub-batch to the oracle's
+  // total_throughput_batch (the surrogate lock-steps it through one batched
+  // GNN forward). Chunks write disjoint out subspans, so no result locking.
+  const std::size_t n = batch.size();
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(pool_.size()), n));
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::span<double> out_span(out);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = n / chunks + (c < n % chunks ? 1 : 0);
+    const auto sub = batch.subspan(begin, len);
+    const auto sub_out = out_span.subspan(begin, len);
+    begin += len;
+    futures.push_back(pool_.submit([this, &system, sub, sub_out] {
       const int w = pool_.worker_index_here();
       // Each worker owns its thread-local tape; frame the evaluation so the
-      // worker's tape is rewound once the score is extracted.
+      // worker's tape is rewound once the scores are extracted.
       const tensor::Tape::Frame frame(tensor::Tape::current());
       auto& evaluator = *evaluators_[static_cast<std::size_t>(w)];
-      return evaluator.total_throughput(system, *placement);
+      evaluator.total_throughput_batch(system, sub, sub_out);
     }));
   }
   // Drain everything before rethrowing so no task can outlive the batch's
   // referents even when an oracle throws.
   std::exception_ptr first_error;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
+  for (auto& future : futures) {
     try {
-      out[i] = futures[i].get();
+      future.get();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }

@@ -1,0 +1,53 @@
+// Dense inference kernels for the surrogate hot path: a row-blocked
+// multi-accumulator GEMV and a batch-column GEMM.
+//
+// All kernels make one guarantee the rest of the inference engine is built
+// on: **per-output-element accumulation order is fixed** — each output
+// starts from its bias (or 0) and adds the products in ascending input
+// order, exactly like the naive reference loop. Row blocking only runs
+// several such chains in parallel (one accumulator per row, for ILP) and
+// the GEMM only vectorizes across independent batch columns, so neither
+// reassociates a single element's sum. That is what keeps the fused GRU
+// path, the batched multi-placement path, and the pre-fusion reference
+// bit-for-bit identical (pinned by kernels_test and chainnet_batch_test).
+//
+// ISA dispatch: the implementation picks, once per process, the widest
+// variant the host supports — baseline x86-64 (SSE2, no FMA), AVX2+FMA, or
+// AVX-512+FMA. The FMA variants fuse every multiply-add (one rounding)
+// uniformly across gemv, gemv_naive, and every gemm tile width, so all
+// inference paths still agree bit-for-bit on any one host; absolute values
+// differ between hosts of different ISA tiers (fused vs separate rounding),
+// which the parity tests never compare. CHAINNET_KERNEL_ISA=baseline|
+// avx2|avx512 forces a (supported) tier, e.g. to cross-check tiers.
+#pragma once
+
+#include <cstddef>
+
+namespace chainnet::tensor::kernels {
+
+/// y[r] = (bias ? bias[r] : 0) + sum_c w[r*cols + c] * x[c].
+/// Row-blocked: kRowBlock independent accumulator chains run in parallel;
+/// each row's own chain stays sequential in c.
+void gemv(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols);
+
+/// Single-accumulator reference GEMV — the pre-fusion kernel, kept as the
+/// bit-parity oracle and the bench_infer baseline. Same accumulation order
+/// as gemv(), so the two agree bit-for-bit.
+void gemv_naive(const double* w, const double* bias, const double* x,
+                double* y, std::size_t rows, std::size_t cols);
+
+/// Batched GEMV with n batch columns (row-major panels):
+///   y[r*n + j] = (bias ? bias[r] : 0) + sum_c w[r*cols + c] * x[c*n + j].
+/// Column j's accumulation chain is identical to gemv() on column j, so a
+/// batched pass is bit-identical to n single-stream passes. The column tile
+/// is the outer loop (a tile of x stays cache-resident across all output
+/// rows); lanes run across columns, never within one column's sum.
+/// `y` must not alias `x`.
+void gemm(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
+
+/// Name of the dispatched variant: "baseline", "avx2", or "avx512".
+const char* isa();
+
+}  // namespace chainnet::tensor::kernels

@@ -1,0 +1,16 @@
+// AVX2+FMA kernel variants. This TU is compiled with -mavx2 -mfma; it is
+// only ever *called* after the dispatcher confirms host support.
+#include <cmath>
+#include <immintrin.h>
+
+#include "tensor/kernels_dispatch.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace chainnet::tensor::kernels::detail::avx2 {
+
+#include "tensor/kernels_simd.inc"
+
+}  // namespace chainnet::tensor::kernels::detail::avx2
+
+#endif

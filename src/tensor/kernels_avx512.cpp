@@ -1,0 +1,17 @@
+// AVX-512+FMA kernel variants. This TU is compiled with -mavx512f
+// -mavx512dq -mfma; it is only ever *called* after the dispatcher confirms
+// host support.
+#include <cmath>
+#include <immintrin.h>
+
+#include "tensor/kernels_dispatch.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace chainnet::tensor::kernels::detail::avx512 {
+
+#include "tensor/kernels_simd.inc"
+
+}  // namespace chainnet::tensor::kernels::detail::avx512
+
+#endif

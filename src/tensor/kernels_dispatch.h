@@ -1,0 +1,48 @@
+// Internal: per-ISA kernel variant tables (see kernels.h for the dispatch
+// contract). Each variant is a self-consistent rounding regime — the
+// baseline separates multiply and add, the FMA tiers fuse them everywhere —
+// so whichever table is active, gemv / gemv_naive / gemm stay bit-for-bit
+// interchangeable per output element.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chainnet::tensor::kernels::detail {
+
+/// Per-thread scratch for gemm column-tile packing: panel-strided x loads
+/// touch one page per c iteration, so each tile is gathered once into this
+/// contiguous buffer and the hot loop runs on sequential loads. Grow-only.
+std::vector<double>& tile_scratch();
+
+struct KernelTable {
+  void (*gemv)(const double*, const double*, const double*, double*,
+               std::size_t, std::size_t);
+  void (*gemv_naive)(const double*, const double*, const double*, double*,
+                     std::size_t, std::size_t);
+  void (*gemm)(const double*, const double*, const double*, double*,
+               std::size_t, std::size_t, std::size_t);
+  const char* isa;
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+namespace avx2 {
+void gemv(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols);
+void gemv_naive(const double* w, const double* bias, const double* x,
+                double* y, std::size_t rows, std::size_t cols);
+void gemm(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
+}  // namespace avx2
+
+namespace avx512 {
+void gemv(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols);
+void gemv_naive(const double* w, const double* bias, const double* x,
+                double* y, std::size_t rows, std::size_t cols);
+void gemm(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
+}  // namespace avx512
+#endif
+
+}  // namespace chainnet::tensor::kernels::detail

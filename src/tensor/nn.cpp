@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.h"
+
 namespace chainnet::tensor {
 
 using chainnet::support::Rng;
@@ -81,16 +83,22 @@ Var Linear::forward(const Var& x) const { return add(matvec(w_, x), b_); }
 
 namespace {
 
-/// out = W x + b over raw buffers (W row-major [rows x cols]).
+/// out = W x + b over raw buffers (W row-major [rows x cols]). Dispatches
+/// to the blocked kernel; bit-identical to the former single-accumulator
+/// loop (same per-row accumulation order).
 void raw_affine(std::span<const double> w, std::span<const double> b,
                 std::span<const double> x, std::span<double> out,
                 std::size_t rows, std::size_t cols) {
-  for (std::size_t r = 0; r < rows; ++r) {
-    double acc = b.empty() ? 0.0 : b[r];
-    const double* row = w.data() + r * cols;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    out[r] = acc;
-  }
+  kernels::gemv(w.data(), b.empty() ? nullptr : b.data(), x.data(),
+                out.data(), rows, cols);
+}
+
+/// The pre-fusion affine loop, kept verbatim for forward_values_reference.
+void raw_affine_naive(std::span<const double> w, std::span<const double> b,
+                      std::span<const double> x, std::span<double> out,
+                      std::size_t rows, std::size_t cols) {
+  kernels::gemv_naive(w.data(), b.empty() ? nullptr : b.data(), x.data(),
+                      out.data(), rows, cols);
 }
 
 inline double sigmoid_value(double x) { return 1.0 / (1.0 + std::exp(-x)); }
@@ -103,6 +111,11 @@ void Linear::forward_values(std::span<const double> x,
     throw std::invalid_argument("Linear::forward_values: size mismatch");
   }
   raw_affine(w_.value(), b_.value(), x, out, out_, in_);
+}
+
+void Linear::forward_values_batch(const double* x, double* out,
+                                  std::size_t n) const {
+  kernels::gemm(w_.value().data(), b_.value().data(), x, out, out_, in_, n);
 }
 
 void apply_activation_values(std::span<double> x, Activation act) {
@@ -194,6 +207,18 @@ void Mlp::forward_values(std::span<const double> x, std::span<double> out,
   std::copy(s.a.begin(), s.a.end(), out.begin());
 }
 
+void Mlp::forward_values_batch(const double* x, double* out, std::size_t n,
+                               Scratch& s) const {
+  s.a.assign(x, x + layers_.front()->in_features() * n);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    s.b.resize(layers_[l]->out_features() * n);
+    layers_[l]->forward_values_batch(s.a.data(), s.b.data(), n);
+    apply_activation_values(s.b, l + 1 == layers_.size() ? output_ : hidden_);
+    s.a.swap(s.b);
+  }
+  std::copy(s.a.begin(), s.a.end(), out);
+}
+
 // -------------------------------------------------------------- GruCell
 
 GruCell::GruCell(std::size_t input, std::size_t hidden, Rng& rng,
@@ -238,34 +263,118 @@ void GruCell::forward_values(std::span<const double> h,
   forward_values(h, x, h_out, scratch);
 }
 
+void GruCell::ensure_packed() const {
+  const Var* params[12] = {&w_ir_, &w_iz_, &w_in_, &w_hr_, &w_hz_, &w_hn_,
+                           &b_ir_, &b_iz_, &b_in_, &b_hr_, &b_hz_, &b_hn_};
+  if (packed_) {
+    bool stale = false;
+    for (std::size_t i = 0; i < 12; ++i) {
+      stale |= params[i]->node().version != pack_versions_[i];
+    }
+    if (!stale) return;
+  }
+  const std::size_t H = hidden_;
+  wi_pack_.resize(3 * H * input_);
+  wh_pack_.resize(3 * H * H);
+  bi_pack_.resize(3 * H);
+  bh_pack_.resize(3 * H);
+  const Var* wi[3] = {&w_ir_, &w_iz_, &w_in_};
+  const Var* wh[3] = {&w_hr_, &w_hz_, &w_hn_};
+  const Var* bi[3] = {&b_ir_, &b_iz_, &b_in_};
+  const Var* bh[3] = {&b_hr_, &b_hz_, &b_hn_};
+  for (std::size_t g = 0; g < 3; ++g) {
+    std::ranges::copy(wi[g]->value(), wi_pack_.begin() + g * H * input_);
+    std::ranges::copy(wh[g]->value(), wh_pack_.begin() + g * H * H);
+    std::ranges::copy(bi[g]->value(), bi_pack_.begin() + g * H);
+    std::ranges::copy(bh[g]->value(), bh_pack_.begin() + g * H);
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    pack_versions_[i] = params[i]->node().version;
+  }
+  packed_ = true;
+}
+
 void GruCell::forward_values(std::span<const double> h,
                              std::span<const double> x,
                              std::span<double> h_out, Scratch& s) const {
   if (h.size() != hidden_ || x.size() != input_ || h_out.size() != hidden_) {
     throw std::invalid_argument("GruCell::forward_values: size mismatch");
   }
-  // Scratch: r, z, n-input part, n-hidden part. Every element is fully
-  // overwritten by raw_affine, so resize (keeping capacity) suffices.
+  ensure_packed();
+  const std::size_t H = hidden_;
+  // Stacked gate pre-activations: gi = Wi x + bi, gh = Wh h + bh, rows in
+  // gate order [r; z; n]. Every element is fully overwritten, so resize
+  // (keeping capacity) suffices.
+  s.gi.resize(3 * H);
+  s.gh.resize(3 * H);
+  kernels::gemv(wi_pack_.data(), bi_pack_.data(), x.data(), s.gi.data(),
+                3 * H, input_);
+  kernels::gemv(wh_pack_.data(), bh_pack_.data(), h.data(), s.gh.data(),
+                3 * H, hidden_);
+  for (std::size_t i = 0; i < H; ++i) {
+    const double r = sigmoid_value(s.gi[i] + s.gh[i]);
+    const double z = sigmoid_value(s.gi[H + i] + s.gh[H + i]);
+    const double n = std::tanh(s.gi[2 * H + i] + r * s.gh[2 * H + i]);
+    h_out[i] = (1.0 - z) * n + z * h[i];
+  }
+}
+
+void GruCell::forward_values_reference(std::span<const double> h,
+                                       std::span<const double> x,
+                                       std::span<double> h_out,
+                                       Scratch& s) const {
+  if (h.size() != hidden_ || x.size() != input_ || h_out.size() != hidden_) {
+    throw std::invalid_argument("GruCell::forward_values: size mismatch");
+  }
   s.r.resize(hidden_);
   s.z.resize(hidden_);
   s.ni.resize(hidden_);
   s.nh.resize(hidden_);
   s.tmp.resize(hidden_);
-  raw_affine(w_ir_.value(), b_ir_.value(), x, s.r, hidden_, input_);
-  raw_affine(w_iz_.value(), b_iz_.value(), x, s.z, hidden_, input_);
-  raw_affine(w_in_.value(), b_in_.value(), x, s.ni, hidden_, input_);
-  raw_affine(w_hr_.value(), b_hr_.value(), h, s.tmp, hidden_, hidden_);
+  raw_affine_naive(w_ir_.value(), b_ir_.value(), x, s.r, hidden_, input_);
+  raw_affine_naive(w_iz_.value(), b_iz_.value(), x, s.z, hidden_, input_);
+  raw_affine_naive(w_in_.value(), b_in_.value(), x, s.ni, hidden_, input_);
+  raw_affine_naive(w_hr_.value(), b_hr_.value(), h, s.tmp, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
     s.r[i] = sigmoid_value(s.r[i] + s.tmp[i]);
   }
-  raw_affine(w_hz_.value(), b_hz_.value(), h, s.tmp, hidden_, hidden_);
+  raw_affine_naive(w_hz_.value(), b_hz_.value(), h, s.tmp, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
     s.z[i] = sigmoid_value(s.z[i] + s.tmp[i]);
   }
-  raw_affine(w_hn_.value(), b_hn_.value(), h, s.nh, hidden_, hidden_);
+  raw_affine_naive(w_hn_.value(), b_hn_.value(), h, s.nh, hidden_, hidden_);
   for (std::size_t i = 0; i < hidden_; ++i) {
     const double n = std::tanh(s.ni[i] + s.r[i] * s.nh[i]);
     h_out[i] = (1.0 - s.z[i]) * n + s.z[i] * h[i];
+  }
+}
+
+void GruCell::forward_values_batch(const double* h, const double* x,
+                                   double* h_out, std::size_t n,
+                                   Scratch& s) const {
+  ensure_packed();
+  const std::size_t H = hidden_;
+  s.gi.resize(3 * H * n);
+  s.gh.resize(3 * H * n);
+  kernels::gemm(wi_pack_.data(), bi_pack_.data(), x, s.gi.data(), 3 * H,
+                input_, n);
+  kernels::gemm(wh_pack_.data(), bh_pack_.data(), h, s.gh.data(), 3 * H,
+                hidden_, n);
+  for (std::size_t i = 0; i < H; ++i) {
+    const double* gir = s.gi.data() + i * n;
+    const double* giz = s.gi.data() + (H + i) * n;
+    const double* gin = s.gi.data() + (2 * H + i) * n;
+    const double* ghr = s.gh.data() + i * n;
+    const double* ghz = s.gh.data() + (H + i) * n;
+    const double* ghn = s.gh.data() + (2 * H + i) * n;
+    const double* hrow = h + i * n;
+    double* out = h_out + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double r = sigmoid_value(gir[j] + ghr[j]);
+      const double z = sigmoid_value(giz[j] + ghz[j]);
+      const double nn = std::tanh(gin[j] + r * ghn[j]);
+      out[j] = (1.0 - z) * nn + z * hrow[j];
+    }
   }
 }
 

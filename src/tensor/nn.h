@@ -4,6 +4,8 @@
 // serializer can traverse any composed model uniformly.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +72,12 @@ class Linear : public Module {
   void forward_values(std::span<const double> x,
                       std::span<double> out) const;
 
+  /// Batched inference over n batch columns: `x` is a row-major
+  /// [in_features x n] panel, `out` a [out_features x n] panel. Column j is
+  /// bit-identical to forward_values on column j (see kernels.h).
+  void forward_values_batch(const double* x, double* out,
+                            std::size_t n) const;
+
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
 
@@ -99,10 +107,19 @@ class Mlp : public Module {
     std::vector<double> a, b;
   };
 
-  /// Inference-only evaluation; `out` must have output-layer width.
+  /// Cold-path-only convenience overload: constructs a fresh Scratch (two
+  /// heap allocations) per call. Warm paths must hold a persistent Scratch
+  /// and use the overload below.
   void forward_values(std::span<const double> x, std::span<double> out) const;
+  /// Inference-only evaluation; `out` must have output-layer width.
   void forward_values(std::span<const double> x, std::span<double> out,
                       Scratch& scratch) const;
+
+  /// Batched inference over n batch columns: `x` is a row-major
+  /// [input x n] panel, `out` a [output x n] panel. Column j is
+  /// bit-identical to forward_values on column j.
+  void forward_values_batch(const double* x, double* out, std::size_t n,
+                            Scratch& scratch) const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -125,27 +142,61 @@ class GruCell : public Module {
   /// Returns the next hidden state h'. `h` has size hidden, `x` size input.
   Var forward(const Var& h, const Var& x) const;
 
-  /// Reusable gate buffers for forward_values (see Mlp::Scratch).
+  /// Reusable gate buffers for forward_values (see Mlp::Scratch). The
+  /// fused path uses gi/gh (stacked [3H] gate pre-activations); the
+  /// reference path uses the per-gate vectors.
   struct Scratch {
-    std::vector<double> r, z, ni, nh, tmp;
+    std::vector<double> r, z, ni, nh, tmp;  // reference (unfused) path
+    std::vector<double> gi, gh;             // fused path
   };
 
-  /// Inference-only evaluation into `h_out` (size hidden); no graph built.
-  /// `h_out` may not alias `h`.
+  /// Cold-path-only convenience overload: constructs a fresh Scratch per
+  /// call. Warm paths must hold a persistent Scratch and use the overload
+  /// below.
   void forward_values(std::span<const double> h, std::span<const double> x,
                       std::span<double> h_out) const;
+  /// Inference-only evaluation into `h_out` (size hidden); no graph built.
+  /// `h_out` may not alias `h`. Dispatches the packed [3Hxin]/[3HxH]
+  /// weight blocks through the blocked kernels — bit-identical to
+  /// forward_values_reference (pinned by chainnet_batch_test).
   void forward_values(std::span<const double> h, std::span<const double> x,
                       std::span<double> h_out, Scratch& scratch) const;
+
+  /// Pre-fusion evaluation path: six independent naive GEMVs, kept as the
+  /// bit-parity oracle and the bench_infer baseline.
+  void forward_values_reference(std::span<const double> h,
+                                std::span<const double> x,
+                                std::span<double> h_out,
+                                Scratch& scratch) const;
+
+  /// Batched step over n batch columns. `h` and `h_out` are row-major
+  /// [hidden x n] panels, `x` a [input x n] panel; column j is
+  /// bit-identical to forward_values on column j. `h_out` must not alias
+  /// `h` or `x`.
+  void forward_values_batch(const double* h, const double* x, double* h_out,
+                            std::size_t n, Scratch& scratch) const;
 
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }
 
  private:
+  /// Re-packs wi/wh/bi/bh from the twelve parameters when any parameter
+  /// version changed (optimizer step, deserialization, gradcheck nudges).
+  void ensure_packed() const;
+
   std::size_t input_, hidden_;
   Var w_ir_, w_iz_, w_in_;
   Var w_hr_, w_hz_, w_hn_;
   Var b_ir_, b_iz_, b_in_;
   Var b_hr_, b_hz_, b_hn_;
+
+  // Stacked inference blocks in gate order [r; z; n]: wi_pack_ is
+  // [3H x input], wh_pack_ [3H x hidden], bi_pack_/bh_pack_ [3H]. Packed
+  // lazily on first fused call and re-packed when a parameter's node
+  // version moves (Var::mutable_value is the only mutation funnel).
+  mutable std::vector<double> wi_pack_, wh_pack_, bi_pack_, bh_pack_;
+  mutable std::array<std::uint64_t, 12> pack_versions_{};
+  mutable bool packed_ = false;
 };
 
 }  // namespace chainnet::tensor

@@ -86,6 +86,7 @@ struct Node {
   Node** parents = nullptr;
   std::size_t index = 0;       ///< creation index on `tape`
   std::uint64_t stamp = 0;     ///< backward() reachability mark
+  std::uint64_t version = 0;   ///< bumped on mutable access; see ensure_packed
   std::uint32_t num_parents = 0;
   Op op = Op::kLeaf;
   bool requires_grad = false;

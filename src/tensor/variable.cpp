@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.h"
+
 namespace chainnet::tensor {
 
 Var Var::leaf(Shape shape, std::vector<double> values, bool requires_grad) {
@@ -137,14 +139,10 @@ Var matvec(const Var& w, const Var& x) {
   }
   const std::size_t m = w.shape().rows, k = w.shape().cols;
   Node* n = make2(Op::kMatVec, Shape{m, 1}, w, x);
-  const double* wv = w.node().val;
-  const double* xv = x.node().val;
-  for (std::size_t r = 0; r < m; ++r) {
-    double acc = 0.0;
-    const double* row = wv + r * k;
-    for (std::size_t c = 0; c < k; ++c) acc += row[c] * xv[c];
-    n->val[r] = acc;
-  }
+  // Forward value via the kernel layer so the autodiff path shares the
+  // dispatched ISA tier's rounding regime (FMA tiers fuse multiply-adds)
+  // with the inference-only paths; backward is unaffected.
+  kernels::gemv_naive(w.node().val, nullptr, x.node().val, n->val, m, k);
   return Var(n);
 }
 

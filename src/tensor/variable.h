@@ -51,7 +51,12 @@ class Var {
   std::size_t size() const { return node_->shape.size(); }
 
   std::span<const double> value() const { return node_->value(); }
-  std::span<double> mutable_value() { return node_->value(); }
+  /// Mutable access bumps the node's version so caches of derived data
+  /// (e.g. GruCell's packed weight blocks) detect the change and rebuild.
+  std::span<double> mutable_value() {
+    ++node_->version;
+    return node_->value();
+  }
   /// Empty until gradient storage exists (non-requires-grad leaves).
   std::span<const double> grad() const { return node_->grad(); }
   /// Mutable gradient access for optimizer-side updates (clipping, steps).

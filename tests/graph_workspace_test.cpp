@@ -1,0 +1,105 @@
+// GraphWorkspace contract: build_graph into a reused workspace must produce
+// a graph bitwise equal (PlacementGraph::operator==) to a fresh build, for
+// every placement of an SA-style visitation walk, in both feature modes,
+// and across switches to a different system mid-stream — stale capacity or
+// leftover per-device aggregates from a previous build must never leak into
+// the next one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "edge/graph.h"
+#include "edge/problem.h"
+#include "optim/annealing.h"
+#include "optim/initial.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace chainnet::edge {
+namespace {
+
+using chainnet::testing::small_placement;
+using chainnet::testing::small_system;
+using support::Rng;
+
+EdgeSystem generated_system(std::uint64_t seed, int devices = 16) {
+  auto params = PlacementProblemParams::paper(devices);
+  Rng rng(seed);
+  return generate_placement_problem(params, rng);
+}
+
+/// SA-style random walk from the ranking-score initial placement — the
+/// visitation pattern the surrogate optimizer actually produces, so
+/// consecutive builds differ by one move and shared buffers see realistic
+/// shrink/grow sequences.
+std::vector<Placement> walk(const EdgeSystem& system, int count,
+                            std::uint64_t seed) {
+  std::vector<Placement> placements;
+  Placement current = optim::initial_placement(system);
+  Rng rng(seed);
+  const optim::SaConfig cfg;
+  for (int i = 0; i < count; ++i) {
+    Placement next;
+    if (optim::propose_move(system, current, rng, cfg, next)) current = next;
+    placements.push_back(current);
+  }
+  return placements;
+}
+
+void expect_workspace_matches_fresh(const EdgeSystem& system,
+                                    const Placement& placement,
+                                    FeatureMode mode, GraphWorkspace& ws) {
+  const PlacementGraph fresh = build_graph(system, placement, mode);
+  const PlacementGraph& reused = build_graph(system, placement, mode, ws);
+  EXPECT_TRUE(fresh == reused);
+}
+
+TEST(GraphWorkspace, MatchesFreshBuildAcrossWalk) {
+  const auto system = generated_system(42);
+  const auto placements = walk(system, 40, 17);
+  for (const FeatureMode mode :
+       {FeatureMode::kModified, FeatureMode::kOriginal}) {
+    GraphWorkspace ws;  // one workspace reused for the whole walk
+    for (const auto& p : placements) {
+      expect_workspace_matches_fresh(system, p, mode, ws);
+    }
+  }
+}
+
+TEST(GraphWorkspace, SurvivesSystemSwitch) {
+  // Reusing one workspace across systems of different sizes must still
+  // reproduce fresh builds: all sizing arrays are re-derived per build.
+  const auto big = generated_system(42, 24);
+  const auto small = small_system();
+  GraphWorkspace ws;
+  expect_workspace_matches_fresh(big, walk(big, 1, 3).front(),
+                                 FeatureMode::kModified, ws);
+  expect_workspace_matches_fresh(small, small_placement(),
+                                 FeatureMode::kModified, ws);
+  expect_workspace_matches_fresh(big, walk(big, 5, 5).back(),
+                                 FeatureMode::kModified, ws);
+}
+
+TEST(GraphWorkspace, RepeatedBuildOfSamePlacementIsStable) {
+  const auto system = small_system();
+  GraphWorkspace ws;
+  const PlacementGraph fresh =
+      build_graph(system, small_placement(), FeatureMode::kModified);
+  for (int i = 0; i < 3; ++i) {
+    const PlacementGraph& reused =
+        build_graph(system, small_placement(), FeatureMode::kModified, ws);
+    EXPECT_TRUE(fresh == reused) << "rebuild " << i;
+  }
+}
+
+TEST(GraphWorkspace, ReturnsItsOwnGraph) {
+  // The reference returned is ws.graph itself — the documented lifetime.
+  const auto system = small_system();
+  GraphWorkspace ws;
+  const PlacementGraph& reused =
+      build_graph(system, small_placement(), FeatureMode::kModified, ws);
+  EXPECT_EQ(&reused, &ws.graph);
+}
+
+}  // namespace
+}  // namespace chainnet::edge
