@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
-# The full pre-merge gate: tier-1 build + tests, then both sanitizer
-# suites (scripts/check_asan.sh, scripts/check_tsan.sh).
+# The full pre-merge gate: tier-0 static analysis (chainnet_lint), tier-1
+# build + tests, then both sanitizer suites (scripts/check_asan.sh,
+# scripts/check_tsan.sh).
 #
 # Usage: scripts/check_all.sh [extra ctest args...]
 #
 # Extra arguments are forwarded to every ctest invocation. Each stage uses
 # its own build directory (build, build-asan, build-tsan), so incremental
-# reruns are cheap.
+# reruns are cheap. The tier-1 tree is configured with warnings-as-errors
+# (CHAINNET_WERROR=ON); the option sticks in build/'s cache until turned
+# off explicitly with -DCHAINNET_WERROR=OFF.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== tier 0: static analysis (chainnet_lint) =="
+# The linter is built and run before anything else: rule violations in src/
+# should fail the gate in seconds, not after a full compile. lint_test pins
+# the linter's own behaviour against the fixture corpus.
+cmake -B build -S . -DCHAINNET_WERROR=ON
+cmake --build build -j "$(nproc)" --target chainnet_lint lint_test
+./build/tools/chainnet_lint src
+ctest --test-dir build -R '^lint' --output-on-failure "$@"
+
+echo
 echo "== tier 1: build + ctest (build/) =="
-cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 

@@ -22,12 +22,16 @@ cmake --build build-asan -j "$(nproc)" \
   baselines_test baseline_gradcheck_test chainnet_test \
   chainnet_gradcheck_test chainnet_inference_test chainnet_batch_test \
   kernels_test graph_workspace_test trainer_test \
-  invariance_test json_test serve_protocol_test serve_loopback_test
+  invariance_test json_test serve_protocol_test serve_loopback_test \
+  chainnet_lint lint_test
 
+# The linter recurses over directories and slices raw bytes out of source
+# files, so it gets an ASan pass over both src/ and the fixture corpus
+# (lint_test drives it over every fixture, including the failing ones).
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-asan \
-  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|chainnet_batch|kernels|graph_workspace|trainer|invariance|json|serve_protocol|serve_loopback)_test' \
+  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|chainnet_batch|kernels|graph_workspace|trainer|invariance|json|serve_protocol|serve_loopback|lint)_test' \
   --output-on-failure "$@"
 
 echo "ASan+UBSan check passed."

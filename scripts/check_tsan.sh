@@ -17,11 +17,15 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test eval_cache_test parallel_anneal_test \
-  chainnet_batch_test serve_metrics_test serve_loopback_test
+  chainnet_batch_test serve_metrics_test serve_loopback_test \
+  chainnet_lint lint_test
 
+# chainnet_lint is single-threaded, but running lint_test here keeps the
+# lock-discipline rules themselves green in the same gate that exercises
+# the locks they reason about.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan \
-  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback)_test' \
+  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|lint)_test' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

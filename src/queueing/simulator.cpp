@@ -209,12 +209,12 @@ class Engine {
       double u = routing_rng_[static_cast<std::size_t>(job.chain)]
                      .uniform01();
       next_step = static_cast<int>(chain.steps.size());  // completion
-      for (std::size_t k = 0; k < row.size(); ++k) {
-        if (u < row[k]) {
-          next_step = static_cast<int>(k);
+      for (std::size_t s = 0; s < row.size(); ++s) {
+        if (u < row[s]) {
+          next_step = static_cast<int>(s);
           break;
         }
-        u -= row[k];
+        u -= row[s];
       }
     } else {
       const bool is_last =

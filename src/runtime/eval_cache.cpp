@@ -39,11 +39,11 @@ std::optional<double> EvalCache::lookup(const edge::Placement& key) {
   for (; it != end; ++it) {
     if (it->second->key == key) {  // confirm equality on hash match
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      ++shard.hits;
+      ++shard.hit_count;
       return it->second->value;
     }
   }
-  ++shard.misses;
+  ++shard.miss_count;
   return std::nullopt;
 }
 
@@ -61,7 +61,7 @@ void EvalCache::insert(const edge::Placement& key, double value) {
   }
   shard.lru.push_front(Entry{key, h, value});
   shard.index.emplace(h, shard.lru.begin());
-  ++shard.insertions;
+  ++shard.insertion_count;
   if (shard.lru.size() > per_shard_capacity_) {
     const auto victim = std::prev(shard.lru.end());
     auto [vit, vend] = shard.index.equal_range(victim->hash);
@@ -72,7 +72,7 @@ void EvalCache::insert(const edge::Placement& key, double value) {
       }
     }
     shard.lru.pop_back();
-    ++shard.evictions;
+    ++shard.eviction_count;
   }
 }
 
@@ -80,12 +80,12 @@ EvalCache::Stats EvalCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total.hits = optim::saturating_add(total.hits, shard->hits);
-    total.misses = optim::saturating_add(total.misses, shard->misses);
+    total.hits = optim::saturating_add(total.hits, shard->hit_count);
+    total.misses = optim::saturating_add(total.misses, shard->miss_count);
     total.evictions =
-        optim::saturating_add(total.evictions, shard->evictions);
+        optim::saturating_add(total.evictions, shard->eviction_count);
     total.insertions =
-        optim::saturating_add(total.insertions, shard->insertions);
+        optim::saturating_add(total.insertions, shard->insertion_count);
     total.entries += shard->lru.size();
   }
   return total;
@@ -134,11 +134,11 @@ void CachedEvaluator::total_throughput_batch(
   if (miss_indices.empty()) return;
   // Gather the misses into a dense sub-batch so the inner oracle still sees
   // one contiguous span (and a surrogate gets one batched forward pass).
-  std::vector<edge::Placement> misses;
-  misses.reserve(miss_indices.size());
-  for (const std::size_t i : miss_indices) misses.push_back(placements[i]);
+  std::vector<edge::Placement> miss_batch;
+  miss_batch.reserve(miss_indices.size());
+  for (const std::size_t i : miss_indices) miss_batch.push_back(placements[i]);
   std::vector<double> miss_values(miss_indices.size());
-  inner_->total_throughput_batch(system, misses, miss_values);
+  inner_->total_throughput_batch(system, miss_batch, miss_values);
   for (std::size_t m = 0; m < miss_indices.size(); ++m) {
     record_evaluation();  // misses are the only oracle work
     cache_->insert(placements[miss_indices[m]], miss_values[m]);

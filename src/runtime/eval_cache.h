@@ -71,12 +71,13 @@ class EvalCache {
   };
   struct Shard {
     mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t insertions = 0;
+    std::list<Entry> lru;  // GUARDED_BY(mutex) front = most recently used
+    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator>
+        index;                     // GUARDED_BY(mutex)
+    std::uint64_t hit_count = 0;        // GUARDED_BY(mutex)
+    std::uint64_t miss_count = 0;       // GUARDED_BY(mutex)
+    std::uint64_t eviction_count = 0;   // GUARDED_BY(mutex)
+    std::uint64_t insertion_count = 0;  // GUARDED_BY(mutex)
   };
 
   Shard& shard_for(std::uint64_t hash) noexcept {

@@ -61,9 +61,9 @@ class ThreadPool {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_;  // GUARDED_BY(mutex_)
+  std::vector<std::thread> workers_;  // written by ctor only; joined unlocked
+  bool stopping_ = false;  // GUARDED_BY(mutex_)
 };
 
 }  // namespace chainnet::runtime

@@ -1,3 +1,5 @@
+// LINT:counters — histogram buckets and totals are monotonic statistics;
+// relaxed increments are the whole point of this file (see metrics.h).
 #include "serve/metrics.h"
 
 #include <algorithm>

@@ -6,6 +6,9 @@
 // `stats` endpoint; they are monotonic-consistent per counter but not
 // cross-counter atomic (live counters, not a checkpoint), which is exactly
 // what an operations dashboard wants.
+//
+// LINT:counters — every relaxed atomic here is a monotonic statistic; no
+// other code may order around these loads/stores.
 #pragma once
 
 #include <atomic>

@@ -276,6 +276,8 @@ void Server::accept_loop() {
 }
 
 void Server::reap_finished_connections() {
+  // LINT:unguarded(caller holds conn_mutex_ — the accept loop reaps while
+  // already inside its lock_guard; see the declaration comment in server.h)
   std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
     if (!conn->done.load(std::memory_order_acquire)) return false;
     if (conn->thread.joinable()) conn->thread.join();
@@ -494,6 +496,9 @@ void Server::flusher_loop() {
       batch.push_back(std::move(front));
       pending_.pop_front();
     }
+    // LINT:manual-lock(the flusher drops batch_mutex_ around the evaluate
+    // call so readers can keep admitting work during a long batch; it only
+    // touches the popped-off locals until it re-locks below)
     lock.unlock();
 
     for (auto& item : expired) {
@@ -521,6 +526,8 @@ void Server::flusher_loop() {
       }
       for (auto& item : batch) item.state->complete_one();
     }
+    // LINT:manual-lock(re-acquires batch_mutex_ for the next loop pass;
+    // pairs with the waived unlock above)
     lock.lock();
   }
 }

@@ -109,20 +109,21 @@ class Server {
 
   // Registry of named systems; pointers are stable (never erased).
   mutable std::mutex systems_mutex_;
-  std::map<std::string, std::unique_ptr<edge::EdgeSystem>> systems_;
+  std::map<std::string, std::unique_ptr<edge::EdgeSystem>>
+      systems_;  // GUARDED_BY(systems_mutex_)
 
   // Microbatcher state (mutable: stats_json reads the depth under lock).
   mutable std::mutex batch_mutex_;
   std::condition_variable batch_cv_;
-  std::deque<PendingItem> pending_;
-  bool draining_ = false;
+  std::deque<PendingItem> pending_;  // GUARDED_BY(batch_mutex_)
+  bool draining_ = false;            // GUARDED_BY(batch_mutex_)
 
   // Lifecycle.
   std::mutex state_mutex_;
   std::condition_variable state_cv_;
-  bool started_ = false;
-  bool stopped_ = false;
-  bool shutdown_requested_ = false;
+  bool started_ = false;             // GUARDED_BY(state_mutex_)
+  bool stopped_ = false;             // GUARDED_BY(state_mutex_)
+  bool shutdown_requested_ = false;  // GUARDED_BY(state_mutex_)
 
   int listen_fd_ = -1;
   // Self-pipe that stop() writes to so the accept loop's poll() wakes
@@ -133,7 +134,8 @@ class Server {
   std::thread flusher_thread_;
 
   std::mutex conn_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Connection>>
+      connections_;  // GUARDED_BY(conn_mutex_)
 
   ServerMetrics metrics_;
 };

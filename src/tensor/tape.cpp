@@ -1,3 +1,7 @@
+// LINT:counters — the global backward() reachability stamp is a pure
+// uniqueness counter; threads never order memory around it.
+// LINT:allocator — this file IS the arena substrate R6 routes everyone
+// else through.
 #include "tensor/tape.h"
 
 #include <algorithm>

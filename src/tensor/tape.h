@@ -22,6 +22,10 @@
 // invalidates every node recorded after its mark was taken; callers must
 // extract plain values (item(), spans copied out) before the frame ends.
 // Leaves created before a frame — model parameters — survive it.
+//
+// LINT:allocator — the arenas here are the sanctioned allocation substrate;
+// R6 (allocation hygiene) exempts this file so the bump allocators may own
+// raw storage.
 #pragma once
 
 #include <cstddef>

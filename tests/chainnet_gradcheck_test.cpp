@@ -21,7 +21,6 @@ using support::Rng;
 double loss_value(ChainNet& model, const edge::PlacementGraph& g) {
   const auto out = model.forward(g);
   // Fixed pseudo-targets in (0,1).
-  tensor::Var loss = tensor::Var::scalar(0.0);
   std::vector<tensor::Var> terms;
   double target = 0.3;
   for (const auto& o : out) {

@@ -1,0 +1,17 @@
+// R1 bad: naked lock()/unlock() calls and a guard temporary that dies at
+// the semicolon, none waived.
+#include <mutex>
+
+struct Worker {
+  void push() {
+    mu_.lock();
+    ++count_;
+    mu_.unlock();
+  }
+  void oops() {
+    std::lock_guard<std::mutex>(mu_);
+    ++count_;
+  }
+  std::mutex mu_;
+  int count_ = 0;
+};

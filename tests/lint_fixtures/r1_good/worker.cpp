@@ -1,0 +1,23 @@
+// R1 good: every acquisition goes through an RAII guard; condition-variable
+// waits on a unique_lock are fine. Fixtures are linted, never compiled.
+#include <condition_variable>
+#include <mutex>
+
+struct Worker {
+  void push() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+  void wait_ready() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+  }
+  void both() {
+    std::scoped_lock lock(mu_, other_);
+    ++count_;
+  }
+  std::mutex mu_;
+  std::mutex other_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};

@@ -1,0 +1,19 @@
+// R1 waiver: the unlock-around-expensive-work pattern, audited and waived
+// with an explicit reason (the chainnet flusher is the real instance).
+#include <mutex>
+
+struct Worker {
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const int popped = count_;
+    // LINT:manual-lock(drops the lock around the expensive call so other
+    // threads can keep queueing; only locals are touched until re-lock)
+    lock.unlock();
+    expensive(popped);
+    lock.lock();  // LINT:manual-lock(re-acquire for the next pass)
+    ++count_;
+  }
+  void expensive(int);
+  std::mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,10 @@
+#include "widget.h"
+
+void Widget::add(int v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.push_back(v);
+}
+
+int Widget::size() const {
+  return static_cast<int>(items_.size());
+}

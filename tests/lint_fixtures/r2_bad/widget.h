@@ -1,0 +1,12 @@
+// R2 bad: widget.cpp touches the annotated member with no guard in any
+// enclosing lexical scope.
+#pragma once
+#include <mutex>
+#include <vector>
+
+struct Widget {
+  void add(int v);
+  int size() const;
+  mutable std::mutex mu_;
+  std::vector<int> items_;  // GUARDED_BY(mu_)
+};

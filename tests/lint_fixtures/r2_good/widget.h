@@ -1,0 +1,12 @@
+// R2 good: the annotated member is only touched under a guard on its
+// mutex; annotations in this header bind in the same-stem widget.cpp.
+#pragma once
+#include <mutex>
+#include <vector>
+
+struct Widget {
+  void add(int v);
+  int size() const;
+  mutable std::mutex mu_;
+  std::vector<int> items_;  // GUARDED_BY(mu_)
+};

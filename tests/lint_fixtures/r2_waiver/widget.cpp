@@ -1,0 +1,12 @@
+#include "widget.h"
+
+void Widget::add(int v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.push_back(v);
+  compact_locked();
+}
+
+void Widget::compact_locked() {
+  // LINT:unguarded(caller holds mu_ — see the declaration in widget.h)
+  items_.shrink_to_fit();
+}

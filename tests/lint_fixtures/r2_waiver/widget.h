@@ -1,0 +1,13 @@
+// R2 waiver: a helper that requires the caller to hold the mutex states so
+// in a waiver (the REQUIRES pattern; chainnet's connection reaper is the
+// real instance).
+#pragma once
+#include <mutex>
+#include <vector>
+
+struct Widget {
+  void add(int v);
+  void compact_locked();  // callers hold mu_
+  mutable std::mutex mu_;
+  std::vector<int> items_;  // GUARDED_BY(mu_)
+};

@@ -1,0 +1,8 @@
+// R3 bad: memory_order_relaxed in a file without the LINT counters tag.
+#include <atomic>
+
+struct Flag {
+  void set() { done_.store(true, std::memory_order_relaxed); }
+  bool get() const { return done_.load(std::memory_order_acquire); }
+  std::atomic<bool> done_{false};
+};

@@ -1,0 +1,8 @@
+// R3 good: relaxed atomics are allowed here because the file is tagged.
+// LINT:counters — pure monotonic statistics, nothing orders around them.
+#include <atomic>
+
+struct Stats {
+  void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<unsigned long> hits_{0};
+};

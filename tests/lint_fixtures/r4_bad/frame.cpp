@@ -1,0 +1,10 @@
+// R4 bad: a Tape::Frame temporary releases its mark at the semicolon and
+// scopes nothing; a heap-allocated tape escapes the thread-local regime.
+void run(Tape& tape) {
+  Tape::Frame(tape);
+  use(tape);
+}
+
+Tape* make() {
+  return new Tape();
+}

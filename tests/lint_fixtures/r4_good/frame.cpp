@@ -1,0 +1,6 @@
+// R4 good: the frame binds to a named local, so its mark is released at
+// end of scope, after the values are extracted.
+void run(Tape& tape) {
+  const Tape::Frame frame(tape);
+  use(tape);
+}

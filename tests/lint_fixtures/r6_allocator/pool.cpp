@@ -1,0 +1,8 @@
+// R6 waiver: an arena implementation file owns raw storage by design.
+// LINT:allocator — this fixture stands in for the tape arena internals.
+#include <cstdlib>
+
+struct Arena {
+  void grow() { base_ = static_cast<unsigned char*>(std::malloc(4096)); }
+  unsigned char* base_ = nullptr;
+};

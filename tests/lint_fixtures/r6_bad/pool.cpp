@@ -1,0 +1,9 @@
+// R6 bad: naked new and malloc outside the arena internals.
+#include <cstdlib>
+
+int* grow() {
+  int* a = new int[4];
+  void* b = std::malloc(16);
+  (void)b;
+  return a;
+}

@@ -1,0 +1,8 @@
+// R6 good: ownership goes through make_unique; no naked allocation calls.
+#include <memory>
+#include <vector>
+
+struct Pool {
+  void grow() { slabs_.push_back(std::make_unique<double[]>(1024)); }
+  std::vector<std::unique_ptr<double[]>> slabs_;
+};

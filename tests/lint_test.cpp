@@ -1,0 +1,174 @@
+// Contract tests for chainnet_lint (tools/lint): every rule R1-R6 has a
+// passing and a failing fixture under tests/lint_fixtures/, the failing one
+// asserted down to rule id and line; waiver fixtures prove the escape
+// hatches (// LINT:manual-lock, // LINT:unguarded, // LINT:allocator) work;
+// and a self-check pins that the linter accepts its own source. The tool is
+// driven exactly as check_all.sh drives it: as a subprocess, asserting on
+// exit code and stdout.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& target) {
+  const std::string command =
+      std::string(CHAINNET_LINT_BINARY) + " " + target + " 2>&1";
+  LintRun result;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot spawn: " << command;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> chunk;
+  std::size_t got = 0;
+  while ((got = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    result.output.append(chunk.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(CHAINNET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+int count_findings(const std::string& output) {
+  // Finding lines carry a rule id; the trailing summary goes to stderr but
+  // is merged here, so count the rule-id marker instead of newlines.
+  int count = 0;
+  std::size_t at = 0;
+  while ((at = output.find(": R", at)) != std::string::npos) {
+    ++count;
+    at += 3;
+  }
+  return count;
+}
+
+void expect_clean(const std::string& case_dir) {
+  const LintRun run = run_lint(fixture(case_dir));
+  EXPECT_EQ(run.exit_code, 0) << case_dir << " output:\n" << run.output;
+  EXPECT_EQ(count_findings(run.output), 0) << run.output;
+}
+
+TEST(LintTest, R1GoodAcceptsRaiiGuards) { expect_clean("r1_good"); }
+
+TEST(LintTest, R1BadFlagsNakedLockCalls) {
+  const LintRun run = run_lint(fixture("r1_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 3) << run.output;
+  EXPECT_NE(run.output.find("worker.cpp:7: R1-lock-discipline"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("worker.cpp:9: R1-lock-discipline"),
+            std::string::npos)
+      << run.output;
+  // The guard temporary that unlocks at the semicolon is also R1.
+  EXPECT_NE(run.output.find("worker.cpp:12: R1-lock-discipline"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R1WaiverAcceptsAuditedManualLock) {
+  expect_clean("r1_waiver");
+}
+
+TEST(LintTest, R2GoodAcceptsGuardedTouches) { expect_clean("r2_good"); }
+
+TEST(LintTest, R2BadFlagsUnguardedMemberTouch) {
+  const LintRun run = run_lint(fixture("r2_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 1) << run.output;
+  EXPECT_NE(run.output.find("widget.cpp:9: R2-guarded-member"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("GUARDED_BY(mu_)"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R2WaiverAcceptsCallerHoldsPattern) {
+  expect_clean("r2_waiver");
+}
+
+TEST(LintTest, R3GoodAcceptsTaggedCounterFile) { expect_clean("r3_good"); }
+
+TEST(LintTest, R3BadFlagsRelaxedOutsideCounters) {
+  const LintRun run = run_lint(fixture("r3_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 1) << run.output;
+  EXPECT_NE(run.output.find("counters.cpp:5: R3-relaxed-atomic"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R4GoodAcceptsNamedFrame) { expect_clean("r4_good"); }
+
+TEST(LintTest, R4BadFlagsFrameTemporaryAndHeapTape) {
+  const LintRun run = run_lint(fixture("r4_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 2) << run.output;
+  EXPECT_NE(run.output.find("frame.cpp:4: R4-tape-frame"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("frame.cpp:9: R4-tape-frame"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R5GoodAcceptsKernelsInsideTensor) { expect_clean("r5_good"); }
+
+TEST(LintTest, R5BadFlagsKernelBypassOutsideTensor) {
+  const LintRun run = run_lint(fixture("r5_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 2) << run.output;
+  EXPECT_NE(run.output.find("fast.cpp:3: R5-kernel-routing"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("fast.cpp:6: R5-kernel-routing"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R6GoodAcceptsSmartPointers) { expect_clean("r6_good"); }
+
+TEST(LintTest, R6BadFlagsNakedNewAndMalloc) {
+  const LintRun run = run_lint(fixture("r6_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 2) << run.output;
+  EXPECT_NE(run.output.find("pool.cpp:5: R6-allocation"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("pool.cpp:6: R6-allocation"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R6AllocatorTagExemptsArenaInternals) {
+  expect_clean("r6_allocator");
+}
+
+// The linter must hold itself to the contracts it enforces.
+TEST(LintTest, SelfCheckLinterSourceIsClean) {
+  const LintRun run = run_lint(std::string(CHAINNET_LINT_SELF_DIR));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// The whole corpus at once: bad fixtures still fail, with deterministic
+// (sorted, deduplicated) output, and good fixtures contribute nothing.
+TEST(LintTest, WholeCorpusIsDeterministic) {
+  const LintRun a = run_lint(fixture(""));
+  const LintRun b = run_lint(fixture(""));
+  EXPECT_EQ(a.exit_code, 1);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(count_findings(a.output), 11) << a.output;
+}
+
+TEST(LintTest, MissingPathIsUsageError) {
+  const LintRun run = run_lint(fixture("does_not_exist"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace chainnet::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character operators, longest first so greedy matching is correct.
+constexpr std::string_view kOps3[] = {"...", "->*", "<=>", ">>=", "<<="};
+constexpr std::string_view kOps2[] = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "++", "--"};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view src)
+      : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  FileLex run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (c == '"') {
+        quoted('"');
+        continue;
+      }
+      if (c == '\'') {
+        quoted('\'');
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void line_comment() {
+    const int start = line_;
+    i_ += 2;
+    std::string text;
+    while (i_ < src_.size() && src_[i_] != '\n') text.push_back(src_[i_++]);
+    out_.comments.push_back({start, std::move(text)});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    i_ += 2;
+    std::string text;
+    while (i_ < src_.size() && !(src_[i_] == '*' && peek(1) == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      text.push_back(src_[i_++]);
+    }
+    if (i_ < src_.size()) i_ += 2;  // closing */
+    out_.comments.push_back({start, std::move(text)});
+  }
+
+  /// Consumes a whole preprocessor directive (honoring backslash
+  /// continuations), recording #include targets and emitting no tokens, so
+  /// macro bodies and conditional-compilation lines cannot unbalance the
+  /// rules layer's scope tracking.
+  void preprocessor_line() {
+    const int start = line_;
+    std::string directive;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        i_ += 2;
+        ++line_;
+        directive.push_back(' ');
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {  // trailing comment on the directive
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '\n') break;  // the newline itself is handled by run()
+      directive.push_back(c);
+      ++i_;
+    }
+    // Parse `# include <target>` / `# include "target"`.
+    std::size_t p = 1;  // past '#'
+    while (p < directive.size() &&
+           std::isspace(static_cast<unsigned char>(directive[p]))) {
+      ++p;
+    }
+    if (directive.compare(p, 7, "include") == 0) {
+      p += 7;
+      while (p < directive.size() &&
+             std::isspace(static_cast<unsigned char>(directive[p]))) {
+        ++p;
+      }
+      if (p < directive.size() &&
+          (directive[p] == '"' || directive[p] == '<')) {
+        const char close = directive[p] == '"' ? '"' : '>';
+        const std::size_t end = directive.find(close, p + 1);
+        if (end != std::string::npos) {
+          out_.includes.push_back(
+              {start, directive.substr(p + 1, end - p - 1)});
+        }
+      }
+    }
+  }
+
+  void raw_string() {
+    // R"delim( ... )delim"
+    i_ += 2;  // R"
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim.push_back(src_[i_++]);
+    if (i_ < src_.size()) ++i_;  // (
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size() && src_.compare(i_, close.size(), close) != 0) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    if (i_ < src_.size()) i_ += close.size();
+  }
+
+  void quoted(char quote) {
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != quote) {
+      if (src_[i_] == '\\') {
+        ++i_;
+        if (i_ >= src_.size()) break;
+      }
+      if (src_[i_] == '\n') ++line_;  // tolerate unterminated literals
+      ++i_;
+    }
+    if (i_ < src_.size()) ++i_;
+  }
+
+  void identifier() {
+    std::string text;
+    while (i_ < src_.size() && is_ident_char(src_[i_])) {
+      text.push_back(src_[i_++]);
+    }
+    out_.tokens.push_back({TokKind::kIdentifier, std::move(text), line_});
+  }
+
+  void number() {
+    // pp-number: digits, idents, quotes-as-separators, and signs directly
+    // after an exponent letter. Precision does not matter to any rule; the
+    // goal is only to not split `1e-6` into tokens that confuse patterns.
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        text.push_back(c);
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text.push_back(c);
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back({TokKind::kNumber, std::move(text), line_});
+  }
+
+  void punct() {
+    for (const auto op : kOps3) {
+      if (src_.compare(i_, op.size(), op) == 0) {
+        out_.tokens.push_back({TokKind::kPunct, std::string(op), line_});
+        i_ += op.size();
+        return;
+      }
+    }
+    for (const auto op : kOps2) {
+      if (src_.compare(i_, op.size(), op) == 0) {
+        out_.tokens.push_back({TokKind::kPunct, std::string(op), line_});
+        i_ += op.size();
+        return;
+      }
+    }
+    out_.tokens.push_back({TokKind::kPunct, std::string(1, src_[i_]), line_});
+    ++i_;
+  }
+
+  std::string_view src_;
+  FileLex out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+FileLex lex_source(std::string path, std::string_view source) {
+  return Lexer(std::move(path), source).run();
+}
+
+bool lex_file(const std::string& path, FileLex& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+  out = lex_source(path, source);
+  return true;
+}
+
+}  // namespace chainnet::lint

@@ -1,0 +1,60 @@
+// Lexical front end of chainnet_lint: strips comments and string/char
+// literals, tokenizes what remains, and records the stripped comments and
+// #include targets on the side. The rule engine (rules.h) works purely on
+// this token stream plus the comment map, so every contract it enforces is
+// decidable without a compiler — the point of the tool is to run before any
+// build exists.
+//
+// The lexer is deliberately a *lexer*, not a parser: it understands C++
+// token boundaries (multi-char operators, raw strings, pp-numbers,
+// preprocessor lines) but nothing about declarations. The rules layer
+// reconstructs just enough structure (brace scopes, guard constructions,
+// member-declaration lines) from token patterns.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainnet::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (the rules don't distinguish)
+  kNumber,      ///< pp-number: 0x1f, 1e-6, 1'000, ...
+  kPunct,       ///< operators/punctuation; multi-char ops are one token
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One comment, attributed to the line it starts on, delimiters stripped.
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+/// An #include directive and the path between its quotes/brackets.
+struct Include {
+  int line = 0;
+  std::string target;
+};
+
+struct FileLex {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Lexes an in-memory buffer. Never throws; unterminated constructs are
+/// closed at end of input (a linter must degrade, not die, on weird input).
+FileLex lex_source(std::string path, std::string_view source);
+
+/// Reads and lexes a file. Returns false (with *error set) when the file
+/// cannot be read.
+bool lex_file(const std::string& path, FileLex& out, std::string& error);
+
+}  // namespace chainnet::lint

@@ -1,0 +1,98 @@
+// chainnet_lint — static enforcement of the codebase's concurrency, tape,
+// and kernel contracts (rules.h lists the rules, DESIGN.md §11 the
+// rationale). No external toolchain: the tool lexes C++ itself, so it runs
+// before any build exists and is the tier-0 stage of scripts/check_all.sh.
+//
+// Usage: chainnet_lint <file-or-dir>...
+//   Directories are scanned recursively for .h/.hpp/.cpp/.cc/.cxx/.inc.
+//   Findings go to stdout as `file:line: rule-id: message`.
+//   Exit 0: clean. Exit 1: findings. Exit 2: usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  static const std::vector<std::string> kExts = {".h",  ".hpp", ".cpp",
+                                                 ".cc", ".cxx", ".inc"};
+  const std::string ext = path.extension().string();
+  return std::find(kExts.begin(), kExts.end(), ext) != kExts.end();
+}
+
+int usage() {
+  std::cerr << "usage: chainnet_lint <file-or-dir>...\n"
+            << "rules: R1-lock-discipline R2-guarded-member "
+               "R3-relaxed-atomic R4-tape-frame R5-kernel-routing "
+               "R6-allocation (see DESIGN.md §11)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage();
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (fs::recursive_directory_iterator it(input, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          paths.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        std::cerr << "chainnet_lint: cannot scan " << input << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      paths.push_back(fs::path(input).generic_string());
+    } else {
+      std::cerr << "chainnet_lint: no such file or directory: " << input
+                << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  chainnet::lint::Linter linter;
+  for (const std::string& path : paths) {
+    chainnet::lint::FileLex lex;
+    std::string error;
+    if (!chainnet::lint::lex_file(path, lex, error)) {
+      std::cerr << "chainnet_lint: " << error << "\n";
+      return 2;
+    }
+    linter.add_file(std::move(lex));
+  }
+
+  const std::vector<chainnet::lint::Finding> findings = linter.run();
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "chainnet_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in " << paths.size()
+              << " file" << (paths.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
