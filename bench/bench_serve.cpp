@@ -13,14 +13,22 @@
 // aggregated batches reach the lock-stepped multi-placement forward, so the
 // qps ratio is the serving-layer view of batched-vs-scalar inference.
 //
+// Alongside the text report the full sweep is written as machine-readable
+// JSON to BENCH_serve.json (override with CHAINNET_SERVE_OUT), following
+// the BENCH_infer.json conventions so the serving trajectory is tracked
+// across revisions.
+//
 //   CHAINNET_SERVE_DEVICES     problem size (default 20)
 //   CHAINNET_SERVE_POOL        distinct placements queried (default 512)
 //   CHAINNET_SERVE_SECONDS     measured seconds per configuration (0.4)
+//   CHAINNET_SERVE_OUT         output JSON path (default BENCH_serve.json)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -104,6 +112,8 @@ RunResult run_config(runtime::EvalService& service,
 }  // namespace
 
 int main() {
+  const char* out_env = std::getenv("CHAINNET_SERVE_OUT");
+  const std::string out_path = out_env ? out_env : "BENCH_serve.json";
   support::Rng gen_rng(5);
   const auto system = edge::generate_placement_problem(
       edge::PlacementProblemParams::paper(
@@ -136,12 +146,19 @@ int main() {
               "queries/sec", "batches");
 
   RunResult headline;
+  support::Json sweep_rows;
   for (const double flush_ms : {0.0, 0.2}) {
     for (const int clients : {1, 2, 4, 8}) {
       const auto result = run_config(service, system, cache, placements,
                                      clients, flush_ms, seconds);
       std::printf("  %8d %10.1f %12.0f %10.0f\n", clients, flush_ms,
                   result.qps, result.stats.at("batches").as_number());
+      support::Json row;
+      row["clients"] = support::Json(clients);
+      row["flush_ms"] = support::Json(flush_ms);
+      row["queries_per_s"] = support::Json(result.qps);
+      row["batches"] = result.stats.at("batches");
+      sweep_rows.push_back(std::move(row));
       headline = result;  // last = 8 clients, 0.2ms window
     }
   }
@@ -175,6 +192,8 @@ int main() {
   // max_batch=32 lets concurrent clients' queries fuse into batched
   // forwards. Same clients, same pool, same flush window — the qps ratio is
   // the batching win as a client would observe it.
+  double scalar_qps = 0.0;
+  double batched_qps = 0.0;
   {
     core::ChainNetConfig model_cfg;
     runtime::ThreadPool gnn_pool(2);
@@ -182,8 +201,6 @@ int main() {
                                      bench::surrogate_factory(model_cfg), 99);
     std::printf("\nsurrogate oracle (uncached, 8 clients, 0.2ms flush "
                 "window):\n");
-    double scalar_qps = 0.0;
-    double batched_qps = 0.0;
     for (const int max_batch : {1, 32}) {
       const auto result = run_config(gnn_service, system, nullptr, placements,
                                      8, 0.2, seconds, max_batch);
@@ -195,5 +212,36 @@ int main() {
     std::printf("  batched vs scalar speedup: %.2fx\n",
                 batched_qps / scalar_qps);
   }
+
+  support::Json doc;
+  {
+    support::Json config_doc;
+    config_doc["chains"] = support::Json(system.num_chains());
+    config_doc["devices"] = support::Json(system.num_devices());
+    config_doc["placement_pool"] = support::Json(pool_size);
+    config_doc["seconds_per_config"] = support::Json(seconds);
+    doc["config"] = std::move(config_doc);
+  }
+  doc["sweep"] = std::move(sweep_rows);
+  {
+    support::Json head;
+    head["clients"] = support::Json(8);
+    head["flush_ms"] = support::Json(0.2);
+    head["queries_per_s"] = support::Json(headline.qps);
+    head["service_latency"] = headline.stats.at("service_latency");
+    if (headline.stats.has("cache")) head["cache"] = headline.stats.at("cache");
+    doc["headline"] = std::move(head);
+  }
+  {
+    support::Json surrogate;
+    surrogate["scalar_queries_per_s"] = support::Json(scalar_qps);
+    surrogate["batched_queries_per_s"] = support::Json(batched_qps);
+    surrogate["batched_vs_scalar_speedup"] =
+        support::Json(scalar_qps > 0.0 ? batched_qps / scalar_qps : 0.0);
+    doc["surrogate_uncached"] = std::move(surrogate);
+  }
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

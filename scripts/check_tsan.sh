@@ -9,7 +9,10 @@
 # flusher, metrics) plus the parallel SA drivers and the batched GNN
 # forward's fan-out across pool workers (chainnet_batch_test covers the
 # kernels' thread-local packing scratch); building the whole tree under
-# TSan would be slow and adds no coverage.
+# TSan would be slow and adds no coverage. registry_test and router_test
+# join the gate because they are the concurrency-heavy scale-out paths:
+# hot-swap atomicity under a concurrent reader, and the router's health
+# thread racing request dispatch and the metrics endpoint.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +21,7 @@ cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test eval_cache_test parallel_anneal_test \
   chainnet_batch_test serve_metrics_test serve_loopback_test \
+  registry_test router_test \
   chainnet_lint lint_test
 
 # chainnet_lint is single-threaded, but running lint_test here keeps the
@@ -25,7 +29,7 @@ cmake --build build-tsan -j "$(nproc)" \
 # the locks they reason about.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan \
-  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|lint)_test' \
+  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|registry|lint)_test|^router_test$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

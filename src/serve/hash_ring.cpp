@@ -1,0 +1,97 @@
+#include "serve/hash_ring.h"
+
+#include <algorithm>
+
+namespace chainnet::serve {
+
+namespace {
+
+/// splitmix64: a full-period 64-bit mixer with excellent avalanche — every
+/// (backend, vnode) pair lands at an independent-looking ring point.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t backends, int vnodes_per_backend)
+    : backends_(backends) {
+  const int vnodes = std::max(1, vnodes_per_backend);
+  ring_.reserve(backends * static_cast<std::size_t>(vnodes));
+  for (std::size_t b = 0; b < backends; ++b) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::uint64_t point = splitmix64(
+          (static_cast<std::uint64_t>(b) << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+      ring_.push_back(VNode{point, static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) {
+              // Tie-break on backend index so equal points (vanishingly
+              // unlikely) still order deterministically.
+              return a.point != b.point ? a.point < b.point
+                                        : a.backend < b.backend;
+            });
+}
+
+std::size_t HashRing::pick(std::uint64_t key) const noexcept {
+  if (ring_.empty()) return 0;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const VNode& node, std::uint64_t k) { return node.point < k; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the last vnode
+  return it->backend;
+}
+
+std::vector<std::size_t> HashRing::sequence(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  if (ring_.empty()) return order;
+  order.reserve(backends_);
+  std::vector<char> seen(backends_, 0);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const VNode& node, std::uint64_t k) { return node.point < k; });
+  for (std::size_t step = 0;
+       step < ring_.size() && order.size() < backends_; ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->backend]) {
+      seen[it->backend] = 1;
+      order.push_back(it->backend);
+    }
+  }
+  return order;
+}
+
+std::optional<std::size_t> HashRing::pick_healthy(
+    std::uint64_t key, const std::vector<char>& healthy) const {
+  if (ring_.empty() || healthy.size() != backends_) return std::nullopt;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const VNode& node, std::uint64_t k) { return node.point < k; });
+  // Walk at most the whole ring once; the first healthy backend hit in walk
+  // order is by construction stable for keys whose owner is healthy.
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (healthy[it->backend]) return it->backend;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t HashRing::hash_bytes(std::string_view bytes) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::uint64_t HashRing::mix(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (splitmix64(b) + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace chainnet::serve

@@ -24,6 +24,7 @@ constexpr CodeName kCodeNames[] = {
     {ErrorCode::kDeadlineExceeded, "deadline_exceeded"},
     {ErrorCode::kShuttingDown, "shutting_down"},
     {ErrorCode::kInternal, "internal"},
+    {ErrorCode::kUpstreamFailed, "upstream_failed"},
 };
 
 /// send() with MSG_NOSIGNAL so a vanished peer surfaces as EPIPE, not a

@@ -10,6 +10,8 @@
 //    "placements":[[[0,1,2],[1,3]], ...]}       -> {"ok":true,"values":[..]}
 //   {"type":"stats"}                            -> {"ok":true, ...counters}
 //   {"type":"load_system","name":"x","system":{...}}  -> {"ok":true}
+//   {"type":"reload","manifest":"path.json"}    -> {"ok":true,"version":2,
+//                                                   "checksum":"fnv1a:..."}
 //   {"type":"ping"} / {"type":"shutdown"}       -> {"ok":true}
 // Failures are typed:
 //   {"ok":false,"error":{"code":"overloaded","message":"..."}}
@@ -37,6 +39,7 @@ enum class ErrorCode {
   kDeadlineExceeded,  ///< request expired before evaluation
   kShuttingDown,      ///< server is draining; no new work admitted
   kInternal,          ///< evaluator threw
+  kUpstreamFailed,    ///< router: every candidate backend failed mid-request
 };
 
 std::string_view error_code_name(ErrorCode code) noexcept;

@@ -1,0 +1,242 @@
+#include "serve/registry.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace chainnet::serve {
+
+using tensor::SerializeErrc;
+using tensor::SerializeError;
+
+ModelVersion::ModelVersion(tensor::WeightsManifest manifest,
+                           core::ChainNetConfig config, int slots)
+    : manifest_(std::move(manifest)),
+      config_(config),
+      slots_(std::max(1, slots)),
+      ready_(ready_promise_.get_future().share()),
+      host_([this] { host_main(); }) {}
+
+ModelVersion::~ModelVersion() {
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    retired_ = true;
+  }
+  retire_cv_.notify_all();
+  if (host_.joinable()) host_.join();
+}
+
+void ModelVersion::host_main() {
+  // Build every slot's model on THIS thread: parameter leaves land on its
+  // thread_local tape, which lives until this function returns — i.e. until
+  // the version is retired.
+  try {
+    models_.reserve(static_cast<std::size_t>(slots_));
+    surrogates_.reserve(static_cast<std::size_t>(slots_));
+    for (int s = 0; s < slots_; ++s) {
+      // Fixed init seed: values are fully overwritten by load_parameters,
+      // the seed only shapes the parameter tree.
+      support::Rng init_rng(1);
+      auto model = std::make_unique<core::ChainNet>(config_, init_rng);
+      tensor::load_parameters(*model, manifest_.params_path);
+      surrogates_.push_back(std::make_unique<core::Surrogate>(*model));
+      models_.push_back(std::move(model));
+    }
+  } catch (...) {
+    models_.clear();
+    surrogates_.clear();
+    ready_promise_.set_exception(std::current_exception());
+    return;
+  }
+  ready_promise_.set_value();
+
+  {
+    std::unique_lock<std::mutex> lock(retire_mutex_);
+    retire_cv_.wait(lock, [this] { return retired_; });
+  }
+  // Destroy the models before the thread (and its tape arena) exits; no
+  // reader can still exist — retirement is only signalled from the
+  // destructor, after the last shared_ptr dropped.
+  surrogates_.clear();
+  models_.clear();
+}
+
+const core::Surrogate& ModelVersion::surrogate(int slot) const {
+  if (slot < 0 || slot >= static_cast<int>(surrogates_.size())) {
+    throw std::out_of_range("ModelVersion: slot " + std::to_string(slot) +
+                            " of " + std::to_string(surrogates_.size()));
+  }
+  return *surrogates_[static_cast<std::size_t>(slot)];
+}
+
+ModelRegistry::ModelRegistry(core::ChainNetConfig defaults, int slots)
+    : defaults_(defaults), slots_(std::max(1, slots)) {}
+
+ModelVersionInfo ModelRegistry::load(const std::string& manifest_path) {
+  // One load at a time: concurrent reloads would race on "who becomes
+  // active"; serializing gives last-call-wins with a total order.
+  std::lock_guard<std::mutex> load_lock(load_mutex_);
+
+  tensor::WeightsManifest manifest = tensor::load_manifest(manifest_path);
+  // Checksum gate BEFORE any parameter parsing: a truncated or tampered
+  // file is rejected while the current version keeps serving.
+  const std::uint64_t actual = tensor::file_checksum(manifest.params_path);
+  if (actual != manifest.checksum) {
+    throw SerializeError(
+        SerializeErrc::kChecksumMismatch,
+        manifest.params_path + " hashes to " +
+            tensor::checksum_to_string(actual) + " but the manifest pins " +
+            tensor::checksum_to_string(manifest.checksum));
+  }
+
+  core::ChainNetConfig config = defaults_;
+  if (manifest.hidden > 0) config.hidden = manifest.hidden;
+  if (manifest.iterations > 0) config.iterations = manifest.iterations;
+
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = records_.size();
+    records_.push_back(Record{manifest, "loading", {}});
+  }
+
+  auto version = std::make_shared<ModelVersion>(manifest, config, slots_);
+  try {
+    version->wait_ready();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[index].explicit_state = "failed";
+    throw;
+  }
+
+  ModelVersionInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[index].explicit_state.clear();
+    records_[index].version = version;
+    // The flip: from here every pinned_active() call returns the new
+    // version; the old one drains as in-flight batches release it.
+    active_ = std::move(version);
+    info = info_for(records_[index]);
+  }
+  return info;
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+ModelVersionInfo ModelRegistry::info_for(const Record& record) const {
+  // LINT:unguarded(caller holds mutex_ — private helper used only from
+  // locked scopes; active_/records_ are read, never written)
+  ModelVersionInfo info;
+  info.version = record.manifest.version;
+  info.checksum = record.manifest.checksum;
+  info.params_path = record.manifest.params_path;
+  if (!record.explicit_state.empty()) {
+    info.state = record.explicit_state;
+    return info;
+  }
+  // LINT:manual-lock(weak_ptr::lock — pin attempt, not a mutex acquire)
+  const auto locked = record.version.lock();
+  // LINT:unguarded(caller holds mutex_ — see the helper contract above)
+  if (locked != nullptr && locked == active_) {
+    info.state = "active";
+  } else if (locked != nullptr) {
+    info.state = "draining";
+  } else {
+    info.state = "retired";
+  }
+  return info;
+}
+
+ModelVersionInfo ModelRegistry::active_info() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    // LINT:manual-lock(weak_ptr::lock — pin attempt, not a mutex acquire)
+    if (!it->version.expired() && it->version.lock() == active_) {
+      return info_for(*it);
+    }
+  }
+  return {};
+}
+
+std::vector<ModelVersionInfo> ModelRegistry::versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelVersionInfo> out;
+  out.reserve(records_.size());
+  for (const auto& record : records_) out.push_back(info_for(record));
+  return out;
+}
+
+support::Json ModelRegistry::stats_json() const {
+  support::Json doc;
+  const auto all = versions();
+  support::Json rows;
+  for (const auto& info : all) {
+    support::Json row;
+    row["version"] = support::Json(static_cast<double>(info.version));
+    row["checksum"] = support::Json(tensor::checksum_to_string(info.checksum));
+    row["state"] = support::Json(info.state);
+    rows.push_back(std::move(row));
+    if (info.state == "active") {
+      support::Json active;
+      active["version"] = support::Json(static_cast<double>(info.version));
+      active["checksum"] =
+          support::Json(tensor::checksum_to_string(info.checksum));
+      active["params"] = support::Json(info.params_path);
+      doc["active"] = std::move(active);
+    }
+  }
+  if (rows.is_null()) rows = support::Json(support::Json::Array{});
+  doc["versions"] = std::move(rows);
+  return doc;
+}
+
+std::shared_ptr<const ModelVersion> RegistryEvaluator::pinned_active() const {
+  auto version = registry_->active();
+  if (version == nullptr) {
+    throw std::runtime_error("model registry has no active version");
+  }
+  return version;
+}
+
+double RegistryEvaluator::total_throughput(const edge::EdgeSystem& system,
+                                           const edge::Placement& placement) {
+  const auto version = pinned_active();
+  record_evaluation();
+  return version->surrogate(slot_).total_throughput(system, placement);
+}
+
+void RegistryEvaluator::total_throughput_batch(
+    const edge::EdgeSystem& system,
+    std::span<const edge::Placement> placements, std::span<double> out) {
+  // One pin for the whole batch: the version cannot retire mid-batch, and
+  // every placement in the batch is scored by the same weights.
+  const auto version = pinned_active();
+  for (std::size_t i = 0; i < placements.size(); ++i) record_evaluation();
+  version->surrogate(slot_).total_throughput_batch(system, placements, out);
+}
+
+runtime::EvalService::EvaluatorFactory registry_factory(
+    std::shared_ptr<ModelRegistry> registry) {
+  // EvalService constructs evaluators eagerly on one thread, in worker
+  // order; the shared counter therefore assigns slot k to worker k (and the
+  // final slot to the service's owning thread).
+  auto next_slot = std::make_shared<std::atomic<int>>(0);
+  return [registry = std::move(registry), next_slot](
+             support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
+    const int slot = next_slot->fetch_add(1);
+    if (slot >= registry->slots()) {
+      throw std::runtime_error(
+          "registry_factory: more evaluators requested than registry slots (" +
+          std::to_string(registry->slots()) + ")");
+    }
+    return std::make_unique<RegistryEvaluator>(registry, slot);
+  };
+}
+
+}  // namespace chainnet::serve

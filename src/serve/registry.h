@@ -1,0 +1,189 @@
+// Versioned model registry with zero-downtime hot swap.
+//
+// A ModelVersion is one immutable release of surrogate weights: a manifest
+// (version number, params path, FNV-1a checksum — tensor/serialize.h) plus
+// one ChainNet+Surrogate pair per evaluation slot (EvalService worker).
+// The registry loads a new version in the background, verifies the params
+// file against the manifest checksum *before* any parameter is parsed, and
+// flips an atomic active pointer once every slot's model is fully built —
+// so no request can ever observe a half-loaded model.
+//
+// State machine per version:
+//
+//   LOADING ──(checksum ok, all slots built)──► ACTIVE
+//      │                                          │ next load() flips
+//      └──(any failure)──► FAILED                 ▼
+//                                              DRAINING ──(last in-flight
+//                                              batch drops its ref)──► RETIRED
+//
+// Draining is reference-counted, not signalled: every evaluation pins the
+// active version with a shared_ptr for exactly the duration of its batch,
+// so after a flip the old version stays alive until the last in-flight
+// batch completes, then frees its weights. stats_json reports the live
+// state of every version the registry has seen.
+//
+// Tape-lifetime contract: model parameters are tensor::Var leaves, which
+// live on the *creating thread's* thread_local tape arena (tape.h). A
+// version therefore owns a dedicated host thread that builds its models,
+// parks until retirement, and destroys them before exiting — the arena's
+// lifetime is exactly the version's lifetime, and repeated reloads of a
+// long-lived server leak nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chainnet.h"
+#include "core/surrogate.h"
+#include "optim/evaluator.h"
+#include "runtime/eval_service.h"
+#include "support/json.h"
+#include "tensor/serialize.h"
+
+namespace chainnet::serve {
+
+/// Snapshot of one version's identity and lifecycle state, as reported by
+/// `stats` and the reload response.
+struct ModelVersionInfo {
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  std::string params_path;
+  std::string state;  ///< loading | active | draining | retired | failed
+};
+
+/// One fully-built release of weights: `slots` independent model+surrogate
+/// pairs (one per EvalService worker — Surrogates hold mutable inference
+/// workspaces and are single-threaded by contract). Immutable once ready;
+/// destroyed when the last shared_ptr (registry or in-flight batch) drops.
+class ModelVersion {
+ public:
+  /// Starts the host thread, which builds the models and loads `manifest`'s
+  /// params into each. Construction returns immediately; wait_ready()
+  /// blocks for the outcome.
+  ModelVersion(tensor::WeightsManifest manifest, core::ChainNetConfig config,
+               int slots);
+  ~ModelVersion();  // signals retirement, joins the host thread
+
+  ModelVersion(const ModelVersion&) = delete;
+  ModelVersion& operator=(const ModelVersion&) = delete;
+
+  /// Blocks until the host thread finished loading; rethrows its error
+  /// (tensor::SerializeError on bad weight files). Idempotent.
+  void wait_ready() const { ready_.get(); }
+
+  const tensor::WeightsManifest& manifest() const noexcept {
+    return manifest_;
+  }
+
+  /// The surrogate bound to evaluation slot `slot`. Only valid after
+  /// wait_ready(); each slot must be driven by at most one thread at a
+  /// time (the EvalService worker owning it).
+  const core::Surrogate& surrogate(int slot) const;
+
+ private:
+  void host_main();
+
+  tensor::WeightsManifest manifest_;
+  core::ChainNetConfig config_;
+  int slots_;
+
+  // Written by the host thread before ready_ resolves; the promise/future
+  // pair publishes them to every reader (wait_ready happens-before use).
+  std::vector<std::unique_ptr<core::ChainNet>> models_;
+  std::vector<std::unique_ptr<core::Surrogate>> surrogates_;
+
+  std::promise<void> ready_promise_;
+  mutable std::shared_future<void> ready_;
+
+  std::mutex retire_mutex_;
+  std::condition_variable retire_cv_;
+  bool retired_ = false;  // GUARDED_BY(retire_mutex_)
+  std::thread host_;
+};
+
+/// The registry: owns the version history and the atomic active pointer.
+/// Thread-safe; loads are serialized, evaluation reads are lock-cheap.
+class ModelRegistry {
+ public:
+  /// `defaults` supplies model shape (hidden/iterations) when a manifest
+  /// omits it; `slots` is the number of concurrent evaluation slots every
+  /// version must provide (EvalService builds pool-size + 1 evaluators).
+  ModelRegistry(core::ChainNetConfig defaults, int slots);
+
+  /// Loads the manifest at `manifest_path`, verifies the params-file
+  /// checksum, builds the version on its host thread, and flips it active.
+  /// Blocking; concurrent calls are serialized. Throws
+  /// tensor::SerializeError on any validation failure — the previously
+  /// active version keeps serving untouched.
+  ModelVersionInfo load(const std::string& manifest_path);
+
+  /// The active version, pinned: callers hold the returned shared_ptr for
+  /// the duration of their batch, which is what makes draining safe.
+  /// Null until the first successful load().
+  std::shared_ptr<const ModelVersion> active() const;
+
+  /// Identity of the active version ({} when none is loaded yet).
+  ModelVersionInfo active_info() const;
+
+  /// Every version ever loaded, oldest first, with live states.
+  std::vector<ModelVersionInfo> versions() const;
+
+  /// The `model` section of the server's stats response.
+  support::Json stats_json() const;
+
+  int slots() const noexcept { return slots_; }
+
+ private:
+  struct Record {
+    tensor::WeightsManifest manifest;
+    std::string explicit_state;  ///< "loading" / "failed"; else derived
+    std::weak_ptr<const ModelVersion> version;
+  };
+
+  ModelVersionInfo info_for(const Record& record) const;
+
+  core::ChainNetConfig defaults_;
+  int slots_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelVersion> active_;  // GUARDED_BY(mutex_)
+  std::vector<Record> records_;                 // GUARDED_BY(mutex_)
+
+  std::mutex load_mutex_;  ///< serializes load(); never held with mutex_
+};
+
+/// PlacementEvaluator adapter: each evaluation pins the registry's active
+/// version and runs on this evaluator's private slot. A batch holds the
+/// version for its whole duration — the drain unit of a hot swap.
+class RegistryEvaluator final : public optim::PlacementEvaluator {
+ public:
+  RegistryEvaluator(std::shared_ptr<ModelRegistry> registry, int slot)
+      : registry_(std::move(registry)), slot_(slot) {}
+
+  double total_throughput(const edge::EdgeSystem& system,
+                          const edge::Placement& placement) override;
+  void total_throughput_batch(const edge::EdgeSystem& system,
+                              std::span<const edge::Placement> placements,
+                              std::span<double> out) override;
+
+ private:
+  std::shared_ptr<const ModelVersion> pinned_active() const;
+
+  std::shared_ptr<ModelRegistry> registry_;
+  int slot_;
+};
+
+/// EvalService factory handing out one RegistryEvaluator per construction,
+/// with slots assigned in construction order (EvalService builds evaluators
+/// eagerly in worker order, so slot k is worker k). Throws when more
+/// evaluators are requested than the registry has slots.
+runtime::EvalService::EvaluatorFactory registry_factory(
+    std::shared_ptr<ModelRegistry> registry);
+
+}  // namespace chainnet::serve

@@ -1,0 +1,780 @@
+#include "serve/router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "edge/placement.h"
+
+namespace chainnet::serve {
+
+using support::Json;
+
+struct Router::Connection {
+  int fd = -1;
+  bool metrics = false;
+  std::atomic<bool> done{false};
+  std::thread thread;
+};
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Bound on a blocked upstream read: a backend that accepted the request
+/// but will never answer (wedged, not dead) must not pin a router reader
+/// forever. Generous because a reload round trip builds a model.
+constexpr timeval kUpstreamRecvTimeout{30, 0};
+constexpr timeval kUpstreamSendTimeout{5, 0};
+/// Bound on reading the HTTP request line of a metrics scrape.
+constexpr timeval kMetricsRecvTimeout{2, 0};
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void append_metric(std::string& out, std::string_view name,
+                   std::string_view type, std::string_view labels,
+                   double value) {
+  if (!type.empty()) {
+    out.append("# TYPE ").append(name).append(" ").append(type).append("\n");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out.append(name);
+  if (!labels.empty()) out.append("{").append(labels).append("}");
+  out.append(" ").append(buf).append("\n");
+}
+
+std::string backend_label(const BackendAddress& addr) {
+  return "backend=\"" + addr.label() + "\"";
+}
+
+bool response_ok(const Json& doc) {
+  return doc.is_object() && doc.has("ok") && doc.at("ok").is_bool() &&
+         doc.at("ok").as_bool();
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.backends.size(),
+            std::max(1, config_.vnodes_per_backend)) {
+  if (config_.backends.empty()) {
+    throw std::runtime_error("Router: at least one backend is required");
+  }
+  const std::size_t n = config_.backends.size();
+  backend_forwards_.reserve(n);
+  backend_errors_.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    backend_forwards_.push_back(std::make_unique<Counter>());
+    backend_errors_.push_back(std::make_unique<Counter>());
+  }
+  // Optimistic start: every backend is presumed healthy until a probe or a
+  // live request says otherwise, so traffic flows before the first tick.
+  // LINT:unguarded(constructor — no reader/health thread exists yet)
+  healthy_.assign(n, 1);
+  backend_stats_.resize(n);  // LINT:unguarded(constructor — no threads yet)
+}
+
+Router::~Router() { stop(); }
+
+namespace {
+
+int listen_on(const std::string& host, int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("Router: socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("Router: invalid host '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("Router: bind/listen on " + numeric + ":" +
+                std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port = static_cast<int>(ntohs(bound.sin_port));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+void Router::start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (started_) throw std::runtime_error("Router: already started");
+  }
+  listen_fd_ = listen_on(config_.host, config_.port, bound_port_);
+  if (config_.metrics_port >= 0) {
+    try {
+      metrics_fd_ =
+          listen_on(config_.host, config_.metrics_port, bound_metrics_port_);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (metrics_fd_ >= 0) ::close(metrics_fd_);
+    metrics_fd_ = -1;
+    errno = err;
+    throw_errno("Router: pipe");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    started_ = true;
+  }
+  health_thread_ = std::thread([this] { health_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Router::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+}
+
+bool Router::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  return state_cv_.wait_for(
+      lock, timeout, [this] { return shutdown_requested_ || stopped_; });
+}
+
+void Router::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const bool was_running = started_ && !stopped_;
+    stopped_ = true;
+    if (!was_running) {
+      state_cv_.notify_all();
+      return;
+    }
+  }
+  state_cv_.notify_all();  // wakes wait() and the health thread's timer
+
+  const char wake = 1;
+  while (::write(wake_pipe_[1], &wake, 1) < 0 && errno == EINTR) {
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (metrics_fd_ >= 0) ::close(metrics_fd_);
+  metrics_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // Half-close client sockets so idle readers see EOF at once. A reader
+  // blocked on an upstream round trip finishes within the upstream
+  // recv/send timeouts — stop() is graceful, not instantaneous.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+}
+
+void Router::accept_loop() {
+  for (;;) {
+    pollfd fds[3] = {{wake_pipe_[0], POLLIN, 0},
+                     {listen_fd_, POLLIN, 0},
+                     {metrics_fd_, POLLIN, 0}};
+    // A disabled metrics listener (fd -1) is legal in poll: the slot is
+    // simply ignored.
+    const int ready = ::poll(fds, 3, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop() wrote the wake byte
+    for (int which = 1; which <= 2; ++which) {
+      if ((fds[which].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const int fd = ::accept(fds[which].fd, nullptr, nullptr);
+      if (fd < 0) continue;  // raced abort / EAGAIN: poll again
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->metrics = which == 2;
+      Connection* raw = conn.get();
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      reap_finished_connections();
+      if (raw->metrics) {
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &kMetricsRecvTimeout,
+                     sizeof(kMetricsRecvTimeout));
+        conn->thread = std::thread([this, raw] { metrics_loop(raw); });
+      } else {
+        metrics_.connections_accepted.add();
+        set_low_latency(fd);
+        conn->thread = std::thread([this, raw] { reader_loop(raw); });
+      }
+      connections_.push_back(std::move(conn));
+    }
+  }
+}
+
+void Router::reap_finished_connections() {
+  // LINT:unguarded(caller holds conn_mutex_ — the accept loop reaps while
+  // already inside its lock_guard, mirroring serve::Server)
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+    return true;
+  });
+}
+
+void Router::reader_loop(Connection* conn) {
+  using Clock = std::chrono::steady_clock;
+  // Each client connection keeps one lazily-opened socket per backend:
+  // requests on one connection are serial, so the sockets are single-owner,
+  // and a long-lived client amortizes its connects to zero.
+  std::vector<int> upstreams(config_.backends.size(), -1);
+  std::string payload;
+  std::string frame_error;
+  for (;;) {
+    const FrameStatus status = read_frame(conn->fd, payload, frame_error);
+    if (status == FrameStatus::kClosed) break;
+    if (status == FrameStatus::kError) {
+      metrics_.parse_errors.add();
+      write_frame(conn->fd,
+                  error_response(ErrorCode::kParseError, frame_error).dump());
+      break;
+    }
+    const auto start = Clock::now();
+    metrics_.requests_total.add();
+    std::string response;
+    try {
+      response = dispatch(payload, upstreams);
+    } catch (const std::exception& e) {
+      metrics_.bad_requests.add();
+      response = error_response(ErrorCode::kInternal, e.what()).dump();
+    }
+    const bool written = write_frame(conn->fd, response);
+    metrics_.route_latency.record(
+        std::chrono::duration<double>(Clock::now() - start).count());
+    if (!written) break;
+  }
+  for (int fd : upstreams) {
+    if (fd >= 0) ::close(fd);
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string Router::dispatch(const std::string& payload,
+                             std::vector<int>& upstreams) {
+  Json request;
+  try {
+    request = Json::parse(payload);
+  } catch (const support::JsonError& e) {
+    metrics_.parse_errors.add();
+    return error_response(ErrorCode::kParseError, e.what()).dump();
+  }
+  if (!request.is_object() || !request.has("type") ||
+      !request.at("type").is_string()) {
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest,
+                          "request must be an object with a \"type\" string")
+        .dump();
+  }
+  const std::string& type = request.at("type").as_string();
+  if (type == "ping") return ok_response().dump();
+  if (type == "eval") return route_eval(request, payload, upstreams);
+  if (type == "stats") {
+    Json response = stats_json();
+    response["ok"] = Json(true);
+    return response.dump();
+  }
+  if (type == "load_system" || type == "reload") {
+    return fanout(payload, upstreams);
+  }
+  if (type == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      shutdown_requested_ = true;
+    }
+    state_cv_.notify_all();
+    return ok_response().dump();
+  }
+  metrics_.bad_requests.add();
+  return error_response(ErrorCode::kBadRequest,
+                        "unknown request type '" + type + "'")
+      .dump();
+}
+
+std::uint64_t Router::routing_key(const Json& request) const {
+  const std::string system = request.get_string("system", "default");
+  std::uint64_t key = HashRing::hash_bytes(system);
+  if (config_.affinity != RouteAffinity::kPlacement) return key;
+  // Best-effort: fold in the first placement's canonical hash so one hot
+  // system spreads across backends while identical (system, placement)
+  // pairs still co-locate. Anything malformed routes on the system hash
+  // alone — the backend owns the authoritative reject.
+  try {
+    const auto& docs = request.at("placements").as_array();
+    if (docs.empty()) return key;
+    std::vector<std::vector<int>> assignment;
+    for (const auto& row : docs.front().as_array()) {
+      std::vector<int> devices;
+      for (const auto& dev : row.as_array()) {
+        const double v = dev.as_number();
+        if (v != std::floor(v) ||
+            v < static_cast<double>(std::numeric_limits<int>::min()) ||
+            v > static_cast<double>(std::numeric_limits<int>::max())) {
+          return key;
+        }
+        devices.push_back(static_cast<int>(v));
+      }
+      assignment.push_back(std::move(devices));
+    }
+    key = HashRing::mix(key,
+                        edge::Placement(std::move(assignment)).canonical_hash());
+  } catch (const std::exception&) {
+    // fall through: system-only key
+  }
+  return key;
+}
+
+std::string Router::route_eval(const Json& request, const std::string& payload,
+                               std::vector<int>& upstreams) {
+  const std::uint64_t key = routing_key(request);
+  const auto order = ring_.sequence(key);
+  std::vector<char> healthy = healthy_snapshot();
+
+  std::string response;
+  int attempts = 0;
+  for (const std::size_t b : order) {
+    if (!healthy[b]) continue;
+    if (attempts == 1) metrics_.retries.add();
+    ++attempts;
+    if (backend_roundtrip(b, payload, response, upstreams)) {
+      backend_forwards_[b]->add();
+      metrics_.evals_routed.add();
+      return response;
+    }
+    backend_errors_[b]->add();
+    mark_backend(b, false);
+    healthy[b] = 0;
+    if (attempts >= 2) break;  // original + one retry, then give up
+  }
+  metrics_.upstream_failures.add();
+  return error_response(
+             ErrorCode::kUpstreamFailed,
+             attempts == 0
+                 ? "no healthy backends"
+                 : std::to_string(attempts) + " backend(s) failed mid-request")
+      .dump();
+}
+
+std::string Router::fanout(const std::string& payload,
+                           std::vector<int>& upstreams) {
+  metrics_.fanout_requests.add();
+  Json results;
+  bool all_ok = true;
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    Json entry;
+    entry["backend"] = Json(config_.backends[b].label());
+    std::string response;
+    if (backend_roundtrip(b, payload, response, upstreams)) {
+      try {
+        Json doc = Json::parse(response);
+        all_ok = all_ok && response_ok(doc);
+        entry["response"] = std::move(doc);
+      } catch (const std::exception& e) {
+        all_ok = false;
+        entry["response"] =
+            error_response(ErrorCode::kUpstreamFailed, e.what());
+      }
+    } else {
+      backend_errors_[b]->add();
+      mark_backend(b, false);
+      all_ok = false;
+      entry["response"] = error_response(ErrorCode::kUpstreamFailed,
+                                         "backend unreachable");
+    }
+    results.push_back(std::move(entry));
+  }
+  Json response = all_ok ? ok_response()
+                         : error_response(ErrorCode::kUpstreamFailed,
+                                          "one or more backends failed");
+  response["results"] = std::move(results);
+  return response.dump();
+}
+
+int Router::connect_backend(std::size_t b) const {
+  const BackendAddress& addr = config_.backends[b];
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+  const std::string numeric =
+      addr.host == "localhost" ? "127.0.0.1" : addr.host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  // Non-blocking connect bounded by connect_timeout_ms, then back to
+  // blocking I/O with send/recv timeouts for the round trips.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa),
+                           sizeof(sa));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        std::max(1, static_cast<int>(config_.connect_timeout_ms));
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &kUpstreamRecvTimeout,
+               sizeof(kUpstreamRecvTimeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &kUpstreamSendTimeout,
+               sizeof(kUpstreamSendTimeout));
+  set_low_latency(fd);
+  return fd;
+}
+
+bool Router::backend_roundtrip(std::size_t b, const std::string& payload,
+                               std::string& response,
+                               std::vector<int>& upstreams) {
+  std::string frame_error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool cached = upstreams[b] >= 0;
+    if (!cached) {
+      upstreams[b] = connect_backend(b);
+      if (upstreams[b] < 0) return false;
+    }
+    if (write_frame(upstreams[b], payload)) {
+      const FrameStatus status =
+          read_frame(upstreams[b], response, frame_error);
+      if (status == FrameStatus::kOk) return true;
+    }
+    ::close(upstreams[b]);
+    upstreams[b] = -1;
+    // A cached socket may simply be stale (backend restarted since the
+    // last request): one transparent retry on a fresh connection. A fresh
+    // connection failing is a real backend failure.
+    if (!cached) return false;
+  }
+  return false;
+}
+
+void Router::mark_backend(std::size_t b, bool healthy_now) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  const bool was = healthy_[b] != 0;
+  if (was == healthy_now) return;
+  healthy_[b] = healthy_now ? 1 : 0;
+  if (healthy_now) {
+    metrics_.reinstatements.add();
+  } else {
+    metrics_.ejections.add();
+  }
+}
+
+void Router::set_backend_stats(std::size_t b, Json stats) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  backend_stats_[b] = std::move(stats);
+}
+
+std::vector<char> Router::healthy_snapshot() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return healthy_;
+}
+
+void Router::health_loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double, std::milli>(
+          std::max(1.0, config_.health_interval_ms)));
+  const std::string probe = [] {
+    Json request;
+    request["type"] = Json("stats");
+    return request.dump();
+  }();
+  for (;;) {
+    for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+      // Fresh connection per probe: the probe then validates the full
+      // accept -> serve path, not just an already-open socket.
+      const int fd = connect_backend(b);
+      bool alive = false;
+      if (fd >= 0) {
+        std::string response;
+        std::string frame_error;
+        if (write_frame(fd, probe) &&
+            read_frame(fd, response, frame_error) == FrameStatus::kOk) {
+          try {
+            Json doc = Json::parse(response);
+            if (response_ok(doc)) {
+              alive = true;
+              set_backend_stats(b, std::move(doc));
+            }
+          } catch (const std::exception&) {
+            // Unparseable stats: treat the backend as down.
+          }
+        }
+        ::close(fd);
+      }
+      mark_backend(b, alive);
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (state_cv_.wait_for(lock, interval, [this] { return stopped_; })) {
+      return;
+    }
+  }
+}
+
+Json Router::stats_json() const {
+  Json doc;
+  const auto count = [](const Counter& c) {
+    return Json(static_cast<double>(c.value()));
+  };
+  doc["connections_accepted"] = count(metrics_.connections_accepted);
+  doc["requests"] = count(metrics_.requests_total);
+  doc["evals_routed"] = count(metrics_.evals_routed);
+  doc["retries"] = count(metrics_.retries);
+  doc["upstream_failures"] = count(metrics_.upstream_failures);
+  doc["fanout_requests"] = count(metrics_.fanout_requests);
+  doc["parse_errors"] = count(metrics_.parse_errors);
+  doc["bad_requests"] = count(metrics_.bad_requests);
+  doc["ejections"] = count(metrics_.ejections);
+  doc["reinstatements"] = count(metrics_.reinstatements);
+  doc["metrics_scrapes"] = count(metrics_.metrics_scrapes);
+
+  const auto latency = metrics_.route_latency.snapshot();
+  Json lat;
+  lat["count"] = Json(static_cast<double>(latency.total));
+  lat["mean_s"] = Json(latency.mean());
+  lat["p50_s"] = Json(latency.quantile(0.50));
+  lat["p95_s"] = Json(latency.quantile(0.95));
+  lat["p99_s"] = Json(latency.quantile(0.99));
+  doc["route_latency"] = std::move(lat);
+
+  std::vector<char> healthy;
+  std::vector<Json> cached;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    healthy = healthy_;
+    cached = backend_stats_;
+  }
+  Json backends;
+  const std::string probe = [] {
+    Json request;
+    request["type"] = Json("stats");
+    return request.dump();
+  }();
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    Json entry;
+    entry["address"] = Json(config_.backends[b].label());
+    entry["healthy"] = Json(healthy[b] != 0);
+    entry["forwarded"] = count(*backend_forwards_[b]);
+    entry["errors"] = count(*backend_errors_[b]);
+    // Live snapshot when reachable so a stats caller (the reload test, an
+    // operator) sees the backend's *current* model section; the cached
+    // health-probe snapshot is the fallback.
+    Json stats = cached[b];
+    if (healthy[b]) {
+      const int fd = connect_backend(b);
+      if (fd >= 0) {
+        std::string response;
+        std::string frame_error;
+        if (write_frame(fd, probe) &&
+            read_frame(fd, response, frame_error) == FrameStatus::kOk) {
+          try {
+            stats = Json::parse(response);
+          } catch (const std::exception&) {
+          }
+        }
+        ::close(fd);
+      }
+    }
+    if (!stats.is_null()) entry["stats"] = std::move(stats);
+    backends.push_back(std::move(entry));
+  }
+  doc["backends"] = std::move(backends);
+  return doc;
+}
+
+std::string Router::prometheus_text() const {
+  std::string out;
+  out.reserve(4096);
+  const auto v = [](const Counter& c) {
+    return static_cast<double>(c.value());
+  };
+  append_metric(out, "chainnet_router_requests_total", "counter", "",
+                v(metrics_.requests_total));
+  append_metric(out, "chainnet_router_evals_routed_total", "counter", "",
+                v(metrics_.evals_routed));
+  append_metric(out, "chainnet_router_retries_total", "counter", "",
+                v(metrics_.retries));
+  append_metric(out, "chainnet_router_upstream_failures_total", "counter", "",
+                v(metrics_.upstream_failures));
+  append_metric(out, "chainnet_router_parse_errors_total", "counter", "",
+                v(metrics_.parse_errors));
+  append_metric(out, "chainnet_router_bad_requests_total", "counter", "",
+                v(metrics_.bad_requests));
+  append_metric(out, "chainnet_router_ejections_total", "counter", "",
+                v(metrics_.ejections));
+  append_metric(out, "chainnet_router_reinstatements_total", "counter", "",
+                v(metrics_.reinstatements));
+  append_metric(out, "chainnet_router_metrics_scrapes_total", "counter", "",
+                v(metrics_.metrics_scrapes));
+
+  const auto latency = metrics_.route_latency.snapshot();
+  out.append("# TYPE chainnet_router_latency_seconds summary\n");
+  append_metric(out, "chainnet_router_latency_seconds", "",
+                "quantile=\"0.5\"", latency.quantile(0.50));
+  append_metric(out, "chainnet_router_latency_seconds", "",
+                "quantile=\"0.95\"", latency.quantile(0.95));
+  append_metric(out, "chainnet_router_latency_seconds", "",
+                "quantile=\"0.99\"", latency.quantile(0.99));
+  append_metric(out, "chainnet_router_latency_seconds_sum", "", "",
+                latency.sum);
+  append_metric(out, "chainnet_router_latency_seconds_count", "", "",
+                static_cast<double>(latency.total));
+
+  std::vector<char> healthy;
+  std::vector<Json> cached;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    healthy = healthy_;
+    cached = backend_stats_;
+  }
+  out.append("# TYPE chainnet_router_backend_up gauge\n");
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    append_metric(out, "chainnet_router_backend_up", "",
+                  backend_label(config_.backends[b]), healthy[b] ? 1.0 : 0.0);
+  }
+  out.append("# TYPE chainnet_router_backend_forwarded_total counter\n");
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    append_metric(out, "chainnet_router_backend_forwarded_total", "",
+                  backend_label(config_.backends[b]),
+                  v(*backend_forwards_[b]));
+  }
+  out.append("# TYPE chainnet_router_backend_errors_total counter\n");
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    append_metric(out, "chainnet_router_backend_errors_total", "",
+                  backend_label(config_.backends[b]), v(*backend_errors_[b]));
+  }
+  // Backend-reported counters, aggregated from the health probes' cached
+  // stats snapshots (absent until the first successful probe).
+  struct Field {
+    const char* metric;
+    const char* type;
+    const char* key;
+  };
+  static constexpr Field kFields[] = {
+      {"chainnet_backend_requests_total", "counter", "requests"},
+      {"chainnet_backend_placements_evaluated_total", "counter",
+       "placements_evaluated"},
+      {"chainnet_backend_batches_total", "counter", "batches"},
+      {"chainnet_backend_rejects_overload_total", "counter",
+       "rejects_overload"},
+      {"chainnet_backend_deadline_drops_total", "counter", "deadline_drops"},
+      {"chainnet_backend_queue_depth", "gauge", "queue_depth"},
+  };
+  for (const Field& field : kFields) {
+    bool typed = false;
+    for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+      if (cached[b].is_null() || !cached[b].has(field.key)) continue;
+      if (!typed) {
+        out.append("# TYPE ").append(field.metric).append(" ").append(
+            field.type);
+        out.append("\n");
+        typed = true;
+      }
+      append_metric(out, field.metric, "",
+                    backend_label(config_.backends[b]),
+                    cached[b].get_number(field.key, 0.0));
+    }
+  }
+  return out;
+}
+
+void Router::metrics_loop(Connection* conn) {
+  // Best-effort HTTP: read whatever request bytes arrive (bounded by the
+  // recv timeout), answer one exposition, close. Every scraper speaks this.
+  char buf[1024];
+  while (::recv(conn->fd, buf, sizeof(buf), 0) < 0 && errno == EINTR) {
+  }
+  metrics_.metrics_scrapes.add();
+  const std::string body = prometheus_text();
+  std::string response;
+  response.reserve(body.size() + 160);
+  response.append("HTTP/1.0 200 OK\r\n");
+  response.append(
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n");
+  response.append("Content-Length: " + std::to_string(body.size()) + "\r\n");
+  response.append("Connection: close\r\n\r\n");
+  response.append(body);
+  send_all(conn->fd, response.data(), response.size());
+  // Deliver EOF now: scrapers read until close, and the fd itself is only
+  // reclaimed at the next accept-loop reap, which may be much later.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace chainnet::serve

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "edge/json_io.h"
+#include "serve/registry.h"
 
 namespace chainnet::serve {
 
@@ -340,6 +341,7 @@ Json Server::dispatch(const std::string& payload) {
     response["ok"] = Json(true);
     return response;
   }
+  if (type == "reload") return handle_reload(request);
   if (type == "load_system") {
     try {
       const std::string name = request.at("name").as_string();
@@ -361,6 +363,40 @@ Json Server::dispatch(const std::string& payload) {
   metrics_.bad_requests.add();
   return error_response(ErrorCode::kBadRequest,
                         "unknown request type '" + type + "'");
+}
+
+Json Server::handle_reload(const Json& request) {
+  if (!config_.registry) {
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest,
+                          "server was started without a model registry");
+  }
+  std::string manifest_path;
+  try {
+    manifest_path = request.at("manifest").as_string();
+  } catch (const std::exception& e) {
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest, e.what());
+  }
+  // Runs inline on this connection's reader thread: only the reloading
+  // client blocks while the new version builds; every other connection
+  // keeps evaluating against the still-active version, and the flip is a
+  // pointer swap — no request ever sees a half-loaded model.
+  try {
+    const ModelVersionInfo info = config_.registry->load(manifest_path);
+    Json response = ok_response();
+    response["version"] = Json(static_cast<double>(info.version));
+    response["checksum"] = Json(tensor::checksum_to_string(info.checksum));
+    response["state"] = Json(info.state);
+    return response;
+  } catch (const tensor::SerializeError& e) {
+    // A bad manifest or corrupt weight file is the client's problem; the
+    // previously active version is untouched.
+    metrics_.bad_requests.add();
+    return error_response(ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return error_response(ErrorCode::kInternal, e.what());
+  }
 }
 
 Json Server::handle_eval(const Json& request) {
@@ -578,6 +614,9 @@ Json Server::stats_json() const {
   if (histogram.is_null()) histogram = Json(Json::Array{});
   doc["batch_size_histogram"] = std::move(histogram);
 
+  if (config_.registry) {
+    doc["model"] = config_.registry->stats_json();
+  }
   if (config_.cache) {
     const auto stats = config_.cache->stats();
     Json cache;

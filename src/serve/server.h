@@ -38,6 +38,8 @@
 
 namespace chainnet::serve {
 
+class ModelRegistry;
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 binds an ephemeral port; see Server::port()
@@ -50,6 +52,11 @@ struct ServerConfig {
   /// Optional: the cache the evaluators share, so `stats` can report the
   /// hit rate. The server never touches it beyond reading stats().
   std::shared_ptr<runtime::EvalCache> cache;
+  /// Optional: the versioned model registry behind the evaluators. Enables
+  /// the `reload` request (zero-downtime hot swap) and the `model` section
+  /// of `stats`. The server must have been built with registry_factory
+  /// evaluators for a reload to take effect.
+  std::shared_ptr<ModelRegistry> registry;
 };
 
 class Server {
@@ -101,6 +108,7 @@ class Server {
 
   support::Json dispatch(const std::string& payload);
   support::Json handle_eval(const support::Json& request);
+  support::Json handle_reload(const support::Json& request);
   const edge::EdgeSystem* find_system(const std::string& name) const;
 
   runtime::EvalService& service_;

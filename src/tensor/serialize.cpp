@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <stdexcept>
+#include <vector>
+
+#include "support/json.h"
 
 namespace chainnet::tensor {
 
@@ -11,6 +14,8 @@ namespace {
 
 constexpr char kMagic[4] = {'C', 'N', 'W', 'T'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::string_view kManifestFormat = "chainnet-weights-manifest";
+constexpr std::string_view kChecksumPrefix = "fnv1a:";
 
 template <typename T>
 void write_pod(std::ofstream& out, T v) {
@@ -21,15 +26,33 @@ template <typename T>
 T read_pod(std::ifstream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("parameter file truncated");
+  if (!in) {
+    throw SerializeError(SerializeErrc::kTruncated, "parameter file truncated");
+  }
   return v;
 }
 
 }  // namespace
 
+std::string_view serialize_errc_name(SerializeErrc code) noexcept {
+  switch (code) {
+    case SerializeErrc::kIo: return "io_error";
+    case SerializeErrc::kBadMagic: return "bad_magic";
+    case SerializeErrc::kBadVersion: return "bad_version";
+    case SerializeErrc::kTruncated: return "truncated";
+    case SerializeErrc::kMismatch: return "parameter_mismatch";
+    case SerializeErrc::kBadManifest: return "bad_manifest";
+    case SerializeErrc::kChecksumMismatch: return "checksum_mismatch";
+  }
+  return "serialize_error";
+}
+
 void save_parameters(const Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  if (!out) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "save_parameters: cannot open " + path);
+  }
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
   const auto params = module.parameters();
@@ -43,41 +66,66 @@ void save_parameters(const Module& module, const std::string& path) {
     out.write(reinterpret_cast<const char*>(vals.data()),
               static_cast<std::streamsize>(vals.size() * sizeof(double)));
   }
-  if (!out) throw std::runtime_error("save_parameters: write failed " + path);
+  if (!out) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "save_parameters: write failed " + path);
+  }
 }
 
 void load_parameters(Module& module, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  if (!in) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "load_parameters: cannot open " + path);
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_parameters: bad magic in " + path);
+    throw SerializeError(SerializeErrc::kBadMagic,
+                         "load_parameters: bad magic in " + path);
   }
   const auto version = read_pod<std::uint32_t>(in);
   if (version != kVersion) {
-    throw std::runtime_error("load_parameters: unsupported version");
+    throw SerializeError(SerializeErrc::kBadVersion,
+                         "load_parameters: unsupported version " +
+                             std::to_string(version) + " in " + path);
   }
   const auto count = read_pod<std::uint64_t>(in);
   auto params = module.parameters();
   if (count != params.size()) {
-    throw std::runtime_error("load_parameters: parameter count mismatch");
+    throw SerializeError(SerializeErrc::kMismatch,
+                         "load_parameters: parameter count mismatch in " +
+                             path);
   }
   for (Parameter* p : params) {
     const auto name_len = read_pod<std::uint64_t>(in);
+    // An absurd length is corruption, not a parameter name; reject before
+    // the resize can balloon memory on a hostile file.
+    if (name_len > (1u << 20)) {
+      throw SerializeError(SerializeErrc::kTruncated,
+                           "load_parameters: corrupt name length in " + path);
+    }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) {
+      throw SerializeError(SerializeErrc::kTruncated,
+                           "load_parameters: truncated " + path);
+    }
     const auto rows = read_pod<std::uint64_t>(in);
     const auto cols = read_pod<std::uint64_t>(in);
     if (name != p->name || rows != p->var.shape().rows ||
         cols != p->var.shape().cols) {
-      throw std::runtime_error("load_parameters: mismatch at parameter '" +
+      throw SerializeError(SerializeErrc::kMismatch,
+                           "load_parameters: mismatch at parameter '" +
                                p->name + "' in " + path);
     }
     auto vals = p->var.mutable_value();
     in.read(reinterpret_cast<char*>(vals.data()),
             static_cast<std::streamsize>(vals.size() * sizeof(double)));
-    if (!in) throw std::runtime_error("load_parameters: truncated " + path);
+    if (!in) {
+      throw SerializeError(SerializeErrc::kTruncated,
+                           "load_parameters: truncated " + path);
+    }
   }
 }
 
@@ -87,6 +135,133 @@ bool is_parameter_file(const std::string& path) {
   char magic[4];
   in.read(magic, sizeof(magic));
   return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+std::uint64_t file_checksum(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "file_checksum: cannot open " + path);
+  }
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  std::vector<char> buffer(1 << 16);
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      hash ^= static_cast<unsigned char>(buffer[static_cast<std::size_t>(i)]);
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+std::string checksum_to_string(std::uint64_t checksum) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(kChecksumPrefix);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(digits[(checksum >> shift) & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t checksum_from_string(const std::string& text,
+                                   const std::string& path) {
+  if (text.size() != kChecksumPrefix.size() + 16 ||
+      text.compare(0, kChecksumPrefix.size(), kChecksumPrefix) != 0) {
+    throw SerializeError(SerializeErrc::kBadManifest,
+                         "manifest checksum must be 'fnv1a:<16 hex>' in " +
+                             path);
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = kChecksumPrefix.size(); i < text.size(); ++i) {
+    const char c = text[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw SerializeError(SerializeErrc::kBadManifest,
+                           "manifest checksum has a non-hex digit in " + path);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_manifest(const WeightsManifest& manifest, const std::string& path) {
+  support::Json doc;
+  doc["format"] = support::Json(std::string(kManifestFormat));
+  doc["version"] = support::Json(static_cast<double>(manifest.version));
+  doc["params"] = support::Json(manifest.params_path);
+  doc["checksum"] = support::Json(checksum_to_string(manifest.checksum));
+  support::Json model;
+  model["hidden"] = support::Json(manifest.hidden);
+  model["iterations"] = support::Json(manifest.iterations);
+  doc["model"] = std::move(model);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "save_manifest: cannot open " + path);
+  }
+  out << doc.dump(2) << "\n";
+  if (!out) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "save_manifest: write failed " + path);
+  }
+}
+
+WeightsManifest load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SerializeError(SerializeErrc::kIo,
+                         "load_manifest: cannot open " + path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  WeightsManifest manifest;
+  try {
+    const support::Json doc = support::Json::parse(text);
+    if (doc.get_string("format", "") != kManifestFormat) {
+      throw SerializeError(SerializeErrc::kBadManifest,
+                           "not a chainnet weights manifest: " + path);
+    }
+    const double version = doc.at("version").as_number();
+    if (version < 0 || version > 4294967295.0 ||
+        version != static_cast<double>(
+                       static_cast<std::uint32_t>(version))) {
+      throw SerializeError(SerializeErrc::kBadManifest,
+                           "manifest version must be a u32 in " + path);
+    }
+    manifest.version = static_cast<std::uint32_t>(version);
+    manifest.params_path = doc.at("params").as_string();
+    manifest.checksum =
+        checksum_from_string(doc.at("checksum").as_string(), path);
+    if (doc.has("model")) {
+      const auto& model = doc.at("model");
+      manifest.hidden = static_cast<int>(model.get_number("hidden", 0.0));
+      manifest.iterations =
+          static_cast<int>(model.get_number("iterations", 0.0));
+    }
+  } catch (const SerializeError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw SerializeError(SerializeErrc::kBadManifest,
+                         "load_manifest: " + std::string(e.what()) + " in " +
+                             path);
+  }
+  // Relative weight paths travel with the manifest: resolve against its
+  // directory so the (manifest, weights) pair can be moved as a unit.
+  const std::filesystem::path params(manifest.params_path);
+  if (params.is_relative()) {
+    manifest.params_path =
+        (std::filesystem::path(path).parent_path() / params).string();
+  }
+  return manifest;
 }
 
 }  // namespace chainnet::tensor

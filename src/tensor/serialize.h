@@ -1,29 +1,100 @@
-// Binary (de)serialization of module parameters. Used by the bench cache so
-// each model is trained once and reused across the table/figure drivers.
+// Binary (de)serialization of module parameters plus the weights-manifest
+// helpers the serving registry is built on. Used by the bench cache so each
+// model is trained once and reused across the table/figure drivers, and by
+// serve::ModelRegistry for zero-downtime hot swap.
 //
 // Format (little-endian):
 //   magic "CNWT" | u32 version | u64 param-count |
 //   per parameter: u64 name-len | name bytes | u64 rows | u64 cols |
 //                  rows*cols f64 values
 // Loading matches parameters by name and shape; a mismatch throws, so stale
-// caches fail loudly rather than silently corrupting a model.
+// caches fail loudly rather than silently corrupting a model. All failures
+// carry a typed SerializeErrc so callers (the registry's reload path, the
+// serving CLI) can reject hostile or stale weight files with a precise
+// error instead of a string match.
+//
+// A manifest is a small JSON document describing one model version:
+//   {"format":"chainnet-weights-manifest","version":3,
+//    "params":"weights_v3.bin","checksum":"fnv1a:deadbeefcafef00d",
+//    "model":{"hidden":32,"iterations":4}}
+// `params` is resolved relative to the manifest's directory when not
+// absolute, so a manifest and its weights can move as a unit. The checksum
+// is FNV-1a over the raw bytes of the params file.
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "tensor/nn.h"
 
 namespace chainnet::tensor {
 
-/// Writes all parameters of `module` to `path`. Throws std::runtime_error on
+/// What exactly went wrong while (de)serializing weights or manifests.
+enum class SerializeErrc {
+  kIo,                ///< cannot open / write failure
+  kBadMagic,          ///< file does not start with "CNWT"
+  kBadVersion,        ///< unsupported format version
+  kTruncated,         ///< EOF inside a record
+  kMismatch,          ///< parameter name/shape/count differs from the module
+  kBadManifest,       ///< manifest JSON malformed or missing fields
+  kChecksumMismatch,  ///< params file bytes do not match the manifest
+};
+
+std::string_view serialize_errc_name(SerializeErrc code) noexcept;
+
+/// Typed serialization failure. Derives from std::runtime_error so existing
+/// callers that catch the base keep working.
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(SerializeErrc code, const std::string& message)
+      : std::runtime_error(std::string(serialize_errc_name(code)) + ": " +
+                           message),
+        code_(code) {}
+  SerializeErrc code() const noexcept { return code_; }
+
+ private:
+  SerializeErrc code_;
+};
+
+/// Writes all parameters of `module` to `path`. Throws SerializeError on
 /// I/O failure.
 void save_parameters(const Module& module, const std::string& path);
 
 /// Loads parameters saved by save_parameters into `module`. Throws
-/// std::runtime_error on I/O failure or on any name/shape mismatch.
+/// SerializeError on I/O failure, corruption, or any name/shape mismatch.
 void load_parameters(Module& module, const std::string& path);
 
 /// True if `path` exists and starts with the serializer magic.
 bool is_parameter_file(const std::string& path);
+
+/// Streaming FNV-1a over the raw bytes of `path`. The registry pins every
+/// weight file to the checksum recorded in its manifest, so a truncated
+/// copy or a partially-written file is rejected before any parameter is
+/// parsed. Throws SerializeError(kIo) when the file cannot be read.
+std::uint64_t file_checksum(const std::string& path);
+
+/// "fnv1a:" + 16 lowercase hex digits — the wire/manifest spelling of a
+/// checksum (JSON numbers are doubles and cannot hold a u64 exactly).
+std::string checksum_to_string(std::uint64_t checksum);
+
+/// One deployable model version: where its weights live, what they hash
+/// to, and the model shape needed to instantiate them.
+struct WeightsManifest {
+  std::uint32_t version = 0;  ///< monotonically increasing release number
+  std::string params_path;    ///< absolute after load_manifest resolution
+  std::uint64_t checksum = 0; ///< file_checksum(params_path)
+  int hidden = 0;             ///< 0: use the server's configured default
+  int iterations = 0;         ///< 0: use the server's configured default
+};
+
+/// Writes the manifest as JSON. The params path is stored as given.
+void save_manifest(const WeightsManifest& manifest, const std::string& path);
+
+/// Parses a manifest; throws SerializeError(kBadManifest) on malformed
+/// documents and resolves a relative params path against the manifest's
+/// directory. Does NOT touch the params file — pair with file_checksum to
+/// verify.
+WeightsManifest load_manifest(const std::string& path);
 
 }  // namespace chainnet::tensor

@@ -1,0 +1,269 @@
+// End-to-end scale-out drill against the real CLI binary (fork/exec):
+// three `chainnet serve` backends behind one `chainnet route` front end,
+// loopback clients driving load while the test (a) hot-swaps the model to
+// v2 with zero dropped connections and (b) SIGKILLs a backend and asserts
+// clients only ever see successes or TYPED rejects — never a protocol or
+// transport error.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chainnet.h"
+#include "edge/json_io.h"
+#include "edge/problem.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "tensor/serialize.h"
+
+namespace chainnet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+core::ChainNetConfig small_config() {
+  core::ChainNetConfig config;
+  config.hidden = 8;
+  config.iterations = 1;
+  return config;
+}
+
+/// fork/exec the chainnet CLI with the given arguments; returns the pid.
+pid_t spawn_cli(const std::vector<std::string>& args) {
+  std::vector<std::string> full;
+  full.push_back(CHAINNET_CLI_BINARY);
+  full.insert(full.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  for (auto& arg : full) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Reads the first `count` integer lines from a port file written by the
+/// CLI's --port-file handshake, polling until the process has produced it.
+std::vector<int> await_ports(const std::string& path, std::size_t count,
+                             double timeout_s = 30.0) {
+  const auto give_up =
+      Clock::now() + std::chrono::duration<double>(timeout_s);
+  while (Clock::now() < give_up) {
+    std::ifstream in(path);
+    std::vector<int> ports;
+    int port = 0;
+    while (in >> port) ports.push_back(port);
+    if (ports.size() >= count) return ports;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return {};
+}
+
+bool wait_exit(pid_t pid, double timeout_s) {
+  const auto give_up =
+      Clock::now() + std::chrono::duration<double>(timeout_s);
+  while (Clock::now() < give_up) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+void reap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+std::string write_version(const std::filesystem::path& dir,
+                          std::uint32_t version, std::uint64_t seed) {
+  support::Rng rng(seed);
+  core::ChainNet model(small_config(), rng);
+  const auto params = dir / ("weights_v" + std::to_string(version) + ".bin");
+  tensor::save_parameters(model, params.string());
+  tensor::WeightsManifest manifest;
+  manifest.version = version;
+  manifest.params_path = params.filename().string();
+  manifest.checksum = tensor::file_checksum(params.string());
+  manifest.hidden = small_config().hidden;
+  manifest.iterations = small_config().iterations;
+  const auto path = dir / ("v" + std::to_string(version) + ".json");
+  tensor::save_manifest(manifest, path.string());
+  return path.string();
+}
+
+struct LoadStats {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> typed_rejects{0};
+  std::atomic<std::uint64_t> transport_errors{0};
+};
+
+TEST(RouterIntegration, KillReloadFailoverUnderLoad) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "chainnet_router_drill";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Problem + two model versions on disk.
+  support::Rng gen_rng(5);
+  const auto system = edge::generate_placement_problem(
+      edge::PlacementProblemParams::paper(13), gen_rng);
+  edge::save_json(edge::to_json(system), (dir / "sys.json").string());
+  const auto v1 = write_version(dir, 1, 11);
+  const auto v2 = write_version(dir, 2, 22);
+  const auto v2_checksum = tensor::checksum_to_string(
+      tensor::load_manifest(v2).checksum);
+
+  support::Rng placement_rng(23);
+  std::vector<edge::Placement> placements;
+  for (int i = 0; i < 16; ++i) {
+    placements.push_back(edge::random_placement(system, placement_rng));
+  }
+
+  // Three registry-backed backends, then the router in front of them.
+  std::vector<pid_t> children;
+  std::vector<int> backend_ports;
+  for (int b = 0; b < 3; ++b) {
+    const auto port_file = (dir / ("backend" + std::to_string(b))).string();
+    children.push_back(spawn_cli(
+        {"serve", "--system", (dir / "sys.json").string(), "--manifest", v1,
+         "--threads", "2", "--port-file", port_file}));
+    const auto ports = await_ports(port_file, 1);
+    ASSERT_EQ(ports.size(), 1u) << "backend " << b << " never came up";
+    backend_ports.push_back(ports.front());
+  }
+  std::string backends_flag;
+  for (const int port : backend_ports) {
+    if (!backends_flag.empty()) backends_flag += ",";
+    backends_flag += "127.0.0.1:" + std::to_string(port);
+  }
+  const auto router_ports_file = (dir / "router").string();
+  const pid_t router_pid = spawn_cli(
+      {"route", "--backends", backends_flag, "--affinity", "placement",
+       "--health-ms", "50", "--port-file", router_ports_file});
+  children.push_back(router_pid);
+  const auto router_ports = await_ports(router_ports_file, 2);
+  ASSERT_EQ(router_ports.size(), 2u) << "router never came up";
+  const int router_port = router_ports[0];
+
+  // Continuous load: placement affinity spreads these across all three
+  // backends. Every outcome must be a success or a typed ServeError.
+  std::atomic<bool> stop{false};
+  LoadStats load;
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < 4; ++c) {
+    drivers.emplace_back([&, c] {
+      std::unique_ptr<serve::Client> client;
+      std::size_t i = static_cast<std::size_t>(c) * 5;
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          if (!client) {
+            client = std::make_unique<serve::Client>("127.0.0.1",
+                                                     router_port);
+          }
+          client->evaluate_one(placements[i++ % placements.size()]);
+          load.ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::ServeError&) {
+          load.typed_rejects.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          load.transport_errors.fetch_add(1, std::memory_order_relaxed);
+          client.reset();
+        }
+      }
+    });
+  }
+  const auto warmed =
+      Clock::now() + std::chrono::milliseconds(300);
+  std::this_thread::sleep_until(warmed);
+  ASSERT_GT(load.ok.load(), 0u) << "load never got through the router";
+
+  // Phase A — hot swap to v2 while the load runs: the fanout must succeed
+  // on every backend and no client connection may drop.
+  const std::uint64_t transport_before_reload = load.transport_errors.load();
+  {
+    serve::Client admin("127.0.0.1", router_port);
+    support::Json request;
+    request["type"] = support::Json(std::string("reload"));
+    request["manifest"] = support::Json(v2);
+    const auto response = admin.call(request);
+    const auto& results = response.at("results").as_array();
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto& result : results) {
+      EXPECT_TRUE(result.at("response").at("ok").as_bool())
+          << result.at("response").dump();
+    }
+    // The router's merged stats now report v2's checksum on every backend.
+    const auto stats = admin.stats();
+    for (const auto& backend : stats.at("backends").as_array()) {
+      ASSERT_TRUE(backend.has("stats")) << backend.dump();
+      const auto& model = backend.at("stats").at("model");
+      EXPECT_EQ(model.at("active").at("checksum").as_string(), v2_checksum)
+          << backend.dump();
+    }
+  }
+  EXPECT_EQ(load.transport_errors.load(), transport_before_reload)
+      << "reload dropped client connections";
+
+  // Phase B — SIGKILL one backend under load: the router must eject it and
+  // keep serving; clients see typed rejects at worst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::uint64_t ok_before_kill = load.ok.load();
+  ::kill(children[1], SIGKILL);
+  ::waitpid(children[1], nullptr, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop.store(true);
+  for (auto& driver : drivers) driver.join();
+
+  EXPECT_EQ(load.transport_errors.load(), transport_before_reload)
+      << "backend death leaked a non-typed error to a client";
+  EXPECT_GT(load.ok.load(), ok_before_kill)
+      << "no request succeeded after the kill";
+
+  // The router noticed: the dead backend is unhealthy in its stats.
+  {
+    serve::Client admin("127.0.0.1", router_port);
+    const auto stats = admin.stats();
+    const auto& backends = stats.at("backends").as_array();
+    ASSERT_EQ(backends.size(), 3u);
+    EXPECT_FALSE(backends[1].at("healthy").as_bool());
+    EXPECT_TRUE(backends[0].at("healthy").as_bool());
+    EXPECT_TRUE(backends[2].at("healthy").as_bool());
+    EXPECT_GE(stats.at("ejections").as_number(), 1.0);
+    // Shut everything down cleanly through the protocol.
+    admin.request_shutdown();
+  }
+  EXPECT_TRUE(wait_exit(router_pid, 10.0)) << "router ignored shutdown";
+  for (const int port : {backend_ports[0], backend_ports[2]}) {
+    try {
+      serve::Client backend("127.0.0.1", port);
+      backend.request_shutdown();
+    } catch (const std::exception&) {
+    }
+  }
+  EXPECT_TRUE(wait_exit(children[0], 10.0));
+  EXPECT_TRUE(wait_exit(children[2], 10.0));
+  for (const pid_t pid : children) reap(pid);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace chainnet

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "tensor/nn.h"
 
@@ -14,6 +16,29 @@ using chainnet::support::Rng;
 
 std::string temp_path(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Runs `fn`, asserting it throws a SerializeError carrying `expected`.
+template <typename Fn>
+void expect_errc(SerializeErrc expected, Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected SerializeError "
+           << serialize_errc_name(expected);
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.code(), expected) << e.what();
+  }
 }
 
 TEST(Serialize, RoundTripRestoresValues) {
@@ -73,6 +98,108 @@ TEST(Serialize, IsParameterFile) {
   EXPECT_TRUE(is_parameter_file(path));
   EXPECT_FALSE(is_parameter_file("/nonexistent/params.bin"));
   std::remove(path.c_str());
+}
+
+// --- Typed failure modes (the registry's reject-before-parse contract) ---
+
+TEST(Serialize, TruncatedFileThrowsTyped) {
+  const auto path = temp_path("chainnet_params_truncated.bin");
+  Rng rng(1);
+  Mlp a({3, 5, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  save_parameters(a, path);
+  const auto bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 16u);
+  write_file(path, bytes.substr(0, bytes.size() / 2));
+
+  Mlp b({3, 5, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  expect_errc(SerializeErrc::kTruncated, [&] { load_parameters(b, path); });
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicThrowsTyped) {
+  const auto path = temp_path("chainnet_params_badmagic.bin");
+  write_file(path, std::string("XXXX") + std::string(64, '\0'));
+  Rng rng(1);
+  Mlp m({2, 2}, Activation::kRelu, Activation::kNone, rng);
+  expect_errc(SerializeErrc::kBadMagic, [&] { load_parameters(m, path); });
+  EXPECT_FALSE(is_parameter_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadVersionThrowsTyped) {
+  const auto path = temp_path("chainnet_params_badversion.bin");
+  Rng rng(1);
+  Mlp m({2, 2}, Activation::kRelu, Activation::kNone, rng);
+  save_parameters(m, path);
+  auto bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[4] = '\x7f';  // clobber the u32 format version after "CNWT"
+  write_file(path, bytes);
+  expect_errc(SerializeErrc::kBadVersion, [&] { load_parameters(m, path); });
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MismatchCarriesTypedCode) {
+  const auto path = temp_path("chainnet_params_typedmismatch.bin");
+  Rng rng(1);
+  Mlp a({3, 5, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  save_parameters(a, path);
+  Mlp b({3, 6, 2}, Activation::kRelu, Activation::kNone, rng, "m");
+  expect_errc(SerializeErrc::kMismatch, [&] { load_parameters(b, path); });
+  std::remove(path.c_str());
+}
+
+// --- Checksums and manifests (the registry's version identity) ---
+
+TEST(Serialize, FileChecksumIsDeterministicAndContentSensitive) {
+  const auto path = temp_path("chainnet_checksum.bin");
+  write_file(path, "hello weights");
+  const auto first = file_checksum(path);
+  EXPECT_EQ(file_checksum(path), first);
+  write_file(path, "hello weightt");
+  EXPECT_NE(file_checksum(path), first);
+  std::remove(path.c_str());
+  expect_errc(SerializeErrc::kIo, [&] { (void)file_checksum(path); });
+}
+
+TEST(Serialize, ChecksumToStringFormat) {
+  EXPECT_EQ(checksum_to_string(0), "fnv1a:0000000000000000");
+  EXPECT_EQ(checksum_to_string(0xdeadbeefcafef00dull),
+            "fnv1a:deadbeefcafef00d");
+}
+
+TEST(Serialize, ManifestRoundTripResolvesRelativePaths) {
+  const auto dir = std::filesystem::temp_directory_path() / "chainnet_mani";
+  std::filesystem::create_directories(dir);
+  const auto params = (dir / "weights_v3.bin").string();
+  write_file(params, "not real weights");
+
+  WeightsManifest manifest;
+  manifest.version = 3;
+  manifest.params_path = "weights_v3.bin";  // relative to the manifest
+  manifest.checksum = file_checksum(params);
+  manifest.hidden = 16;
+  manifest.iterations = 2;
+  const auto manifest_path = (dir / "v3.json").string();
+  save_manifest(manifest, manifest_path);
+
+  const auto loaded = load_manifest(manifest_path);
+  EXPECT_EQ(loaded.version, 3u);
+  EXPECT_EQ(loaded.params_path, params);  // resolved against the manifest dir
+  EXPECT_EQ(loaded.checksum, manifest.checksum);
+  EXPECT_EQ(loaded.hidden, 16);
+  EXPECT_EQ(loaded.iterations, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, MalformedManifestThrowsTyped) {
+  const auto path = temp_path("chainnet_manifest_bad.json");
+  write_file(path, "{\"format\":\"something-else\",\"version\":1}");
+  expect_errc(SerializeErrc::kBadManifest, [&] { (void)load_manifest(path); });
+  write_file(path, "not json at all");
+  EXPECT_THROW((void)load_manifest(path), std::runtime_error);
+  std::remove(path.c_str());
+  expect_errc(SerializeErrc::kIo, [&] { (void)load_manifest(path); });
 }
 
 }  // namespace

@@ -13,12 +13,24 @@
 //   chainnet optimize  --system s.json (--weights w.bin | --oracle sim|approx)
 //                      [--steps N] [--trials T] [--out placement.json]
 //                      [--threads N] [--cache-size N] [--batch K]
-//   chainnet serve     --system s.json (--weights w.bin | --oracle sim|approx)
-//                      [--port P] [--threads N] [--batch K] [--flush-ms W]
-//                      [--max-queue N] [--cache-size N] [--name NAME]
+//   chainnet serve     --system s.json (--weights w.bin | --manifest m.json
+//                      | --oracle sim|approx) [--port P] [--threads N]
+//                      [--batch K] [--flush-ms W] [--max-queue N]
+//                      [--cache-size N] [--name NAME] [--port-file PATH]
+//   chainnet route     --backends h:p,h:p[,...] [--port P] [--metrics-port P]
+//                      [--health-ms MS] [--vnodes V]
+//                      [--affinity system|placement] [--port-file PATH]
+//   chainnet reload    --port P [--host H] --manifest m.json [--json]
 //   chainnet query     --port P [--host H] (--stats | --ping | --shutdown |
 //                      --placement p.json [--system NAME] [--deadline-ms D])
 //                      [--json]
+//
+// serve --manifest loads weights through the versioned model registry: the
+// manifest pins the params file by checksum, and a later `reload` request
+// (the reload subcommand, pointed at a server or a router) hot-swaps to a
+// new version with zero downtime. route multiplexes eval traffic across N
+// running serve instances by consistent hashing and exposes Prometheus
+// metrics on --metrics-port.
 //
 // --threads N  fans independent SA trials out across an N-worker pool
 //              (each worker gets a private oracle with a decorrelated
@@ -35,6 +47,8 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <csignal>
+#include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -59,6 +73,8 @@
 #include "runtime/eval_service.h"
 #include "runtime/thread_pool.h"
 #include "serve/client.h"
+#include "serve/registry.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "support/json.h"
 #include "support/rng.h"
@@ -331,15 +347,28 @@ int cmd_evaluate(const Args& args) {
 struct OracleSetup {
   runtime::EvalService::EvaluatorFactory factory;  // empty on usage error
   std::shared_ptr<runtime::EvalCache> cache;
+  // Set when the oracle is a --manifest model registry (hot-swappable).
+  std::shared_ptr<serve::ModelRegistry> registry;
   // Surrogate models are parked here so they outlive their evaluators.
   std::shared_ptr<std::vector<std::unique_ptr<core::ChainNet>>> models =
       std::make_shared<std::vector<std::unique_ptr<core::ChainNet>>>();
 };
 
-OracleSetup build_oracle(const Args& args, const edge::EdgeSystem& system) {
+/// `registry_slots` > 0 enables the --manifest oracle (a versioned model
+/// registry with that many evaluation slots); pass 0 from commands that
+/// cannot hot-swap.
+OracleSetup build_oracle(const Args& args, const edge::EdgeSystem& system,
+                         int registry_slots = 0) {
   OracleSetup setup;
   const std::string oracle = args.get("oracle", "");
-  if (args.has("weights")) {
+  if (registry_slots > 0 && args.has("manifest")) {
+    setup.registry = std::make_shared<serve::ModelRegistry>(
+        model_config(args), registry_slots);
+    const auto info = setup.registry->load(args.require("manifest"));
+    std::cout << "loaded model version " << info.version << " ("
+              << tensor::checksum_to_string(info.checksum) << ")\n";
+    setup.factory = serve::registry_factory(setup.registry);
+  } else if (args.has("weights")) {
     const std::string weights = args.require("weights");
     const auto cfg = model_config(args);
     setup.factory = [models = setup.models, cfg, weights](
@@ -457,12 +486,23 @@ volatile std::sig_atomic_t g_interrupted = 0;
 
 void handle_interrupt(int) { g_interrupted = 1; }
 
+/// Writes the bound port(s), one per line, so a parent process that spawned
+/// us with --port 0 can learn where to connect (the integration tests'
+/// handshake).
+void write_port_file(const std::string& path, std::initializer_list<int> ports) {
+  std::ofstream out(path, std::ios::trunc);
+  for (int port : ports) out << port << "\n";
+  if (!out) throw std::runtime_error("cannot write port file " + path);
+}
+
 int cmd_serve(const Args& args) {
   const auto system = edge::load_system(args.require("system"));
-  auto setup = build_oracle(args, system);
+  const int threads = std::max(1, args.integer("threads", 4));
+  // EvalService builds one evaluator per pool worker plus one for the
+  // owning thread, so a registry must provide threads + 1 slots.
+  auto setup = build_oracle(args, system, threads + 1);
   if (!setup.factory) return 1;
 
-  const int threads = std::max(1, args.integer("threads", 4));
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
   runtime::ThreadPool pool(threads);
   runtime::EvalService service(pool, setup.factory, seed);
@@ -474,9 +514,13 @@ int cmd_serve(const Args& args) {
   config.max_pending =
       static_cast<std::size_t>(std::max(1, args.integer("max-queue", 1024)));
   config.cache = setup.cache;
+  config.registry = setup.registry;
   serve::Server server(service, config);
   server.add_system(args.get("name", "default"), system);
   server.start();
+  if (args.has("port-file")) {
+    write_port_file(args.require("port-file"), {server.port()});
+  }
   std::cout << "serving '" << args.get("name", "default") << "' ("
             << system.num_chains() << " chains, " << system.num_devices()
             << " devices) on port " << server.port() << " with " << threads
@@ -501,6 +545,107 @@ int cmd_serve(const Args& args) {
             << m.batches_flushed.value() << " batches); "
             << m.rejects_overload.value() << " overload rejects, "
             << m.deadline_drops.value() << " deadline drops\n";
+  return 0;
+}
+
+int cmd_route(const Args& args) {
+  serve::RouterConfig config;
+  // Repeated flags clobber in Args, so the backend list is one
+  // comma-separated value: --backends 127.0.0.1:7001,127.0.0.1:7002
+  std::string list = args.require("backends");
+  for (std::size_t start = 0; start <= list.size();) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--backends entries must be host:port (got '" << entry
+                << "')\n";
+      return 1;
+    }
+    serve::BackendAddress addr;
+    addr.host = entry.substr(0, colon);
+    addr.port = std::stoi(entry.substr(colon + 1));
+    config.backends.push_back(std::move(addr));
+  }
+  if (config.backends.empty()) {
+    std::cerr << "--backends must name at least one host:port\n";
+    return 1;
+  }
+  config.port = args.integer("port", 0);
+  config.metrics_port = args.integer("metrics-port", 0);
+  config.vnodes_per_backend = args.integer("vnodes", 128);
+  config.health_interval_ms = args.number("health-ms", 200.0);
+  const std::string affinity = args.get("affinity", "system");
+  if (affinity == "placement") {
+    config.affinity = serve::RouteAffinity::kPlacement;
+  } else if (affinity != "system") {
+    std::cerr << "--affinity must be system or placement\n";
+    return 1;
+  }
+
+  serve::Router router(config);
+  router.start();
+  if (args.has("port-file")) {
+    write_port_file(args.require("port-file"),
+                    {router.port(), router.metrics_port()});
+  }
+  std::cout << "routing across " << config.backends.size()
+            << " backends on port " << router.port();
+  if (router.metrics_port() >= 0) {
+    std::cout << " (metrics on " << router.metrics_port() << ")";
+  }
+  std::cout << "; stop with SIGINT or a {\"type\":\"shutdown\"} request\n"
+            << std::flush;
+
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+  while (!g_interrupted &&
+         !router.wait_for(std::chrono::milliseconds(200))) {
+  }
+  router.stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const auto& m = router.metrics();
+  std::cout << "routed " << m.evals_routed.value() << " evals ("
+            << m.retries.value() << " retries, "
+            << m.upstream_failures.value() << " upstream failures); "
+            << m.ejections.value() << " ejections, "
+            << m.reinstatements.value() << " reinstatements\n";
+  return 0;
+}
+
+int cmd_reload(const Args& args) {
+  serve::Client client(args.get("host", "127.0.0.1"),
+                       args.integer("port", 0));
+  Json request;
+  request["type"] = Json("reload");
+  // The path is opened by the *server* process, so it must be absolute or
+  // relative to the server's working directory.
+  request["manifest"] = Json(args.require("manifest"));
+  const Json response = client.call(request);
+  if (args.has("json")) {
+    std::cout << response.dump(2) << "\n";
+    return 0;
+  }
+  if (response.has("results")) {  // router fan-out: one entry per backend
+    for (const auto& entry : response.at("results").as_array()) {
+      const auto& backend = entry.at("response");
+      std::cout << entry.at("backend").as_string() << ": ";
+      if (backend.has("version")) {
+        std::cout << "version " << backend.at("version").as_number() << " ("
+                  << backend.get_string("checksum", "?") << ")\n";
+      } else {
+        std::cout << backend.dump() << "\n";
+      }
+    }
+    return 0;
+  }
+  std::cout << "reloaded: version " << response.get_number("version", -1.0)
+            << " (" << response.get_string("checksum", "?") << ")\n";
   return 0;
 }
 
@@ -557,10 +702,14 @@ int usage() {
          "  optimize  --system s.json [--weights w.bin | --oracle"
          " sim|approx] [--steps N] [--trials T] [--out p.json]\n"
          "            [--threads N] [--cache-size N] [--batch K]\n"
-         "  serve     --system s.json [--weights w.bin | --oracle"
-         " sim|approx] [--port P] [--threads N] [--batch K]\n"
-         "            [--flush-ms W] [--max-queue N] [--cache-size N]"
-         " [--name NAME]\n"
+         "  serve     --system s.json [--weights w.bin | --manifest m.json |"
+         " --oracle sim|approx] [--port P] [--threads N]\n"
+         "            [--batch K] [--flush-ms W] [--max-queue N]"
+         " [--cache-size N] [--name NAME] [--port-file PATH]\n"
+         "  route     --backends h:p,h:p[,...] [--port P] [--metrics-port P]"
+         " [--health-ms MS] [--vnodes V]\n"
+         "            [--affinity system|placement] [--port-file PATH]\n"
+         "  reload    --port P [--host H] --manifest m.json [--json]\n"
          "  query     --port P [--host H] (--stats | --ping | --shutdown |"
          " --placement p.json)\n"
          "            [--system NAME] [--deadline-ms D] [--json]\n";
@@ -583,6 +732,8 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "optimize") return cmd_optimize(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "reload") return cmd_reload(args);
     if (command == "query") return cmd_query(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
