@@ -1,15 +1,20 @@
 // bench_infer — surrogate inference-engine throughput (the PR-4 hot path).
 //
-// Three measurements on the paper-sized ChainNet (hidden 64, 8 iterations):
+// Four measurements on the paper-sized ChainNet (hidden 64, 8 iterations):
 //   1. single-stream forward_values placements/s, pre-fusion reference
 //      kernels vs the packed/blocked fused kernels (same weights; outputs
 //      are bit-identical, which this bench re-checks before timing);
 //   2. batched forward_values_batch aggregate placements/s for
 //      B in {1,2,4,8,16,32} over prebuilt graphs;
-//   3. end-to-end surrogate objective: pre-PR-equivalent scalar path
+//   3. compiled execution plans (PR 7): one-time plan-compile cost for the
+//      scalar and batch-32 flavors, and plan replay vs the interpreted
+//      Algorithm-2 reference walk (CHAINNET_INTERPRET's executor) at B=1
+//      and B=32 — the parity gate first re-checks replay == interpreted
+//      bit for bit;
+//   4. end-to-end surrogate objective: pre-PR-equivalent scalar path
 //      (fresh build_graph allocation + reference kernels, one placement at
 //      a time) vs the current path (graph-workspace reuse + fused kernels +
-//      one batched forward over 32 placements).
+//      one batched plan replay over 32 placements).
 //
 // Results print to stdout and are written machine-readable to
 // BENCH_infer.json (override with CHAINNET_INFER_OUT).
@@ -30,6 +35,8 @@
 #include "edge/graph.h"
 #include "edge/problem.h"
 #include "gnn/model.h"
+#include "gnn/plan.h"
+#include "gnn/plan_compiler.h"
 #include "optim/annealing.h"
 #include "optim/initial.h"
 #include "support/json.h"
@@ -141,15 +148,30 @@ int main() {
       tensor::kernels::isa());
 
   // Parity gate: fused and batched outputs must be bit-identical to the
-  // reference before any throughput number is worth reporting.
+  // reference kernels, and plan replay (which forward_values[_batch] now
+  // is) bit-identical to the interpreted Algorithm-2 walk, before any
+  // throughput number is worth reporting.
   const auto ref_out = reference.forward_values(graphs[0]);
   if (!same_outputs(ref_out, fused.forward_values(graphs[0])) ||
       !same_outputs(ref_out, fused.forward_values_batch(ptrs)[0])) {
     std::printf("PARITY FAILURE: fused/batched != reference — aborting\n");
     return 1;
   }
-  std::printf("parity: fused and batched outputs bit-identical to "
-              "reference\n\n");
+  // LINT:interpret(parity gate — replay must reproduce the reference walk)
+  const auto interp_out = fused.forward_values_interpreted(graphs[0]);
+  // LINT:interpret(parity gate — batched replay vs reference walk)
+  const auto interp_batch = fused.forward_values_batch_interpreted(ptrs);
+  bool plan_parity = same_outputs(interp_out, fused.forward_values(graphs[0]));
+  const auto replay_batch = fused.forward_values_batch(ptrs);
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    plan_parity = plan_parity && same_outputs(interp_batch[i], replay_batch[i]);
+  }
+  if (!plan_parity) {
+    std::printf("PARITY FAILURE: plan replay != interpreted — aborting\n");
+    return 1;
+  }
+  std::printf("parity: fused/batched bit-identical to reference; plan "
+              "replay bit-identical to interpreted walk\n\n");
 
   // 1. Single-stream kernels.
   const double ref_rate = time_rate(min_seconds, kBatchMax, [&] {
@@ -185,7 +207,59 @@ int main() {
   }
   const double b32_vs_b1 = b_last_rate / b1_rate;
 
-  // 3. End-to-end surrogate objective: what the optimizer actually calls.
+  // 3. Compiled execution plans: one-time compile cost per flavor, then
+  //    replay vs the interpreted reference walk. Compile time is measured
+  //    on fresh compile_plan calls (the cache path is what production
+  //    hits, but the cost being amortized is exactly this).
+  gnn::PlanShape shape;
+  shape.hidden = cfg.hidden;
+  shape.iterations = cfg.iterations;
+  shape.attention_heads = cfg.attention_heads;
+  shape.modified_outputs = cfg.modified_outputs;
+  shape.attention_aggregation = cfg.attention_aggregation;
+  const auto compile_ms = [&](int width) {
+    constexpr int kReps = 50;
+    const auto start = Clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      auto plan = gnn::compile_plan(graphs[0], shape, width);
+      (void)plan;
+    }
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+               .count() /
+           kReps;
+  };
+  const double compile_ms_b1 = compile_ms(1);
+  const double compile_ms_b32 = compile_ms(kBatchMax);
+  const double interp_rate = time_rate(min_seconds, kBatchMax, [&] {
+    // LINT:interpret(benchmark baseline — timing the reference walk)
+    for (const auto* g : ptrs) fused.forward_values_interpreted(*g);
+  });
+  const double interp_b32_rate = time_rate(min_seconds, kBatchMax, [&] {
+    // LINT:interpret(benchmark baseline — timing the reference walk)
+    fused.forward_values_batch_interpreted(ptrs);
+  });
+  const double replay_b32_rate = b_last_rate;
+  std::printf("\ncompiled plans (replay vs interpreted reference)\n");
+  std::printf("  %-34s %9.3f ms\n", "plan compile, width 1", compile_ms_b1);
+  std::printf("  %-34s %9.3f ms\n", "plan compile, width 32", compile_ms_b32);
+  std::printf("  %-34s %12.0f\n", "interpreted B=1 (placements/s)",
+              interp_rate);
+  std::printf("  %-34s %12.0f  (%.2fx)\n", "plan replay B=1 (placements/s)",
+              fused_rate, fused_rate / interp_rate);
+  std::printf("  %-34s %12.0f\n", "interpreted B=32 (placements/s)",
+              interp_b32_rate);
+  std::printf("  %-34s %12.0f  (%.2fx)\n", "plan replay B=32 (placements/s)",
+              replay_b32_rate, replay_b32_rate / interp_b32_rate);
+  // One compile pays for itself after this many replayed placements.
+  const double amortize_after =
+      (compile_ms_b32 / 1e3) /
+      (1.0 / interp_b32_rate - 1.0 / replay_b32_rate);
+  if (amortize_after > 0) {
+    std::printf("  compile amortized after ~%.0f placements at B=32\n",
+                amortize_after);
+  }
+
+  // 4. End-to-end surrogate objective: what the optimizer actually calls.
   //    Pre-PR equivalent = allocate a fresh graph per candidate and run the
   //    reference scalar kernels; current = workspace reuse + one batched
   //    fused forward.
@@ -226,6 +300,18 @@ int main() {
   doc["single_stream"] = std::move(single);
   doc["batched"] = std::move(batch_rows);
   doc["batch32_vs_batch1_speedup"] = b32_vs_b1;
+  support::Json::Object plan_sec;
+  plan_sec["compile_ms_width1"] = compile_ms_b1;
+  plan_sec["compile_ms_width32"] = compile_ms_b32;
+  plan_sec["interpreted_b1_placements_per_s"] = interp_rate;
+  plan_sec["replay_b1_placements_per_s"] = fused_rate;
+  plan_sec["replay_vs_interpret_b1_speedup"] = fused_rate / interp_rate;
+  plan_sec["interpreted_b32_placements_per_s"] = interp_b32_rate;
+  plan_sec["replay_b32_placements_per_s"] = replay_b32_rate;
+  plan_sec["replay_vs_interpret_b32_speedup"] =
+      replay_b32_rate / interp_b32_rate;
+  plan_sec["compile_amortized_after_placements_b32"] = amortize_after;
+  doc["plan"] = std::move(plan_sec);
   support::Json::Object e2e;
   e2e["prepr_scalar_placements_per_s"] = e2e_scalar;
   e2e["batched32_placements_per_s"] = e2e_batched;

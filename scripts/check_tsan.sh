@@ -12,7 +12,10 @@
 # TSan would be slow and adds no coverage. registry_test and router_test
 # join the gate because they are the concurrency-heavy scale-out paths:
 # hot-swap atomicity under a concurrent reader, and the router's health
-# thread racing request dispatch and the metrics endpoint.
+# thread racing request dispatch and the metrics endpoint. plan_test runs
+# here for the PlanCache: concurrent first lookups of one key must produce
+# exactly one compile under the shard lock, and replay through a shared
+# read-only plan must stay race-free across pool workers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +24,7 @@ cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test eval_cache_test parallel_anneal_test \
   chainnet_batch_test serve_metrics_test serve_loopback_test \
-  registry_test router_test \
+  registry_test plan_test router_test \
   chainnet_lint lint_test
 
 # chainnet_lint is single-threaded, but running lint_test here keeps the
@@ -29,7 +32,7 @@ cmake --build build-tsan -j "$(nproc)" \
 # the locks they reason about.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan \
-  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|registry|lint)_test|^router_test$' \
+  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|registry|plan|lint)_test|^router_test$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <span>
 #include <stdexcept>
 
+#include "gnn/plan.h"
 #include "tensor/kernels.h"
 #include "tensor/nn.h"
 #include "tensor/variable.h"
@@ -218,9 +220,13 @@ struct ChainNet::Impl : Module {
   }
 
   // ------------------------------------------------------------------
-  // Inference-only path: identical computation over raw buffers, no
+  // Interpreted inference path: identical computation over raw buffers, no
   // autodiff graph. Kept structurally parallel to run() above; the
-  // equivalence is pinned by ChainNetFastInference tests.
+  // equivalence is pinned by ChainNetFastInference tests. Since PR 7 this
+  // is the *reference executor*: production forwards replay a compiled
+  // plan (replay_scalar / replay_batch below), and plan_test pins replay
+  // bit-for-bit against this walk. Selected at runtime by
+  // CHAINNET_INTERPRET=1 or explicitly via forward_values_interpreted.
 
   using Vec = std::vector<double>;
 
@@ -353,7 +359,8 @@ struct ChainNet::Impl : Module {
     }
   }
 
-  std::vector<gnn::ChainValues> run_values(const PlacementGraph& g) {
+  std::vector<gnn::ChainValues> run_values_interpreted(
+      const PlacementGraph& g) {
     const auto h = static_cast<std::size_t>(config.hidden);
     const auto num_steps = static_cast<std::size_t>(g.num_fragments());
     const auto num_devices = static_cast<std::size_t>(g.num_devices());
@@ -486,12 +493,12 @@ struct ChainNet::Impl : Module {
   };
   BatchWorkspace bws_;
 
-  std::vector<std::vector<gnn::ChainValues>> run_values_batch(
+  std::vector<std::vector<gnn::ChainValues>> run_values_batch_interpreted(
       std::span<const PlacementGraph* const> graphs) {
     gnn::validate_same_system_batch(graphs);
     const std::size_t B = graphs.size();
     // Width 1 is exactly the scalar path; skip the panel bookkeeping.
-    if (B == 1) return {run_values(*graphs.front())};
+    if (B == 1) return {run_values_interpreted(*graphs.front())};
 
     const PlacementGraph& g0 = *graphs.front();
     const auto h = static_cast<std::size_t>(config.hidden);
@@ -776,7 +783,546 @@ struct ChainNet::Impl : Module {
     }
     return outputs;
   }
+
+  // ------------------------------------------------------------------
+  // Plan executor (PR 7). The interpreted walks above re-derive the op
+  // order per call; replay_scalar / replay_batch instead run a flat op
+  // list compiled once per (topology, shape, width) — see gnn/plan.h —
+  // over the same kernels, with every buffer an offset into one arena.
+  // The fragment/device panels are double-buffered across iterations
+  // (offsets baked per iteration by the compiler), which deletes the
+  // interpreted path's per-iteration snapshot copies; everything else is
+  // the identical kernel-call sequence, so replay is bit-for-bit equal to
+  // the reference executor (plan_test, bench_infer parity gate).
+
+  /// Plans resolve through this cache; EvalService / ModelRegistry inject
+  /// a shared one so all workers reuse each other's compiles.
+  std::shared_ptr<gnn::PlanCache> plan_cache_ =
+      std::make_shared<gnn::PlanCache>();
+  /// Tiny per-model memo in front of the cache: the hot loop re-evaluates
+  /// one system at a handful of widths, and the memo answers those without
+  /// taking the shard lock. FIFO, capacity kPlanMemoCap.
+  static constexpr std::size_t kPlanMemoCap = 8;
+  std::vector<std::shared_ptr<const gnn::Plan>> plan_memo_;
+
+  /// Replay-time state: the plan arena plus the placement-dependent device
+  /// geometry bound per batch replay (the same tables the interpreted
+  /// batch path rebuilds every call).
+  struct PlanExec {
+    Vec arena;
+    std::vector<int> device_offset, device_col;
+    std::vector<int> msg_step, msg_b, msg_col;
+    std::vector<BatchWorkspace::Group> groups;
+    bool any_multi = false;
+  };
+  PlanExec px_;
+
+  gnn::PlanShape plan_shape() const {
+    gnn::PlanShape shape;
+    shape.hidden = config.hidden;
+    shape.iterations = config.iterations;
+    shape.attention_heads = config.attention_heads;
+    shape.modified_outputs = config.modified_outputs;
+    shape.attention_aggregation = config.attention_aggregation;
+    return shape;
+  }
+
+  std::shared_ptr<const gnn::Plan> plan_for(const PlacementGraph& g,
+                                            int width) {
+    const gnn::PlanShape shape = plan_shape();
+    for (auto it = plan_memo_.rbegin(); it != plan_memo_.rend(); ++it) {
+      if (gnn::plan_key_matches((*it)->key, g, shape, width)) return *it;
+    }
+    auto plan = plan_cache_->lookup_or_compile(g, shape, width);
+    if (plan_memo_.size() >= kPlanMemoCap) {
+      plan_memo_.erase(plan_memo_.begin());
+    }
+    plan_memo_.push_back(plan);
+    return plan;
+  }
+
+  /// GRU step over arena spans, dispatched like gru_values.
+  void gru_span(const GruCell& cell, std::span<const double> h,
+                std::span<const double> x, std::span<double> out) {
+    if (config.fused_kernels) {
+      cell.forward_values(h, x, out, ws_.gru);
+    } else {
+      cell.forward_values_reference(h, x, out, ws_.gru);
+    }
+  }
+
+  /// f_multi over contiguous message rows (stride 2H); arithmetic mirrors
+  /// aggregate_device_messages_values line for line so replay stays
+  /// bit-identical to the reference executor.
+  void aggregate_device_messages_flat(std::span<const double> device_prev,
+                                      const double* msgs, std::size_t count,
+                                      std::span<double> out) {
+    const std::size_t two_h = out.size();
+    if (count == 1) {
+      std::copy_n(msgs, two_h, out.data());
+      return;
+    }
+    if (!config.attention_aggregation) {
+      std::fill(out.begin(), out.end(), 0.0);
+      for (std::size_t t = 0; t < count; ++t) {
+        const double* m = msgs + t * two_h;
+        for (std::size_t j = 0; j < two_h; ++j) out[j] += m[j];
+      }
+      const double inv = 1.0 / static_cast<double>(count);
+      for (auto& v : out) v *= inv;
+      return;
+    }
+    const std::size_t h = device_prev.size();
+    std::fill(out.begin(), out.end(), 0.0);
+    Vec& joint = ws_.joint;
+    Vec& act = ws_.act;
+    Vec& weights = ws_.att_weights;
+    Vec& transformed = ws_.transformed;
+    joint.resize(3 * h);
+    act.resize(h);
+    weights.resize(count);
+    transformed.resize(two_h);
+    std::copy(device_prev.begin(), device_prev.end(), joint.begin());
+    for (const auto& head : attention) {
+      for (std::size_t t = 0; t < count; ++t) {
+        const double* m = msgs + t * two_h;
+        std::copy_n(m, two_h, joint.begin() + static_cast<std::ptrdiff_t>(h));
+        matvec_values(head.w_att.value(), joint, act);
+        for (auto& v : act) v = v > 0.0 ? v : 0.2 * v;  // LeakyReLU(0.2)
+        double score = 0.0;
+        const auto alpha = head.alpha.value();
+        for (std::size_t j = 0; j < h; ++j) score += alpha[j] * act[j];
+        weights[t] = score;
+      }
+      double max_score = weights.front();
+      for (double s : weights) max_score = std::max(max_score, s);
+      double denom = 0.0;
+      for (auto& s : weights) {
+        s = std::exp(s - max_score);
+        denom += s;
+      }
+      const double head_scale = 1.0 / static_cast<double>(attention.size());
+      for (std::size_t t = 0; t < count; ++t) {
+        matvec_values(head.w_msg.value(),
+                      std::span<const double>(msgs + t * two_h, two_h),
+                      transformed);
+        const double wgt = head_scale * weights[t] / denom;
+        for (std::size_t j = 0; j < two_h; ++j) {
+          out[j] += wgt * transformed[j];
+        }
+      }
+    }
+  }
+
+  void fit_arena(std::int64_t doubles) {
+    // Grow-only: alternating widths through one model must not thrash.
+    if (px_.arena.size() < static_cast<std::size_t>(doubles)) {
+      px_.arena.resize(static_cast<std::size_t>(doubles));
+    }
+  }
+
+  std::vector<gnn::ChainValues> replay_scalar(const PlacementGraph& g) {
+    const auto plan = plan_for(g, 1);
+    const gnn::Plan& p = *plan;
+    const gnn::PlanLayout& L = p.layout;
+    const auto h = static_cast<std::size_t>(config.hidden);
+    fit_arena(p.meta.scratch_doubles);
+    double* A = px_.arena.data();
+    const std::span<double> m_c(A + L.m_c, 2 * h);
+    std::vector<gnn::ChainValues> outputs(
+        static_cast<std::size_t>(g.num_chains));
+    for (const gnn::PlanOp& op : p.ops) {
+      switch (op.kind) {
+        case gnn::PlanOpKind::kEncodeService: {
+          const std::span<double> out(A + op.out, h);
+          enc_service->forward_values(
+              g.service_features[static_cast<std::size_t>(op.a)], out);
+          apply_activation_values(out, Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kEncodeFragment: {
+          const std::span<double> out(A + op.out, h);
+          enc_fragment->forward_values(
+              g.fragment_features[static_cast<std::size_t>(op.a)], out);
+          apply_activation_values(out, Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kEncodeDevices: {
+          const auto nd = static_cast<std::size_t>(g.num_devices());
+          for (std::size_t dn = 0; dn < nd; ++dn) {
+            const std::span<double> out(A + op.out + dn * h, h);
+            enc_device->forward_values(g.device_features[dn], out);
+            apply_activation_values(out, Activation::kTanh);
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kGruChainStep: {
+          // m_c = [fragment_prev || device_prev] (eq. 6), phi_c into the
+          // step's sas row (eq. 4), then m_f reuses the bottom half and
+          // phi_f writes the fragment row of the opposite buffer (eq. 7).
+          const auto dn = static_cast<std::size_t>(
+              g.steps[static_cast<std::size_t>(op.a)].device_node);
+          std::copy_n(A + op.in1, h, m_c.data());
+          std::copy_n(A + op.aux + dn * h, h, m_c.data() + h);
+          double* sas_row =
+              A + L.sas + static_cast<std::size_t>(op.a) * h;
+          // Stage the carried chain state: for a single-step chain the
+          // carried row IS this step's sas row, and the GRU forbids
+          // h aliasing h_out.
+          std::copy_n(A + op.in0, h, A + L.hs);
+          gru_span(*phi_c, std::span<const double>(A + L.hs, h), m_c,
+                   std::span<double>(sas_row, h));
+          std::copy_n(sas_row, h, m_c.data());
+          gru_span(*phi_f, std::span<const double>(A + op.in1, h), m_c,
+                   std::span<double>(A + op.out, h));
+          break;
+        }
+        case gnn::PlanOpKind::kDevicePass: {
+          const auto nd = static_cast<std::size_t>(g.num_devices());
+          const std::span<double> m_d(A + L.m_d, 2 * h);
+          for (std::size_t dn = 0; dn < nd; ++dn) {
+            const auto& steps = g.device_node_steps[dn];
+            for (std::size_t t = 0; t < steps.size(); ++t) {
+              const auto su = static_cast<std::size_t>(steps[t]);
+              double* row = A + L.dmsgs + t * 2 * h;
+              std::copy_n(A + L.sas + su * h, h, row);
+              std::copy_n(A + op.in0 + su * h, h, row + h);
+            }
+            aggregate_device_messages_flat(
+                std::span<const double>(A + op.in1 + dn * h, h),
+                A + L.dmsgs, steps.size(), m_d);
+            gru_span(*phi_d,
+                     std::span<const double>(A + op.in1 + dn * h, h), m_d,
+                     std::span<double>(A + op.out + dn * h, h));
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kReadout: {
+          const auto iu = static_cast<std::size_t>(op.a);
+          const std::span<double> scalar(A + L.scalar_out, 1);
+          mlp_tput->forward_values(std::span<const double>(A + op.in0, h),
+                                   scalar, ws_.mlp);
+          outputs[iu].throughput = scalar[0];
+          outputs[iu].has_throughput = true;
+          double* hl = A + L.h_latency;
+          std::fill_n(hl, h, 0.0);
+          const auto& seq = p.key.topology.sequences[iu];
+          for (int s : seq) {
+            const double* f = A + op.in1 + static_cast<std::size_t>(s) * h;
+            for (std::size_t j = 0; j < h; ++j) hl[j] += f[j];
+          }
+          if (config.modified_outputs) {
+            const double inv = 1.0 / static_cast<double>(seq.size());
+            for (std::size_t j = 0; j < h; ++j) hl[j] *= inv;
+          }
+          mlp_latency->forward_values(std::span<const double>(hl, h), scalar,
+                                      ws_.mlp);
+          outputs[iu].latency = scalar[0];
+          outputs[iu].has_latency = true;
+          break;
+        }
+        default:
+          throw std::logic_error("batch op in a width-1 plan");
+      }
+    }
+    return outputs;
+  }
+
+  /// Binds the placement-dependent device geometry for a batch replay:
+  /// identical tables (and construction order) to the interpreted batch
+  /// path's per-call bookkeeping.
+  void bind_batch(std::span<const PlacementGraph* const> graphs) {
+    const std::size_t B = graphs.size();
+    const PlacementGraph& g0 = *graphs.front();
+    const auto S = static_cast<std::size_t>(g0.num_fragments());
+    px_.device_offset.resize(B + 1);
+    px_.device_offset[0] = 0;
+    for (std::size_t b = 0; b < B; ++b) {
+      px_.device_offset[b + 1] =
+          px_.device_offset[b] + graphs[b]->num_devices();
+    }
+    px_.device_col.resize(S * B);
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t s = 0; s < S; ++s) {
+        px_.device_col[s * B + b] =
+            px_.device_offset[b] + graphs[b]->steps[s].device_node;
+      }
+    }
+    const std::size_t M = S * B;
+    px_.msg_step.resize(M);
+    px_.msg_b.resize(M);
+    px_.msg_col.resize(M);
+    px_.groups.clear();
+    px_.any_multi = false;
+    int m = 0;
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& g = *graphs[b];
+      for (int dn = 0; dn < g.num_devices(); ++dn) {
+        const auto& steps = g.device_node_steps[dn];
+        px_.groups.push_back(BatchWorkspace::Group{
+            m, static_cast<int>(steps.size()), px_.device_offset[b] + dn});
+        px_.any_multi |= steps.size() > 1;
+        for (int sid : steps) {
+          px_.msg_step[static_cast<std::size_t>(m)] = sid;
+          px_.msg_b[static_cast<std::size_t>(m)] = static_cast<int>(b);
+          px_.msg_col[static_cast<std::size_t>(m)] =
+              px_.device_offset[b] + dn;
+          ++m;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<gnn::ChainValues>> replay_batch(
+      std::span<const PlacementGraph* const> graphs) {
+    const std::size_t B = graphs.size();
+    const PlacementGraph& g0 = *graphs.front();
+    const auto plan = plan_for(g0, static_cast<int>(B));
+    const gnn::Plan& p = *plan;
+    const gnn::PlanLayout& L = p.layout;
+    bind_batch(graphs);
+    const auto h = static_cast<std::size_t>(config.hidden);
+    const auto C = static_cast<std::size_t>(g0.num_chains);
+    const auto S = static_cast<std::size_t>(g0.num_fragments());
+    const std::size_t hW = h * B;
+    const auto D = static_cast<std::size_t>(px_.device_offset[B]);
+    const std::size_t M = S * B;
+    const bool use_attention = config.attention_aggregation && px_.any_multi;
+    const double head_scale = 1.0 / static_cast<double>(attention.size());
+    fit_arena(p.meta.scratch_doubles);
+    double* A = px_.arena.data();
+    std::vector<std::vector<gnn::ChainValues>> outputs(B);
+    for (std::size_t b = 0; b < B; ++b) outputs[b].resize(C);
+    for (const gnn::PlanOp& op : p.ops) {
+      switch (op.kind) {
+        case gnn::PlanOpKind::kBatchEncodeService: {
+          double* enc_in = A + L.enc_in;
+          const auto iu = static_cast<std::size_t>(op.a);
+          const std::size_t dim = g0.service_features[iu].size();
+          for (std::size_t f = 0; f < dim; ++f) {
+            for (std::size_t b = 0; b < B; ++b) {
+              enc_in[f * B + b] = graphs[b]->service_features[iu][f];
+            }
+          }
+          enc_service->forward_values_batch(enc_in, A + op.out, B);
+          apply_activation_values(std::span<double>(A + op.out, hW),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchEncodeFragment: {
+          double* enc_in = A + L.enc_in;
+          const auto su = static_cast<std::size_t>(op.a);
+          const std::size_t dim = g0.fragment_features[su].size();
+          for (std::size_t f = 0; f < dim; ++f) {
+            for (std::size_t b = 0; b < B; ++b) {
+              enc_in[f * B + b] = graphs[b]->fragment_features[su][f];
+            }
+          }
+          enc_fragment->forward_values_batch(enc_in, A + op.out, B);
+          apply_activation_values(std::span<double>(A + op.out, hW),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchEncodeDevices: {
+          double* enc_in = A + L.enc_in;
+          for (std::size_t b = 0; b < B; ++b) {
+            const auto& g = *graphs[b];
+            for (int dn = 0; dn < g.num_devices(); ++dn) {
+              const std::size_t col =
+                  static_cast<std::size_t>(px_.device_offset[b] + dn);
+              for (std::size_t f = 0; f < g.device_features[dn].size();
+                   ++f) {
+                enc_in[f * D + col] = g.device_features[dn][f];
+              }
+            }
+          }
+          enc_device->forward_values_batch(enc_in, A + op.out, D);
+          apply_activation_values(std::span<double>(A + op.out, h * D),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGruChainStep: {
+          const auto su = static_cast<std::size_t>(op.a);
+          double* m_c = A + L.m_c;
+          std::copy_n(A + op.in1, hW, m_c);
+          const int* cols = px_.device_col.data() + su * B;
+          for (std::size_t r = 0; r < h; ++r) {
+            const double* src = A + op.aux + r * D;
+            double* dst = m_c + (h + r) * B;
+            for (std::size_t b = 0; b < B; ++b) dst[b] = src[cols[b]];
+          }
+          double* sas_row = A + L.sas + su * hW;
+          // Stage the carried chain state (see replay_scalar): a
+          // single-step chain's carried panel is this sas panel, and the
+          // batched GRU forbids h aliasing h_out.
+          std::copy_n(A + op.in0, hW, A + L.hs);
+          phi_c->forward_values_batch(A + L.hs, m_c, sas_row, B, bws_.gru);
+          std::copy_n(sas_row, hW, m_c);
+          phi_f->forward_values_batch(A + op.in1, m_c, A + op.out, B,
+                                      bws_.gru);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGatherMessages: {
+          const double* sas = A + L.sas;
+          const double* fr = A + op.in0;
+          for (std::size_t r = 0; r < h; ++r) {
+            double* top = A + L.messages + r * M;
+            double* bot = A + L.messages + (h + r) * M;
+            for (std::size_t m = 0; m < M; ++m) {
+              const auto step = static_cast<std::size_t>(px_.msg_step[m]);
+              const std::size_t idx =
+                  r * B + static_cast<std::size_t>(px_.msg_b[m]);
+              top[m] = sas[step * hW + idx];
+              bot[m] = fr[step * hW + idx];
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAggregateInit: {
+          for (const BatchWorkspace::Group& grp : px_.groups) {
+            double* dst = A + L.m_d + grp.col;
+            if (grp.count == 1) {
+              const double* src = A + L.messages + grp.start;
+              for (std::size_t r = 0; r < 2 * h; ++r) dst[r * D] = src[r * M];
+            } else if (!config.attention_aggregation) {
+              const double inv = 1.0 / static_cast<double>(grp.count);
+              for (std::size_t r = 0; r < 2 * h; ++r) {
+                const double* src = A + L.messages + r * M + grp.start;
+                double acc = 0.0;
+                for (int t = 0; t < grp.count; ++t) acc += src[t];
+                dst[r * D] = acc * inv;
+              }
+            } else {
+              for (std::size_t r = 0; r < 2 * h; ++r) dst[r * D] = 0.0;
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAttentionJoints: {
+          // No multi-step device anywhere in the batch: every group was
+          // fully aggregated by the count==1 copies, skip the attention
+          // panels entirely (matches the interpreted use_attention gate).
+          if (!use_attention) break;
+          for (std::size_t r = 0; r < h; ++r) {
+            const double* src = A + op.in1 + r * D;
+            double* dst = A + L.joints + r * M;
+            for (std::size_t m = 0; m < M; ++m) {
+              dst[m] = src[px_.msg_col[m]];
+            }
+          }
+          std::copy_n(A + L.messages, 2 * h * M, A + L.joints + h * M);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAttentionHead: {
+          if (!use_attention) break;
+          const auto& head = attention[static_cast<std::size_t>(op.a)];
+          double* att_act = A + L.att_act;
+          double* scores = A + L.scores;
+          kernels::gemm(head.w_att.value().data(), nullptr, A + L.joints,
+                        att_act, h, 3 * h, M);
+          for (std::size_t j = 0; j < h * M; ++j) {
+            att_act[j] = att_act[j] > 0.0 ? att_act[j] : 0.2 * att_act[j];
+          }
+          std::fill_n(scores, M, 0.0);
+          const auto alpha = head.alpha.value();
+          for (std::size_t j = 0; j < h; ++j) {
+            const double a = alpha[j];
+            const double* row = att_act + j * M;
+            for (std::size_t m = 0; m < M; ++m) scores[m] += a * row[m];
+          }
+          kernels::gemm(head.w_msg.value().data(), nullptr, A + L.messages,
+                        A + L.transformed, 2 * h, 2 * h, M);
+          for (const BatchWorkspace::Group& grp : px_.groups) {
+            if (grp.count <= 1) continue;
+            double* sc = scores + grp.start;
+            double max_score = sc[0];
+            for (int t = 0; t < grp.count; ++t) {
+              max_score = std::max(max_score, sc[t]);
+            }
+            double denom = 0.0;
+            for (int t = 0; t < grp.count; ++t) {
+              sc[t] = std::exp(sc[t] - max_score);
+              denom += sc[t];
+            }
+            double* dst = A + L.m_d + grp.col;
+            for (int t = 0; t < grp.count; ++t) {
+              const double wgt = head_scale * sc[t] / denom;
+              const double* src = A + L.transformed + grp.start +
+                                  static_cast<std::size_t>(t);
+              for (std::size_t r = 0; r < 2 * h; ++r) {
+                dst[r * D] += wgt * src[r * M];
+              }
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGruDevice: {
+          phi_d->forward_values_batch(A + op.in0, A + L.m_d, A + op.out, D,
+                                      bws_.gru);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchReadout: {
+          const std::size_t CB = C * B;
+          double* ro_in = A + L.readout_in;
+          double* ro_out = A + L.readout_out;
+          for (std::size_t i = 0; i < C; ++i) {
+            const double* src = A + p.chain_final[i];
+            for (std::size_t r = 0; r < h; ++r) {
+              std::copy_n(src + r * B, B, ro_in + r * CB + i * B);
+            }
+          }
+          mlp_tput->forward_values_batch(ro_in, ro_out, CB, bws_.mlp);
+          for (std::size_t i = 0; i < C; ++i) {
+            for (std::size_t b = 0; b < B; ++b) {
+              outputs[b][i].throughput = ro_out[i * B + b];
+              outputs[b][i].has_throughput = true;
+            }
+          }
+          for (std::size_t i = 0; i < C; ++i) {
+            const auto& seq = p.key.topology.sequences[i];
+            for (std::size_t r = 0; r < h; ++r) {
+              double* dst = ro_in + r * CB + i * B;
+              std::fill_n(dst, B, 0.0);
+              for (int s : seq) {
+                const double* f =
+                    A + op.in1 + static_cast<std::size_t>(s) * hW + r * B;
+                for (std::size_t b = 0; b < B; ++b) dst[b] += f[b];
+              }
+              if (config.modified_outputs) {
+                const double inv = 1.0 / static_cast<double>(seq.size());
+                for (std::size_t b = 0; b < B; ++b) dst[b] *= inv;
+              }
+            }
+          }
+          mlp_latency->forward_values_batch(ro_in, ro_out, CB, bws_.mlp);
+          for (std::size_t i = 0; i < C; ++i) {
+            for (std::size_t b = 0; b < B; ++b) {
+              outputs[b][i].latency = ro_out[i * B + b];
+              outputs[b][i].has_latency = true;
+            }
+          }
+          break;
+        }
+        default:
+          throw std::logic_error("scalar op in a batched plan");
+      }
+    }
+    return outputs;
+  }
 };
+
+namespace {
+
+/// CHAINNET_INTERPRET selects the interpreted reference executor. Checked
+/// per call (not cached) so tests can flip it around individual forwards;
+/// empty and "0" mean off.
+bool interpret_env() {
+  const char* v = std::getenv("CHAINNET_INTERPRET");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
 
 ChainNet::ChainNet(const ChainNetConfig& config, Rng& rng)
     : impl_(std::make_unique<Impl>(config, rng)) {
@@ -791,12 +1337,38 @@ std::vector<ChainOutput> ChainNet::forward(const PlacementGraph& g) {
 
 std::vector<gnn::ChainValues> ChainNet::forward_values(
     const PlacementGraph& g) {
-  return impl_->run_values(g);
+  if (interpret_env()) return impl_->run_values_interpreted(g);
+  return impl_->replay_scalar(g);
 }
 
 std::vector<std::vector<gnn::ChainValues>> ChainNet::forward_values_batch(
     std::span<const PlacementGraph* const> graphs) {
-  return impl_->run_values_batch(graphs);
+  gnn::validate_same_system_batch(graphs);
+  if (interpret_env()) return impl_->run_values_batch_interpreted(graphs);
+  // Width 1 is exactly the scalar plan; skip the batch binding.
+  if (graphs.size() == 1) return {impl_->replay_scalar(*graphs.front())};
+  return impl_->replay_batch(graphs);
+}
+
+std::vector<gnn::ChainValues> ChainNet::forward_values_interpreted(
+    const PlacementGraph& g) {
+  return impl_->run_values_interpreted(g);
+}
+
+std::vector<std::vector<gnn::ChainValues>>
+ChainNet::forward_values_batch_interpreted(
+    std::span<const PlacementGraph* const> graphs) {
+  return impl_->run_values_batch_interpreted(graphs);
+}
+
+void ChainNet::set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) {
+  impl_->plan_cache_ = cache != nullptr ? std::move(cache)
+                                        : std::make_shared<gnn::PlanCache>();
+  impl_->plan_memo_.clear();
+}
+
+std::shared_ptr<gnn::PlanCache> ChainNet::plan_cache() const {
+  return impl_->plan_cache_;
 }
 
 FeatureMode ChainNet::feature_mode() const {

@@ -75,8 +75,11 @@ class ChainNet final : public gnn::GraphModel {
   std::vector<gnn::ChainOutput> forward(
       const edge::PlacementGraph& g) override;
   /// Allocation-light inference path (no autodiff graph); used by the
-  /// surrogate optimizer's hot loop. Matches forward() numerically — see
-  /// the ChainNetFastInference tests.
+  /// surrogate optimizer's hot loop. Replays a compiled execution plan
+  /// (gnn/plan.h) resolved through the installed PlanCache; set
+  /// CHAINNET_INTERPRET=1 to dispatch to the interpreted reference walk
+  /// instead. Matches forward() numerically — see the ChainNetFastInference
+  /// tests — and the interpreted walk bit for bit (plan_test).
   std::vector<gnn::ChainValues> forward_values(
       const edge::PlacementGraph& g) override;
   /// Lock-stepped batched inference over B placements of the same system:
@@ -84,9 +87,27 @@ class ChainNet final : public gnn::GraphModel {
   /// Algorithm 2 is one GEMM with B columns, attention is scored across
   /// all device messages of the whole batch at once, and the readout MLPs
   /// run over C*B columns. Column b is bit-identical to forward_values on
-  /// graphs[b] (pinned by chainnet_batch_test).
+  /// graphs[b] (pinned by chainnet_batch_test). Replays the width-B
+  /// compiled plan; CHAINNET_INTERPRET=1 selects the interpreted walk.
   std::vector<std::vector<gnn::ChainValues>> forward_values_batch(
       std::span<const edge::PlacementGraph* const> graphs) override;
+
+  /// Reference executor: the interpreted Algorithm-2 graph walk the plans
+  /// are compiled from. Kept public so the parity gates (plan_test,
+  /// bench_infer) can cross-check replay against it explicitly; production
+  /// callers go through forward_values[_batch] (lint rule
+  /// R7-plan-discipline).
+  std::vector<gnn::ChainValues> forward_values_interpreted(
+      const edge::PlacementGraph& g);
+  std::vector<std::vector<gnn::ChainValues>> forward_values_batch_interpreted(
+      std::span<const edge::PlacementGraph* const> graphs);
+
+  /// Swaps in a shared plan cache (nullptr restores a private one). The
+  /// per-model plan memo is dropped so subsequent forwards resolve through
+  /// the new cache.
+  void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) override;
+  std::shared_ptr<gnn::PlanCache> plan_cache() const override;
+
   edge::FeatureMode feature_mode() const override;
   bool ratio_outputs() const override;
   std::string name() const override;

@@ -4,6 +4,7 @@
 // optimization program of §VII plugs into its search loop.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,14 @@ class Surrogate {
   void total_throughput_batch(const edge::EdgeSystem& system,
                               std::span<const edge::Placement> placements,
                               std::span<double> out) const;
+
+  /// Routes a shared compiled-plan cache to the wrapped model (no-op for
+  /// models without a compiled executor). The surrogate itself keys plans
+  /// implicitly: its GraphWorkspace rebuilds graphs of one system, and the
+  /// model resolves the plan for that topology through this cache.
+  void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) const {
+    model_->set_plan_cache(std::move(cache));
+  }
 
   gnn::GraphModel& model() const { return *model_; }
 

@@ -7,6 +7,7 @@
 // and physical space so training and evaluation share one code path.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -46,6 +47,8 @@ class MixedBatchError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+class PlanCache;
+
 class GraphModel : public tensor::Module {
  public:
   /// Runs the model on one placement graph; returns one output per chain.
@@ -67,6 +70,18 @@ class GraphModel : public tensor::Module {
   /// single GEMMs with B columns.
   virtual std::vector<std::vector<ChainValues>> forward_values_batch(
       std::span<const edge::PlacementGraph* const> graphs);
+
+  /// Installs a shared compiled-plan cache (plan.h) so every model behind
+  /// one evaluator fleet resolves execution plans through the same store.
+  /// Plans are weight-independent, so sharing is safe across model
+  /// instances and weight versions. Default: no-op — models without a
+  /// compiled executor (the GIN/GAT baselines) ignore it.
+  virtual void set_plan_cache(std::shared_ptr<PlanCache> cache) {
+    (void)cache;
+  }
+  /// The cache this model resolves plans through; nullptr for models
+  /// without a compiled executor.
+  virtual std::shared_ptr<PlanCache> plan_cache() const { return nullptr; }
 
   /// Feature variant this model consumes (Table II "md" vs "ori").
   virtual edge::FeatureMode feature_mode() const = 0;

@@ -103,6 +103,14 @@ SaResult anneal_trials_parallel(const edge::EdgeSystem& system,
 /// oracle's value depends only on the placement (fixed-seed simulation,
 /// approximation, surrogate); trajectory/evaluation semantics match
 /// anneal() with pool_size evaluations per step.
+///
+/// Plan-cache behavior: when the service's evaluators replay compiled
+/// execution plans (surrogate oracles), the first step of a run compiles at
+/// most two plans — width pool_size and width 1 — through the service's
+/// shared gnn::PlanCache; every subsequent step of this run, and every
+/// other run over the same system topology, replays them. Placement
+/// mutations never recompile (plans are keyed on topology + model shape +
+/// batch width, not on where fragments sit).
 SaResult anneal_batched(const edge::EdgeSystem& system,
                         const edge::Placement& initial,
                         runtime::EvalService& service, const SaConfig& config,

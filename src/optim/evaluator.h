@@ -53,6 +53,13 @@ class PlacementEvaluator {
   /// separately — so aggregating this across workers counts real work only.
   std::uint64_t evaluations() const noexcept { return evaluations_; }
 
+  /// Installs a shared compiled-plan cache (gnn/plan.h) on whatever model
+  /// this oracle evaluates with. Default no-op: simulation / approximation
+  /// oracles have no plans. Decorators forward to their inner oracle.
+  virtual void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) {
+    (void)cache;
+  }
+
  protected:
   /// Overflow-safe accounting bump for implementations.
   void record_evaluation() noexcept {
@@ -91,6 +98,10 @@ class SurrogateEvaluator final : public PlacementEvaluator {
   void total_throughput_batch(const edge::EdgeSystem& system,
                               std::span<const edge::Placement> placements,
                               std::span<double> out) override;
+
+  void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) override {
+    surrogate_.set_plan_cache(std::move(cache));
+  }
 
  private:
   core::Surrogate surrogate_;

@@ -111,6 +111,12 @@ class CachedEvaluator final : public optim::PlacementEvaluator {
                               std::span<const edge::Placement> placements,
                               std::span<double> out) override;
 
+  /// Decorator passthrough: the plan cache belongs to the inner oracle's
+  /// model, not to the score cache.
+  void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) override {
+    inner_->set_plan_cache(std::move(cache));
+  }
+
   std::uint64_t cache_hits() const noexcept { return hits_; }
   optim::PlacementEvaluator& inner() noexcept { return *inner_; }
   const std::shared_ptr<EvalCache>& cache() const noexcept { return cache_; }

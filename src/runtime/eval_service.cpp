@@ -5,13 +5,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gnn/plan.h"
 #include "tensor/tape.h"
 
 namespace chainnet::runtime {
 
 EvalService::EvalService(ThreadPool& pool, EvaluatorFactory factory,
                          std::uint64_t base_seed)
-    : pool_(pool), factory_(std::move(factory)) {
+    : pool_(pool),
+      factory_(std::move(factory)),
+      plan_cache_(std::make_shared<gnn::PlanCache>()) {
   if (!factory_) throw std::invalid_argument("EvalService: null factory");
   const int slots = pool_.size() + 1;  // workers + the owning thread
   evaluators_.reserve(static_cast<std::size_t>(slots));
@@ -20,6 +23,9 @@ EvalService::EvalService(ThreadPool& pool, EvaluatorFactory factory,
     if (!evaluator) {
       throw std::invalid_argument("EvalService: factory returned null");
     }
+    // All workers resolve compiled plans through one shared cache; the
+    // injection is a no-op for oracles without a plan-replaying model.
+    evaluator->set_plan_cache(plan_cache_);
     evaluators_.push_back(std::move(evaluator));
   }
 }

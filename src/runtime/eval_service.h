@@ -32,6 +32,10 @@
 #include "runtime/thread_pool.h"
 #include "support/rng.h"
 
+namespace chainnet::gnn {
+class PlanCache;
+}  // namespace chainnet::gnn
+
 namespace chainnet::runtime {
 
 class EvalService {
@@ -78,11 +82,21 @@ class EvalService {
   ThreadPool& pool() noexcept { return pool_; }
   int worker_count() const noexcept { return pool_.size(); }
 
+  /// The compiled-plan cache shared by every evaluator of this service:
+  /// worker k's first forward on a new system compiles the plan once, and
+  /// every other worker replays it (plans are immutable after compile, so
+  /// the sharing is read-only — no hot-path locks beyond the cache's own
+  /// shard mutex on lookup misses).
+  const std::shared_ptr<gnn::PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
  private:
   ThreadPool& pool_;
   EvaluatorFactory factory_;  // kept alive: factories may own shared state
   /// Index 0..size-1: pool workers; index size: the owning thread.
   std::vector<std::unique_ptr<optim::PlacementEvaluator>> evaluators_;
+  std::shared_ptr<gnn::PlanCache> plan_cache_;
 };
 
 }  // namespace chainnet::runtime

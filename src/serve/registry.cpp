@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gnn/plan.h"
 #include "support/rng.h"
 
 namespace chainnet::serve {
@@ -12,10 +13,12 @@ using tensor::SerializeErrc;
 using tensor::SerializeError;
 
 ModelVersion::ModelVersion(tensor::WeightsManifest manifest,
-                           core::ChainNetConfig config, int slots)
+                           core::ChainNetConfig config, int slots,
+                           std::shared_ptr<gnn::PlanCache> plan_cache)
     : manifest_(std::move(manifest)),
       config_(config),
       slots_(std::max(1, slots)),
+      plan_cache_(std::move(plan_cache)),
       ready_(ready_promise_.get_future().share()),
       host_([this] { host_main(); }) {}
 
@@ -41,6 +44,9 @@ void ModelVersion::host_main() {
       support::Rng init_rng(1);
       auto model = std::make_unique<core::ChainNet>(config_, init_rng);
       tensor::load_parameters(*model, manifest_.params_path);
+      // Registry-lifetime cache: plans compiled by any earlier version are
+      // replayed verbatim by this one — hot swaps change weights, not plans.
+      if (plan_cache_ != nullptr) model->set_plan_cache(plan_cache_);
       surrogates_.push_back(std::make_unique<core::Surrogate>(*model));
       models_.push_back(std::move(model));
     }
@@ -72,7 +78,9 @@ const core::Surrogate& ModelVersion::surrogate(int slot) const {
 }
 
 ModelRegistry::ModelRegistry(core::ChainNetConfig defaults, int slots)
-    : defaults_(defaults), slots_(std::max(1, slots)) {}
+    : defaults_(defaults),
+      slots_(std::max(1, slots)),
+      plan_cache_(std::make_shared<gnn::PlanCache>()) {}
 
 ModelVersionInfo ModelRegistry::load(const std::string& manifest_path) {
   // One load at a time: concurrent reloads would race on "who becomes
@@ -102,7 +110,8 @@ ModelVersionInfo ModelRegistry::load(const std::string& manifest_path) {
     records_.push_back(Record{manifest, "loading", {}});
   }
 
-  auto version = std::make_shared<ModelVersion>(manifest, config, slots_);
+  auto version =
+      std::make_shared<ModelVersion>(manifest, config, slots_, plan_cache_);
   try {
     version->wait_ready();
   } catch (...) {
@@ -193,6 +202,14 @@ support::Json ModelRegistry::stats_json() const {
   }
   if (rows.is_null()) rows = support::Json(support::Json::Array{});
   doc["versions"] = std::move(rows);
+  const gnn::PlanCache::Stats plans = plan_cache_->stats();
+  support::Json plan_stats;
+  plan_stats["hits"] = support::Json(static_cast<double>(plans.hits));
+  plan_stats["compiles"] = support::Json(static_cast<double>(plans.compiles));
+  plan_stats["evictions"] =
+      support::Json(static_cast<double>(plans.evictions));
+  plan_stats["entries"] = support::Json(static_cast<double>(plans.entries));
+  doc["plan_cache"] = std::move(plan_stats);
   return doc;
 }
 

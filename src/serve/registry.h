@@ -65,9 +65,12 @@ class ModelVersion {
  public:
   /// Starts the host thread, which builds the models and loads `manifest`'s
   /// params into each. Construction returns immediately; wait_ready()
-  /// blocks for the outcome.
+  /// blocks for the outcome. `plan_cache` (may be null) is installed on
+  /// every slot's model: plans are weight-independent, so the registry
+  /// passes one cache to every version it ever loads and a hot swap never
+  /// recompiles a plan — only a topology change does.
   ModelVersion(tensor::WeightsManifest manifest, core::ChainNetConfig config,
-               int slots);
+               int slots, std::shared_ptr<gnn::PlanCache> plan_cache = {});
   ~ModelVersion();  // signals retirement, joins the host thread
 
   ModelVersion(const ModelVersion&) = delete;
@@ -92,6 +95,7 @@ class ModelVersion {
   tensor::WeightsManifest manifest_;
   core::ChainNetConfig config_;
   int slots_;
+  std::shared_ptr<gnn::PlanCache> plan_cache_;
 
   // Written by the host thread before ready_ resolves; the promise/future
   // pair publishes them to every reader (wait_ready happens-before use).
@@ -134,10 +138,19 @@ class ModelRegistry {
   /// Every version ever loaded, oldest first, with live states.
   std::vector<ModelVersionInfo> versions() const;
 
-  /// The `model` section of the server's stats response.
+  /// The `model` section of the server's stats response (includes the
+  /// plan-cache counters, which make hot-swap plan survival observable:
+  /// `compiles` stays flat across reloads while `hits` keeps growing).
   support::Json stats_json() const;
 
   int slots() const noexcept { return slots_; }
+
+  /// The registry-lifetime compiled-plan cache shared by every version's
+  /// models. Created at construction and immutable thereafter (safe to
+  /// read without mutex_); this is what makes plans survive hot swaps.
+  const std::shared_ptr<gnn::PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
 
  private:
   struct Record {
@@ -150,6 +163,7 @@ class ModelRegistry {
 
   core::ChainNetConfig defaults_;
   int slots_;
+  std::shared_ptr<gnn::PlanCache> plan_cache_;  ///< immutable after ctor
 
   mutable std::mutex mutex_;
   std::shared_ptr<const ModelVersion> active_;  // GUARDED_BY(mutex_)
@@ -171,6 +185,12 @@ class RegistryEvaluator final : public optim::PlacementEvaluator {
   void total_throughput_batch(const edge::EdgeSystem& system,
                               std::span<const edge::Placement> placements,
                               std::span<double> out) override;
+
+  // set_plan_cache deliberately keeps the inherited no-op: the models this
+  // adapter evaluates with belong to ModelVersions, which already share the
+  // registry's own cache — versions loaded *before* an EvalService existed
+  // would never see a service-injected cache, so the registry is the one
+  // authoritative owner on the serving path.
 
  private:
   std::shared_ptr<const ModelVersion> pinned_active() const;

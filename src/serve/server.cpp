@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "edge/json_io.h"
+#include "gnn/plan.h"
 #include "serve/registry.h"
 
 namespace chainnet::serve {
@@ -616,6 +617,19 @@ Json Server::stats_json() const {
 
   if (config_.registry) {
     doc["model"] = config_.registry->stats_json();
+  }
+  // Compiled-plan cache counters: the registry's cache when one is serving
+  // (hot swaps share it across versions), else the eval service's own.
+  {
+    const auto& plans = config_.registry ? config_.registry->plan_cache()
+                                         : service_.plan_cache();
+    const gnn::PlanCache::Stats stats = plans->stats();
+    Json cache;
+    cache["hits"] = Json(static_cast<double>(stats.hits));
+    cache["compiles"] = Json(static_cast<double>(stats.compiles));
+    cache["entries"] = Json(static_cast<double>(stats.entries));
+    cache["evictions"] = Json(static_cast<double>(stats.evictions));
+    doc["plan_cache"] = std::move(cache);
   }
   if (config_.cache) {
     const auto stats = config_.cache->stats();

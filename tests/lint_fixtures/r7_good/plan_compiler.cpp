@@ -1,0 +1,12 @@
+// R7 good: the plan compiler and the reference executor (stems
+// "plan_compiler" and "chainnet") are the sanctioned homes of the
+// interpreted walk — no waiver needed there. Plan replay itself
+// (forward_values / forward_values_batch) is always fine.
+Plan compile(Model& model, const Graph& g) {
+  const auto reference = model.forward_values_interpreted(g);
+  return plan_from(reference);
+}
+
+double replay(Model& model, const Graph& g) {
+  return model.forward_values(g).front().throughput;
+}

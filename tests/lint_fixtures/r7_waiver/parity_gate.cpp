@@ -1,0 +1,9 @@
+// R7 waiver: parity harnesses legitimately run both executors and compare
+// bit-for-bit; the waiver names that purpose.
+bool parity(Model& model, const Graph& g) {
+  const auto replayed = model.forward_values(g);
+  // LINT:interpret(parity gate — compares plan replay against the
+  // reference executor bit-for-bit)
+  const auto reference = model.forward_values_interpreted(g);
+  return replayed == reference;
+}

@@ -1,4 +1,4 @@
-// Contract tests for chainnet_lint (tools/lint): every rule R1-R6 has a
+// Contract tests for chainnet_lint (tools/lint): every rule R1-R7 has a
 // passing and a failing fixture under tests/lint_fixtures/, the failing one
 // asserted down to rule id and line; waiver fixtures prove the escape
 // hatches (// LINT:manual-lock, // LINT:unguarded, // LINT:allocator) work;
@@ -150,6 +150,24 @@ TEST(LintTest, R6AllocatorTagExemptsArenaInternals) {
   expect_clean("r6_allocator");
 }
 
+TEST(LintTest, R7GoodAcceptsCompilerAndReferenceStems) {
+  expect_clean("r7_good");
+}
+
+TEST(LintTest, R7BadFlagsInterpretedCallsOutsideSanctionedFiles) {
+  const LintRun run = run_lint(fixture("r7_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 2) << run.output;
+  EXPECT_NE(run.output.find("hotpath.cpp:5: R7-plan-discipline"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("hotpath.cpp:10: R7-plan-discipline"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R7WaiverAcceptsParityGateUse) { expect_clean("r7_waiver"); }
+
 // The linter must hold itself to the contracts it enforces.
 TEST(LintTest, SelfCheckLinterSourceIsClean) {
   const LintRun run = run_lint(std::string(CHAINNET_LINT_SELF_DIR));
@@ -163,7 +181,7 @@ TEST(LintTest, WholeCorpusIsDeterministic) {
   const LintRun b = run_lint(fixture(""));
   EXPECT_EQ(a.exit_code, 1);
   EXPECT_EQ(a.output, b.output);
-  EXPECT_EQ(count_findings(a.output), 11) << a.output;
+  EXPECT_EQ(count_findings(a.output), 13) << a.output;
 }
 
 TEST(LintTest, MissingPathIsUsageError) {

@@ -3,6 +3,8 @@
 //   chainnet generate  --kind type1|type2|problem [--devices D] [--seed S]
 //                      --system out.json [--placement out.json]
 //   chainnet initial   --system s.json --out placement.json
+//   chainnet plan      --dump s.json [--width B] [--hidden H]
+//                      [--iterations N]
 //   chainnet simulate  --system s.json --placement p.json
 //                      [--horizon H] [--seed S] [--json]
 //   chainnet approx    --system s.json --placement p.json [--json]
@@ -62,6 +64,7 @@
 #include "edge/qn_mapping.h"
 #include "gnn/dataset.h"
 #include "gnn/metrics.h"
+#include "gnn/plan_compiler.h"
 #include "gnn/trainer.h"
 #include "optim/annealing.h"
 #include "optim/evaluator.h"
@@ -218,6 +221,34 @@ int cmd_initial(const Args& args) {
   std::cout << "wrote ranking-score initial placement ("
             << placement.used_devices().size() << " devices used) to "
             << args.require("out") << "\n";
+  return 0;
+}
+
+// `plan --dump`: compile the execution plan for a system's topology and
+// print the op list — one line per op with kind and pre-resolved scratch
+// offsets, headed by the arena size in doubles/bytes. Plans depend only on
+// topology + model shape + batch width, so any valid placement (the
+// ranking-score initial one here) yields the same plan.
+int cmd_plan(const Args& args) {
+  if (!args.has("dump")) {
+    std::cerr << "plan needs --dump <system.json>\n";
+    return 1;
+  }
+  const auto system = edge::load_system(args.require("dump"));
+  const auto placement = optim::initial_placement(system);
+  const core::ChainNetConfig cfg = model_config(args);
+  const auto graph = edge::build_graph(
+      system, placement,
+      cfg.modified_inputs ? edge::FeatureMode::kModified
+                          : edge::FeatureMode::kOriginal);
+  gnn::PlanShape shape;
+  shape.hidden = cfg.hidden;
+  shape.iterations = cfg.iterations;
+  shape.attention_heads = cfg.attention_heads;
+  shape.modified_outputs = cfg.modified_outputs;
+  shape.attention_aggregation = cfg.attention_aggregation;
+  const auto plan = gnn::compile_plan(graph, shape, args.integer("width", 1));
+  std::cout << plan->dump();
   return 0;
 }
 
@@ -691,6 +722,8 @@ int usage() {
          "  generate  --kind type1|type2|problem|casestudy --system out.json"
          " [--placement out.json] [--devices D] [--seed S]\n"
          "  initial   --system s.json --out p.json\n"
+         "  plan      --dump s.json [--width B] [--hidden H]"
+         " [--iterations N]\n"
          "  simulate  --system s.json --placement p.json [--horizon H]"
          " [--seed S] [--json]\n"
          "  approx    --system s.json --placement p.json [--json]\n"
@@ -725,6 +758,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "initial") return cmd_initial(args);
+    if (command == "plan") return cmd_plan(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "approx") return cmd_approx(args);
     if (command == "train") return cmd_train(args);

@@ -31,7 +31,7 @@ int usage() {
   std::cerr << "usage: chainnet_lint <file-or-dir>...\n"
             << "rules: R1-lock-discipline R2-guarded-member "
                "R3-relaxed-atomic R4-tape-frame R5-kernel-routing "
-               "R6-allocation (see DESIGN.md §11)\n";
+               "R6-allocation R7-plan-discipline (see DESIGN.md §11)\n";
   return 2;
 }
 

@@ -27,6 +27,25 @@ const std::set<std::string>& tensor_private_symbols() {
   return kSymbols;
 }
 
+// R7: entry points of the interpreted Algorithm-2 graph walk. Production
+// forwards replay compiled plans (gnn/plan.h); the walk survives only as
+// the parity reference, so calls are confined to the reference executor
+// and the plan compiler.
+const std::set<std::string>& interpret_entry_points() {
+  static const std::set<std::string> kEntryPoints = {
+      "forward_values_interpreted", "forward_values_batch_interpreted",
+      "run_values_interpreted", "run_values_batch_interpreted"};
+  return kEntryPoints;
+}
+
+/// File stems allowed to touch the interpreted walk: chainnet.{h,cpp}
+/// (declares the entry points and hosts the reference executor) and
+/// plan_compiler.{h,cpp} (walks topology at compile time).
+const std::set<std::string>& interpret_allowed_stems() {
+  static const std::set<std::string> kStems = {"chainnet", "plan_compiler"};
+  return kStems;
+}
+
 const std::set<std::string>& malloc_family() {
   static const std::set<std::string> kFns = {
       "malloc", "calloc", "realloc", "aligned_alloc", "free", "strdup"};
@@ -416,6 +435,21 @@ void Linter::check_file(const FileInfo& info,
                      "'" + id +
                          "()' is forbidden outside the arena internals; use "
                          "standard containers or a tape arena"});
+      continue;
+    }
+
+    // --- R7: interpreted graph walks are reference/compiler-only. -------
+    if (interpret_entry_points().count(id) != 0 && next == "(" &&
+        interpret_allowed_stems().count(stem_of(path)) == 0) {
+      if (!waived(info, t.line, "interpret")) {
+        out.push_back(
+            {path, t.line, "R7-plan-discipline",
+             "'" + id +
+                 "()' walks the graph interpretively; production forwards "
+                 "replay compiled plans — call forward_values/"
+                 "forward_values_batch, or waive a parity or debug use "
+                 "with // LINT:interpret(why)"});
+      }
       continue;
     }
 

@@ -16,6 +16,11 @@
 //                        kernels_dispatch.h are private to src/tensor/
 //   R6-allocation        naked new / malloc-family calls are forbidden
 //                        outside files tagged // LINT:allocator (the arenas)
+//   R7-plan-discipline   the interpreted Algorithm-2 entry points
+//                        (forward_values_interpreted and friends) may only
+//                        be called from chainnet.{h,cpp} (the reference
+//                        executor) and plan_compiler.{h,cpp};
+//                        // LINT:interpret(why) waives parity/debug uses
 //
 // The engine is lexical by design: scopes are brace scopes, "holds the
 // mutex" means "a guard naming that mutex was constructed in an enclosing
