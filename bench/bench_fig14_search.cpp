@@ -71,14 +71,16 @@ int main() {
     // Baseline: one simulation-driven trial; its duration is the budget.
     optim::SimulationEvaluator sim_eval(
         bench::search_sim_config(sys, 77 + p));
-    const auto sim_result = optim::anneal(sys, initial, sim_eval, sa);
+    bench::EvaluatorSaOptimizer sim_opt(sim_eval, sa);
+    const auto sim_result = sim_opt.run(sys, initial, sa.seed);
     const double budget = sim_result.seconds;
     budgets.add(budget);
 
     // ChainNet: as many trials as fit in the same wall-clock budget.
     optim::SurrogateEvaluator cn_eval(surrogate);
+    bench::EvaluatorSaOptimizer cn_opt(cn_eval, sa);
     const auto cn_result =
-        optim::anneal_for(sys, initial, cn_eval, sa, budget);
+        search::run_for(cn_opt, sys, initial, sa.seed, budget);
 
     // Post-processing: reference-simulate final decisions.
     const double x_sim =
@@ -130,8 +132,9 @@ int main() {
       optim::SurrogateEvaluator eval(surrogate);
       optim::SaConfig sa;
       sa.max_steps = sc.sa_steps;
-      sa.seed = 1000 + static_cast<std::uint64_t>(t);
-      trials.push_back(optim::anneal(sys, initial, eval, sa));
+      bench::EvaluatorSaOptimizer opt(eval, sa);
+      trials.push_back(
+          opt.run(sys, initial, 1000 + static_cast<std::uint64_t>(t)));
     }
     for (int s = 0; s <= sc.sa_steps; s += std::max(1, sc.sa_steps / 10)) {
       std::vector<std::string> row = {std::to_string(s)};

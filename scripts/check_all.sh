@@ -52,6 +52,17 @@ CHAINNET_INFER_OUT=build/BENCH_infer_smoke.json \
   ./build/bench/bench_infer
 
 echo
+echo "== bench_search smoke (population-search harness) =="
+# A tiny fixed-wall-clock run of the src/search/ harness on the
+# training-free approximation oracle: exercises every optimizer end to end
+# (batch feeding, plan discipline, diagnostics) without training a model.
+CHAINNET_SEARCH_SECONDS=0.1 \
+CHAINNET_SEARCH_ORACLE=approx \
+CHAINNET_SEARCH_PROBLEMS=1 \
+CHAINNET_SEARCH_OUT=build/BENCH_search_smoke.json \
+  ./build/bench/bench_search
+
+echo
 echo "== tier 2: AddressSanitizer + UBSan =="
 scripts/check_asan.sh "$@"
 

@@ -26,7 +26,7 @@ cmake --build build-asan -j "$(nproc)" \
   chainnet_gradcheck_test chainnet_inference_test chainnet_batch_test \
   kernels_test graph_workspace_test plan_test trainer_test \
   invariance_test json_test serve_protocol_test serve_loopback_test \
-  consistent_hash_test registry_test router_test \
+  consistent_hash_test registry_test router_test search_test \
   chainnet_lint lint_test
 
 # The linter recurses over directories and slices raw bytes out of source
@@ -35,7 +35,7 @@ cmake --build build-asan -j "$(nproc)" \
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir build-asan \
-  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|chainnet_batch|kernels|graph_workspace|plan|trainer|invariance|json|serve_protocol|serve_loopback|consistent_hash|registry|router|lint)_test' \
+  -R '(autograd|tape|nn|optimizer|serialize|baselines|baseline_gradcheck|chainnet|chainnet_gradcheck|chainnet_inference|chainnet_batch|kernels|graph_workspace|plan|trainer|invariance|json|serve_protocol|serve_loopback|consistent_hash|registry|router|search|lint)_test' \
   --output-on-failure "$@"
 
 echo "ASan+UBSan check passed."

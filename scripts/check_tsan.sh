@@ -15,7 +15,9 @@
 # thread racing request dispatch and the metrics endpoint. plan_test runs
 # here for the PlanCache: concurrent first lookups of one key must produce
 # exactly one compile under the shard lock, and replay through a shared
-# read-only plan must stay race-free across pool workers.
+# read-only plan must stay race-free across pool workers. search_test runs
+# the population optimizers, whose every step fans a width-K batch across
+# the pool while the driver thread owns all the RNG state.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +26,7 @@ cmake --preset tsan
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test eval_cache_test parallel_anneal_test \
   chainnet_batch_test serve_metrics_test serve_loopback_test \
-  registry_test plan_test router_test \
+  registry_test plan_test router_test search_test \
   chainnet_lint lint_test
 
 # chainnet_lint is single-threaded, but running lint_test here keeps the
@@ -32,7 +34,7 @@ cmake --build build-tsan -j "$(nproc)" \
 # the locks they reason about.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan \
-  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|registry|plan|lint)_test|^router_test$' \
+  -R '(thread_pool|eval_cache|parallel_anneal|chainnet_batch|serve_metrics|serve_loopback|registry|plan|search|lint)_test|^router_test$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

@@ -23,11 +23,8 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Auto temperature: a fraction of the total offered load, so the initial
-/// acceptance probability of moderately worse moves is meaningful across
-/// problems of very different throughput scales.
 double auto_temperature(const EdgeSystem& system) {
-  return 0.05 * system.total_arrival_rate() + 1e-9;
+  return auto_initial_temperature(system);
 }
 
 /// Moves fragment (chain, frag) of `p` to `to_device`, swapping back a
@@ -69,6 +66,23 @@ bool try_move(const EdgeSystem& system, Placement& p, int chain, int frag,
 }
 
 }  // namespace
+
+double auto_initial_temperature(const EdgeSystem& system) {
+  return 0.05 * system.total_arrival_rate() + 1e-9;
+}
+
+void SearchCounters::merge(const SearchCounters& other) noexcept {
+  proposals = saturating_add(proposals, other.proposals);
+  proposal_failures =
+      saturating_add(proposal_failures, other.proposal_failures);
+  accepts = saturating_add(accepts, other.accepts);
+  exchange_attempts =
+      saturating_add(exchange_attempts, other.exchange_attempts);
+  exchange_accepts = saturating_add(exchange_accepts, other.exchange_accepts);
+  resample_events = saturating_add(resample_events, other.resample_events);
+  resampled_replicas =
+      saturating_add(resampled_replicas, other.resampled_replicas);
+}
 
 bool propose_move(const EdgeSystem& system, const Placement& current,
                   Rng& rng, const SaConfig& config, Placement& out) {
@@ -120,13 +134,15 @@ SaResult anneal(const EdgeSystem& system, const Placement& initial,
   SaResult result;
   result.best = current;
   result.best_objective = current_obj;
-  result.trajectory.push_back(
-      {0, seconds_since(start), current_obj, current_obj});
+  result.trajectory.push_back({0, seconds_since(start), current_obj,
+                               current_obj,
+                               evaluator.evaluations() - eval_start});
   if (config.record_best_placements) result.best_placements.push_back(current);
 
   for (int step = 1; step <= config.max_steps; ++step) {
     Placement candidate;
     if (propose_move(system, current, rng, config, candidate)) {
+      result.counters.proposals += 1;
       const double candidate_obj =
           evaluator.total_throughput(system, candidate);
       const double delta = candidate_obj - current_obj;
@@ -134,6 +150,7 @@ SaResult anneal(const EdgeSystem& system, const Placement& initial,
           delta > 0.0 ||
           rng.uniform01() < std::exp(delta / std::max(temperature, 1e-12));
       if (accept) {
+        result.counters.accepts += 1;
         current = std::move(candidate);
         current_obj = candidate_obj;
         if (current_obj > result.best_objective) {
@@ -141,10 +158,13 @@ SaResult anneal(const EdgeSystem& system, const Placement& initial,
           result.best_objective = current_obj;
         }
       }
+    } else {
+      result.counters.proposal_failures += 1;
     }
     temperature *= config.cooling_rate;
-    result.trajectory.push_back(
-        {step, seconds_since(start), current_obj, result.best_objective});
+    result.trajectory.push_back({step, seconds_since(start), current_obj,
+                                 result.best_objective,
+                                 evaluator.evaluations() - eval_start});
     if (config.record_best_placements) {
       result.best_placements.push_back(result.best);
     }
@@ -157,15 +177,11 @@ SaResult anneal(const EdgeSystem& system, const Placement& initial,
   return result;
 }
 
-namespace {
-
-/// Merges `trial` into `acc`, offsetting the step/time axes so the combined
-/// trajectory is monotone in both. The best-so-far series is recomputed
-/// across trials.
 void merge_trial(SaResult& acc, const SaResult& trial) {
   const int step_offset =
       acc.trajectory.empty() ? 0 : acc.trajectory.back().step;
   const double time_offset = acc.seconds;
+  const std::uint64_t eval_offset = acc.evaluations;
   double best = acc.trials == 0 ? trial.trajectory.front().best
                                 : acc.best_objective;
   // Skip the duplicate step-0 point on trials after the first.
@@ -183,6 +199,7 @@ void merge_trial(SaResult& acc, const SaResult& trial) {
     TrajectoryPoint merged = trial.trajectory[i];
     merged.step += step_offset;
     merged.seconds += time_offset;
+    merged.evals = saturating_add(merged.evals, eval_offset);
     best = std::max(best, merged.best);
     merged.best = best;
     acc.trajectory.push_back(merged);
@@ -201,18 +218,15 @@ void merge_trial(SaResult& acc, const SaResult& trial) {
   acc.evaluations = saturating_add(acc.evaluations, trial.evaluations);
   acc.seconds += trial.seconds;
   acc.trials += 1;
+  acc.counters.merge(trial.counters);
 }
 
-/// The per-trial seeds anneal_trials would draw, precomputed so the
-/// parallel driver can hand them out before any trial finishes.
 std::vector<std::uint64_t> trial_seeds(std::uint64_t seed, int trials) {
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
   Rng seeder(seed);
   for (auto& s : seeds) s = seeder();
   return seeds;
 }
-
-}  // namespace
 
 SaResult anneal_trials(const EdgeSystem& system, const Placement& initial,
                        PlacementEvaluator& evaluator, const SaConfig& config,
@@ -308,8 +322,9 @@ SaResult anneal_batched(const EdgeSystem& system, const Placement& initial,
   SaResult result;
   result.best = current;
   result.best_objective = current_obj;
-  result.trajectory.push_back(
-      {0, seconds_since(start), current_obj, current_obj});
+  result.trajectory.push_back({0, seconds_since(start), current_obj,
+                               current_obj,
+                               service.oracle_evaluations() - eval_start});
   if (config.record_best_placements) result.best_placements.push_back(current);
 
   std::vector<Placement> candidates;
@@ -320,8 +335,11 @@ SaResult anneal_batched(const EdgeSystem& system, const Placement& initial,
       Placement candidate;
       if (propose_move(system, current, rng, config, candidate)) {
         candidates.push_back(std::move(candidate));
+      } else {
+        result.counters.proposal_failures += 1;
       }
     }
+    result.counters.proposals += candidates.size();
     if (!candidates.empty()) {
       const auto objectives = service.evaluate_batch(system, candidates);
       std::size_t best_k = 0;
@@ -333,6 +351,7 @@ SaResult anneal_batched(const EdgeSystem& system, const Placement& initial,
           delta > 0.0 ||
           rng.uniform01() < std::exp(delta / std::max(temperature, 1e-12));
       if (accept) {
+        result.counters.accepts += 1;
         current = std::move(candidates[best_k]);
         current_obj = objectives[best_k];
         if (current_obj > result.best_objective) {
@@ -342,8 +361,9 @@ SaResult anneal_batched(const EdgeSystem& system, const Placement& initial,
       }
     }
     temperature *= config.cooling_rate;
-    result.trajectory.push_back(
-        {step, seconds_since(start), current_obj, result.best_objective});
+    result.trajectory.push_back({step, seconds_since(start), current_obj,
+                                 result.best_objective,
+                                 service.oracle_evaluations() - eval_start});
     if (config.record_best_placements) {
       result.best_placements.push_back(result.best);
     }

@@ -35,6 +35,40 @@ struct TrajectoryPoint {
   double seconds = 0.0;        ///< wall-clock since the search began
   double current = 0.0;        ///< objective of the current decision
   double best = 0.0;           ///< best objective seen so far
+  /// Cumulative oracle evaluations when this point was recorded (the
+  /// placements-to-quality axis of the bench_search harness).
+  std::uint64_t evals = 0;
+};
+
+/// Diagnostic counters every search driver fills in, so algorithm
+/// comparisons (bench_search, the CLI) can explain *why* a run scored the
+/// way it did — a PT run with a frozen exchange rate or an SA run with a
+/// near-zero late acceptance rate is diagnosable from these alone.
+/// Population-only counters (exchanges, resamples) stay zero for plain SA.
+struct SearchCounters {
+  std::uint64_t proposals = 0;         ///< successfully generated neighbors
+  std::uint64_t proposal_failures = 0; ///< steps/slots with no feasible move
+  std::uint64_t accepts = 0;           ///< Metropolis acceptances
+  std::uint64_t exchange_attempts = 0; ///< PT replica-exchange attempts
+  std::uint64_t exchange_accepts = 0;  ///< PT replica-exchange swaps
+  std::uint64_t resample_events = 0;   ///< population-annealing resamples
+  std::uint64_t resampled_replicas = 0;///< replicas replaced by resampling
+
+  /// Fraction of generated proposals that were accepted.
+  double acceptance_rate() const noexcept {
+    return proposals == 0
+               ? 0.0
+               : static_cast<double>(accepts) / static_cast<double>(proposals);
+  }
+  /// Fraction of attempted replica exchanges that swapped.
+  double exchange_rate() const noexcept {
+    return exchange_attempts == 0
+               ? 0.0
+               : static_cast<double>(exchange_accepts) /
+                     static_cast<double>(exchange_attempts);
+  }
+  /// Saturating element-wise accumulation (multi-trial merges).
+  void merge(const SearchCounters& other) noexcept;
 };
 
 struct SaResult {
@@ -52,7 +86,28 @@ struct SaResult {
   /// serial drivers; smaller under parallel execution.
   double wall_seconds = 0.0;
   int trials = 0;
+  /// Acceptance/exchange/resample accounting (summed across trials).
+  SearchCounters counters;
 };
+
+/// Merges `trial` into `acc`, offsetting the step/time/eval axes so the
+/// combined trajectory is monotone in all three; the best-so-far series is
+/// recomputed across trials and counters are summed. Shared by
+/// anneal_trials/anneal_for here and the algorithm-agnostic multi-trial
+/// drivers in src/search/.
+void merge_trial(SaResult& acc, const SaResult& trial);
+
+/// The per-trial seed sequence every multi-trial driver draws from
+/// `seed` (trial t gets the t-th output of a fresh Rng(seed)), exposed so
+/// serial, parallel, and search-subsystem drivers stay bit-compatible.
+std::vector<std::uint64_t> trial_seeds(std::uint64_t seed, int trials);
+
+/// The tau_0 used when SaConfig::initial_temperature is 0: a fraction of
+/// the total offered load, so the initial acceptance probability of
+/// moderately worse moves is meaningful across problems of very different
+/// throughput scales. Shared with the src/search/ optimizers so every
+/// algorithm anneals on the identical schedule.
+double auto_initial_temperature(const edge::EdgeSystem& system);
 
 /// Generates one candidate neighbor of `current` per the paper's move:
 /// pick a random (chain, fragment), move it to a random other device not

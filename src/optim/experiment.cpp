@@ -1,6 +1,7 @@
 #include "optim/experiment.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "edge/qn_mapping.h"
@@ -63,6 +64,27 @@ std::vector<double> best_at_steps(const std::vector<TrajectoryPoint>& traj,
     out.push_back(last);
   }
   return out;
+}
+
+std::string search_diagnostics(const SaResult& result) {
+  const SearchCounters& c = result.counters;
+  std::ostringstream out;
+  out.precision(3);
+  out << "accepted " << c.accepts << "/" << c.proposals << " proposals ("
+      << c.acceptance_rate() * 100.0 << "%";
+  if (c.proposal_failures > 0) {
+    out << ", " << c.proposal_failures << " infeasible";
+  }
+  out << ")";
+  if (c.exchange_attempts > 0) {
+    out << "; exchanged " << c.exchange_accepts << "/" << c.exchange_attempts
+        << " replica pairs (" << c.exchange_rate() * 100.0 << "%)";
+  }
+  if (c.resample_events > 0) {
+    out << "; " << c.resample_events << " resamples replaced "
+        << c.resampled_replicas << " replicas";
+  }
+  return out.str();
 }
 
 }  // namespace chainnet::optim

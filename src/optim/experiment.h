@@ -5,6 +5,7 @@
 // common time/step grids for the Fig. 14-15 curves.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "edge/model.h"
@@ -40,5 +41,11 @@ std::vector<double> best_at_times(const std::vector<TrajectoryPoint>& traj,
 /// step indices.
 std::vector<double> best_at_steps(const std::vector<TrajectoryPoint>& traj,
                                   const std::vector<int>& steps);
+
+/// One-line diagnostic summary of a search run's counters — acceptance
+/// rate always; exchange/resample rates only when the run attempted any
+/// (population optimizers). Used by the CLI and the bench harnesses so
+/// algorithm comparisons are diagnosable, not just scored.
+std::string search_diagnostics(const SaResult& result);
 
 }  // namespace chainnet::optim

@@ -1,3 +1,5 @@
+// LINT:counters — the dispatch-shape counters below are monotone stats
+// with no ordering relationship to the evaluations they count.
 #include "runtime/eval_service.h"
 
 #include <algorithm>
@@ -34,6 +36,13 @@ std::vector<double> EvalService::evaluate_batch(
     const edge::EdgeSystem& system, std::span<const edge::Placement> batch) {
   std::vector<double> out(batch.size());
   if (batch.empty()) return out;
+
+  if (batch.size() >= 2) {
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batched_placements_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } else {
+    single_placements_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const int here = pool_.worker_index_here();
   if (here >= 0) {
@@ -96,6 +105,16 @@ std::uint64_t EvalService::oracle_evaluations() const {
     total = optim::saturating_add(total, evaluator->evaluations());
   }
   return total;
+}
+
+EvalService::Stats EvalService::stats() const noexcept {
+  Stats stats;
+  stats.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  stats.batched_placements =
+      batched_placements_.load(std::memory_order_relaxed);
+  stats.single_placements =
+      single_placements_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 optim::PlacementEvaluator& EvalService::evaluator_here() {

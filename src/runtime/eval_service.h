@@ -20,6 +20,7 @@
 // during inference).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,6 +75,24 @@ class EvalService {
   /// Quiescent counters only: call with no batch in flight.
   std::uint64_t oracle_evaluations() const;
 
+  /// How placements arrive at this service: through genuinely batched
+  /// calls (width >= 2, the path the SIMD engine and the plan replayer
+  /// amortize) or one at a time. The src/search/ tests assert their
+  /// optimizers are batch-fed through these counters.
+  struct Stats {
+    std::uint64_t batch_calls = 0;  ///< evaluate_batch calls with width >= 2
+    std::uint64_t batched_placements = 0;  ///< placements in those calls
+    std::uint64_t single_placements = 0;   ///< width-1 calls (incl. evaluate)
+    /// Fraction of all placements that arrived through width->=2 batches.
+    double batched_fraction() const noexcept {
+      const std::uint64_t total = batched_placements + single_placements;
+      return total == 0 ? 0.0
+                        : static_cast<double>(batched_placements) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const noexcept;
+
   /// The calling thread's private evaluator: its worker's instance on pool
   /// threads, the owning-thread instance otherwise. Used by the parallel SA
   /// drivers to run whole trials worker-locally.
@@ -97,6 +116,11 @@ class EvalService {
   /// Index 0..size-1: pool workers; index size: the owning thread.
   std::vector<std::unique_ptr<optim::PlacementEvaluator>> evaluators_;
   std::shared_ptr<gnn::PlanCache> plan_cache_;
+  /// Monotone dispatch counters (relaxed: no ordering is implied between
+  /// them and the evaluations they describe; read them quiescent).
+  std::atomic<std::uint64_t> batch_calls_{0};
+  std::atomic<std::uint64_t> batched_placements_{0};
+  std::atomic<std::uint64_t> single_placements_{0};
 };
 
 }  // namespace chainnet::runtime

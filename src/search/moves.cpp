@@ -1,0 +1,83 @@
+#include "search/moves.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace chainnet::search {
+
+using edge::EdgeSystem;
+using edge::Placement;
+using support::Rng;
+
+namespace {
+
+/// True when chain `chain` of `p` has any fragment on `device`.
+bool chain_on_device(const Placement& p, int chain, int device) {
+  for (int j = 0; j < p.chain_length(chain); ++j) {
+    if (p.device_of(chain, j) == device) return true;
+  }
+  return false;
+}
+
+bool propose_swap(const EdgeSystem& system, const Placement& current,
+                  Rng& rng, const optim::SaConfig& config, Placement& out) {
+  for (int attempt = 0; attempt < config.max_move_attempts; ++attempt) {
+    const int ci =
+        static_cast<int>(rng.uniform_int(0, system.num_chains() - 1));
+    const int fi = static_cast<int>(
+        rng.uniform_int(0, system.chains[ci].length() - 1));
+    const int cj =
+        static_cast<int>(rng.uniform_int(0, system.num_chains() - 1));
+    const int fj = static_cast<int>(
+        rng.uniform_int(0, system.chains[cj].length() - 1));
+    if (ci == cj && fi == fj) continue;
+    const int da = current.device_of(ci, fi);
+    const int db = current.device_of(cj, fj);
+    if (da == db) continue;
+    if (ci != cj) {
+      // Each chain gains the other's device; the distinct-device invariant
+      // holds only if neither chain already sits there.
+      if (chain_on_device(current, ci, db)) continue;
+      if (chain_on_device(current, cj, da)) continue;
+    }
+    // Same chain: its device *set* is unchanged, so distinctness holds.
+    Placement candidate = current;
+    candidate.assign(ci, fi, db);
+    candidate.assign(cj, fj, da);
+    if (!candidate.memory_feasible(system)) continue;
+    out = std::move(candidate);
+    return true;
+  }
+  return false;
+}
+
+bool propose_double(const EdgeSystem& system, const Placement& current,
+                    Rng& rng, const optim::SaConfig& config, Placement& out) {
+  Placement first;
+  if (!optim::propose_move(system, current, rng, config, first)) return false;
+  Placement second;
+  if (optim::propose_move(system, first, rng, config, second)) {
+    out = std::move(second);
+  } else {
+    out = std::move(first);  // a single hop is still a valid neighbor
+  }
+  return true;
+}
+
+}  // namespace
+
+bool propose_kind(MoveKind kind, const EdgeSystem& system,
+                  const Placement& current, Rng& rng,
+                  const optim::SaConfig& config, Placement& out) {
+  switch (kind) {
+    case MoveKind::kRelocate:
+      return optim::propose_move(system, current, rng, config, out);
+    case MoveKind::kSwap:
+      return propose_swap(system, current, rng, config, out);
+    case MoveKind::kDoubleRelocate:
+      return propose_double(system, current, rng, config, out);
+  }
+  return false;
+}
+
+}  // namespace chainnet::search

@@ -1,0 +1,44 @@
+// Wide-neighborhood move kinds for the population search subsystem. The
+// paper's SA explores one neighborhood: relocate a fragment (with swap-back
+// of displaced foreign fragments, optim::propose_move). Best-of-B pools are
+// wasted on B near-identical relocations, so the pool is *stratified*: slot
+// j of a pool draws kind j % kNumMoveKinds, mixing the paper's relocation
+// with fragment swaps and composed double-relocations. Slot 0 is always the
+// paper's move, so a B=1 pool degenerates to serial SA bit-for-bit.
+#pragma once
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "optim/annealing.h"
+#include "support/rng.h"
+
+namespace chainnet::search {
+
+enum class MoveKind {
+  /// The paper's §VII move: optim::propose_move (relocate + swap-back).
+  kRelocate = 0,
+  /// Swap the devices of two fragments (possibly of different chains),
+  /// preserving the distinct-device invariant and memory feasibility.
+  kSwap = 1,
+  /// Two relocations composed: a diameter-2 jump through the relocate
+  /// neighborhood (falls back to a single relocation when the second
+  /// draw finds no feasible follow-up).
+  kDoubleRelocate = 2,
+};
+
+inline constexpr int kNumMoveKinds = 3;
+
+/// The move kind proposal slot `slot` of a stratified pool draws.
+constexpr MoveKind move_kind_for_slot(int slot) noexcept {
+  return static_cast<MoveKind>(slot % kNumMoveKinds);
+}
+
+/// Generates one candidate neighbor of `current` with the given move kind,
+/// redrawing up to config.max_move_attempts times. Returns false when no
+/// feasible move was found. kRelocate consumes draws exactly like
+/// optim::propose_move (it *is* optim::propose_move).
+bool propose_kind(MoveKind kind, const edge::EdgeSystem& system,
+                  const edge::Placement& current, support::Rng& rng,
+                  const optim::SaConfig& config, edge::Placement& out);
+
+}  // namespace chainnet::search

@@ -1,0 +1,114 @@
+#include "search/optimizer.h"
+
+#include <stdexcept>
+
+#include "search/best_of_b.h"
+#include "search/parallel_tempering.h"
+#include "search/population.h"
+#include "search/population_annealing.h"
+
+namespace chainnet::search {
+
+using edge::EdgeSystem;
+using edge::Placement;
+
+namespace {
+
+/// Serial SA behind the Optimizer interface: the baseline every population
+/// algorithm is compared against. Runs optim::anneal on the service's
+/// owning-thread evaluator, so its oracle values match the batched
+/// optimizers' exactly (same evaluator construction, same plan cache).
+class SaOptimizer final : public Optimizer {
+ public:
+  SaOptimizer(runtime::EvalService& service, const SearchConfig& config)
+      : service_(service), config_(config) {}
+
+  std::string_view name() const noexcept override { return "sa"; }
+
+  optim::SaResult run(const EdgeSystem& system, const Placement& initial,
+                      std::uint64_t seed) override {
+    optim::SaConfig sa = config_.sa;
+    sa.seed = seed;
+    return optim::anneal(system, initial, service_.evaluator_here(), sa);
+  }
+
+ private:
+  runtime::EvalService& service_;
+  SearchConfig config_;
+};
+
+}  // namespace
+
+std::string_view algo_name(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kSa:
+      return "sa";
+    case Algo::kPt:
+      return "pt";
+    case Algo::kPopAnneal:
+      return "popanneal";
+    case Algo::kBestOfB:
+      return "bestofb";
+  }
+  return "unknown";
+}
+
+bool parse_algo(std::string_view text, Algo& out) noexcept {
+  if (text == "sa") {
+    out = Algo::kSa;
+  } else if (text == "pt") {
+    out = Algo::kPt;
+  } else if (text == "popanneal") {
+    out = Algo::kPopAnneal;
+  } else if (text == "bestofb") {
+    out = Algo::kBestOfB;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(Algo algo,
+                                          runtime::EvalService& service,
+                                          const SearchConfig& config) {
+  switch (algo) {
+    case Algo::kSa:
+      return std::make_unique<SaOptimizer>(service, config);
+    case Algo::kPt:
+      return std::make_unique<ParallelTempering>(service, config);
+    case Algo::kPopAnneal:
+      return std::make_unique<PopulationAnnealing>(service, config);
+    case Algo::kBestOfB:
+      return std::make_unique<BestOfB>(service, config);
+  }
+  throw std::invalid_argument("make_optimizer: unknown algorithm");
+}
+
+optim::SaResult run_trials(Optimizer& optimizer, const EdgeSystem& system,
+                           const Placement& initial, std::uint64_t seed,
+                           int trials) {
+  if (trials <= 0) throw std::invalid_argument("run_trials: trials <= 0");
+  optim::SaResult acc;
+  const auto seeds = optim::trial_seeds(seed, trials);
+  for (const std::uint64_t trial_seed : seeds) {
+    optim::merge_trial(acc, optimizer.run(system, initial, trial_seed));
+  }
+  acc.wall_seconds = acc.seconds;
+  return acc;
+}
+
+optim::SaResult run_for(Optimizer& optimizer, const EdgeSystem& system,
+                        const Placement& initial, std::uint64_t seed,
+                        double budget_seconds) {
+  optim::SaResult acc;
+  support::Rng seeder(seed);
+  // Always run at least one trial so a result exists even when the budget
+  // is smaller than a single trial's duration (mirrors optim::anneal_for).
+  do {
+    optim::merge_trial(acc, optimizer.run(system, initial, seeder()));
+  } while (acc.seconds < budget_seconds);
+  acc.wall_seconds = acc.seconds;
+  return acc;
+}
+
+}  // namespace chainnet::search

@@ -1,0 +1,34 @@
+// Parallel tempering (replica exchange) on the batch engine: K chains run
+// the paper's SA move at temperatures spread across a geometric ladder,
+// stepped in lockstep so each sweep's K candidate evaluations form one
+// batch. Hot chains escape basins; exchanges hand their discoveries down
+// the ladder to the cold chain, which follows the serial SA schedule
+// exactly (so K = 1 is serial SA bit-for-bit).
+//
+// The ladder *cools*: chain k's temperature at step s is
+//   T_k(s) = tau(s) * ladder_ratio^(k/(K-1)),
+// with tau(s) the SA geometric schedule. Exchange sweeps are
+// deterministic even/odd pairings — sweep t attempts pairs (k, k+1) for
+// k = t mod 2, 2 + t mod 2, ... — with acceptance drawn from a dedicated
+// stream so exchange decisions never perturb any chain's trajectory.
+#pragma once
+
+#include "search/optimizer.h"
+
+namespace chainnet::search {
+
+class ParallelTempering final : public Optimizer {
+ public:
+  ParallelTempering(runtime::EvalService& service, const SearchConfig& config);
+
+  std::string_view name() const noexcept override { return "pt"; }
+  optim::SaResult run(const edge::EdgeSystem& system,
+                      const edge::Placement& initial,
+                      std::uint64_t seed) override;
+
+ private:
+  runtime::EvalService& service_;
+  SearchConfig config_;
+};
+
+}  // namespace chainnet::search

@@ -1,0 +1,84 @@
+// Shared machinery of the population optimizers: per-chain RNG streams,
+// the population state (members + objectives + streams stepped in
+// lockstep), and the batched Metropolis sweep every population algorithm
+// is built from.
+//
+// Reproducibility contract (see DESIGN.md §14): every random draw happens
+// on the driver thread, chain k draws only from its own stream, and the
+// batch engine is used purely as a value oracle — so a fixed seed yields
+// bit-for-bit identical trajectories regardless of the service's thread
+// count, and a population of 1 replays serial SA's stream exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edge/model.h"
+#include "edge/placement.h"
+#include "optim/annealing.h"
+#include "runtime/eval_service.h"
+#include "support/rng.h"
+
+namespace chainnet::search::detail {
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Stream salts of the auxiliary draws that must not perturb any chain's
+/// trajectory (ASCII "EXCHANGE" / "RESAMPLE").
+inline constexpr std::uint64_t kExchangeSalt = 0x45584348414e4745ull;
+inline constexpr std::uint64_t kResampleSalt = 0x524553414d504c45ull;
+
+/// Chain k's private stream. Chain 0 gets the parent stream Rng(seed) —
+/// exactly the stream serial optim::anneal draws from, which is what makes
+/// a population of 1 reduce to SA bit-for-bit — and chains k >= 1 get the
+/// decorrelated splits Rng(seed).split(k).
+support::Rng chain_stream(std::uint64_t seed, int chain);
+
+/// A dedicated stream for exchange/resampling decisions, decorrelated from
+/// every chain stream by a large salt.
+support::Rng auxiliary_stream(std::uint64_t seed, std::uint64_t salt);
+
+/// K chains stepped in lockstep. members[k], objectives[k], and streams[k]
+/// always describe the same chain; replica exchange and resampling permute
+/// members/objectives but never streams (streams belong to the *slot*, so
+/// the draw sequence of a slot is independent of what content it holds).
+struct Population {
+  std::vector<edge::Placement> members;
+  std::vector<double> objectives;
+  std::vector<support::Rng> streams;
+
+  int size() const noexcept { return static_cast<int>(members.size()); }
+  /// Slot with the highest current objective (lowest index on ties).
+  int best_member() const noexcept;
+};
+
+/// Builds a population of `size` copies of `initial`, scored as one
+/// width-`size` batch (the run's only batch width, so the plan cache
+/// compiles at most the chunked widths of `size`).
+Population make_population(const edge::EdgeSystem& system,
+                           const edge::Placement& initial,
+                           runtime::EvalService& service, std::uint64_t seed,
+                           int size);
+
+/// One lockstep Metropolis sweep: every chain proposes a relocate move
+/// (the paper's §VII neighborhood) on its own stream; all proposals are
+/// scored as ONE width-size() batch with failed slots padded by the
+/// chain's current placement (constant batch width keeps the plan cache at
+/// <= 2 compiled widths); each proposing chain then Metropolis-accepts at
+/// temperatures[k] on its own stream. Chains whose proposal failed consume
+/// no acceptance draw, mirroring serial SA's failure path. Updates
+/// result's best placement/objective and proposal/accept counters. Skips
+/// the batch entirely when no chain found a feasible move.
+void metropolis_step(const edge::EdgeSystem& system, Population& population,
+                     runtime::EvalService& service,
+                     const optim::SaConfig& config,
+                     std::span<const double> temperatures,
+                     optim::SaResult& result);
+
+}  // namespace chainnet::search::detail

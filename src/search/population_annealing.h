@@ -1,0 +1,35 @@
+// Population annealing on the batch engine: N replicas follow the SA
+// schedule in lockstep (each sweep's N candidates scored as one batch),
+// and at periodic temperature drops the population is resampled toward
+// the replicas the colder Boltzmann distribution favors — low performers
+// are culled and high performers cloned, keeping the whole population
+// near equilibrium as it cools.
+//
+// Resampling is systematic (low variance): replica weights
+//   w_i = exp(dbeta * (X_i - X_max)),  dbeta = 1/T_next - 1/T_current,
+// one uniform from a dedicated stream places N evenly spaced pointers on
+// the cumulative weights. Clones inherit placement and objective but keep
+// the slot's RNG stream, so N = 1 — where resampling is skipped outright —
+// replays serial SA bit-for-bit.
+#pragma once
+
+#include "search/optimizer.h"
+
+namespace chainnet::search {
+
+class PopulationAnnealing final : public Optimizer {
+ public:
+  PopulationAnnealing(runtime::EvalService& service,
+                      const SearchConfig& config);
+
+  std::string_view name() const noexcept override { return "popanneal"; }
+  optim::SaResult run(const edge::EdgeSystem& system,
+                      const edge::Placement& initial,
+                      std::uint64_t seed) override;
+
+ private:
+  runtime::EvalService& service_;
+  SearchConfig config_;
+};
+
+}  // namespace chainnet::search

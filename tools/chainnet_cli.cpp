@@ -15,6 +15,9 @@
 //   chainnet optimize  --system s.json (--weights w.bin | --oracle sim|approx)
 //                      [--steps N] [--trials T] [--out placement.json]
 //                      [--threads N] [--cache-size N] [--batch K]
+//                      [--algo sa|pt|popanneal|bestofb] [--population K]
+//                      [--ladder-ratio R] [--exchange-interval N]
+//                      [--resample-interval N]
 //   chainnet serve     --system s.json (--weights w.bin | --manifest m.json
 //                      | --oracle sim|approx) [--port P] [--threads N]
 //                      [--batch K] [--flush-ms W] [--max-queue N]
@@ -39,6 +42,13 @@
 //              seed stream); N=1 reproduces the serial driver exactly.
 // --batch K    switches to the neighbor-pool driver: K candidate moves per
 //              step, scored as one batch across the pool.
+// --algo A     picks the search algorithm (src/search/): sa (default, the
+//              paper's annealing), pt (parallel tempering), popanneal
+//              (population annealing), bestofb (wide-neighborhood
+//              best-of-B). The population algorithms batch --population
+//              candidates per step through the evaluation service and are
+//              bit-for-bit reproducible for a fixed --seed at any
+//              --threads value.
 // --cache-size N  memoizes oracle calls in a sharded LRU keyed by the
 //              placement's canonical hash; hits are reported separately
 //              and never counted as oracle evaluations.
@@ -75,6 +85,7 @@
 #include "runtime/eval_cache.h"
 #include "runtime/eval_service.h"
 #include "runtime/thread_pool.h"
+#include "search/optimizer.h"
 #include "serve/client.h"
 #include "serve/registry.h"
 #include "serve/router.h"
@@ -454,6 +465,14 @@ int cmd_optimize(const Args& args) {
   const int batch = std::max(0, args.integer("batch", 0));
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
 
+  const std::string algo_text = args.get("algo", "sa");
+  search::Algo algo;
+  if (!search::parse_algo(algo_text, algo)) {
+    std::cerr << "unknown --algo '" << algo_text
+              << "' (expected sa|pt|popanneal|bestofb)\n";
+    return 1;
+  }
+
   auto setup = build_oracle(args, system);
   if (!setup.factory) return 1;
   auto& factory = setup.factory;
@@ -462,10 +481,24 @@ int cmd_optimize(const Args& args) {
   optim::SaConfig sa;
   sa.max_steps = args.integer("steps", 100);
   sa.seed = seed;
-  const int trials = args.integer("trials", 5);
+  // The population algorithms step a whole population per trial, so one
+  // trial is already a multi-start; plain SA keeps the paper's 5 restarts.
+  const int trials =
+      args.integer("trials", algo == search::Algo::kSa ? 5 : 1);
 
   optim::SaResult result;
-  if (threads > 1 || batch > 0) {
+  if (algo != search::Algo::kSa) {
+    search::SearchConfig cfg;
+    cfg.sa = sa;
+    cfg.population = std::max(1, args.integer("population", 16));
+    cfg.ladder_ratio = std::max(1.0, args.number("ladder-ratio", 24.0));
+    cfg.exchange_interval = args.integer("exchange-interval", 1);
+    cfg.resample_interval = args.integer("resample-interval", 5);
+    runtime::ThreadPool pool(threads);
+    runtime::EvalService service(pool, factory, seed);
+    const auto optimizer = search::make_optimizer(algo, service, cfg);
+    result = search::run_trials(*optimizer, system, initial, seed, trials);
+  } else if (threads > 1 || batch > 0) {
     runtime::ThreadPool pool(threads);
     runtime::EvalService service(pool, factory, seed);
     result = batch > 0
@@ -482,7 +515,8 @@ int cmd_optimize(const Args& args) {
   const double x0 = optim::simulated_total_throughput(system, initial, ref);
   const double x1 =
       optim::simulated_total_throughput(system, result.best, ref);
-  std::cout << "search: " << result.trials << " trials x " << sa.max_steps
+  std::cout << "search[" << algo_text << "]: " << result.trials
+            << " trials x " << sa.max_steps
             << " steps, " << result.evaluations << " oracle evaluations in "
             << result.wall_seconds << "s wall (" << threads << " thread"
             << (threads == 1 ? "" : "s");
@@ -493,6 +527,7 @@ int cmd_optimize(const Args& args) {
               << " evals/s";
   }
   std::cout << ")\n";
+  std::cout << "diagnostics: " << optim::search_diagnostics(result) << "\n";
   if (cache) {
     const auto stats = cache->stats();
     std::cout << "cache: " << stats.hits << " hits, " << stats.misses
@@ -734,7 +769,10 @@ int usage() {
          "  evaluate  --weights w.bin [--kind type1|type2] [--samples N]\n"
          "  optimize  --system s.json [--weights w.bin | --oracle"
          " sim|approx] [--steps N] [--trials T] [--out p.json]\n"
-         "            [--threads N] [--cache-size N] [--batch K]\n"
+         "            [--threads N] [--cache-size N] [--batch K]"
+         " [--algo sa|pt|popanneal|bestofb] [--population K]\n"
+         "            [--ladder-ratio R] [--exchange-interval N]"
+         " [--resample-interval N]\n"
          "  serve     --system s.json [--weights w.bin | --manifest m.json |"
          " --oracle sim|approx] [--port P] [--threads N]\n"
          "            [--batch K] [--flush-ms W] [--max-queue N]"
