@@ -14,7 +14,17 @@
 //   4. end-to-end surrogate objective: pre-PR-equivalent scalar path
 //      (fresh build_graph allocation + reference kernels, one placement at
 //      a time) vs the current path (graph-workspace reuse + fused kernels +
-//      one batched plan replay over 32 placements).
+//      one batched plan replay over 32 placements);
+//   5. reduced-precision tier (DESIGN.md §15): f32 single-stream and
+//      batched rates vs the f64 tier (same weights, converted once), plus
+//      an analytic bytes/placement + effective-GB/s estimate per batch
+//      size for both tiers;
+//   6. ranking-fidelity gate: pairwise rank agreement of the f32 and bf16
+//      objectives against f64 over an SA-style neighbor sample, and a
+//      fixed-step SA objective-at-budget comparison f32 vs f64. The gate
+//      FAILS the bench (exit 1) when agreement or the SA objective drops
+//      below the committed thresholds — a reduced tier that misorders
+//      neighbors is a silent search-quality regression, not a speedup.
 //
 // Results print to stdout and are written machine-readable to
 // BENCH_infer.json (override with CHAINNET_INFER_OUT).
@@ -23,6 +33,7 @@
 //   CHAINNET_INFER_SECONDS   min seconds per timed loop (default 0.4)
 //   CHAINNET_INFER_OUT       output JSON path (default BENCH_infer.json)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,13 +45,16 @@
 #include "core/surrogate.h"
 #include "edge/graph.h"
 #include "edge/problem.h"
+#include "gnn/metrics.h"
 #include "gnn/model.h"
 #include "gnn/plan.h"
 #include "gnn/plan_compiler.h"
 #include "optim/annealing.h"
+#include "optim/evaluator.h"
 #include "optim/initial.h"
 #include "support/json.h"
 #include "support/rng.h"
+#include "tensor/dtype.h"
 #include "tensor/kernels.h"
 
 namespace {
@@ -76,11 +90,12 @@ double time_rate(double min_seconds, int unit,
 
 /// Same SA-style visitation pattern the search drivers produce.
 std::vector<edge::Placement> walk_placements(const edge::EdgeSystem& system,
-                                             int count) {
+                                             int count,
+                                             std::uint64_t seed = 17) {
   std::vector<edge::Placement> placements;
   placements.reserve(static_cast<std::size_t>(count));
   edge::Placement current = optim::initial_placement(system);
-  support::Rng rng(17);
+  support::Rng rng(seed);
   const optim::SaConfig cfg;
   for (int i = 0; i < count; ++i) {
     edge::Placement next;
@@ -191,6 +206,7 @@ int main() {
   support::Json::Array batch_rows;
   double b1_rate = 0.0;
   double b_last_rate = 0.0;
+  std::vector<std::pair<int, double>> f64_batch_rates;
   for (const int b : {1, 2, 4, 8, 16, 32}) {
     std::span<const edge::PlacementGraph* const> span(
         ptrs.data(), static_cast<std::size_t>(b));
@@ -198,6 +214,7 @@ int main() {
         time_rate(min_seconds, b, [&] { fused.forward_values_batch(span); });
     if (b == 1) b1_rate = rate;
     b_last_rate = rate;
+    f64_batch_rates.emplace_back(b, rate);
     std::printf("  %5d %14.0f %9.2fx\n", b, rate, rate / b1_rate);
     support::Json::Object row;
     row["batch"] = b;
@@ -285,6 +302,155 @@ int main() {
               "batched B=32 (workspace reuse, fused)", e2e_batched,
               e2e_batched / e2e_scalar);
 
+  // 5. Reduced-precision tier: the same weights (same init seed) replayed
+  //    through the f32 kernel table. Rates per batch width, and the
+  //    headline f32-B32 vs f64-B32 ratio the acceptance bar pins.
+  auto cfg_f32 = cfg;
+  cfg_f32.dtype = tensor::DType::kF32;
+  support::Rng init_f32(1);
+  core::ChainNet model_f32(cfg_f32, init_f32);
+  auto cfg_bf16 = cfg;
+  cfg_bf16.dtype = tensor::DType::kBf16;
+  support::Rng init_bf16(1);
+  core::ChainNet model_bf16(cfg_bf16, init_bf16);
+
+  const double f32_single_rate = time_rate(min_seconds, kBatchMax, [&] {
+    for (const auto* g : ptrs) model_f32.forward_values(*g);
+  });
+  std::printf("\nreduced-precision tier: f32 kernels + converted weights\n");
+  std::printf("  single-stream %10.0f placements/s  (%.2fx vs f64)\n",
+              f32_single_rate, f32_single_rate / fused_rate);
+  std::printf("  %5s %14s %12s\n", "B", "placements/s", "vs f64");
+  support::Json::Array f32_batch_rows;
+  std::vector<std::pair<int, double>> f32_batch_rates;
+  double f32_b32_rate = 0.0;
+  for (std::size_t bi = 0; bi < f64_batch_rates.size(); ++bi) {
+    const int b = f64_batch_rates[bi].first;
+    std::span<const edge::PlacementGraph* const> span(
+        ptrs.data(), static_cast<std::size_t>(b));
+    const double rate = time_rate(
+        min_seconds, b, [&] { model_f32.forward_values_batch(span); });
+    f32_batch_rates.emplace_back(b, rate);
+    if (b == kBatchMax) f32_b32_rate = rate;
+    const double vs = rate / f64_batch_rates[bi].second;
+    std::printf("  %5d %14.0f %11.2fx\n", b, rate, vs);
+    support::Json::Object row;
+    row["batch"] = b;
+    row["placements_per_s"] = rate;
+    row["speedup_vs_f64"] = vs;
+    f32_batch_rows.push_back(std::move(row));
+  }
+  const double f32_vs_f64_b32 = f32_b32_rate / b_last_rate;
+  std::printf("  f32 B=32 vs f64 B=32: %.2fx\n", f32_vs_f64_b32);
+
+  // Analytic traffic estimate: each parameter streamed once per
+  // message-passing iteration (per-step re-reads assumed cache-resident;
+  // encoder/readout weights slightly overcounted), amortized over the
+  // batch, plus the plan arena written and read once per replay. A model
+  // of memory *demand*, not a counter measurement — good for comparing
+  // tiers and batch widths, not for absolute DRAM numbers.
+  const std::size_t param_count = fused.parameter_count();
+  const auto traffic_row = [&](tensor::DType dtype, int b, double rate,
+                               support::Json::Array& rows) {
+    const std::size_t eb = tensor::dtype_element_bytes(dtype);
+    gnn::PlanShape tier_shape = shape;
+    tier_shape.dtype = dtype;
+    const auto plan = gnn::compile_plan(graphs[0], tier_shape, b);
+    const double weight_stream =
+        static_cast<double>(param_count * eb) * cfg.iterations;
+    const double arena_bytes =
+        static_cast<double>(plan->meta.scratch_elems) *
+        static_cast<double>(eb);
+    const double per_placement = (weight_stream + 2.0 * arena_bytes) / b;
+    const double gb_per_s = per_placement * rate / 1e9;
+    std::printf("  %-5s %5d %14.0f %15.0f %10.2f\n",
+                tensor::dtype_name(dtype), b, rate, per_placement, gb_per_s);
+    support::Json::Object row;
+    row["dtype"] = std::string(tensor::dtype_name(dtype));
+    row["batch"] = b;
+    row["placements_per_s"] = rate;
+    row["est_bytes_per_placement"] = per_placement;
+    row["effective_gb_per_s"] = gb_per_s;
+    rows.push_back(std::move(row));
+  };
+  std::printf("\nestimated memory traffic (analytic weight+arena model)\n");
+  std::printf("  %-5s %5s %14s %15s %10s\n", "dtype", "B", "placements/s",
+              "est bytes/pl", "eff GB/s");
+  support::Json::Array traffic_rows;
+  for (const auto& [b, rate] : f64_batch_rates) {
+    traffic_row(tensor::DType::kF64, b, rate, traffic_rows);
+  }
+  for (const auto& [b, rate] : f32_batch_rates) {
+    traffic_row(tensor::DType::kF32, b, rate, traffic_rows);
+  }
+
+  // 6. Ranking-fidelity gate. The committed thresholds: the reduced tiers
+  //    must reproduce the f64 ordering of SA-neighbor objectives on at
+  //    least this fraction of comparable pairs, and a fixed-step SA run
+  //    on the f32 oracle must land within the noise band of the f64 run's
+  //    objective-at-budget.
+  constexpr double kF32RankGate = 0.97;
+  constexpr double kBf16RankGate = 0.90;
+  constexpr double kSaObjectiveBand = 0.02;  // |f32 - f64| / f64
+  constexpr int kRankSample = 128;
+  const auto gate_placements = walk_placements(system, kRankSample, 97);
+  std::vector<double> obj_f64(gate_placements.size());
+  std::vector<double> obj_f32(gate_placements.size());
+  std::vector<double> obj_bf16(gate_placements.size());
+  core::Surrogate(fused).total_throughput_batch(system, gate_placements,
+                                                obj_f64);
+  core::Surrogate(model_f32).total_throughput_batch(system, gate_placements,
+                                                    obj_f32);
+  core::Surrogate(model_bf16).total_throughput_batch(system, gate_placements,
+                                                     obj_bf16);
+  const auto rank_f32 = gnn::pairwise_rank_agreement(obj_f64, obj_f32);
+  const auto rank_bf16 = gnn::pairwise_rank_agreement(obj_f64, obj_bf16);
+  std::printf("\nranking fidelity vs f64 (%d SA-neighbor placements)\n",
+              kRankSample);
+  std::printf("  %-5s %12s %12s %8s %10s  gate >= %s\n", "tier", "concordant",
+              "discordant", "ties", "agreement", "threshold");
+  const auto print_rank = [](const char* tier, const gnn::RankAgreement& r,
+                             double gate) {
+    std::printf("  %-5s %12llu %12llu %8llu %10.4f  %.2f %s\n", tier,
+                static_cast<unsigned long long>(r.concordant),
+                static_cast<unsigned long long>(r.discordant),
+                static_cast<unsigned long long>(r.reference_ties),
+                r.agreement(), gate, r.agreement() >= gate ? "PASS" : "FAIL");
+  };
+  print_rank("f32", rank_f32, kF32RankGate);
+  print_rank("bf16", rank_bf16, kBf16RankGate);
+
+  // Objective-at-budget: identical SA schedule/seed on each tier's oracle;
+  // trajectories may diverge (accept decisions compare tier objectives)
+  // but the achieved objective must not.
+  optim::SaConfig sa;
+  sa.max_steps = 2000;
+  sa.seed = 404;
+  const auto initial = optim::initial_placement(system);
+  core::Surrogate sur_f64(fused);
+  optim::SurrogateEvaluator eval_f64(sur_f64);
+  const auto sa_f64 = optim::anneal(system, initial, eval_f64, sa);
+  core::Surrogate sur_f32(model_f32);
+  optim::SurrogateEvaluator eval_f32(sur_f32);
+  const auto sa_f32 = optim::anneal(system, initial, eval_f32, sa);
+  // Both tiers' best placements are re-scored by the f64 oracle so the
+  // comparison measures search quality, not the tiers' score offsets.
+  const double sa_f32_rescored =
+      eval_f64.total_throughput(system, sa_f32.best);
+  const double sa_rel_diff =
+      std::abs(sa_f32_rescored - sa_f64.best_objective) /
+      std::abs(sa_f64.best_objective);
+  const bool sa_pass = sa_rel_diff <= kSaObjectiveBand;
+  std::printf("\nSA objective at %d steps (f64-rescored best placements)\n",
+              sa.max_steps);
+  std::printf("  f64 oracle %.6f | f32 oracle %.6f | rel diff %.4f "
+              "(band %.2f) %s\n",
+              sa_f64.best_objective, sa_f32_rescored, sa_rel_diff,
+              kSaObjectiveBand, sa_pass ? "PASS" : "FAIL");
+
+  const bool gate_pass = rank_f32.agreement() >= kF32RankGate &&
+                         rank_bf16.agreement() >= kBf16RankGate && sa_pass;
+
   support::Json::Object doc;
   support::Json::Object config;
   config["hidden"] = cfg.hidden;
@@ -318,8 +484,43 @@ int main() {
   e2e["speedup"] = e2e_batched / e2e_scalar;
   doc["end_to_end"] = std::move(e2e);
 
+  support::Json::Object rp;
+  rp["f32_single_stream_placements_per_s"] = f32_single_rate;
+  rp["f32_single_stream_vs_f64"] = f32_single_rate / fused_rate;
+  rp["f32_batched"] = std::move(f32_batch_rows);
+  rp["f32_b32_vs_f64_b32_speedup"] = f32_vs_f64_b32;
+  const auto rank_json = [](const gnn::RankAgreement& r, double gate) {
+    support::Json::Object o;
+    o["concordant"] = static_cast<double>(r.concordant);
+    o["discordant"] = static_cast<double>(r.discordant);
+    o["reference_ties"] = static_cast<double>(r.reference_ties);
+    o["agreement"] = r.agreement();
+    o["threshold"] = gate;
+    o["pass"] = r.agreement() >= gate;
+    return o;
+  };
+  rp["rank_sample_placements"] = kRankSample;
+  rp["rank_f32"] = rank_json(rank_f32, kF32RankGate);
+  rp["rank_bf16"] = rank_json(rank_bf16, kBf16RankGate);
+  support::Json::Object sa_doc;
+  sa_doc["steps"] = sa.max_steps;
+  sa_doc["f64_best_objective"] = sa_f64.best_objective;
+  sa_doc["f32_best_objective_rescored_f64"] = sa_f32_rescored;
+  sa_doc["rel_diff"] = sa_rel_diff;
+  sa_doc["band"] = kSaObjectiveBand;
+  sa_doc["pass"] = sa_pass;
+  rp["sa_objective_at_budget"] = std::move(sa_doc);
+  rp["gate_pass"] = gate_pass;
+  doc["reduced_precision"] = std::move(rp);
+  doc["traffic"] = std::move(traffic_rows);
+
   std::ofstream out(out_path);
   out << support::Json(std::move(doc)).dump(2) << "\n";
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (!gate_pass) {
+    std::printf("RANK-FIDELITY GATE FAILURE: reduced tier regressed beyond "
+                "the committed thresholds\n");
+    return 1;
+  }
   return 0;
 }

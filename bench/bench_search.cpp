@@ -21,6 +21,8 @@
 //   CHAINNET_SEARCH_PROBLEMS  Table-VII problems beside the case study
 //                             (default 2)
 //   CHAINNET_SEARCH_OUT       output JSON path (default BENCH_search.json)
+//   CHAINNET_DTYPE            numeric tier for the surrogate oracle
+//                             (f64 | f32 | bf16, default f64)
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +38,7 @@
 #include "support/json.h"
 #include "support/rng.h"
 #include "support/table.h"
+#include "tensor/dtype.h"
 #include "tensor/serialize.h"
 
 namespace {
@@ -133,6 +136,7 @@ int main() {
     core::ChainNetConfig cfg;
     cfg.hidden = bench::scale().hidden;
     cfg.iterations = bench::scale().chainnet_iterations;
+    cfg.dtype = tensor::dtype_from_env(tensor::DType::kF64);
     factory = [models, cfg, weights](
                   support::Rng) -> std::unique_ptr<optim::PlacementEvaluator> {
       support::Rng init_rng(1);
@@ -294,6 +298,8 @@ int main() {
   support::Json::Object config;
   config["scale"] = bench::scale().name;
   config["oracle"] = oracle;
+  config["dtype"] = std::string(tensor::dtype_name(
+      tensor::dtype_from_env(tensor::DType::kF64)));
   config["threads"] = threads;
   config["population"] = population;
   config["budget_seconds"] = budget;

@@ -13,6 +13,7 @@
 #include "core/chainnet.h"
 #include "gnn/baselines.h"
 #include "support/rng.h"
+#include "tensor/dtype.h"
 #include "tensor/serialize.h"
 
 namespace chainnet::bench {
@@ -205,10 +206,14 @@ std::uint64_t name_seed(const std::string& name) {
 std::unique_ptr<gnn::GraphModel> build_model(const std::string& name) {
   Rng rng(name_seed(name));
   const auto& sc = scale();
+  // CHAINNET_DTYPE selects the numeric tier for every bench surrogate;
+  // training/eval of the model is unaffected (the master weights stay f64).
+  const tensor::DType tier = tensor::dtype_from_env(tensor::DType::kF64);
 
   const auto chainnet_with = [&](core::ChainNetConfig cfg) {
     cfg.hidden = sc.hidden;
     cfg.iterations = sc.chainnet_iterations;
+    cfg.dtype = tier;
     return std::make_unique<core::ChainNet>(cfg, rng);
   };
   if (name == "chainnet" || name == "chainnet_search") {
@@ -220,18 +225,21 @@ std::unique_ptr<gnn::GraphModel> build_model(const std::string& name) {
     core::ChainNetConfig cfg;
     cfg.hidden = std::max(4, sc.hidden / 2);
     cfg.iterations = sc.chainnet_iterations;
+    cfg.dtype = tier;
     return std::make_unique<core::ChainNet>(cfg, rng);
   }
   if (name == "chainnet_half_iters") {
     core::ChainNetConfig cfg;
     cfg.hidden = sc.hidden;
     cfg.iterations = std::max(1, sc.chainnet_iterations / 2);
+    cfg.dtype = tier;
     return std::make_unique<core::ChainNet>(cfg, rng);
   }
   if (name == "chainnet_single_iter") {
     core::ChainNetConfig cfg;
     cfg.hidden = sc.hidden;
     cfg.iterations = 1;
+    cfg.dtype = tier;
     return std::make_unique<core::ChainNet>(cfg, rng);
   }
   if (name == "chainnet_alpha") {

@@ -42,11 +42,16 @@ CHAINNET_INTERPRET=1 ctest --test-dir build \
   -R '(chainnet_inference|chainnet_batch)_test' --output-on-failure "$@"
 
 echo
-echo "== bench_infer smoke (plan/batched/fused parity gate) =="
+echo "== bench_infer smoke (parity + rank-fidelity gates) =="
 # bench_infer refuses to emit numbers unless the fused + batched paths
 # reproduce the reference forward bit-for-bit and plan replay reproduces
 # the interpreted walk, so a short run doubles as a parity check on the
-# exact host ISA tier in use.
+# exact host ISA tier in use. The same run evaluates the reduced-precision
+# tiers (f32, bf16 storage) against the f64 oracle: pairwise rank agreement
+# over sampled neighbor sets plus an SA objective-at-budget comparison,
+# exiting nonzero if either falls past the committed thresholds — so a
+# kernel or packing change that silently reorders placements fails here,
+# not in production search.
 CHAINNET_INFER_SECONDS=0.05 \
 CHAINNET_INFER_OUT=build/BENCH_infer_smoke.json \
   ./build/bench/bench_infer

@@ -824,6 +824,7 @@ struct ChainNet::Impl : Module {
     shape.attention_heads = config.attention_heads;
     shape.modified_outputs = config.modified_outputs;
     shape.attention_aggregation = config.attention_aggregation;
+    shape.dtype = config.dtype;
     return shape;
   }
 
@@ -914,10 +915,10 @@ struct ChainNet::Impl : Module {
     }
   }
 
-  void fit_arena(std::int64_t doubles) {
+  void fit_arena(std::int64_t elems) {
     // Grow-only: alternating widths through one model must not thrash.
-    if (px_.arena.size() < static_cast<std::size_t>(doubles)) {
-      px_.arena.resize(static_cast<std::size_t>(doubles));
+    if (px_.arena.size() < static_cast<std::size_t>(elems)) {
+      px_.arena.resize(static_cast<std::size_t>(elems));
     }
   }
 
@@ -926,7 +927,7 @@ struct ChainNet::Impl : Module {
     const gnn::Plan& p = *plan;
     const gnn::PlanLayout& L = p.layout;
     const auto h = static_cast<std::size_t>(config.hidden);
-    fit_arena(p.meta.scratch_doubles);
+    fit_arena(p.meta.scratch_elems);
     double* A = px_.arena.data();
     const std::span<double> m_c(A + L.m_c, 2 * h);
     std::vector<gnn::ChainValues> outputs(
@@ -1089,7 +1090,7 @@ struct ChainNet::Impl : Module {
     const std::size_t M = S * B;
     const bool use_attention = config.attention_aggregation && px_.any_multi;
     const double head_scale = 1.0 / static_cast<double>(attention.size());
-    fit_arena(p.meta.scratch_doubles);
+    fit_arena(p.meta.scratch_elems);
     double* A = px_.arena.data();
     std::vector<std::vector<gnn::ChainValues>> outputs(B);
     for (std::size_t b = 0; b < B; ++b) outputs[b].resize(C);
@@ -1309,6 +1310,507 @@ struct ChainNet::Impl : Module {
     }
     return outputs;
   }
+
+  // ------------------------------------------------------------------
+  // Reduced-precision replay tier (DESIGN.md §15). replay_scalar_f32 /
+  // replay_batch_f32 are line-for-line float mirrors of the f64 executors
+  // above — deliberately duplicated rather than templated so the f64 path
+  // stays textually untouched (its bit-identity to the pre-tier engine is
+  // part of the serving contract). Differences from the f64 mirrors:
+  //  * all arithmetic and storage is float; weights come from the lazily
+  //    converted caches (nn.h) and the per-head caches below, bf16-rounded
+  //    when config.dtype is kBf16 (weights only — activations and graph
+  //    features stay plain f32);
+  //  * the tier always dispatches the fused kernel table (there is no
+  //    pre-fusion f32 reference path; within-tier parity is pinned by
+  //    kernels_f32_test instead);
+  //  * outputs widen to double only at the ChainValues boundary.
+  // The tier is gated on ranking fidelity against f64, not bit parity
+  // (bench_infer rank gate).
+
+  using VecF = std::vector<float>;
+
+  /// Lazily converted f32 copy of one attention parameter, version-checked
+  /// like the nn-layer weight caches.
+  struct VarF32 {
+    VecF data;
+    std::uint64_t version = 0;
+    DType storage = DType::kF32;
+    bool ready = false;
+  };
+  /// Per-head caches, ordered [w_att, alpha, w_msg] like AttentionHead.
+  std::vector<std::array<VarF32, 3>> attention_f32_;
+
+  const float* var_f32(const Var& v, VarF32& cache) {
+    const std::uint64_t ver = v.node().version;
+    if (cache.ready && cache.storage == config.dtype &&
+        cache.version == ver) {
+      return cache.data.data();
+    }
+    const auto src = v.value();
+    cache.data.resize(src.size());
+    if (config.dtype == DType::kBf16) {
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        cache.data[i] = bf16_round(static_cast<float>(src[i]));
+      }
+    } else {
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        cache.data[i] = static_cast<float>(src[i]);
+      }
+    }
+    cache.version = ver;
+    cache.storage = config.dtype;
+    cache.ready = true;
+    return cache.data.data();
+  }
+
+  std::array<VarF32, 3>& head_cache(std::size_t head) {
+    if (attention_f32_.size() < attention.size()) {
+      attention_f32_.resize(attention.size());
+    }
+    return attention_f32_[head];
+  }
+
+  /// f32-tier replay state: the float arena plus the scalar path's small
+  /// staging buffers. Geometry tables are dtype-independent and shared
+  /// through px_ (bind_batch).
+  struct PlanExecF32 {
+    VecF arena;
+    VecF feat;  ///< converted graph-feature staging row
+    VecF joint, act, weights, transformed;  ///< scalar attention scratch
+  };
+  PlanExecF32 pxf_;
+
+  void fit_arena_f32(std::int64_t elems) {
+    if (pxf_.arena.size() < static_cast<std::size_t>(elems)) {
+      pxf_.arena.resize(static_cast<std::size_t>(elems));
+    }
+  }
+
+  /// Graph features are published as doubles; the f32 tier narrows them on
+  /// the way into the encoders (plain round-to-nearest, never bf16).
+  std::span<const float> feat_f32(std::span<const double> src) {
+    pxf_.feat.resize(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      pxf_.feat[i] = static_cast<float>(src[i]);
+    }
+    return {pxf_.feat.data(), src.size()};
+  }
+
+  void gru_span_f32(const GruCell& cell, std::span<const float> h,
+                    std::span<const float> x, std::span<float> out) {
+    cell.forward_values(h, x, out, ws_.gru, config.dtype);
+  }
+
+  /// Float mirror of aggregate_device_messages_flat.
+  void aggregate_device_messages_flat_f32(std::span<const float> device_prev,
+                                          const float* msgs,
+                                          std::size_t count,
+                                          std::span<float> out) {
+    const std::size_t two_h = out.size();
+    if (count == 1) {
+      std::copy_n(msgs, two_h, out.data());
+      return;
+    }
+    if (!config.attention_aggregation) {
+      std::fill(out.begin(), out.end(), 0.0f);
+      for (std::size_t t = 0; t < count; ++t) {
+        const float* m = msgs + t * two_h;
+        for (std::size_t j = 0; j < two_h; ++j) out[j] += m[j];
+      }
+      const float inv = 1.0f / static_cast<float>(count);
+      for (auto& v : out) v *= inv;
+      return;
+    }
+    const std::size_t h = device_prev.size();
+    std::fill(out.begin(), out.end(), 0.0f);
+    VecF& joint = pxf_.joint;
+    VecF& act = pxf_.act;
+    VecF& weights = pxf_.weights;
+    VecF& transformed = pxf_.transformed;
+    joint.resize(3 * h);
+    act.resize(h);
+    weights.resize(count);
+    transformed.resize(two_h);
+    std::copy(device_prev.begin(), device_prev.end(), joint.begin());
+    for (std::size_t a = 0; a < attention.size(); ++a) {
+      auto& cache = head_cache(a);
+      const float* w_att = var_f32(attention[a].w_att, cache[0]);
+      const float* alpha = var_f32(attention[a].alpha, cache[1]);
+      const float* w_msg = var_f32(attention[a].w_msg, cache[2]);
+      for (std::size_t t = 0; t < count; ++t) {
+        const float* m = msgs + t * two_h;
+        std::copy_n(m, two_h, joint.begin() + static_cast<std::ptrdiff_t>(h));
+        kernels::gemv(w_att, nullptr, joint.data(), act.data(), h, 3 * h);
+        for (auto& v : act) v = v > 0.0f ? v : 0.2f * v;  // LeakyReLU(0.2)
+        float score = 0.0f;
+        for (std::size_t j = 0; j < h; ++j) score += alpha[j] * act[j];
+        weights[t] = score;
+      }
+      float max_score = weights.front();
+      for (float s : weights) max_score = std::max(max_score, s);
+      float denom = 0.0f;
+      for (auto& s : weights) {
+        s = std::exp(s - max_score);
+        denom += s;
+      }
+      const float head_scale = 1.0f / static_cast<float>(attention.size());
+      for (std::size_t t = 0; t < count; ++t) {
+        kernels::gemv(w_msg, nullptr, msgs + t * two_h, transformed.data(),
+                      two_h, two_h);
+        const float wgt = head_scale * weights[t] / denom;
+        for (std::size_t j = 0; j < two_h; ++j) {
+          out[j] += wgt * transformed[j];
+        }
+      }
+    }
+  }
+
+  std::vector<gnn::ChainValues> replay_scalar_f32(const PlacementGraph& g) {
+    const auto plan = plan_for(g, 1);
+    const gnn::Plan& p = *plan;
+    const gnn::PlanLayout& L = p.layout;
+    const auto h = static_cast<std::size_t>(config.hidden);
+    fit_arena_f32(p.meta.scratch_elems);
+    float* A = pxf_.arena.data();
+    const std::span<float> m_c(A + L.m_c, 2 * h);
+    std::vector<gnn::ChainValues> outputs(
+        static_cast<std::size_t>(g.num_chains));
+    for (const gnn::PlanOp& op : p.ops) {
+      switch (op.kind) {
+        case gnn::PlanOpKind::kEncodeService: {
+          const std::span<float> out(A + op.out, h);
+          enc_service->forward_values(
+              feat_f32(g.service_features[static_cast<std::size_t>(op.a)]),
+              out, config.dtype);
+          apply_activation_values(out, Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kEncodeFragment: {
+          const std::span<float> out(A + op.out, h);
+          enc_fragment->forward_values(
+              feat_f32(g.fragment_features[static_cast<std::size_t>(op.a)]),
+              out, config.dtype);
+          apply_activation_values(out, Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kEncodeDevices: {
+          const auto nd = static_cast<std::size_t>(g.num_devices());
+          for (std::size_t dn = 0; dn < nd; ++dn) {
+            const std::span<float> out(A + op.out + dn * h, h);
+            enc_device->forward_values(feat_f32(g.device_features[dn]), out,
+                                       config.dtype);
+            apply_activation_values(out, Activation::kTanh);
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kGruChainStep: {
+          const auto dn = static_cast<std::size_t>(
+              g.steps[static_cast<std::size_t>(op.a)].device_node);
+          std::copy_n(A + op.in1, h, m_c.data());
+          std::copy_n(A + op.aux + dn * h, h, m_c.data() + h);
+          float* sas_row = A + L.sas + static_cast<std::size_t>(op.a) * h;
+          std::copy_n(A + op.in0, h, A + L.hs);
+          gru_span_f32(*phi_c, std::span<const float>(A + L.hs, h), m_c,
+                       std::span<float>(sas_row, h));
+          std::copy_n(sas_row, h, m_c.data());
+          gru_span_f32(*phi_f, std::span<const float>(A + op.in1, h), m_c,
+                       std::span<float>(A + op.out, h));
+          break;
+        }
+        case gnn::PlanOpKind::kDevicePass: {
+          const auto nd = static_cast<std::size_t>(g.num_devices());
+          const std::span<float> m_d(A + L.m_d, 2 * h);
+          for (std::size_t dn = 0; dn < nd; ++dn) {
+            const auto& steps = g.device_node_steps[dn];
+            for (std::size_t t = 0; t < steps.size(); ++t) {
+              const auto su = static_cast<std::size_t>(steps[t]);
+              float* row = A + L.dmsgs + t * 2 * h;
+              std::copy_n(A + L.sas + su * h, h, row);
+              std::copy_n(A + op.in0 + su * h, h, row + h);
+            }
+            aggregate_device_messages_flat_f32(
+                std::span<const float>(A + op.in1 + dn * h, h), A + L.dmsgs,
+                steps.size(), m_d);
+            gru_span_f32(*phi_d,
+                         std::span<const float>(A + op.in1 + dn * h, h), m_d,
+                         std::span<float>(A + op.out + dn * h, h));
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kReadout: {
+          const auto iu = static_cast<std::size_t>(op.a);
+          const std::span<float> scalar(A + L.scalar_out, 1);
+          mlp_tput->forward_values(std::span<const float>(A + op.in0, h),
+                                   scalar, ws_.mlp, config.dtype);
+          outputs[iu].throughput = static_cast<double>(scalar[0]);
+          outputs[iu].has_throughput = true;
+          float* hl = A + L.h_latency;
+          std::fill_n(hl, h, 0.0f);
+          const auto& seq = p.key.topology.sequences[iu];
+          for (int s : seq) {
+            const float* f = A + op.in1 + static_cast<std::size_t>(s) * h;
+            for (std::size_t j = 0; j < h; ++j) hl[j] += f[j];
+          }
+          if (config.modified_outputs) {
+            const float inv = 1.0f / static_cast<float>(seq.size());
+            for (std::size_t j = 0; j < h; ++j) hl[j] *= inv;
+          }
+          mlp_latency->forward_values(std::span<const float>(hl, h), scalar,
+                                      ws_.mlp, config.dtype);
+          outputs[iu].latency = static_cast<double>(scalar[0]);
+          outputs[iu].has_latency = true;
+          break;
+        }
+        default:
+          throw std::logic_error("batch op in a width-1 plan");
+      }
+    }
+    return outputs;
+  }
+
+  std::vector<std::vector<gnn::ChainValues>> replay_batch_f32(
+      std::span<const PlacementGraph* const> graphs) {
+    const std::size_t B = graphs.size();
+    const PlacementGraph& g0 = *graphs.front();
+    const auto plan = plan_for(g0, static_cast<int>(B));
+    const gnn::Plan& p = *plan;
+    const gnn::PlanLayout& L = p.layout;
+    bind_batch(graphs);
+    const auto h = static_cast<std::size_t>(config.hidden);
+    const auto C = static_cast<std::size_t>(g0.num_chains);
+    const auto S = static_cast<std::size_t>(g0.num_fragments());
+    const std::size_t hW = h * B;
+    const auto D = static_cast<std::size_t>(px_.device_offset[B]);
+    const std::size_t M = S * B;
+    const bool use_attention = config.attention_aggregation && px_.any_multi;
+    const float head_scale = 1.0f / static_cast<float>(attention.size());
+    fit_arena_f32(p.meta.scratch_elems);
+    float* A = pxf_.arena.data();
+    std::vector<std::vector<gnn::ChainValues>> outputs(B);
+    for (std::size_t b = 0; b < B; ++b) outputs[b].resize(C);
+    for (const gnn::PlanOp& op : p.ops) {
+      switch (op.kind) {
+        case gnn::PlanOpKind::kBatchEncodeService: {
+          float* enc_in = A + L.enc_in;
+          const auto iu = static_cast<std::size_t>(op.a);
+          const std::size_t dim = g0.service_features[iu].size();
+          for (std::size_t f = 0; f < dim; ++f) {
+            for (std::size_t b = 0; b < B; ++b) {
+              enc_in[f * B + b] =
+                  static_cast<float>(graphs[b]->service_features[iu][f]);
+            }
+          }
+          enc_service->forward_values_batch(enc_in, A + op.out, B,
+                                            config.dtype);
+          apply_activation_values(std::span<float>(A + op.out, hW),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchEncodeFragment: {
+          float* enc_in = A + L.enc_in;
+          const auto su = static_cast<std::size_t>(op.a);
+          const std::size_t dim = g0.fragment_features[su].size();
+          for (std::size_t f = 0; f < dim; ++f) {
+            for (std::size_t b = 0; b < B; ++b) {
+              enc_in[f * B + b] =
+                  static_cast<float>(graphs[b]->fragment_features[su][f]);
+            }
+          }
+          enc_fragment->forward_values_batch(enc_in, A + op.out, B,
+                                             config.dtype);
+          apply_activation_values(std::span<float>(A + op.out, hW),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchEncodeDevices: {
+          float* enc_in = A + L.enc_in;
+          for (std::size_t b = 0; b < B; ++b) {
+            const auto& g = *graphs[b];
+            for (int dn = 0; dn < g.num_devices(); ++dn) {
+              const std::size_t col =
+                  static_cast<std::size_t>(px_.device_offset[b] + dn);
+              for (std::size_t f = 0; f < g.device_features[dn].size();
+                   ++f) {
+                enc_in[f * D + col] =
+                    static_cast<float>(g.device_features[dn][f]);
+              }
+            }
+          }
+          enc_device->forward_values_batch(enc_in, A + op.out, D,
+                                           config.dtype);
+          apply_activation_values(std::span<float>(A + op.out, h * D),
+                                  Activation::kTanh);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGruChainStep: {
+          const auto su = static_cast<std::size_t>(op.a);
+          float* m_c = A + L.m_c;
+          std::copy_n(A + op.in1, hW, m_c);
+          const int* cols = px_.device_col.data() + su * B;
+          for (std::size_t r = 0; r < h; ++r) {
+            const float* src = A + op.aux + r * D;
+            float* dst = m_c + (h + r) * B;
+            for (std::size_t b = 0; b < B; ++b) dst[b] = src[cols[b]];
+          }
+          float* sas_row = A + L.sas + su * hW;
+          std::copy_n(A + op.in0, hW, A + L.hs);
+          phi_c->forward_values_batch(A + L.hs, m_c, sas_row, B, bws_.gru,
+                                      config.dtype);
+          std::copy_n(sas_row, hW, m_c);
+          phi_f->forward_values_batch(A + op.in1, m_c, A + op.out, B,
+                                      bws_.gru, config.dtype);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGatherMessages: {
+          const float* sas = A + L.sas;
+          const float* fr = A + op.in0;
+          for (std::size_t r = 0; r < h; ++r) {
+            float* top = A + L.messages + r * M;
+            float* bot = A + L.messages + (h + r) * M;
+            for (std::size_t m = 0; m < M; ++m) {
+              const auto step = static_cast<std::size_t>(px_.msg_step[m]);
+              const std::size_t idx =
+                  r * B + static_cast<std::size_t>(px_.msg_b[m]);
+              top[m] = sas[step * hW + idx];
+              bot[m] = fr[step * hW + idx];
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAggregateInit: {
+          for (const BatchWorkspace::Group& grp : px_.groups) {
+            float* dst = A + L.m_d + grp.col;
+            if (grp.count == 1) {
+              const float* src = A + L.messages + grp.start;
+              for (std::size_t r = 0; r < 2 * h; ++r) dst[r * D] = src[r * M];
+            } else if (!config.attention_aggregation) {
+              const float inv = 1.0f / static_cast<float>(grp.count);
+              for (std::size_t r = 0; r < 2 * h; ++r) {
+                const float* src = A + L.messages + r * M + grp.start;
+                float acc = 0.0f;
+                for (int t = 0; t < grp.count; ++t) acc += src[t];
+                dst[r * D] = acc * inv;
+              }
+            } else {
+              for (std::size_t r = 0; r < 2 * h; ++r) dst[r * D] = 0.0f;
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAttentionJoints: {
+          if (!use_attention) break;
+          for (std::size_t r = 0; r < h; ++r) {
+            const float* src = A + op.in1 + r * D;
+            float* dst = A + L.joints + r * M;
+            for (std::size_t m = 0; m < M; ++m) {
+              dst[m] = src[px_.msg_col[m]];
+            }
+          }
+          std::copy_n(A + L.messages, 2 * h * M, A + L.joints + h * M);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchAttentionHead: {
+          if (!use_attention) break;
+          const auto a = static_cast<std::size_t>(op.a);
+          auto& cache = head_cache(a);
+          const float* w_att = var_f32(attention[a].w_att, cache[0]);
+          const float* alpha = var_f32(attention[a].alpha, cache[1]);
+          const float* w_msg = var_f32(attention[a].w_msg, cache[2]);
+          float* att_act = A + L.att_act;
+          float* scores = A + L.scores;
+          kernels::gemm(w_att, nullptr, A + L.joints, att_act, h, 3 * h, M);
+          for (std::size_t j = 0; j < h * M; ++j) {
+            att_act[j] = att_act[j] > 0.0f ? att_act[j] : 0.2f * att_act[j];
+          }
+          std::fill_n(scores, M, 0.0f);
+          for (std::size_t j = 0; j < h; ++j) {
+            const float av = alpha[j];
+            const float* row = att_act + j * M;
+            for (std::size_t m = 0; m < M; ++m) scores[m] += av * row[m];
+          }
+          kernels::gemm(w_msg, nullptr, A + L.messages, A + L.transformed,
+                        2 * h, 2 * h, M);
+          for (const BatchWorkspace::Group& grp : px_.groups) {
+            if (grp.count <= 1) continue;
+            float* sc = scores + grp.start;
+            float max_score = sc[0];
+            for (int t = 0; t < grp.count; ++t) {
+              max_score = std::max(max_score, sc[t]);
+            }
+            float denom = 0.0f;
+            for (int t = 0; t < grp.count; ++t) {
+              sc[t] = std::exp(sc[t] - max_score);
+              denom += sc[t];
+            }
+            float* dst = A + L.m_d + grp.col;
+            for (int t = 0; t < grp.count; ++t) {
+              const float wgt = head_scale * sc[t] / denom;
+              const float* src = A + L.transformed + grp.start +
+                                 static_cast<std::size_t>(t);
+              for (std::size_t r = 0; r < 2 * h; ++r) {
+                dst[r * D] += wgt * src[r * M];
+              }
+            }
+          }
+          break;
+        }
+        case gnn::PlanOpKind::kBatchGruDevice: {
+          phi_d->forward_values_batch(A + op.in0, A + L.m_d, A + op.out, D,
+                                      bws_.gru, config.dtype);
+          break;
+        }
+        case gnn::PlanOpKind::kBatchReadout: {
+          const std::size_t CB = C * B;
+          float* ro_in = A + L.readout_in;
+          float* ro_out = A + L.readout_out;
+          for (std::size_t i = 0; i < C; ++i) {
+            const float* src = A + p.chain_final[i];
+            for (std::size_t r = 0; r < h; ++r) {
+              std::copy_n(src + r * B, B, ro_in + r * CB + i * B);
+            }
+          }
+          mlp_tput->forward_values_batch(ro_in, ro_out, CB, bws_.mlp,
+                                         config.dtype);
+          for (std::size_t i = 0; i < C; ++i) {
+            for (std::size_t b = 0; b < B; ++b) {
+              outputs[b][i].throughput =
+                  static_cast<double>(ro_out[i * B + b]);
+              outputs[b][i].has_throughput = true;
+            }
+          }
+          for (std::size_t i = 0; i < C; ++i) {
+            const auto& seq = p.key.topology.sequences[i];
+            for (std::size_t r = 0; r < h; ++r) {
+              float* dst = ro_in + r * CB + i * B;
+              std::fill_n(dst, B, 0.0f);
+              for (int s : seq) {
+                const float* f =
+                    A + op.in1 + static_cast<std::size_t>(s) * hW + r * B;
+                for (std::size_t b = 0; b < B; ++b) dst[b] += f[b];
+              }
+              if (config.modified_outputs) {
+                const float inv = 1.0f / static_cast<float>(seq.size());
+                for (std::size_t b = 0; b < B; ++b) dst[b] *= inv;
+              }
+            }
+          }
+          mlp_latency->forward_values_batch(ro_in, ro_out, CB, bws_.mlp,
+                                            config.dtype);
+          for (std::size_t i = 0; i < C; ++i) {
+            for (std::size_t b = 0; b < B; ++b) {
+              outputs[b][i].latency = static_cast<double>(ro_out[i * B + b]);
+              outputs[b][i].has_latency = true;
+            }
+          }
+          break;
+        }
+        default:
+          throw std::logic_error("scalar op in a batched plan");
+      }
+    }
+    return outputs;
+  }
 };
 
 namespace {
@@ -1337,7 +1839,12 @@ std::vector<ChainOutput> ChainNet::forward(const PlacementGraph& g) {
 
 std::vector<gnn::ChainValues> ChainNet::forward_values(
     const PlacementGraph& g) {
+  // The interpreted reference walk is f64-only: CHAINNET_INTERPRET forces
+  // the full-precision reference regardless of the configured tier.
   if (interpret_env()) return impl_->run_values_interpreted(g);
+  if (impl_->config.dtype != tensor::DType::kF64) {
+    return impl_->replay_scalar_f32(g);
+  }
   return impl_->replay_scalar(g);
 }
 
@@ -1346,6 +1853,10 @@ std::vector<std::vector<gnn::ChainValues>> ChainNet::forward_values_batch(
   gnn::validate_same_system_batch(graphs);
   if (interpret_env()) return impl_->run_values_batch_interpreted(graphs);
   // Width 1 is exactly the scalar plan; skip the batch binding.
+  if (impl_->config.dtype != tensor::DType::kF64) {
+    if (graphs.size() == 1) return {impl_->replay_scalar_f32(*graphs.front())};
+    return impl_->replay_batch_f32(graphs);
+  }
   if (graphs.size() == 1) return {impl_->replay_scalar(*graphs.front())};
   return impl_->replay_batch(graphs);
 }
@@ -1370,6 +1881,8 @@ void ChainNet::set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) {
 std::shared_ptr<gnn::PlanCache> ChainNet::plan_cache() const {
   return impl_->plan_cache_;
 }
+
+tensor::DType ChainNet::dtype() const { return impl_->config.dtype; }
 
 FeatureMode ChainNet::feature_mode() const {
   return impl_->config.modified_inputs ? FeatureMode::kModified

@@ -42,6 +42,13 @@ struct ChainNetConfig {
   /// bit-parity oracle and the bench_infer baseline; numerically the two
   /// are identical (same per-element accumulation order).
   bool fused_kernels = true;
+  /// Numeric tier for the inference-only paths (tensor/dtype.h). kF64
+  /// replays plans in double — bit-identical to the pre-tier engine and to
+  /// the interpreted walk. kF32/kBf16 replay through the f32 kernel table
+  /// over lazily converted weight caches; those tiers are gated on ranking
+  /// fidelity, not bit parity (DESIGN.md §15). Training (forward()) and
+  /// the interpreted reference always run in f64 regardless.
+  tensor::DType dtype = tensor::DType::kF64;
 
   static ChainNetConfig paper() {
     ChainNetConfig c;
@@ -107,6 +114,9 @@ class ChainNet final : public gnn::GraphModel {
   /// the new cache.
   void set_plan_cache(std::shared_ptr<gnn::PlanCache> cache) override;
   std::shared_ptr<gnn::PlanCache> plan_cache() const override;
+
+  /// The configured numeric tier (ChainNetConfig::dtype).
+  tensor::DType dtype() const override;
 
   edge::FeatureMode feature_mode() const override;
   bool ratio_outputs() const override;

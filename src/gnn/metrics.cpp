@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace chainnet::gnn {
 
@@ -101,6 +102,39 @@ std::vector<GroupedBox> group_by(const std::vector<ChainError>& errors,
     result.push_back(box);
   }
   return result;
+}
+
+RankAgreement pairwise_rank_agreement(std::span<const double> reference,
+                                      std::span<const double> candidate,
+                                      double tie_eps) {
+  if (reference.size() != candidate.size()) {
+    throw std::invalid_argument(
+        "pairwise_rank_agreement: reference has " +
+        std::to_string(reference.size()) + " scores but candidate has " +
+        std::to_string(candidate.size()));
+  }
+  RankAgreement out;
+  for (std::size_t i = 0; i + 1 < reference.size(); ++i) {
+    for (std::size_t j = i + 1; j < reference.size(); ++j) {
+      const double rd = reference[i] - reference[j];
+      const double scale =
+          std::max(std::abs(reference[i]), std::abs(reference[j]));
+      if (std::abs(rd) <= tie_eps * scale) {
+        ++out.reference_ties;
+        continue;
+      }
+      // Comparable: the reference strictly prefers one side. A candidate
+      // tie counts as discordant — the tier collapsed a real distinction,
+      // which is exactly the failure the search loops care about.
+      const double cd = candidate[i] - candidate[j];
+      if ((rd > 0.0 && cd > 0.0) || (rd < 0.0 && cd < 0.0)) {
+        ++out.concordant;
+      } else {
+        ++out.discordant;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace chainnet::gnn

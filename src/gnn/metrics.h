@@ -1,8 +1,12 @@
 // Prediction-quality metrics of §VIII-B1: per-chain absolute percentage
 // error (APE), its distribution percentiles (Table V), MAPE (Fig. 11,
-// Table VI), and grouped box summaries (Fig. 12).
+// Table VI), and grouped box summaries (Fig. 12), plus the pairwise
+// rank-agreement metric that gates the reduced-precision inference tiers
+// (DESIGN.md §15).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gnn/dataset.h"
@@ -58,5 +62,43 @@ enum class GroupKey { kNumNodes, kNumChains };
 
 std::vector<GroupedBox> group_by(const std::vector<ChainError>& errors,
                                  GroupKey key, int buckets);
+
+/// Pairwise rank agreement between a reference scoring and a candidate
+/// scoring of the same items (a Kendall-tau-style concordance fraction).
+///
+/// The search loops that consume the surrogate never use its absolute
+/// values — SA/population moves only compare *neighboring placements* —
+/// so the fidelity bar for a reduced-precision tier is that it orders
+/// pairs the way the f64 reference does. A pair (i, j) is *comparable*
+/// when the reference separates it by more than a relative tie tolerance;
+/// comparable pairs where the candidate preserves the strict order count
+/// as concordant, every other comparable pair (flipped OR collapsed to a
+/// candidate tie) as discordant. Reference ties are skipped: the reference
+/// itself expresses no preference there, so either order is acceptable.
+struct RankAgreement {
+  std::uint64_t concordant = 0;   ///< comparable pairs ordered identically
+  std::uint64_t discordant = 0;   ///< comparable pairs flipped or collapsed
+  std::uint64_t reference_ties = 0;  ///< pairs skipped (no strict ref order)
+
+  std::uint64_t comparable() const { return concordant + discordant; }
+  /// concordant / comparable; 1.0 when nothing is comparable (a reference
+  /// with no strict preferences cannot be contradicted).
+  double agreement() const {
+    const std::uint64_t pairs = comparable();
+    return pairs == 0 ? 1.0
+                      : static_cast<double>(concordant) /
+                            static_cast<double>(pairs);
+  }
+};
+
+/// All-pairs rank agreement over two equal-length score lists. Two
+/// reference scores tie when |r_i - r_j| <= tie_eps * max(|r_i|, |r_j|)
+/// (relative, so the metric is scale-invariant; tie_eps = 0 makes every
+/// non-identical pair comparable). Throws std::invalid_argument on length
+/// mismatch. O(n^2) — intended for the bench-sized neighbor samples
+/// (hundreds of placements), not datasets.
+RankAgreement pairwise_rank_agreement(std::span<const double> reference,
+                                      std::span<const double> candidate,
+                                      double tie_eps = 1e-9);
 
 }  // namespace chainnet::gnn

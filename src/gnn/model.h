@@ -83,6 +83,11 @@ class GraphModel : public tensor::Module {
   /// without a compiled executor.
   virtual std::shared_ptr<PlanCache> plan_cache() const { return nullptr; }
 
+  /// Numeric tier the inference-only paths run on (tensor/dtype.h).
+  /// Default kF64; ChainNet reports its configured tier so surrogates,
+  /// EvalService owners, and the serve stats can expose it.
+  virtual tensor::DType dtype() const { return tensor::DType::kF64; }
+
   /// Feature variant this model consumes (Table II "md" vs "ori").
   virtual edge::FeatureMode feature_mode() const = 0;
   /// Whether outputs are the (0,1) ratios of Table II.

@@ -37,9 +37,12 @@ std::string Plan::dump() const {
   out += " iterations=" + std::to_string(meta.iterations);
   out += " heads=" + std::to_string(key.shape.attention_heads);
   out += key.shape.attention_aggregation ? " attention=on" : " attention=off";
-  out += "\nscratch: " + std::to_string(meta.scratch_doubles) + " doubles (" +
-         std::to_string(meta.scratch_doubles *
-                        static_cast<std::int64_t>(sizeof(double))) +
+  out += " dtype=";
+  out += tensor::dtype_name(key.shape.dtype);
+  out += "\nscratch: " + std::to_string(meta.scratch_elems) + " elems (" +
+         std::to_string(meta.scratch_elems *
+                        static_cast<std::int64_t>(
+                            tensor::dtype_element_bytes(key.shape.dtype))) +
          " bytes), dev_cap=" + std::to_string(meta.dev_cap) +
          ", ops=" + std::to_string(ops.size());
   out += "\nfingerprint: " + std::to_string(fingerprint) + "\n";
@@ -82,7 +85,8 @@ std::uint64_t fingerprint_of(int num_chains,
   fnv_mix(fp, static_cast<std::uint64_t>(shape.iterations));
   fnv_mix(fp, static_cast<std::uint64_t>(shape.attention_heads));
   fnv_mix(fp, (shape.modified_outputs ? 2ULL : 0ULL) |
-                  (shape.attention_aggregation ? 1ULL : 0ULL));
+                  (shape.attention_aggregation ? 1ULL : 0ULL) |
+                  (static_cast<std::uint64_t>(shape.dtype) << 2));
   fnv_mix(fp, static_cast<std::uint64_t>(num_chains));
   for (const auto& seq : sequences) {
     fnv_mix(fp, static_cast<std::uint64_t>(seq.size()));

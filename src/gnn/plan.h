@@ -27,12 +27,13 @@
 #include <vector>
 
 #include "edge/graph.h"
+#include "tensor/dtype.h"
 
 namespace chainnet::gnn {
 
 /// One executable op of a compiled plan. Offsets index the plan's arena
-/// (in doubles); -1 marks an unused field. Field roles per kind are
-/// documented at the emission site in plan_compiler.cpp.
+/// (in elements of the plan's dtype); -1 marks an unused field. Field
+/// roles per kind are documented at the emission site in plan_compiler.cpp.
 enum class PlanOpKind : std::uint8_t {
   // Scalar (width-1) executor.
   kEncodeService,    ///< a=chain, out=service row
@@ -82,13 +83,19 @@ struct PlanTopology {
 /// op list or the arena layout. modified_inputs and fused_kernels are
 /// deliberately absent — the former only selects graph features, the
 /// latter only which kernel a replayed op dispatches to; neither changes
-/// plan structure, so models differing only there share plans.
+/// plan structure, so models differing only there share plans. dtype IS
+/// part of the key even though the op list is dtype-invariant: the replay
+/// executors size and type their arena by it (offsets are element-indexed,
+/// elements are 8 or 4 bytes), so an f32 model must never replay through a
+/// plan another model compiled as f64 — one compile per dtype, no
+/// cross-dtype reuse (pinned by plan_test).
 struct PlanShape {
   int hidden = 0;
   int iterations = 0;
   int attention_heads = 0;
   bool modified_outputs = true;
   bool attention_aggregation = true;
+  tensor::DType dtype = tensor::DType::kF64;
 
   bool operator==(const PlanShape& other) const = default;
 };
@@ -130,7 +137,9 @@ struct PlanMeta {
   int steps = 0;
   int dev_cap = 0;      ///< device-column capacity (runtime D <= dev_cap)
   int message_cap = 0;  ///< batch message columns M = steps * width
-  std::int64_t scratch_doubles = 0;  ///< arena size
+  /// Arena size in *elements* — doubles on the f64 tier, floats on the
+  /// reduced tiers (the executor multiplies by the key's element width).
+  std::int64_t scratch_elems = 0;
 };
 
 struct Plan {

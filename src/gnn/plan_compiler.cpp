@@ -209,7 +209,7 @@ std::shared_ptr<const Plan> compile_plan(const PlanKey& key) {
     }
   }
 
-  plan->meta.scratch_doubles = arena.cursor;
+  plan->meta.scratch_elems = arena.cursor;
   plan->fingerprint = plan_fingerprint(key);
   return plan;
 }

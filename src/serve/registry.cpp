@@ -6,6 +6,8 @@
 
 #include "gnn/plan.h"
 #include "support/rng.h"
+#include "tensor/dtype.h"
+#include "tensor/kernels.h"
 
 namespace chainnet::serve {
 
@@ -102,6 +104,15 @@ ModelVersionInfo ModelRegistry::load(const std::string& manifest_path) {
   core::ChainNetConfig config = defaults_;
   if (manifest.hidden > 0) config.hidden = manifest.hidden;
   if (manifest.iterations > 0) config.iterations = manifest.iterations;
+  // Validated here (not at manifest parse) so the failure carries the
+  // registry's reject-and-keep-serving semantics like a bad checksum.
+  if (!manifest.dtype.empty() &&
+      !tensor::parse_dtype(manifest.dtype, config.dtype)) {
+    throw SerializeError(SerializeErrc::kBadManifest,
+                         "manifest dtype \"" + manifest.dtype +
+                             "\" is not a known tier (accepted: f64, f32, "
+                             "bf16) in " + manifest_path);
+  }
 
   std::size_t index;
   {
@@ -145,6 +156,9 @@ ModelVersionInfo ModelRegistry::info_for(const Record& record) const {
   info.version = record.manifest.version;
   info.checksum = record.manifest.checksum;
   info.params_path = record.manifest.params_path;
+  info.dtype = record.manifest.dtype.empty()
+                   ? std::string(tensor::dtype_name(defaults_.dtype))
+                   : record.manifest.dtype;
   if (!record.explicit_state.empty()) {
     info.state = record.explicit_state;
     return info;
@@ -197,11 +211,20 @@ support::Json ModelRegistry::stats_json() const {
       active["checksum"] =
           support::Json(tensor::checksum_to_string(info.checksum));
       active["params"] = support::Json(info.params_path);
+      active["dtype"] = support::Json(info.dtype);
       doc["active"] = std::move(active);
     }
   }
   if (rows.is_null()) rows = support::Json(support::Json::Array{});
   doc["versions"] = std::move(rows);
+  // Runtime-resolved execution environment (satellite of the reduced-
+  // precision tier): which kernel ISA this process dispatches and which
+  // numeric tier a default-config model would run at.
+  support::Json runtime;
+  runtime["kernel_isa"] = support::Json(std::string(tensor::kernels::isa()));
+  runtime["dtype"] =
+      support::Json(std::string(tensor::dtype_name(defaults_.dtype)));
+  doc["runtime"] = std::move(runtime);
   const gnn::PlanCache::Stats plans = plan_cache_->stats();
   support::Json plan_stats;
   plan_stats["hits"] = support::Json(static_cast<double>(plans.hits));

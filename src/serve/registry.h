@@ -55,6 +55,7 @@ struct ModelVersionInfo {
   std::uint64_t checksum = 0;
   std::string params_path;
   std::string state;  ///< loading | active | draining | retired | failed
+  std::string dtype;  ///< effective numeric tier (manifest or server default)
 };
 
 /// One fully-built release of weights: `slots` independent model+surrogate

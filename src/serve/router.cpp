@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "edge/placement.h"
+#include "tensor/kernels.h"
 
 namespace chainnet::serve {
 
@@ -664,6 +665,12 @@ std::string Router::prometheus_text() const {
   const auto v = [](const Counter& c) {
     return static_cast<double>(c.value());
   };
+  // Build-info style gauge: the runtime-resolved kernel ISA tier of this
+  // router process, as labels on a constant-1 metric (Prometheus idiom for
+  // exposing strings).
+  append_metric(out, "chainnet_router_build_info", "gauge",
+                std::string("kernel_isa=\"") + tensor::kernels::isa() + "\"",
+                1.0);
   append_metric(out, "chainnet_router_requests_total", "counter", "",
                 v(metrics_.requests_total));
   append_metric(out, "chainnet_router_evals_routed_total", "counter", "",

@@ -21,6 +21,7 @@
 #include "edge/json_io.h"
 #include "gnn/plan.h"
 #include "serve/registry.h"
+#include "tensor/kernels.h"
 
 namespace chainnet::serve {
 
@@ -615,6 +616,14 @@ Json Server::stats_json() const {
   if (histogram.is_null()) histogram = Json(Json::Array{});
   doc["batch_size_histogram"] = std::move(histogram);
 
+  // Runtime-resolved execution environment: the kernel ISA tier this
+  // process dispatched and the numeric tier the evaluators run at.
+  {
+    Json runtime;
+    runtime["kernel_isa"] = Json(std::string(tensor::kernels::isa()));
+    runtime["dtype"] = Json(std::string(tensor::dtype_name(config_.dtype)));
+    doc["runtime"] = std::move(runtime);
+  }
   if (config_.registry) {
     doc["model"] = config_.registry->stats_json();
   }

@@ -35,6 +35,7 @@
 #include "runtime/eval_service.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
+#include "tensor/dtype.h"
 
 namespace chainnet::serve {
 
@@ -57,6 +58,11 @@ struct ServerConfig {
   /// of `stats`. The server must have been built with registry_factory
   /// evaluators for a reload to take effect.
   std::shared_ptr<ModelRegistry> registry;
+  /// Numeric tier the server's evaluators run at, reported in the `runtime`
+  /// section of `stats` alongside the dispatched kernel ISA. Informational
+  /// only (the evaluators were already built at their tier); registry-backed
+  /// servers additionally report the per-version tier under `model`.
+  tensor::DType dtype = tensor::DType::kF64;
 };
 
 class Server {

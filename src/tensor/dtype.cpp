@@ -1,0 +1,19 @@
+#include "tensor/dtype.h"
+
+#include <cstdlib>
+
+namespace chainnet::tensor {
+
+DType dtype_from_env(DType fallback) {
+  const char* env = std::getenv("CHAINNET_DTYPE");
+  if (!env || *env == '\0') return fallback;
+  DType d;
+  if (!parse_dtype(env, d)) {
+    throw std::invalid_argument("CHAINNET_DTYPE=\"" + std::string(env) +
+                                "\" is not a known dtype (accepted: f64, "
+                                "f32, bf16)");
+  }
+  return d;
+}
+
+}  // namespace chainnet::tensor

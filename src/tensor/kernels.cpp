@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "tensor/kernels_dispatch.h"
 
@@ -14,6 +16,11 @@ namespace chainnet::tensor::kernels {
 namespace detail {
 std::vector<double>& tile_scratch() {
   thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+std::vector<float>& tile_scratch_f32() {
+  thread_local std::vector<float> scratch;
   return scratch;
 }
 }  // namespace detail
@@ -178,17 +185,140 @@ void gemm(const double* w, const double* bias, const double* x, double* y,
   }
 }
 
+// ---- f32 tier, baseline regime (separate multiply and add, no FMA). ----
+//
+// Plain scalar-array tiles: this TU is compiled without -mfma, so the
+// compiler cannot contract the mul+add pairs, and auto-vectorization only
+// runs lanes across the independent per-column accumulators — no column's
+// own chain is ever reassociated. The baseline f32 tier is the portability
+// reference, not the perf target; the AVX TUs carry the fast variants.
+
+void gemv_naive(const float* w, const float* bias, const float* x, float* y,
+                std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float acc = bias ? bias[r] : 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols) {
+  std::size_t r = 0;
+  for (; r + kRowBlock <= rows; r += kRowBlock) {
+    const float* row0 = w + (r + 0) * cols;
+    const float* row1 = w + (r + 1) * cols;
+    const float* row2 = w + (r + 2) * cols;
+    const float* row3 = w + (r + 3) * cols;
+    float acc0 = bias ? bias[r + 0] : 0.0f;
+    float acc1 = bias ? bias[r + 1] : 0.0f;
+    float acc2 = bias ? bias[r + 2] : 0.0f;
+    float acc3 = bias ? bias[r + 3] : 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float xc = x[c];
+      acc0 += row0[c] * xc;
+      acc1 += row1[c] * xc;
+      acc2 += row2[c] * xc;
+      acc3 += row3[c] * xc;
+    }
+    y[r + 0] = acc0;
+    y[r + 1] = acc1;
+    y[r + 2] = acc2;
+    y[r + 3] = acc3;
+  }
+  for (; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float acc = bias ? bias[r] : 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+/// One row x one W-column tile, float flavor of gemm_row_tile: register
+/// accumulators seeded from the bias, products added in ascending c.
+template <std::size_t W>
+void gemm_row_tile_f32(const float* row, float b, const float* x, float* out,
+                       std::size_t cols, std::size_t xstride, std::size_t j) {
+  float acc[W];
+  for (std::size_t k = 0; k < W; ++k) acc[k] = b;
+  const float* xc = x;
+  for (std::size_t c = 0; c < cols; ++c, xc += xstride) {
+    const float wc = row[c];
+    for (std::size_t k = 0; k < W; ++k) acc[k] += wc * xc[k];
+  }
+  for (std::size_t k = 0; k < W; ++k) out[j + k] = acc[k];
+}
+
+void gemm(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols, std::size_t n) {
+  if (n == 1) {
+    gemv(w, bias, x, y, rows, cols);
+    return;
+  }
+  // Same ladder shape as the double gemm, one lane-width up (top tile 16
+  // columns), including the panel-tile packing once n outgrows the tile.
+  std::size_t j = 0;
+  const bool pack_tiles = n > 16;
+  if (pack_tiles) detail::tile_scratch_f32().resize(cols * 16);
+  for (; j + 16 <= n; j += 16) {
+    const float* xt = x + j;
+    std::size_t xstride = n;
+    if (pack_tiles) {
+      float* pack = detail::tile_scratch_f32().data();
+      const float* src = x + j;
+      for (std::size_t c = 0; c < cols; ++c, src += n) {
+        for (std::size_t q = 0; q < 16; ++q) pack[c * 16 + q] = src[q];
+      }
+      xt = pack;
+      xstride = 16;
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      gemm_row_tile_f32<16>(w + r * cols, bias ? bias[r] : 0.0f, xt,
+                            y + r * n, cols, xstride, j);
+    }
+  }
+  if (j + 8 <= n) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      gemm_row_tile_f32<8>(w + r * cols, bias ? bias[r] : 0.0f, x + j,
+                           y + r * n, cols, n, j);
+    }
+    j += 8;
+  }
+  if (j + 4 <= n) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      gemm_row_tile_f32<4>(w + r * cols, bias ? bias[r] : 0.0f, x + j,
+                           y + r * n, cols, n, j);
+    }
+    j += 4;
+  }
+  for (; j < n; ++j) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* row = w + r * cols;
+      float acc = bias ? bias[r] : 0.0f;
+      const float* xc = x + j;
+      for (std::size_t c = 0; c < cols; ++c, xc += n) acc += row[c] * *xc;
+      y[r * n + j] = acc;
+    }
+  }
+}
+
 }  // namespace baseline
 
-const detail::KernelTable kBaseline{baseline::gemv, baseline::gemv_naive,
-                                    baseline::gemm, "baseline"};
+const detail::KernelTable kBaseline{
+    baseline::gemv,       baseline::gemv_naive, baseline::gemm,
+    baseline::gemv,       baseline::gemv_naive, baseline::gemm,
+    "baseline"};
 
 #if defined(__x86_64__) || defined(_M_X64)
-const detail::KernelTable kAvx2{detail::avx2::gemv, detail::avx2::gemv_naive,
-                                detail::avx2::gemm, "avx2"};
-const detail::KernelTable kAvx512{detail::avx512::gemv,
-                                  detail::avx512::gemv_naive,
-                                  detail::avx512::gemm, "avx512"};
+const detail::KernelTable kAvx2{
+    detail::avx2::gemv, detail::avx2::gemv_naive, detail::avx2::gemm,
+    detail::avx2::gemv, detail::avx2::gemv_naive, detail::avx2::gemm,
+    "avx2"};
+const detail::KernelTable kAvx512{
+    detail::avx512::gemv, detail::avx512::gemv_naive, detail::avx512::gemm,
+    detail::avx512::gemv, detail::avx512::gemv_naive, detail::avx512::gemm,
+    "avx512"};
 
 const detail::KernelTable& resolve() {
   const char* forced = std::getenv("CHAINNET_KERNEL_ISA");
@@ -197,17 +327,22 @@ const detail::KernelTable& resolve() {
   const bool avx512 = avx2 && __builtin_cpu_supports("avx512f") &&
                       __builtin_cpu_supports("avx512dq");
   if (forced) {
+    validate_isa_name(forced);  // typo -> loud error, not auto-detection
     if (std::strcmp(forced, "baseline") == 0) return kBaseline;
     if (std::strcmp(forced, "avx2") == 0 && avx2) return kAvx2;
     if (std::strcmp(forced, "avx512") == 0 && avx512) return kAvx512;
-    // Unsupported request: fall through to auto-detection.
+    // Known tier the host cannot run: fall through to auto-detection.
   }
   if (avx512) return kAvx512;
   if (avx2) return kAvx2;
   return kBaseline;
 }
 #else
-const detail::KernelTable& resolve() { return kBaseline; }
+const detail::KernelTable& resolve() {
+  const char* forced = std::getenv("CHAINNET_KERNEL_ISA");
+  if (forced) validate_isa_name(forced);
+  return kBaseline;
+}
 #endif
 
 const detail::KernelTable& active() {
@@ -232,6 +367,32 @@ void gemm(const double* w, const double* bias, const double* x, double* y,
   active().gemm(w, bias, x, y, rows, cols, n);
 }
 
+void gemv(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols) {
+  active().gemv_f32(w, bias, x, y, rows, cols);
+}
+
+void gemv_naive(const float* w, const float* bias, const float* x, float* y,
+                std::size_t rows, std::size_t cols) {
+  active().gemv_naive_f32(w, bias, x, y, rows, cols);
+}
+
+void gemm(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols, std::size_t n) {
+  active().gemm_f32(w, bias, x, y, rows, cols, n);
+}
+
 const char* isa() { return active().isa; }
+
+void validate_isa_name(const char* name) {
+  if (name && (std::strcmp(name, "baseline") == 0 ||
+               std::strcmp(name, "avx2") == 0 ||
+               std::strcmp(name, "avx512") == 0)) {
+    return;
+  }
+  throw std::invalid_argument(
+      "CHAINNET_KERNEL_ISA=\"" + std::string(name ? name : "") +
+      "\" is not a known kernel ISA (accepted: baseline, avx2, avx512)");
+}
 
 }  // namespace chainnet::tensor::kernels

@@ -18,7 +18,17 @@
 // inference paths still agree bit-for-bit on any one host; absolute values
 // differ between hosts of different ISA tiers (fused vs separate rounding),
 // which the parity tests never compare. CHAINNET_KERNEL_ISA=baseline|
-// avx2|avx512 forces a (supported) tier, e.g. to cross-check tiers.
+// avx2|avx512 forces a (supported) tier, e.g. to cross-check tiers; any
+// other spelling is rejected at first kernel use (validate_isa_name).
+//
+// Every kernel has an f32 overload — the reduced-precision tier
+// (tensor/dtype.h). The f32 variants keep the exact same structure and the
+// same per-element-accumulation-order guarantee at twice the lane width
+// (16 floats per zmm vs 8 doubles), so within one ISA tier the f32 blocked
+// gemv, naive gemv, and every gemm tile width agree bit-for-bit with each
+// other — the f32 tier's internal parity oracle. f32 results are NOT
+// comparable bitwise to f64 results; that boundary is gated on ranking
+// fidelity instead (DESIGN.md §15).
 #pragma once
 
 #include <cstddef>
@@ -47,7 +57,23 @@ void gemv_naive(const double* w, const double* bias, const double* x,
 void gemm(const double* w, const double* bias, const double* x, double* y,
           std::size_t rows, std::size_t cols, std::size_t n);
 
+/// f32 tier: same contracts as the double overloads, one lane-width up.
+void gemv(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols);
+void gemv_naive(const float* w, const float* bias, const float* x, float* y,
+                std::size_t rows, std::size_t cols);
+void gemm(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
+
 /// Name of the dispatched variant: "baseline", "avx2", or "avx512".
 const char* isa();
+
+/// Throws std::invalid_argument unless `name` is one of the accepted
+/// CHAINNET_KERNEL_ISA spellings (baseline, avx2, avx512). The dispatcher
+/// calls this on a forced tier, so a typo fails loudly at first kernel use
+/// instead of silently auto-detecting; a *known* tier the host cannot run
+/// still falls back to auto-detection (documented, so cross-host scripts
+/// may pin the widest tier they hope for).
+void validate_isa_name(const char* name);
 
 }  // namespace chainnet::tensor::kernels

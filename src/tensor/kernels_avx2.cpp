@@ -10,6 +10,7 @@
 namespace chainnet::tensor::kernels::detail::avx2 {
 
 #include "tensor/kernels_simd.inc"
+#include "tensor/kernels_simd_f32.inc"
 
 }  // namespace chainnet::tensor::kernels::detail::avx2
 

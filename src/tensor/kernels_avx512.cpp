@@ -11,6 +11,7 @@
 namespace chainnet::tensor::kernels::detail::avx512 {
 
 #include "tensor/kernels_simd.inc"
+#include "tensor/kernels_simd_f32.inc"
 
 }  // namespace chainnet::tensor::kernels::detail::avx512
 

@@ -15,6 +15,10 @@ namespace chainnet::tensor::kernels::detail {
 /// contiguous buffer and the hot loop runs on sequential loads. Grow-only.
 std::vector<double>& tile_scratch();
 
+/// f32-tier counterpart of tile_scratch() (separate buffer: a thread may
+/// interleave f64 and f32 gemms, e.g. the rank-fidelity gate).
+std::vector<float>& tile_scratch_f32();
+
 struct KernelTable {
   void (*gemv)(const double*, const double*, const double*, double*,
                std::size_t, std::size_t);
@@ -22,6 +26,12 @@ struct KernelTable {
                      std::size_t, std::size_t);
   void (*gemm)(const double*, const double*, const double*, double*,
                std::size_t, std::size_t, std::size_t);
+  void (*gemv_f32)(const float*, const float*, const float*, float*,
+                   std::size_t, std::size_t);
+  void (*gemv_naive_f32)(const float*, const float*, const float*, float*,
+                         std::size_t, std::size_t);
+  void (*gemm_f32)(const float*, const float*, const float*, float*,
+                   std::size_t, std::size_t, std::size_t);
   const char* isa;
 };
 
@@ -33,6 +43,12 @@ void gemv_naive(const double* w, const double* bias, const double* x,
                 double* y, std::size_t rows, std::size_t cols);
 void gemm(const double* w, const double* bias, const double* x, double* y,
           std::size_t rows, std::size_t cols, std::size_t n);
+void gemv(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols);
+void gemv_naive(const float* w, const float* bias, const float* x, float* y,
+                std::size_t rows, std::size_t cols);
+void gemm(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
 }  // namespace avx2
 
 namespace avx512 {
@@ -41,6 +57,12 @@ void gemv(const double* w, const double* bias, const double* x, double* y,
 void gemv_naive(const double* w, const double* bias, const double* x,
                 double* y, std::size_t rows, std::size_t cols);
 void gemm(const double* w, const double* bias, const double* x, double* y,
+          std::size_t rows, std::size_t cols, std::size_t n);
+void gemv(const float* w, const float* bias, const float* x, float* y,
+          std::size_t rows, std::size_t cols);
+void gemv_naive(const float* w, const float* bias, const float* x, float* y,
+                std::size_t rows, std::size_t cols);
+void gemm(const float* w, const float* bias, const float* x, float* y,
           std::size_t rows, std::size_t cols, std::size_t n);
 }  // namespace avx512
 #endif

@@ -103,6 +103,25 @@ void raw_affine_naive(std::span<const double> w, std::span<const double> b,
 
 inline double sigmoid_value(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
+inline float sigmoid_value(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Converts a double parameter buffer to the f32 tier in place of `dst`
+/// (bf16-rounded when requested). Plain narrowing cast for kF32: the
+/// round-to-nearest double->float conversion is the tier's pack step.
+void convert_to_f32(std::span<const double> src, std::vector<float>& dst,
+                    DType storage) {
+  dst.resize(src.size());
+  if (storage == DType::kBf16) {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = bf16_round(static_cast<float>(src[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = static_cast<float>(src[i]);
+    }
+  }
+}
+
 }  // namespace
 
 void Linear::forward_values(std::span<const double> x,
@@ -116,6 +135,36 @@ void Linear::forward_values(std::span<const double> x,
 void Linear::forward_values_batch(const double* x, double* out,
                                   std::size_t n) const {
   kernels::gemm(w_.value().data(), b_.value().data(), x, out, out_, in_, n);
+}
+
+void Linear::ensure_f32(DType storage) const {
+  const std::uint64_t wv = w_.node().version;
+  const std::uint64_t bv = b_.node().version;
+  if (f32_ready_ && f32_storage_ == storage && f32_versions_[0] == wv &&
+      f32_versions_[1] == bv) {
+    return;
+  }
+  convert_to_f32(w_.value(), w_f32_, storage);
+  convert_to_f32(b_.value(), b_f32_, storage);
+  f32_versions_ = {wv, bv};
+  f32_storage_ = storage;
+  f32_ready_ = true;
+}
+
+void Linear::forward_values(std::span<const float> x, std::span<float> out,
+                            DType storage) const {
+  if (x.size() != in_ || out.size() != out_) {
+    throw std::invalid_argument("Linear::forward_values: size mismatch");
+  }
+  ensure_f32(storage);
+  kernels::gemv(w_f32_.data(), b_f32_.data(), x.data(), out.data(), out_,
+                in_);
+}
+
+void Linear::forward_values_batch(const float* x, float* out, std::size_t n,
+                                  DType storage) const {
+  ensure_f32(storage);
+  kernels::gemm(w_f32_.data(), b_f32_.data(), x, out, out_, in_, n);
 }
 
 void apply_activation_values(std::span<double> x, Activation act) {
@@ -137,6 +186,31 @@ void apply_activation_values(std::span<double> x, Activation act) {
     case Activation::kSoftplus:
       for (auto& v : x) {
         v = std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+      }
+      return;
+  }
+  throw std::logic_error("apply_activation_values: unknown activation");
+}
+
+void apply_activation_values(std::span<float> x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (auto& v : x) v = v > 0.0f ? v : 0.0f;
+      return;
+    case Activation::kTanh:
+      for (auto& v : x) v = std::tanh(v);
+      return;
+    case Activation::kSigmoid:
+      for (auto& v : x) v = sigmoid_value(v);
+      return;
+    case Activation::kLeakyRelu:
+      for (auto& v : x) v = v > 0.0f ? v : 0.01f * v;
+      return;
+    case Activation::kSoftplus:
+      for (auto& v : x) {
+        v = std::max(v, 0.0f) + std::log1p(std::exp(-std::abs(v)));
       }
       return;
   }
@@ -219,6 +293,36 @@ void Mlp::forward_values_batch(const double* x, double* out, std::size_t n,
   std::copy(s.a.begin(), s.a.end(), out);
 }
 
+void Mlp::forward_values(std::span<const float> x, std::span<float> out,
+                         Scratch& s, DType storage) const {
+  s.a_f.assign(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    s.b_f.resize(layers_[l]->out_features());
+    layers_[l]->forward_values(s.a_f, s.b_f, storage);
+    apply_activation_values(
+        std::span<float>(s.b_f),
+        l + 1 == layers_.size() ? output_ : hidden_);
+    s.a_f.swap(s.b_f);
+  }
+  if (out.size() != s.a_f.size()) {
+    throw std::invalid_argument("Mlp::forward_values: bad output size");
+  }
+  std::copy(s.a_f.begin(), s.a_f.end(), out.begin());
+}
+
+void Mlp::forward_values_batch(const float* x, float* out, std::size_t n,
+                               Scratch& s, DType storage) const {
+  s.a_f.assign(x, x + layers_.front()->in_features() * n);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    s.b_f.resize(layers_[l]->out_features() * n);
+    layers_[l]->forward_values_batch(s.a_f.data(), s.b_f.data(), n, storage);
+    apply_activation_values(std::span<float>(s.b_f),
+                            l + 1 == layers_.size() ? output_ : hidden_);
+    s.a_f.swap(s.b_f);
+  }
+  std::copy(s.a_f.begin(), s.a_f.end(), out);
+}
+
 // -------------------------------------------------------------- GruCell
 
 GruCell::GruCell(std::size_t input, std::size_t hidden, Rng& rng,
@@ -292,6 +396,30 @@ void GruCell::ensure_packed() const {
     pack_versions_[i] = params[i]->node().version;
   }
   packed_ = true;
+}
+
+void GruCell::ensure_packed_f32(DType storage) const {
+  const Var* params[12] = {&w_ir_, &w_iz_, &w_in_, &w_hr_, &w_hz_, &w_hn_,
+                           &b_ir_, &b_iz_, &b_in_, &b_hr_, &b_hz_, &b_hn_};
+  if (packed_f32_ && f32_storage_ == storage) {
+    bool stale = false;
+    for (std::size_t i = 0; i < 12; ++i) {
+      stale |= params[i]->node().version != pack_versions_f32_[i];
+    }
+    if (!stale) return;
+  }
+  // Build (or refresh) the f64 packs first, then convert: one conversion
+  // per weight regardless of which tier ran first.
+  ensure_packed();
+  convert_to_f32(wi_pack_, wi_pack_f32_, storage);
+  convert_to_f32(wh_pack_, wh_pack_f32_, storage);
+  convert_to_f32(bi_pack_, bi_pack_f32_, storage);
+  convert_to_f32(bh_pack_, bh_pack_f32_, storage);
+  for (std::size_t i = 0; i < 12; ++i) {
+    pack_versions_f32_[i] = params[i]->node().version;
+  }
+  f32_storage_ = storage;
+  packed_f32_ = true;
 }
 
 void GruCell::forward_values(std::span<const double> h,
@@ -374,6 +502,58 @@ void GruCell::forward_values_batch(const double* h, const double* x,
       const double z = sigmoid_value(giz[j] + ghz[j]);
       const double nn = std::tanh(gin[j] + r * ghn[j]);
       out[j] = (1.0 - z) * nn + z * hrow[j];
+    }
+  }
+}
+
+void GruCell::forward_values(std::span<const float> h,
+                             std::span<const float> x,
+                             std::span<float> h_out, Scratch& s,
+                             DType storage) const {
+  if (h.size() != hidden_ || x.size() != input_ || h_out.size() != hidden_) {
+    throw std::invalid_argument("GruCell::forward_values: size mismatch");
+  }
+  ensure_packed_f32(storage);
+  const std::size_t H = hidden_;
+  s.gi_f.resize(3 * H);
+  s.gh_f.resize(3 * H);
+  kernels::gemv(wi_pack_f32_.data(), bi_pack_f32_.data(), x.data(),
+                s.gi_f.data(), 3 * H, input_);
+  kernels::gemv(wh_pack_f32_.data(), bh_pack_f32_.data(), h.data(),
+                s.gh_f.data(), 3 * H, hidden_);
+  for (std::size_t i = 0; i < H; ++i) {
+    const float r = sigmoid_value(s.gi_f[i] + s.gh_f[i]);
+    const float z = sigmoid_value(s.gi_f[H + i] + s.gh_f[H + i]);
+    const float n = std::tanh(s.gi_f[2 * H + i] + r * s.gh_f[2 * H + i]);
+    h_out[i] = (1.0f - z) * n + z * h[i];
+  }
+}
+
+void GruCell::forward_values_batch(const float* h, const float* x,
+                                   float* h_out, std::size_t n, Scratch& s,
+                                   DType storage) const {
+  ensure_packed_f32(storage);
+  const std::size_t H = hidden_;
+  s.gi_f.resize(3 * H * n);
+  s.gh_f.resize(3 * H * n);
+  kernels::gemm(wi_pack_f32_.data(), bi_pack_f32_.data(), x, s.gi_f.data(),
+                3 * H, input_, n);
+  kernels::gemm(wh_pack_f32_.data(), bh_pack_f32_.data(), h, s.gh_f.data(),
+                3 * H, hidden_, n);
+  for (std::size_t i = 0; i < H; ++i) {
+    const float* gir = s.gi_f.data() + i * n;
+    const float* giz = s.gi_f.data() + (H + i) * n;
+    const float* gin = s.gi_f.data() + (2 * H + i) * n;
+    const float* ghr = s.gh_f.data() + i * n;
+    const float* ghz = s.gh_f.data() + (H + i) * n;
+    const float* ghn = s.gh_f.data() + (2 * H + i) * n;
+    const float* hrow = h + i * n;
+    float* out = h_out + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float r = sigmoid_value(gir[j] + ghr[j]);
+      const float z = sigmoid_value(giz[j] + ghz[j]);
+      const float nn = std::tanh(gin[j] + r * ghn[j]);
+      out[j] = (1.0f - z) * nn + z * hrow[j];
     }
   }
 }

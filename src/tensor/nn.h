@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "support/rng.h"
+#include "tensor/dtype.h"
 #include "tensor/variable.h"
 
 namespace chainnet::tensor {
@@ -78,12 +79,28 @@ class Linear : public Module {
   void forward_values_batch(const double* x, double* out,
                             std::size_t n) const;
 
+  /// Reduced-precision tier: same contracts on float panels, using a
+  /// lazily cached f32 copy of W/b (bf16-rounded when `storage` is kBf16 —
+  /// weights only; activations stay plain f32). The cache re-converts when
+  /// a parameter's node version moves, like GruCell's packed blocks.
+  void forward_values(std::span<const float> x, std::span<float> out,
+                      DType storage) const;
+  void forward_values_batch(const float* x, float* out, std::size_t n,
+                            DType storage) const;
+
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
 
  private:
+  /// Re-converts the f32 weight cache when stale (version or storage mode).
+  void ensure_f32(DType storage) const;
+
   std::size_t in_, out_;
   Var w_, b_;
+  mutable std::vector<float> w_f32_, b_f32_;
+  mutable std::array<std::uint64_t, 2> f32_versions_{};
+  mutable DType f32_storage_ = DType::kF32;
+  mutable bool f32_ready_ = false;
 };
 
 /// Supported hidden/output nonlinearities for MLP.
@@ -105,6 +122,7 @@ class Mlp : public Module {
   /// (the SA hot path) so steady-state inference performs no allocations.
   struct Scratch {
     std::vector<double> a, b;
+    std::vector<float> a_f, b_f;  // reduced-precision tier
   };
 
   /// Cold-path-only convenience overload: constructs a fresh Scratch (two
@@ -121,6 +139,13 @@ class Mlp : public Module {
   void forward_values_batch(const double* x, double* out, std::size_t n,
                             Scratch& scratch) const;
 
+  /// Reduced-precision tier (see Linear): float panels through the f32
+  /// kernel table and the per-layer f32 weight caches.
+  void forward_values(std::span<const float> x, std::span<float> out,
+                      Scratch& scratch, DType storage) const;
+  void forward_values_batch(const float* x, float* out, std::size_t n,
+                            Scratch& scratch, DType storage) const;
+
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
   Activation hidden_, output_;
@@ -128,6 +153,10 @@ class Mlp : public Module {
 
 /// Applies an activation elementwise to a raw buffer (inference path).
 void apply_activation_values(std::span<double> x, Activation act);
+
+/// Float flavor for the reduced-precision tier: same shapes, evaluated in
+/// f32 arithmetic (expf/tanhf and friends via the float overloads).
+void apply_activation_values(std::span<float> x, Activation act);
 
 /// Gated recurrent unit cell (Cho et al. 2014), used for the paper's three
 /// update functions phi_C, phi_F, phi_D (§V-D4):
@@ -148,6 +177,7 @@ class GruCell : public Module {
   struct Scratch {
     std::vector<double> r, z, ni, nh, tmp;  // reference (unfused) path
     std::vector<double> gi, gh;             // fused path
+    std::vector<float> gi_f, gh_f;          // reduced-precision tier
   };
 
   /// Cold-path-only convenience overload: constructs a fresh Scratch per
@@ -176,6 +206,17 @@ class GruCell : public Module {
   void forward_values_batch(const double* h, const double* x, double* h_out,
                             std::size_t n, Scratch& scratch) const;
 
+  /// Reduced-precision tier: the fused step on float panels, with the
+  /// packed gate blocks lazily converted to f32 (bf16-rounded when
+  /// `storage` is kBf16) and version-checked like the f64 packs. Gates run
+  /// in f32 arithmetic.
+  void forward_values(std::span<const float> h, std::span<const float> x,
+                      std::span<float> h_out, Scratch& scratch,
+                      DType storage) const;
+  void forward_values_batch(const float* h, const float* x, float* h_out,
+                            std::size_t n, Scratch& scratch,
+                            DType storage) const;
+
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }
 
@@ -183,6 +224,9 @@ class GruCell : public Module {
   /// Re-packs wi/wh/bi/bh from the twelve parameters when any parameter
   /// version changed (optimizer step, deserialization, gradcheck nudges).
   void ensure_packed() const;
+  /// Converts the packed blocks to the f32 tier (own staleness tracking:
+  /// a process may run both tiers against one cell).
+  void ensure_packed_f32(DType storage) const;
 
   std::size_t input_, hidden_;
   Var w_ir_, w_iz_, w_in_;
@@ -197,6 +241,13 @@ class GruCell : public Module {
   mutable std::vector<double> wi_pack_, wh_pack_, bi_pack_, bh_pack_;
   mutable std::array<std::uint64_t, 12> pack_versions_{};
   mutable bool packed_ = false;
+
+  // f32 tier of the same packs (bf16-rounded when requested).
+  mutable std::vector<float> wi_pack_f32_, wh_pack_f32_;
+  mutable std::vector<float> bi_pack_f32_, bh_pack_f32_;
+  mutable std::array<std::uint64_t, 12> pack_versions_f32_{};
+  mutable DType f32_storage_ = DType::kF32;
+  mutable bool packed_f32_ = false;
 };
 
 }  // namespace chainnet::tensor

@@ -202,6 +202,9 @@ void save_manifest(const WeightsManifest& manifest, const std::string& path) {
   support::Json model;
   model["hidden"] = support::Json(manifest.hidden);
   model["iterations"] = support::Json(manifest.iterations);
+  if (!manifest.dtype.empty()) {
+    model["dtype"] = support::Json(manifest.dtype);
+  }
   doc["model"] = std::move(model);
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -246,6 +249,7 @@ WeightsManifest load_manifest(const std::string& path) {
       manifest.hidden = static_cast<int>(model.get_number("hidden", 0.0));
       manifest.iterations =
           static_cast<int>(model.get_number("iterations", 0.0));
+      manifest.dtype = model.get_string("dtype", "");
     }
   } catch (const SerializeError&) {
     throw;

@@ -86,6 +86,10 @@ struct WeightsManifest {
   std::uint64_t checksum = 0; ///< file_checksum(params_path)
   int hidden = 0;             ///< 0: use the server's configured default
   int iterations = 0;         ///< 0: use the server's configured default
+  /// Numeric inference tier ("f64" / "f32" / "bf16"); empty: the server's
+  /// configured default. Validated by the registry at load, so a manifest
+  /// typo fails the reload instead of silently serving the wrong tier.
+  std::string dtype;
 };
 
 /// Writes the manifest as JSON. The params path is stored as given.

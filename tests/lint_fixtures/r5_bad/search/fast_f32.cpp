@@ -1,0 +1,7 @@
+// R5 bad: the reduced-precision SIMD bodies and the f32 tile scratch are
+// just as private to src/tensor/ as their f64 counterparts.
+#include "tensor/kernels_simd_f32.inc"
+
+void run_f32(const float* w, const float* x, float* y) {
+  tile_scratch_f32().resize(64);
+}

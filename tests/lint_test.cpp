@@ -125,11 +125,18 @@ TEST(LintTest, R5GoodAcceptsKernelsInsideTensor) { expect_clean("r5_good"); }
 TEST(LintTest, R5BadFlagsKernelBypassOutsideTensor) {
   const LintRun run = run_lint(fixture("r5_bad"));
   EXPECT_EQ(run.exit_code, 1);
-  EXPECT_EQ(count_findings(run.output), 2) << run.output;
+  EXPECT_EQ(count_findings(run.output), 4) << run.output;
   EXPECT_NE(run.output.find("fast.cpp:3: R5-kernel-routing"),
             std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("fast.cpp:6: R5-kernel-routing"),
+            std::string::npos)
+      << run.output;
+  // The f32 tier's private surface is covered by the same rule.
+  EXPECT_NE(run.output.find("fast_f32.cpp:3: R5-kernel-routing"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("fast_f32.cpp:6: R5-kernel-routing"),
             std::string::npos)
       << run.output;
 }
@@ -181,7 +188,7 @@ TEST(LintTest, WholeCorpusIsDeterministic) {
   const LintRun b = run_lint(fixture(""));
   EXPECT_EQ(a.exit_code, 1);
   EXPECT_EQ(a.output, b.output);
-  EXPECT_EQ(count_findings(a.output), 13) << a.output;
+  EXPECT_EQ(count_findings(a.output), 15) << a.output;
 }
 
 TEST(LintTest, MissingPathIsUsageError) {

@@ -149,5 +149,86 @@ TEST(GroupBy, EmptyInput) {
   EXPECT_TRUE(group_by({}, GroupKey::kNumChains, 3).empty());
 }
 
+TEST(RankAgreement, PerfectOrderIsFullyConcordant) {
+  const std::vector<double> ref = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> cand = {10.0, 20.0, 30.0, 40.0};
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.concordant, 6u);
+  EXPECT_EQ(r.discordant, 0u);
+  EXPECT_EQ(r.reference_ties, 0u);
+  EXPECT_DOUBLE_EQ(r.agreement(), 1.0);
+}
+
+TEST(RankAgreement, FullInversionIsFullyDiscordant) {
+  const std::vector<double> ref = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> cand = {4.0, 3.0, 2.0, 1.0};
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.concordant, 0u);
+  EXPECT_EQ(r.discordant, 6u);
+  EXPECT_DOUBLE_EQ(r.agreement(), 0.0);
+}
+
+TEST(RankAgreement, SingleSwapCountsOneDiscordantPair) {
+  const std::vector<double> ref = {1.0, 2.0, 3.0};
+  const std::vector<double> cand = {2.0, 1.0, 3.0};  // (0,1) flipped
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.concordant, 2u);
+  EXPECT_EQ(r.discordant, 1u);
+  EXPECT_NEAR(r.agreement(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RankAgreement, ReferenceTiesAreSkippedNotJudged) {
+  // ref ties (0,1) exactly; the candidate may order that pair either way
+  // without penalty. The remaining pairs are strict and concordant.
+  const std::vector<double> ref = {1.0, 1.0, 2.0};
+  const std::vector<double> cand = {5.0, 4.0, 6.0};
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.reference_ties, 1u);
+  EXPECT_EQ(r.concordant, 2u);
+  EXPECT_EQ(r.discordant, 0u);
+  EXPECT_DOUBLE_EQ(r.agreement(), 1.0);
+}
+
+TEST(RankAgreement, RelativeTieToleranceScalesWithMagnitude) {
+  // 1e6 vs 1e6 + 1 is a tie at tie_eps = 1e-3 but comparable at 1e-9.
+  const std::vector<double> ref = {1e6, 1e6 + 1.0};
+  const std::vector<double> cand = {2.0, 1.0};
+  EXPECT_EQ(pairwise_rank_agreement(ref, cand, 1e-3).reference_ties, 1u);
+  const auto strict = pairwise_rank_agreement(ref, cand, 1e-9);
+  EXPECT_EQ(strict.reference_ties, 0u);
+  EXPECT_EQ(strict.discordant, 1u);
+}
+
+TEST(RankAgreement, CandidateTieOnComparablePairIsDiscordant) {
+  // The reduced tier collapsing a real distinction is the failure mode the
+  // gate exists for — it must not hide inside "ties".
+  const std::vector<double> ref = {1.0, 2.0};
+  const std::vector<double> cand = {3.0, 3.0};
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.discordant, 1u);
+  EXPECT_DOUBLE_EQ(r.agreement(), 0.0);
+}
+
+TEST(RankAgreement, AllEqualReferenceHasNothingToContradict) {
+  const std::vector<double> ref = {2.0, 2.0, 2.0};
+  const std::vector<double> cand = {1.0, 5.0, 3.0};
+  const auto r = pairwise_rank_agreement(ref, cand);
+  EXPECT_EQ(r.comparable(), 0u);
+  EXPECT_EQ(r.reference_ties, 3u);
+  EXPECT_DOUBLE_EQ(r.agreement(), 1.0);
+}
+
+TEST(RankAgreement, EmptyAndSingletonAgreeTrivially) {
+  EXPECT_DOUBLE_EQ(pairwise_rank_agreement({}, {}).agreement(), 1.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(pairwise_rank_agreement(one, one).agreement(), 1.0);
+}
+
+TEST(RankAgreement, LengthMismatchThrows) {
+  const std::vector<double> ref = {1.0, 2.0};
+  const std::vector<double> cand = {1.0};
+  EXPECT_THROW(pairwise_rank_agreement(ref, cand), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace chainnet::gnn

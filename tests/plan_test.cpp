@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -229,6 +230,70 @@ TEST(PlanCache, DistinctWidthsCompileDistinctPlans) {
   model.forward_values_batch(ptrs);      // replay
   model.forward_values(graphs[1]);       // replay
   EXPECT_EQ(model.plan_cache()->stats().compiles, 2u);
+}
+
+TEST(PlanCache, DistinctDtypesCompileDistinctPlans) {
+  // dtype is part of the plan key: an f32 model must never replay through
+  // a plan another model compiled as f64 (the executors size and type the
+  // arena by the key's element width) — one compile per dtype, no
+  // cross-dtype reuse.
+  const auto system = medium_system(42);
+  const auto placements = random_placements(system, 4, 11);
+  ChainNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.iterations = 2;
+  Rng rng_f64(3);
+  ChainNet model_f64(cfg, rng_f64);
+  auto cfg_f32 = cfg;
+  cfg_f32.dtype = tensor::DType::kF32;
+  Rng rng_f32(3);
+  ChainNet model_f32(cfg_f32, rng_f32);
+  const auto cache = std::make_shared<gnn::PlanCache>();
+  model_f64.set_plan_cache(cache);
+  model_f32.set_plan_cache(cache);
+  const auto graphs = build_graphs(model_f64, system, placements);
+  const auto ptrs = pointers(graphs);
+
+  model_f64.forward_values(graphs[0]);
+  EXPECT_EQ(cache->stats().compiles, 1u);
+  model_f32.forward_values(graphs[0]);
+  EXPECT_EQ(cache->stats().compiles, 2u)
+      << "the f32 tier must compile its own plan, not reuse the f64 one";
+  model_f64.forward_values_batch(ptrs);
+  model_f32.forward_values_batch(ptrs);
+  EXPECT_EQ(cache->stats().compiles, 4u);
+  // Replays: every (dtype, width) combination is now cached.
+  model_f64.forward_values(graphs[1]);
+  model_f32.forward_values(graphs[1]);
+  model_f64.forward_values_batch(ptrs);
+  model_f32.forward_values_batch(ptrs);
+  EXPECT_EQ(cache->stats().compiles, 4u);
+
+  // Same weights (same init seed): the reduced tier tracks the f64 values
+  // to f32 roundoff while the plans stay separate.
+  const auto out64 = model_f64.forward_values(graphs[0]);
+  const auto out32 = model_f32.forward_values(graphs[0]);
+  ASSERT_EQ(out64.size(), out32.size());
+  for (std::size_t i = 0; i < out64.size(); ++i) {
+    EXPECT_NEAR(out32[i].throughput, out64[i].throughput,
+                1e-4 * std::abs(out64[i].throughput) + 1e-6)
+        << "chain " << i;
+  }
+}
+
+TEST(PlanCache, DtypeChangesFingerprintAndKeyEquality) {
+  gnn::PlanShape f64_shape;
+  f64_shape.hidden = 8;
+  f64_shape.iterations = 2;
+  f64_shape.attention_heads = 2;
+  auto f32_shape = f64_shape;
+  f32_shape.dtype = tensor::DType::kF32;
+  EXPECT_FALSE(f64_shape == f32_shape);
+  const auto system = medium_system(42);
+  const auto g = edge::build_graph(
+      system, random_placements(system, 1, 11)[0], edge::FeatureMode::kModified);
+  EXPECT_NE(gnn::plan_fingerprint(g, f64_shape, 4),
+            gnn::plan_fingerprint(g, f32_shape, 4));
 }
 
 TEST(PlanCache, ConcurrentFirstLookupsCompileOnceAndMatchSerial) {

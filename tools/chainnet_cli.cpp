@@ -1,5 +1,6 @@
 // chainnet — command-line front end for the library.
 //
+//   chainnet version   [--dtype f64|f32|bf16] [--json]
 //   chainnet generate  --kind type1|type2|problem [--devices D] [--seed S]
 //                      --system out.json [--placement out.json]
 //   chainnet initial   --system s.json --out placement.json
@@ -92,6 +93,8 @@
 #include "serve/server.h"
 #include "support/json.h"
 #include "support/rng.h"
+#include "tensor/dtype.h"
+#include "tensor/kernels.h"
 #include "tensor/serialize.h"
 
 namespace {
@@ -143,10 +146,21 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// Numeric tier selection: --dtype beats CHAINNET_DTYPE beats f64. Both
+/// spellings are validated (unknown values throw with the accepted list).
+tensor::DType dtype_config(const Args& args) {
+  tensor::DType dtype = tensor::dtype_from_env(tensor::DType::kF64);
+  if (args.has("dtype")) {
+    dtype = tensor::parse_dtype_or_throw(args.require("dtype"));
+  }
+  return dtype;
+}
+
 core::ChainNetConfig model_config(const Args& args) {
   core::ChainNetConfig cfg;
   cfg.hidden = args.integer("hidden", 32);
   cfg.iterations = args.integer("iterations", 4);
+  cfg.dtype = dtype_config(args);
   return cfg;
 }
 
@@ -190,6 +204,24 @@ void emit(const Json& report, bool as_json) {
               << "/s, overall loss: "
               << report.at("loss_probability").as_number() << "\n";
   }
+}
+
+// `version`: the runtime-resolved execution environment — which kernel ISA
+// tier the dispatcher picked on this host (after CHAINNET_KERNEL_ISA) and
+// which numeric tier inference would run at (after --dtype/CHAINNET_DTYPE).
+// Scripts use this to record exactly what a benchmark ran on.
+int cmd_version(const Args& args) {
+  const tensor::DType dtype = dtype_config(args);
+  if (args.has("json")) {
+    Json report;
+    report["kernel_isa"] = Json(std::string(tensor::kernels::isa()));
+    report["dtype"] = Json(std::string(tensor::dtype_name(dtype)));
+    std::cout << report.dump(2) << "\n";
+    return 0;
+  }
+  std::cout << "chainnet\n  kernel ISA: " << tensor::kernels::isa()
+            << "\n  dtype: " << tensor::dtype_name(dtype) << "\n";
+  return 0;
 }
 
 int cmd_generate(const Args& args) {
@@ -258,6 +290,7 @@ int cmd_plan(const Args& args) {
   shape.attention_heads = cfg.attention_heads;
   shape.modified_outputs = cfg.modified_outputs;
   shape.attention_aggregation = cfg.attention_aggregation;
+  shape.dtype = cfg.dtype;
   const auto plan = gnn::compile_plan(graph, shape, args.integer("width", 1));
   std::cout << plan->dump();
   return 0;
@@ -458,6 +491,10 @@ OracleSetup build_oracle(const Args& args, const edge::EdgeSystem& system,
 }
 
 int cmd_optimize(const Args& args) {
+  // Validate the dtype spelling up front: the sim/approx oracles never
+  // build a surrogate, so without this a typo in --dtype/CHAINNET_DTYPE
+  // would be accepted silently instead of failing with the accepted list.
+  (void)dtype_config(args);
   const auto system = edge::load_system(args.require("system"));
   const auto initial = optim::initial_placement(system);
 
@@ -581,6 +618,7 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(std::max(1, args.integer("max-queue", 1024)));
   config.cache = setup.cache;
   config.registry = setup.registry;
+  config.dtype = dtype_config(args);
   serve::Server server(service, config);
   server.add_system(args.get("name", "default"), system);
   server.start();
@@ -754,6 +792,7 @@ int cmd_query(const Args& args) {
 int usage() {
   std::cerr
       << "usage: chainnet <command> [flags]\n"
+         "  version   [--dtype f64|f32|bf16] [--json]\n"
          "  generate  --kind type1|type2|problem|casestudy --system out.json"
          " [--placement out.json] [--devices D] [--seed S]\n"
          "  initial   --system s.json --out p.json\n"
@@ -783,7 +822,11 @@ int usage() {
          "  reload    --port P [--host H] --manifest m.json [--json]\n"
          "  query     --port P [--host H] (--stats | --ping | --shutdown |"
          " --placement p.json)\n"
-         "            [--system NAME] [--deadline-ms D] [--json]\n";
+         "            [--system NAME] [--deadline-ms D] [--json]\n"
+         "model-building commands (plan, train, predict, evaluate, optimize,"
+         " serve) also take\n"
+         "  --dtype f64|f32|bf16   numeric inference tier (default: "
+         "CHAINNET_DTYPE, else f64)\n";
   return 1;
 }
 
@@ -794,6 +837,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv);
   try {
+    if (command == "version") return cmd_version(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "initial") return cmd_initial(args);
     if (command == "plan") return cmd_plan(args);

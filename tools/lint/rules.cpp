@@ -23,7 +23,8 @@ const std::set<std::string>& manual_lock_methods() {
 
 const std::set<std::string>& tensor_private_symbols() {
   static const std::set<std::string> kSymbols = {
-      "gemv_blocked", "gemm_row_tile", "gemm_row_col", "tile_scratch"};
+      "gemv_blocked", "gemm_row_tile", "gemm_row_col", "tile_scratch",
+      "tile_scratch_f32"};
   return kSymbols;
 }
 
@@ -279,6 +280,7 @@ void Linter::check_file(const FileInfo& info,
   if (!info.in_tensor) {
     for (const Include& inc : info.lex.includes) {
       if (ends_with(inc.target, "kernels_simd.inc") ||
+          ends_with(inc.target, "kernels_simd_f32.inc") ||
           ends_with(inc.target, "kernels_dispatch.h")) {
         out.push_back({path, inc.line, "R5-kernel-routing",
                        "'" + inc.target +
