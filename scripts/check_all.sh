@@ -17,12 +17,10 @@ cd "$(dirname "$0")/.."
 
 echo "== tier 0: static analysis (chainnet_lint) =="
 # The linter is built and run before anything else: rule violations in src/
-# should fail the gate in seconds, not after a full compile. lint_test pins
-# the linter's own behaviour against the fixture corpus.
-cmake -B build -S . -DCHAINNET_WERROR=ON
-cmake --build build -j "$(nproc)" --target chainnet_lint lint_test
-./build/tools/chainnet_lint src
-ctest --test-dir build -R '^lint' --output-on-failure "$@"
+# should fail the gate in seconds, not after a full compile. check_lint.sh
+# runs the analyzer over src/ + tools/lint under a wall-clock budget, then
+# the lint test suites (fixture corpus, analyzer unit tests, JSON golden).
+scripts/check_lint.sh "$@"
 
 echo
 echo "== tier 1: build + ctest (build/) =="

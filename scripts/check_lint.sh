@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Standalone tier-0 gate: chainnet_lint over the production tree and its own
+# sources, plus the lint test suites, under a wall-clock budget. Static
+# analysis only stays the *first* stage of check_all.sh while it stays
+# cheap — the budget assertion turns a perf regression in the analyzer into
+# a failing check instead of a slowly rotting gate.
+#
+# Usage: scripts/check_lint.sh [extra ctest args...]
+#   LINT_BUDGET_MS   analysis budget in milliseconds (default 5000)
+#   SKIP_LINT_TESTS  set to 1 to run only the analysis, not lint_* ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET_MS="${LINT_BUDGET_MS:-5000}"
+
+cmake -B build -S . -DCHAINNET_WERROR=ON
+cmake --build build -j "$(nproc)" --target chainnet_lint lint_test \
+  lint_model_test
+
+# The budget covers the analysis run itself (phase 1 lex + model, phase 2
+# cross-file rules) over src/ and tools/lint — the trees lint_src gates.
+start_ns=$(date +%s%N)
+./build/tools/chainnet_lint src tools/lint
+end_ns=$(date +%s%N)
+elapsed_ms=$(((end_ns - start_ns) / 1000000))
+echo "chainnet_lint: clean in ${elapsed_ms}ms (budget ${BUDGET_MS}ms)"
+if [ "${elapsed_ms}" -gt "${BUDGET_MS}" ]; then
+  echo "chainnet_lint: analysis exceeded its ${BUDGET_MS}ms wall-clock" \
+    "budget — profile before growing the gate" >&2
+  exit 1
+fi
+
+if [ "${SKIP_LINT_TESTS:-0}" != "1" ]; then
+  ctest --test-dir build -R '^lint' --output-on-failure "$@"
+fi

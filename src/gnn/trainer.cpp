@@ -91,6 +91,8 @@ double evaluate_loss(GraphModel& model, const Dataset& dataset) {
 TrainReport train(GraphModel& model, const Dataset& training,
                   const Dataset* validation, const TrainConfig& config) {
   TrainReport report;
+  // LINT:nondet(wall clock here only fills report.seconds; no trained
+  // parameter or loss depends on it)
   const auto start = std::chrono::steady_clock::now();
 
   Adam adam(model.parameters(), config.learning_rate);
@@ -156,6 +158,8 @@ TrainReport train(GraphModel& model, const Dataset& training,
   }
 
   report.seconds =
+      // LINT:nondet(wall clock here only fills report.seconds; no trained
+      // parameter or loss depends on it)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return report;

@@ -20,6 +20,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
+  // LINT:nondet(elapsed-seconds helper feeds time budgets and reports; a
+  // budget only truncates the loop, every step is seed-deterministic)
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -121,6 +123,8 @@ bool propose_move(const EdgeSystem& system, const Placement& current,
 SaResult anneal(const EdgeSystem& system, const Placement& initial,
                 PlacementEvaluator& evaluator, const SaConfig& config) {
   initial.validate(system);
+  // LINT:nondet(start stamp feeds the time budget and report seconds; a
+  // budget only truncates the loop, every step is seed-deterministic)
   const auto start = Clock::now();
   const std::uint64_t eval_start = evaluator.evaluations();
 
@@ -273,6 +277,8 @@ SaResult anneal_trials_parallel(const EdgeSystem& system,
                          trials);
   }
   initial.validate(system);
+  // LINT:nondet(start stamp feeds the time budget and report seconds; a
+  // budget only truncates the loop, every step is seed-deterministic)
   const auto start = Clock::now();
   const auto seeds = trial_seeds(config.seed, trials);
   std::vector<std::future<SaResult>> futures;
@@ -309,6 +315,8 @@ SaResult anneal_batched(const EdgeSystem& system, const Placement& initial,
     throw std::invalid_argument("anneal_batched: pool_size <= 0");
   }
   initial.validate(system);
+  // LINT:nondet(start stamp feeds the time budget and report seconds; a
+  // budget only truncates the loop, every step is seed-deterministic)
   const auto start = Clock::now();
   const std::uint64_t eval_start = service.oracle_evaluations();
 

@@ -28,6 +28,8 @@ optim::SaResult ParallelTempering::run(const EdgeSystem& system,
                                        const Placement& initial,
                                        std::uint64_t seed) {
   initial.validate(system);
+  // LINT:nondet(start stamp feeds the time budget and report seconds; a
+  // budget only truncates the loop, every step is seed-deterministic)
   const auto start = detail::Clock::now();
   const std::uint64_t eval_start = service_.oracle_evaluations();
   const int chains = config_.population;

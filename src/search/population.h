@@ -26,6 +26,8 @@ namespace chainnet::search::detail {
 using Clock = std::chrono::steady_clock;
 
 inline double seconds_since(Clock::time_point start) {
+  // LINT:nondet(elapsed-seconds helper feeds time budgets and reports; a
+  // budget only truncates the loop, every step is seed-deterministic)
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 

@@ -87,6 +87,9 @@ ModelRegistry::ModelRegistry(core::ChainNetConfig defaults, int slots)
 ModelVersionInfo ModelRegistry::load(const std::string& manifest_path) {
   // One load at a time: concurrent reloads would race on "who becomes
   // active"; serializing gives last-call-wins with a total order.
+  // LINT:blocking(load_mutex_ exists to serialize whole reloads including
+  // their manifest and checksum file I/O; it is never held together with
+  // mutex_, and reload is the admin path, not the request path)
   std::lock_guard<std::mutex> load_lock(load_mutex_);
 
   tensor::WeightsManifest manifest = tensor::load_manifest(manifest_path);

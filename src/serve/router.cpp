@@ -212,19 +212,22 @@ void Router::stop() {
 
   // Half-close client sockets so idle readers see EOF at once. A reader
   // blocked on an upstream round trip finishes within the upstream
-  // recv/send timeouts — stop() is graceful, not instantaneous.
+  // recv/send timeouts — stop() is graceful, not instantaneous. The lock
+  // covers only taking ownership of the list; the shutdowns, joins, and
+  // closes run outside it so stop() never blocks with conn_mutex_ held.
+  std::vector<std::unique_ptr<Connection>> doomed;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto& conn : connections_) {
-      if (!conn->done.load(std::memory_order_acquire)) {
-        ::shutdown(conn->fd, SHUT_RD);
-      }
+    doomed.swap(connections_);
+  }
+  for (auto& conn : doomed) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ::shutdown(conn->fd, SHUT_RD);
     }
-    for (auto& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
-      ::close(conn->fd);
-    }
-    connections_.clear();
+  }
+  for (auto& conn : doomed) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
   }
 }
 

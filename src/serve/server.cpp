@@ -232,18 +232,22 @@ void Server::stop() {
   //    reading (zero TCP window) cannot stall the join indefinitely: every
   //    connection socket carries SO_SNDTIMEO, so the blocked send errors
   //    out within kSendTimeout and the reader exits.
+  //    The lock covers only taking ownership of the list; the shutdowns,
+  //    joins, and closes run outside it so stop() never blocks with
+  //    conn_mutex_ held.
+  std::vector<std::unique_ptr<Connection>> doomed;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto& conn : connections_) {
-      if (!conn->done.load(std::memory_order_acquire)) {
-        ::shutdown(conn->fd, SHUT_RD);
-      }
+    doomed.swap(connections_);
+  }
+  for (auto& conn : doomed) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ::shutdown(conn->fd, SHUT_RD);
     }
-    for (auto& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
-      ::close(conn->fd);
-    }
-    connections_.clear();
+  }
+  for (auto& conn : doomed) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
   }
 }
 

@@ -1,0 +1,10 @@
+// Lexer regression: digit separators and exponent forms stay one number
+// token each; the apostrophe must not open a character literal that would
+// swallow the rest of the file (hiding the R6 finding-free code below).
+inline long lint_digit_total() {
+  const long big = 1'000'000;
+  const double rate = 6.022'140'76e23;
+  const unsigned mask = 0xFF'FF'00'00u;
+  const int bits = 0b1010'1010;
+  return big + static_cast<long>(rate > 0) + mask + bits;
+}

@@ -1,0 +1,18 @@
+// Lexer regression: encoding-prefixed literals. A u8R"(...)" raw string
+// used to lex as identifier `u8R` plus a plain string, leaking its body —
+// the text below would trip R1/R6 if that regressed.
+inline const char* lint_prefix_raw() {
+  return u8R"(mu_.lock() and new int[2] live here)";
+}
+
+inline const wchar_t* lint_prefix_wide_raw() {
+  return LR"(malloc(16) and mu_.unlock())";
+}
+
+inline int lint_prefix_plain() {
+  const wchar_t* w = L"new int";
+  const char* u = u8"mu_.lock()";
+  const char32_t c = U'x';
+  const char16_t d = u'y';
+  return (w != nullptr) + (u != nullptr) + (c == U'x') + (d == u'y');
+}

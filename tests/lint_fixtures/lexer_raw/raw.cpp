@@ -1,0 +1,11 @@
+// Lexer regression: raw-string bodies must not leak tokens into the rule
+// engines — the text below would trip R1 and R6 if it were tokenized.
+#include <string>
+
+inline std::string lint_doc_text() {
+  return R"(call mu_.lock() then new int[4] and malloc(8))";
+}
+
+inline std::string lint_doc_delim() {
+  return R"doc(a ")" inside, plus mu_.unlock() and new char)doc";
+}

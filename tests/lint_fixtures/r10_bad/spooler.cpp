@@ -1,0 +1,29 @@
+// R10 bad: file I/O directly under a lock, the same I/O reached through a
+// call, and a condition wait on one lock while a second is still held.
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+
+class Spooler {
+ public:
+  void flush_all() {
+    std::lock_guard<std::mutex> hold(spool_mu_);
+    std::ifstream in("spool.txt");
+    total_ += slurp_spool();
+  }
+  void drain() {
+    std::unique_lock<std::mutex> pump(pump_mu_);
+    std::lock_guard<std::mutex> hold(spool_mu_);
+    ready_cv_.wait(pump);
+  }
+
+ private:
+  int slurp_spool() {
+    std::ifstream in("spool.dat");
+    return 1;
+  }
+  std::mutex spool_mu_;
+  std::mutex pump_mu_;
+  std::condition_variable ready_cv_;
+  int total_ = 0;
+};

@@ -1,0 +1,27 @@
+// R10 good: the audited unlock/relock split (the serve-flusher idiom) is
+// *understood*, not waived — the blocking call sits outside every guard
+// segment, so no blocking-under-lock finding fires.
+#include <mutex>
+
+int evaluate_batch(int n);
+
+class BatchPump {
+ public:
+  int pump_once() {
+    std::unique_lock<std::mutex> hold(batch_mu_);
+    const int batch = pending_;
+    pending_ = 0;
+    // LINT:manual-lock(drop the lock around the batched oracle call so
+    // producers keep queueing; only locals are touched until re-lock)
+    hold.unlock();
+    const int score = evaluate_batch(batch);
+    hold.lock();  // LINT:manual-lock(re-acquire to publish the score)
+    last_score_ = score;
+    return score;
+  }
+
+ private:
+  std::mutex batch_mu_;
+  int pending_ = 0;
+  int last_score_ = 0;
+};

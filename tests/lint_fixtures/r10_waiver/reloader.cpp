@@ -1,0 +1,19 @@
+// R10 waiver: file I/O under a lock, audited and waived with a reason at
+// the blocking site.
+#include <fstream>
+#include <mutex>
+
+class Reloader {
+ public:
+  void reload() {
+    std::lock_guard<std::mutex> hold(reload_mu_);
+    // LINT:blocking(startup-only path: nothing can contend reload_mu_
+    // before the loader thread is spawned)
+    std::ifstream in("table.bin");
+    loaded_ = 1;
+  }
+
+ private:
+  std::mutex reload_mu_;
+  int loaded_ = 0;
+};

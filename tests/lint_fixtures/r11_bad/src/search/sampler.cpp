@@ -1,0 +1,30 @@
+// R11 bad: every way a deterministic module can leak nondeterminism —
+// libc rand, hardware entropy, the wall clock, and hash-order iteration.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace r11fix {
+
+class NoisySampler {
+ public:
+  int draw() { return rand() % 7; }
+  unsigned reseed() {
+    std::random_device entropy;
+    return entropy();
+  }
+  long stamp() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  int fold() {
+    int sum = 0;
+    for (const auto& kv : weights_) sum += kv.second;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> weights_;
+};
+
+}  // namespace r11fix

@@ -1,0 +1,25 @@
+// R11 good: seeded draws, ordered containers, and no clock in sight.
+#include <cstdint>
+#include <map>
+
+namespace r11fix {
+
+class SeededSampler {
+ public:
+  explicit SeededSampler(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t draw() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  int fold() {
+    int sum = 0;
+    for (const auto& kv : weights_) sum += kv.second;
+    return sum;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::map<int, int> weights_;
+};
+
+}  // namespace r11fix

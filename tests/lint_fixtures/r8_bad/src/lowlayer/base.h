@@ -1,0 +1,5 @@
+// R8 bad: a lower layer reaching up — lowlayer may only include lowlayer.
+#pragma once
+#include "highlayer/top.h"
+
+inline int r8bad_base() { return 1; }

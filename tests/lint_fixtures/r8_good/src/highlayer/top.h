@@ -1,0 +1,5 @@
+// R8 good: highlayer depending downward on lowlayer is the declared edge.
+#pragma once
+#include "lowlayer/base.h"
+
+inline int r8good_top() { return r8good_base() + 1; }

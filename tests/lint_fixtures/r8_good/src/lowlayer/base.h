@@ -1,0 +1,5 @@
+// R8 good: lowlayer keeps to itself (sibling and system includes are free).
+#pragma once
+#include <vector>
+
+inline int r8good_base() { return 1; }

@@ -1,0 +1,8 @@
+// R8 waiver: the spec carries `waive lowlayer -> highlayer <reason>`, and a
+// second back-edge is waived in-source instead.
+#pragma once
+#include "highlayer/top.h"
+// LINT:layer(fixture in-source waiver: this include is audited)
+#include "highlayer/extra.h"
+
+inline int r8waiver_base() { return 1; }

@@ -1,0 +1,27 @@
+// R9 deadlock: credit_side holds ledger_mu_ and (through bump_audit) takes
+// audit_mu_; debit_side nests them the other way round. The report must
+// carry the full acquisition witness path across the call.
+#include <mutex>
+
+class LedgerPair {
+ public:
+  void credit_side() {
+    std::lock_guard<std::mutex> hold(ledger_mu_);
+    bump_audit();
+  }
+  void debit_side() {
+    std::lock_guard<std::mutex> hold(audit_mu_);
+    std::lock_guard<std::mutex> nested(ledger_mu_);
+    ++debits_;
+  }
+
+ private:
+  void bump_audit() {
+    std::lock_guard<std::mutex> hold(audit_mu_);
+    ++audits_;
+  }
+  std::mutex ledger_mu_;
+  std::mutex audit_mu_;
+  int audits_ = 0;
+  int debits_ = 0;
+};

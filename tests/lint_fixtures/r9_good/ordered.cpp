@@ -1,0 +1,26 @@
+// R9 good: both paths take first_mu_ before second_mu_ — the acquisition
+// order graph has edges but no cycle.
+#include <mutex>
+
+class OrderedPair {
+ public:
+  void fast_path() {
+    std::lock_guard<std::mutex> hold(first_mu_);
+    std::lock_guard<std::mutex> nested(second_mu_);
+    ++fast_;
+  }
+  void slow_path() {
+    std::lock_guard<std::mutex> hold(first_mu_);
+    take_second();
+  }
+
+ private:
+  void take_second() {
+    std::lock_guard<std::mutex> hold(second_mu_);
+    ++slow_;
+  }
+  std::mutex first_mu_;
+  std::mutex second_mu_;
+  int fast_ = 0;
+  int slow_ = 0;
+};

@@ -1,0 +1,26 @@
+// R9 waiver: the same inverted nesting as r9_deadlock, but the reversed
+// acquisition is audited (the fixture pretends a try_lock protocol makes
+// it safe) and waived on its holding acquisition.
+#include <mutex>
+
+class WaivedPair {
+ public:
+  void forward_path() {
+    std::lock_guard<std::mutex> hold(outer_mu_);
+    std::lock_guard<std::mutex> nested(inner_mu_);
+    ++forward_;
+  }
+  void reverse_path() {
+    // LINT:lock-order(reverse nesting is try_lock-guarded in the real
+    // protocol; this fixture audits the one sanctioned inversion)
+    std::lock_guard<std::mutex> hold(inner_mu_);
+    std::lock_guard<std::mutex> nested(outer_mu_);
+    ++reverse_;
+  }
+
+ private:
+  std::mutex outer_mu_;
+  std::mutex inner_mu_;
+  int forward_ = 0;
+  int reverse_ = 0;
+};

@@ -1,0 +1,365 @@
+// Unit tests for chainnet_lint's analyzer internals: the hardened lexer
+// (raw strings, digit separators, encoding prefixes), the per-TU program
+// model (scoped definitions, guard regions, manual unlock splits), the
+// call-graph builder (qualified-name resolution, overload collapse,
+// unresolved calls), and the layer-spec parser. lint_test.cpp drives the
+// binary end to end; this file pins the layers it is built from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "lexer.h"
+#include "model.h"
+#include "rules.h"
+#include "xrules.h"
+
+namespace {
+
+using chainnet::lint::build_model;
+using chainnet::lint::CallGraph;
+using chainnet::lint::CallQual;
+using chainnet::lint::FileLex;
+using chainnet::lint::FileModel;
+using chainnet::lint::Finding;
+using chainnet::lint::FunctionDef;
+using chainnet::lint::lex_source;
+using chainnet::lint::LayerSpec;
+using chainnet::lint::parse_layer_spec;
+using chainnet::lint::TokKind;
+
+std::vector<std::string> token_texts(const FileLex& lex) {
+  std::vector<std::string> out;
+  for (const auto& t : lex.tokens) out.push_back(t.text);
+  return out;
+}
+
+bool has_token(const FileLex& lex, const std::string& text) {
+  for (const auto& t : lex.tokens) {
+    if (t.text == text) return true;
+  }
+  return false;
+}
+
+const FunctionDef* find_fn(const FileModel& m, const std::string& qualified) {
+  for (const auto& fn : m.functions) {
+    if (fn.qualified == qualified) return &fn;
+  }
+  return nullptr;
+}
+
+// --- lexer hardening ----------------------------------------------------
+
+TEST(LexerTest, RawStringBodyEmitsNoTokens) {
+  const FileLex lex = lex_source(
+      "raw.cpp", "const char* s = R\"(new int[3] and mu_.lock())\";\n");
+  EXPECT_FALSE(has_token(lex, "new"));
+  EXPECT_FALSE(has_token(lex, "lock"));
+  EXPECT_FALSE(has_token(lex, "mu_"));
+}
+
+TEST(LexerTest, DelimitedRawStringHonorsDelimiter) {
+  const FileLex lex = lex_source(
+      "raw.cpp", "const char* s = R\"x(a )\" b malloc(4))x\"; int after;\n");
+  EXPECT_FALSE(has_token(lex, "malloc"));
+  // Lexing resynchronizes after the close: the declaration still tokenizes.
+  EXPECT_TRUE(has_token(lex, "after"));
+}
+
+TEST(LexerTest, PrefixedRawStringsAreSingleLiterals) {
+  for (const char* prefix : {"u8R", "uR", "UR", "LR"}) {
+    const std::string src = std::string("const void* s = ") + prefix +
+                            "\"(new char[2] inside)\"; int tail;\n";
+    const FileLex lex = lex_source("prefix.cpp", src);
+    EXPECT_FALSE(has_token(lex, "new")) << prefix;
+    EXPECT_FALSE(has_token(lex, "inside")) << prefix;
+    EXPECT_TRUE(has_token(lex, "tail")) << prefix;
+  }
+}
+
+TEST(LexerTest, EncodingPrefixedPlainLiteralsEmitNoIdentifier) {
+  const FileLex lex = lex_source(
+      "prefix.cpp",
+      "const void* a = L\"new int\"; char32_t c = U'x'; auto b = u8\"hi\";\n");
+  EXPECT_FALSE(has_token(lex, "L"));
+  EXPECT_FALSE(has_token(lex, "U"));
+  EXPECT_FALSE(has_token(lex, "u8"));
+  EXPECT_FALSE(has_token(lex, "new"));
+  EXPECT_FALSE(has_token(lex, "hi"));
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneToken) {
+  const FileLex lex =
+      lex_source("digits.cpp", "long n = 1'000'000 + 0xFF'00u; int z;\n");
+  const std::vector<std::string> texts = token_texts(lex);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "1'000'000"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "0xFF'00u"), texts.end());
+  EXPECT_TRUE(has_token(lex, "z"));  // the ' did not swallow the rest
+}
+
+// --- program model ------------------------------------------------------
+
+constexpr const char* kModelSource = R"cpp(
+namespace outer {
+class Widget {
+ public:
+  void poke() {
+    std::lock_guard<std::mutex> hold(mu_);
+    jiggle();
+  }
+  void jiggle();
+ private:
+  std::mutex mu_;
+};
+void Widget::jiggle() { helper(); }
+int helper() { return 1; }
+}  // namespace outer
+)cpp";
+
+TEST(ModelTest, QualifiedNamesJoinInClassAndOutOfLineDefs) {
+  const FileModel m = build_model(lex_source("w.cpp", kModelSource));
+  ASSERT_NE(find_fn(m, "outer::Widget::poke"), nullptr);
+  ASSERT_NE(find_fn(m, "outer::Widget::jiggle"), nullptr);
+  ASSERT_NE(find_fn(m, "outer::helper"), nullptr);
+  EXPECT_EQ(find_fn(m, "outer::Widget::poke")->owner, "outer::Widget");
+  EXPECT_TRUE(find_fn(m, "outer::helper")->owner.empty());
+}
+
+TEST(ModelTest, GuardRegionCarriesQualifiedMutexKey) {
+  const FileModel m = build_model(lex_source("w.cpp", kModelSource));
+  const FunctionDef* poke = find_fn(m, "outer::Widget::poke");
+  ASSERT_NE(poke, nullptr);
+  ASSERT_EQ(poke->guards.size(), 1u);
+  ASSERT_EQ(poke->guards[0].mutexes.size(), 1u);
+  EXPECT_EQ(poke->guards[0].mutexes[0], "outer::Widget::mu_");
+  ASSERT_EQ(poke->guards[0].segments.size(), 1u);
+}
+
+TEST(ModelTest, ManualUnlockSplitsTheGuardRegion) {
+  const FileModel m = build_model(lex_source("f.cpp", R"cpp(
+struct Flusher {
+  void flush() {
+    std::unique_lock<std::mutex> lk(mu_);
+    int batch = n_;
+    lk.unlock();
+    expensive(batch);
+    lk.lock();
+    n_ = 0;
+  }
+  void expensive(int);
+  std::mutex mu_;
+  int n_ = 0;
+};
+)cpp"));
+  const FunctionDef* flush = find_fn(m, "Flusher::flush");
+  ASSERT_NE(flush, nullptr);
+  ASSERT_EQ(flush->guards.size(), 1u);
+  // Two live segments: before unlock and after relock; the expensive call
+  // sits in neither.
+  ASSERT_EQ(flush->guards[0].segments.size(), 2u);
+  std::size_t call_token = 0;
+  for (const auto& call : flush->calls) {
+    if (call.name == "expensive") call_token = call.token;
+  }
+  ASSERT_GT(call_token, 0u);
+  for (const auto& seg : flush->guards[0].segments) {
+    EXPECT_FALSE(call_token >= seg.begin && call_token < seg.end);
+  }
+}
+
+TEST(ModelTest, CallSitesClassifyQualification) {
+  const FileModel m = build_model(lex_source("c.cpp", R"cpp(
+void caller() {
+  plain();
+  obj.method();
+  a::b::qualified();
+}
+)cpp"));
+  const FunctionDef* caller = find_fn(m, "caller");
+  ASSERT_NE(caller, nullptr);
+  ASSERT_EQ(caller->calls.size(), 3u);
+  EXPECT_EQ(caller->calls[0].qual, CallQual::kUnqualified);
+  EXPECT_EQ(caller->calls[1].qual, CallQual::kMember);
+  EXPECT_EQ(caller->calls[1].qualifier, "obj");
+  EXPECT_EQ(caller->calls[2].qual, CallQual::kQualified);
+  EXPECT_EQ(caller->calls[2].qualifier, "a::b");
+}
+
+TEST(ModelTest, ModuleOfFindsComponentAfterSrc) {
+  EXPECT_EQ(chainnet::lint::module_of("src/gnn/model.h"), "gnn");
+  EXPECT_EQ(chainnet::lint::module_of("/repo/src/serve/server.cpp"),
+            "serve");
+  EXPECT_EQ(chainnet::lint::module_of("tools/lint/lexer.cpp"), "");
+}
+
+// --- call graph ---------------------------------------------------------
+
+std::vector<FileModel> two_file_models() {
+  std::vector<FileModel> files;
+  files.push_back(build_model(lex_source("a.cpp", R"cpp(
+namespace app {
+struct Engine {
+  void start() { spin_up(); }
+  void spin_up();
+};
+void Engine::spin_up() {}
+void free_fn() {}
+void free_fn(int) {}
+}  // namespace app
+)cpp")));
+  files.push_back(build_model(lex_source("b.cpp", R"cpp(
+namespace app {
+void driver() {
+  Engine e;
+  e.start();
+  free_fn();
+  app::free_fn(1);
+  totally_unknown();
+}
+}  // namespace app
+)cpp")));
+  return files;
+}
+
+TEST(CallGraphTest, OverloadsCollapseIntoOneGroup) {
+  const std::vector<FileModel> files = two_file_models();
+  const CallGraph graph(files);
+  const std::size_t g = graph.group_of("app::free_fn");
+  ASSERT_NE(g, CallGraph::npos);
+  EXPECT_EQ(graph.groups()[g].defs.size(), 2u);  // both overloads
+}
+
+TEST(CallGraphTest, QualifiedCallResolvesBySuffixAtBoundary) {
+  const std::vector<FileModel> files = two_file_models();
+  const CallGraph graph(files);
+  const FunctionDef* driver = find_fn(files[1], "app::driver");
+  ASSERT_NE(driver, nullptr);
+  for (const auto& call : driver->calls) {
+    if (call.qual != CallQual::kQualified) continue;
+    const auto targets = graph.resolve(*driver, call);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(graph.groups()[targets[0]].qualified, "app::free_fn");
+  }
+}
+
+TEST(CallGraphTest, MemberCallResolvesToClassMethods) {
+  const std::vector<FileModel> files = two_file_models();
+  const CallGraph graph(files);
+  const FunctionDef* driver = find_fn(files[1], "app::driver");
+  ASSERT_NE(driver, nullptr);
+  bool saw_start = false;
+  for (const auto& call : driver->calls) {
+    if (call.name != "start") continue;
+    const auto targets = graph.resolve(*driver, call);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(graph.groups()[targets[0]].qualified, "app::Engine::start");
+    saw_start = true;
+  }
+  EXPECT_TRUE(saw_start);
+}
+
+TEST(CallGraphTest, UnresolvedCallContributesNoEdges) {
+  const std::vector<FileModel> files = two_file_models();
+  const CallGraph graph(files);
+  const FunctionDef* driver = find_fn(files[1], "app::driver");
+  ASSERT_NE(driver, nullptr);
+  for (const auto& call : driver->calls) {
+    if (call.name != "totally_unknown") continue;
+    EXPECT_TRUE(graph.resolve(*driver, call).empty());
+  }
+}
+
+TEST(CallGraphTest, AtomicReceiverIsNeverAUserMethod) {
+  std::vector<FileModel> files;
+  files.push_back(build_model(lex_source("reg.cpp", R"cpp(
+struct Registry {
+  void load() {}
+};
+struct Conn {
+  std::atomic<bool> done;
+};
+void reaper(Conn& c) {
+  if (c.done.load()) return;
+}
+)cpp")));
+  const CallGraph graph(files);
+  const FunctionDef* reaper = find_fn(files[0], "reaper");
+  ASSERT_NE(reaper, nullptr);
+  for (const auto& call : reaper->calls) {
+    if (call.name != "load") continue;
+    EXPECT_TRUE(graph.resolve(*reaper, call).empty())
+        << "atomic .load() resolved to Registry::load";
+  }
+}
+
+// --- layer spec ---------------------------------------------------------
+
+TEST(LayerSpecTest, ClosureIsReflexiveAndTransitive) {
+  const LayerSpec spec = parse_layer_spec("layers.spec",
+                                          "base:\nmid: base\ntop: mid\n");
+  EXPECT_TRUE(spec.errors.empty());
+  const auto& top = spec.closure.at("top");
+  EXPECT_EQ(top.count("top"), 1u);
+  EXPECT_EQ(top.count("mid"), 1u);
+  EXPECT_EQ(top.count("base"), 1u);  // transitive through mid
+  EXPECT_EQ(spec.closure.at("base").count("mid"), 0u);
+}
+
+TEST(LayerSpecTest, WaiveLineParsesWithReason) {
+  const LayerSpec spec = parse_layer_spec(
+      "layers.spec", "a:\nb: a\nwaive a -> b pending interface hoist\n");
+  EXPECT_TRUE(spec.errors.empty());
+  ASSERT_EQ(spec.waived.size(), 1u);
+  EXPECT_EQ(spec.waived.begin()->second, "pending interface hoist");
+}
+
+TEST(LayerSpecTest, MalformedLinesBecomeFindings) {
+  const LayerSpec missing_reason =
+      parse_layer_spec("layers.spec", "a:\nb: a\nwaive a -> b\n");
+  ASSERT_EQ(missing_reason.errors.size(), 1u);
+  EXPECT_EQ(missing_reason.errors[0].rule, "R8-layering");
+
+  const LayerSpec undeclared = parse_layer_spec("layers.spec", "a: ghost\n");
+  ASSERT_FALSE(undeclared.errors.empty());
+
+  const LayerSpec cyclic =
+      parse_layer_spec("layers.spec", "a: b\nb: a\n");
+  ASSERT_FALSE(cyclic.errors.empty());
+}
+
+// --- cross-file rules as a library --------------------------------------
+
+TEST(XRulesTest, InterproceduralDeadlockReportsWitness) {
+  std::vector<FileModel> files;
+  files.push_back(build_model(lex_source("dl.cpp", R"cpp(
+class Pair {
+ public:
+  void fwd() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    take_b();
+  }
+  void rev() {
+    std::lock_guard<std::mutex> b(mu_b_);
+    std::lock_guard<std::mutex> a(mu_a_);
+  }
+ private:
+  void take_b() { std::lock_guard<std::mutex> b(mu_b_); }
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+)cpp")));
+  const std::vector<Finding> findings =
+      chainnet::lint::run_cross_file_rules(files, nullptr);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R9-lock-order");
+  // The witness names both acquisition chains, including the call hop.
+  EXPECT_NE(findings[0].message.find("'Pair::fwd' calls 'Pair::take_b'"),
+            std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("Pair::mu_a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Pair::mu_b_"), std::string::npos);
+}
+
+}  // namespace

@@ -1,7 +1,10 @@
-// Contract tests for chainnet_lint (tools/lint): every rule R1-R7 has a
+// Contract tests for chainnet_lint (tools/lint): every rule R1-R11 has a
 // passing and a failing fixture under tests/lint_fixtures/, the failing one
 // asserted down to rule id and line; waiver fixtures prove the escape
-// hatches (// LINT:manual-lock, // LINT:unguarded, // LINT:allocator) work;
+// hatches (// LINT:manual-lock, // LINT:unguarded, // LINT:allocator,
+// // LINT:layer, // LINT:lock-order, // LINT:blocking, // LINT:nondet, and
+// the layer spec's `waive` lines) work; the R9 deadlock fixture pins the
+// full acquisition witness path; --json round-trips through a golden file;
 // and a self-check pins that the linter accepts its own source. The tool is
 // driven exactly as check_all.sh drives it: as a subprocess, asserting on
 // exit code and stdout.
@@ -10,6 +13,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -19,9 +24,7 @@ struct LintRun {
   std::string output;
 };
 
-LintRun run_lint(const std::string& target) {
-  const std::string command =
-      std::string(CHAINNET_LINT_BINARY) + " " + target + " 2>&1";
+LintRun run_command(const std::string& command) {
   LintRun result;
   FILE* pipe = popen(command.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << "cannot spawn: " << command;
@@ -36,8 +39,19 @@ LintRun run_lint(const std::string& target) {
   return result;
 }
 
+LintRun run_lint(const std::string& target) {
+  return run_command(std::string(CHAINNET_LINT_BINARY) + " " + target +
+                     " 2>&1");
+}
+
 std::string fixture(const std::string& name) {
   return std::string(CHAINNET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// Runs a fixture dir against its own layer spec (R8 fixtures carry one).
+LintRun run_lint_with_spec(const std::string& case_dir) {
+  return run_lint("--layers " + fixture(case_dir) + "/layers.spec " +
+                  fixture(case_dir));
 }
 
 int count_findings(const std::string& output) {
@@ -175,6 +189,135 @@ TEST(LintTest, R7BadFlagsInterpretedCallsOutsideSanctionedFiles) {
 
 TEST(LintTest, R7WaiverAcceptsParityGateUse) { expect_clean("r7_waiver"); }
 
+TEST(LintTest, R8GoodAcceptsDownwardIncludes) {
+  const LintRun run = run_lint_with_spec("r8_good");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintTest, R8BadFlagsUpwardInclude) {
+  const LintRun run = run_lint_with_spec("r8_bad");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 1) << run.output;
+  EXPECT_NE(run.output.find("base.h:3: R8-layering"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'lowlayer' -> 'highlayer'"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R8WaiverAcceptsSpecAndInSourceWaivers) {
+  const LintRun run = run_lint_with_spec("r8_waiver");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintTest, R9GoodAcceptsConsistentOrder) { expect_clean("r9_good"); }
+
+TEST(LintTest, R9DeadlockReportsCycleWithFullWitnessPath) {
+  const LintRun run = run_lint(fixture("r9_deadlock"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 1) << run.output;
+  EXPECT_NE(run.output.find("dl.cpp:13: R9-lock-order"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("lock-order cycle 'LedgerPair::audit_mu_' -> "
+                            "'LedgerPair::ledger_mu_' -> "
+                            "'LedgerPair::audit_mu_'"),
+            std::string::npos)
+      << run.output;
+  // The witness path: every acquisition and the call hop, with file:line.
+  for (const char* step :
+       {"dl.cpp:13: 'LedgerPair::debit_side' acquires "
+        "'LedgerPair::audit_mu_'",
+        "dl.cpp:14: 'LedgerPair::debit_side' acquires "
+        "'LedgerPair::ledger_mu_' while holding 'LedgerPair::audit_mu_'",
+        "dl.cpp:9: 'LedgerPair::credit_side' acquires "
+        "'LedgerPair::ledger_mu_'",
+        "dl.cpp:10: 'LedgerPair::credit_side' calls "
+        "'LedgerPair::bump_audit' while holding 'LedgerPair::ledger_mu_'",
+        "dl.cpp:20: 'LedgerPair::bump_audit' acquires "
+        "'LedgerPair::audit_mu_'"}) {
+    EXPECT_NE(run.output.find(step), std::string::npos)
+        << "missing witness step: " << step << "\n"
+        << run.output;
+  }
+}
+
+TEST(LintTest, R9WaiverSuppressesTheAuditedEdge) { expect_clean("r9_waiver"); }
+
+TEST(LintTest, R10GoodAcceptsUnlockSplitAroundBlockingCall) {
+  expect_clean("r10_good");
+}
+
+TEST(LintTest, R10BadFlagsDirectTransitiveAndCvWaitBlocking) {
+  const LintRun run = run_lint(fixture("r10_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 3) << run.output;
+  EXPECT_NE(run.output.find("spooler.cpp:11: R10-blocking-under-lock"),
+            std::string::npos)
+      << run.output;
+  // The transitive finding names the call chain into the blocking op.
+  EXPECT_NE(run.output.find("spooler.cpp:12: R10-blocking-under-lock"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'ifstream' (file I/O) in 'Spooler::slurp_spool'"),
+            std::string::npos)
+      << run.output;
+  // Waiting on pump_mu_ while spool_mu_ is also held.
+  EXPECT_NE(run.output.find("spooler.cpp:17: R10-blocking-under-lock"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, R10WaiverAcceptsAuditedBlockingSite) {
+  expect_clean("r10_waiver");
+}
+
+TEST(LintTest, R11GoodAcceptsSeededOrderedCode) { expect_clean("r11_good"); }
+
+TEST(LintTest, R11BadFlagsEveryNondeterminismSource) {
+  const LintRun run = run_lint(fixture("r11_bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(count_findings(run.output), 4) << run.output;
+  EXPECT_NE(run.output.find("sampler.cpp:12: R11-determinism"),
+            std::string::npos)
+      << run.output;  // rand()
+  EXPECT_NE(run.output.find("sampler.cpp:14: R11-determinism"),
+            std::string::npos)
+      << run.output;  // std::random_device
+  EXPECT_NE(run.output.find("sampler.cpp:18: R11-determinism"),
+            std::string::npos)
+      << run.output;  // steady_clock::now
+  EXPECT_NE(run.output.find("sampler.cpp:22: R11-determinism"),
+            std::string::npos)
+      << run.output;  // range-for over unordered_map
+}
+
+TEST(LintTest, R11WaiverAcceptsAuditedClockBudget) {
+  expect_clean("r11_waiver");
+}
+
+// Lexer-hardening regressions: literal bodies that would trip R1/R6 if the
+// lexer leaked their contents as tokens.
+TEST(LintTest, LexerRawStringsLeakNoFindings) { expect_clean("lexer_raw"); }
+TEST(LintTest, LexerDigitSeparatorsLeakNoFindings) {
+  expect_clean("lexer_digits");
+}
+TEST(LintTest, LexerEncodingPrefixesLeakNoFindings) {
+  expect_clean("lexer_prefix");
+}
+
+// --json output is pinned byte-for-byte against a checked-in golden file
+// (paths are made relative by running from inside the fixture).
+TEST(LintTest, JsonOutputMatchesGoldenFile) {
+  const LintRun run = run_command("cd " + fixture("r11_bad") + " && " +
+                                  std::string(CHAINNET_LINT_BINARY) +
+                                  " --json src 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 1);
+  std::ifstream golden(fixture("golden/r11_bad.json"));
+  ASSERT_TRUE(golden.is_open());
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(run.output, want.str());
+}
+
 // The linter must hold itself to the contracts it enforces.
 TEST(LintTest, SelfCheckLinterSourceIsClean) {
   const LintRun run = run_lint(std::string(CHAINNET_LINT_SELF_DIR));
@@ -183,12 +326,25 @@ TEST(LintTest, SelfCheckLinterSourceIsClean) {
 
 // The whole corpus at once: bad fixtures still fail, with deterministic
 // (sorted, deduplicated) output, and good fixtures contribute nothing.
+// Byte-identical repeat runs are the determinism contract the tool demands
+// of the code it lints — so it must meet it itself.
 TEST(LintTest, WholeCorpusIsDeterministic) {
   const LintRun a = run_lint(fixture(""));
   const LintRun b = run_lint(fixture(""));
   EXPECT_EQ(a.exit_code, 1);
   EXPECT_EQ(a.output, b.output);
-  EXPECT_EQ(count_findings(a.output), 15) << a.output;
+  EXPECT_EQ(count_findings(a.output), 23) << a.output;
+}
+
+// The same byte-identical contract for the JSON mode over a mixed tree.
+TEST(LintTest, JsonOutputIsDeterministic) {
+  const std::string command = std::string(CHAINNET_LINT_BINARY) +
+                              " --json " + fixture("") + " 2>/dev/null";
+  const LintRun a = run_command(command);
+  const LintRun b = run_command(command);
+  EXPECT_EQ(a.exit_code, 1);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_FALSE(a.output.empty());
 }
 
 TEST(LintTest, MissingPathIsUsageError) {

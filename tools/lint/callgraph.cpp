@@ -1,0 +1,108 @@
+#include "callgraph.h"
+
+#include <algorithm>
+
+namespace chainnet::lint {
+
+namespace {
+
+/// True when `qualified` ends with `suffix` at a `::` boundary:
+/// "a::b::f" matches suffixes "f", "b::f", "a::b::f" — not "::b::f"-less
+/// fragments like "bb::f".
+bool suffix_matches(const std::string& qualified, const std::string& suffix) {
+  if (qualified == suffix) return true;
+  if (qualified.size() <= suffix.size() + 2) return false;
+  if (qualified.compare(qualified.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+    return false;
+  }
+  const std::size_t at = qualified.size() - suffix.size();
+  return qualified.compare(at - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const std::vector<FileModel>& files) : files_(&files) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileModel& fm = files[fi];
+    atomic_names_.insert(fm.atomic_decls.begin(), fm.atomic_decls.end());
+    for (std::size_t di = 0; di < fm.functions.size(); ++di) {
+      const FunctionDef& def = fm.functions[di];
+      auto it = by_qualified_.find(def.qualified);
+      if (it == by_qualified_.end()) {
+        FunctionGroup group;
+        group.qualified = def.qualified;
+        group.name = def.name;
+        group.owner = def.owner;
+        groups_.push_back(std::move(group));
+        it = by_qualified_.emplace(def.qualified, groups_.size() - 1).first;
+        by_name_[def.name].push_back(it->second);
+      }
+      groups_[it->second].defs.push_back({fi, di});
+    }
+  }
+}
+
+std::size_t CallGraph::group_of(const std::string& qualified) const {
+  const auto it = by_qualified_.find(qualified);
+  return it == by_qualified_.end() ? npos : it->second;
+}
+
+std::vector<std::size_t> CallGraph::resolve(const FunctionDef& caller,
+                                            const CallSite& call) const {
+  std::vector<std::size_t> out;
+  const auto named = by_name_.find(call.name);
+  if (named == by_name_.end()) return out;
+
+  switch (call.qual) {
+    case CallQual::kQualified: {
+      const std::string suffix = call.qualifier + "::" + call.name;
+      for (const std::size_t g : named->second) {
+        if (suffix_matches(groups_[g].qualified, suffix)) out.push_back(g);
+      }
+      break;
+    }
+    case CallQual::kUnqualified: {
+      // Same class wins outright; otherwise free functions by name.
+      if (!caller.owner.empty()) {
+        const std::size_t own =
+            group_of(caller.owner + "::" + call.name);
+        if (own != npos) {
+          out.push_back(own);
+          break;
+        }
+      }
+      for (const std::size_t g : named->second) {
+        if (groups_[g].owner.empty()) out.push_back(g);
+      }
+      break;
+    }
+    case CallQual::kMember: {
+      // A call on an atomic-typed receiver (`done.load(...)`) is the std
+      // atomic protocol; resolving it to same-named class methods would
+      // manufacture edges (e.g. onto ModelRegistry::load).
+      if (atomic_names_.count(call.qualifier) != 0) break;
+      if (call.qualifier == "this" && !caller.owner.empty()) {
+        const std::size_t own =
+            group_of(caller.owner + "::" + call.name);
+        if (own != npos) {
+          out.push_back(own);
+          break;
+        }
+      }
+      // Receiver type unknown: every class's method of that name.
+      for (const std::size_t g : named->second) {
+        if (!groups_[g].owner.empty() &&
+            !groups_[g].name.empty() && groups_[g].name[0] != '<') {
+          out.push_back(g);
+        }
+      }
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace chainnet::lint

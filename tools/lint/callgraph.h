@@ -1,0 +1,68 @@
+// Repo-wide call graph over the per-TU program models (model.h). Nodes are
+// *function groups*: every definition sharing one lexically qualified name
+// (`serve::Server::submit`) collapses into a single node, which folds
+// overload sets and header/TU duplicates together — the right granularity
+// for lock-order and blocking analysis, where any overload acquiring a
+// mutex taints the name.
+//
+// Resolution is lexical, in decreasing order of evidence:
+//   * qualified calls (`A::B::f(...)`) match groups whose qualified name
+//     ends in `A::B::f` at a `::` boundary;
+//   * unqualified and `this->` calls inside a method prefer the method's
+//     own class, then fall back to free functions of that name;
+//   * `obj.f(...)` / `obj->f(...)` calls resolve to *every* class method
+//     named `f` — without types this over-approximates, which is the safe
+//     direction for deadlock detection (waivers record the exceptions);
+//   * anything with no definition in the analyzed tree is unresolved and
+//     contributes no edges (std::, libc, and system calls by design).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace chainnet::lint {
+
+/// One call-graph node: all definitions of one qualified name.
+struct FunctionGroup {
+  std::string qualified;
+  std::string name;    ///< simple name (shared by every def in the group)
+  std::string owner;   ///< "" for free functions
+  /// (file index into CallGraph::files, function index into that model).
+  std::vector<std::pair<std::size_t, std::size_t>> defs;
+};
+
+class CallGraph {
+ public:
+  /// Builds groups and indexes from every file model. The models must
+  /// outlive the graph (it stores pointers).
+  explicit CallGraph(const std::vector<FileModel>& files);
+
+  const std::vector<FileModel>& files() const { return *files_; }
+  const std::vector<FunctionGroup>& groups() const { return groups_; }
+
+  /// Group id for an exact qualified name, or npos.
+  std::size_t group_of(const std::string& qualified) const;
+
+  /// Resolves one call site made from inside `caller`. Returns sorted,
+  /// deduplicated group ids; empty when unresolved.
+  std::vector<std::size_t> resolve(const FunctionDef& caller,
+                                   const CallSite& call) const;
+
+  static constexpr std::size_t npos = std::size_t(-1);
+
+ private:
+  const std::vector<FileModel>* files_;
+  /// Union of every file's atomic_decls: receivers whose member calls are
+  /// std atomic protocol, never user methods.
+  std::set<std::string> atomic_names_;
+  std::vector<FunctionGroup> groups_;
+  std::map<std::string, std::size_t> by_qualified_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+};
+
+}  // namespace chainnet::lint

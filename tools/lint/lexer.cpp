@@ -188,6 +188,20 @@ class Lexer {
     while (i_ < src_.size() && is_ident_char(src_[i_])) {
       text.push_back(src_[i_++]);
     }
+    // Encoding prefixes glue onto the literal that follows: `u8R"(..)"` is
+    // one raw string, not identifier `u8R` plus a quoted string whose body
+    // would leak tokens; `L"w"` / `u8'c'` are literals, not identifiers.
+    if (i_ < src_.size() && src_[i_] == '"' &&
+        (text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+      --i_;  // raw_string() expects to sit on the char before the quote
+      raw_string();
+      return;
+    }
+    if ((i_ < src_.size() && (src_[i_] == '"' || src_[i_] == '\'')) &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      quoted(src_[i_]);
+      return;
+    }
     out_.tokens.push_back({TokKind::kIdentifier, std::move(text), line_});
   }
 

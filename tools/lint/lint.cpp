@@ -1,20 +1,38 @@
 // chainnet_lint — static enforcement of the codebase's concurrency, tape,
-// and kernel contracts (rules.h lists the rules, DESIGN.md §11 the
-// rationale). No external toolchain: the tool lexes C++ itself, so it runs
-// before any build exists and is the tier-0 stage of scripts/check_all.sh.
+// kernel, layering, and determinism contracts (rules.h and xrules.h list
+// the rules, DESIGN.md §11 the rationale). No external toolchain: the tool
+// lexes C++ itself, so it runs before any build exists and is the tier-0
+// stage of scripts/check_all.sh.
 //
-// Usage: chainnet_lint <file-or-dir>...
+// The run is two-phase. Phase 1 lexes every file, runs the per-scope rules
+// (R1-R7), and builds a per-TU program model (include graph, scoped
+// function definitions, lexical call sites, RAII guard regions). Phase 2
+// links the models into a repo-wide call graph and runs the cross-file
+// rules (R8-R11): include-graph layering against tools/lint/layers.spec,
+// interprocedural lock-order cycles with witness paths, blocking
+// operations under held guards, and the determinism audit.
+//
+// Usage: chainnet_lint [--json] [--layers <spec>] <file-or-dir>...
 //   Directories are scanned recursively for .h/.hpp/.cpp/.cc/.cxx/.inc.
-//   Findings go to stdout as `file:line: rule-id: message`.
+//   Findings go to stdout as `file:line: rule-id: message`, or as a JSON
+//   array of {file, line, rule, message} objects under --json.
+//   Without --layers, the spec is discovered by walking up from the first
+//   input to the nearest tools/lint/layers.spec; if none exists, R8 is
+//   skipped and every other rule still runs.
 //   Exit 0: clean. Exit 1: findings. Exit 2: usage or I/O error.
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lexer.h"
+#include "model.h"
 #include "rules.h"
+#include "xrules.h"
 
 namespace fs = std::filesystem;
 
@@ -28,20 +46,95 @@ bool lintable(const fs::path& path) {
 }
 
 int usage() {
-  std::cerr << "usage: chainnet_lint <file-or-dir>...\n"
-            << "rules: R1-lock-discipline R2-guarded-member "
-               "R3-relaxed-atomic R4-tape-frame R5-kernel-routing "
-               "R6-allocation R7-plan-discipline (see DESIGN.md §11)\n";
+  std::cerr
+      << "usage: chainnet_lint [--json] [--layers <spec>] <file-or-dir>...\n"
+      << "rules: R1-lock-discipline R2-guarded-member R3-relaxed-atomic "
+         "R4-tape-frame R5-kernel-routing R6-allocation R7-plan-discipline "
+         "R8-layering R9-lock-order R10-blocking-under-lock "
+         "R11-determinism (see DESIGN.md §11)\n";
   return 2;
+}
+
+/// Nearest tools/lint/layers.spec at or above `start`, or "".
+std::string discover_spec(const fs::path& start) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(start, ec);
+  if (ec) return "";
+  if (!fs::is_directory(dir, ec)) dir = dir.parent_path();
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    const fs::path candidate = dir / "tools" / "lint" / "layers.spec";
+    if (fs::is_regular_file(candidate, ec)) {
+      return candidate.generic_string();
+    }
+    if (dir == dir.root_path()) break;
+  }
+  return "";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void print_findings(const std::vector<chainnet::lint::Finding>& findings,
+                    bool json) {
+  if (!json) {
+    for (const auto& f : findings) {
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    }
+    return;
+  }
+  std::cout << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "  {\"file\": \"" << json_escape(f.file)
+              << "\", \"line\": " << f.line << ", \"rule\": \""
+              << json_escape(f.rule) << "\", \"message\": \""
+              << json_escape(f.message) << "\"}";
+  }
+  std::cout << (findings.empty() ? "]\n" : "\n]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
+  std::string layers_path;
+  bool json = false;
+  bool layers_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") return usage();
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--layers") {
+      if (i + 1 >= argc) return usage();
+      layers_path = argv[++i];
+      layers_given = true;
+      continue;
+    }
     inputs.push_back(arg);
   }
   if (inputs.empty()) return usage();
@@ -72,7 +165,29 @@ int main(int argc, char** argv) {
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
+  if (!layers_given) layers_path = discover_spec(inputs.front());
+
+  chainnet::lint::LayerSpec spec;
+  bool have_spec = false;
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "chainnet_lint: cannot open layer spec " << layers_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    spec = chainnet::lint::parse_layer_spec(
+        fs::path(layers_path).generic_string(), buffer.str());
+    have_spec = true;
+  }
+
+  // Phase 1: lex once per file; feed the per-scope rules and build the
+  // program models the cross-file rules link together.
   chainnet::lint::Linter linter;
+  std::vector<chainnet::lint::FileModel> models;
+  models.reserve(paths.size());
   for (const std::string& path : paths) {
     chainnet::lint::FileLex lex;
     std::string error;
@@ -80,14 +195,21 @@ int main(int argc, char** argv) {
       std::cerr << "chainnet_lint: " << error << "\n";
       return 2;
     }
+    models.push_back(chainnet::lint::build_model(lex));
     linter.add_file(std::move(lex));
   }
 
-  const std::vector<chainnet::lint::Finding> findings = linter.run();
-  for (const auto& f : findings) {
-    std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
-              << f.message << "\n";
-  }
+  // Phase 2: per-scope rules + cross-file rules, merged and ordered.
+  std::vector<chainnet::lint::Finding> findings = linter.run();
+  std::vector<chainnet::lint::Finding> cross =
+      chainnet::lint::run_cross_file_rules(models,
+                                           have_spec ? &spec : nullptr);
+  findings.insert(findings.end(), cross.begin(), cross.end());
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end()),
+                 findings.end());
+
+  print_findings(findings, json);
   if (!findings.empty()) {
     std::cerr << "chainnet_lint: " << findings.size() << " finding"
               << (findings.size() == 1 ? "" : "s") << " in " << paths.size()

@@ -1,0 +1,785 @@
+#include "model.h"
+
+#include <algorithm>
+
+namespace chainnet::lint {
+
+namespace {
+
+const std::set<std::string>& guard_classes() {
+  static const std::set<std::string> kGuards = {
+      "lock_guard", "unique_lock", "shared_lock", "scoped_lock"};
+  return kGuards;
+}
+
+/// Keywords that read as `name (` but are not calls.
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",        "switch",  "catch",
+      "return",   "sizeof",   "alignof",      "decltype", "static_assert",
+      "assert",   "new",      "delete",       "throw",   "alignas",
+      "noexcept", "co_await", "co_return",    "co_yield", "defined",
+      "void"};
+  return kKeywords;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock, kOther };
+  Kind kind = kBlock;
+  std::string name;   // namespace/class name; "" when anonymous
+  int fn = -1;        // kFunction: index into FileModel::functions
+};
+
+/// A live RAII guard while walking a function body.
+struct ActiveGuard {
+  int region = -1;          // index into the owning FunctionDef::guards
+  int fn = -1;              // owning function index
+  std::size_t depth = 0;    // scope-stack size at construction
+  bool open = false;        // a segment is currently open
+  bool manually_unlocked = false;
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(FileLex lex) {
+    out_.lex = std::move(lex);
+    out_.module = module_of(out_.lex.path);
+    for (const Comment& c : out_.lex.comments) {
+      auto& slot = out_.comment_by_line[c.line];
+      if (!slot.empty()) slot += ' ';
+      slot += c.text;
+    }
+  }
+
+  FileModel run() {
+    const std::vector<Token>& toks = out_.lex.tokens;
+    register_unordered_decls();
+    register_atomic_decls();
+    std::size_t i = 0;
+    while (i < toks.size()) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          push_brace(i);
+          ++i;
+          continue;
+        }
+        if (t.text == "}") {
+          pop_brace(i);
+          ++i;
+          continue;
+        }
+        if (in_function() && t.text == "[") {
+          const std::size_t adv = try_lambda(i);
+          if (adv != i) {
+            i = adv;  // positioned at the lambda's body '{'
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind != TokKind::kIdentifier) {
+        ++i;
+        continue;
+      }
+      if (in_function()) {
+        i = function_body_token(i);
+        continue;
+      }
+      // Namespace / class scope.
+      if (t.text == "namespace") {
+        i = handle_namespace(i);
+        continue;
+      }
+      if ((t.text == "class" || t.text == "struct") && !is_template_param(i) &&
+          (i == 0 || toks[i - 1].text != "enum")) {
+        i = handle_class(i);
+        continue;
+      }
+      if (t.text == "enum") {
+        i = handle_enum(i);
+        continue;
+      }
+      const std::size_t adv = try_function_def(i);
+      if (adv != i) {
+        i = adv;  // positioned at the body '{'
+        continue;
+      }
+      ++i;
+    }
+    // Close anything left open (unterminated input must not lose regions).
+    while (!scopes_.empty()) pop_brace(toks.size());
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& toks() const { return out_.lex.tokens; }
+
+  bool in_function() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return true;
+      if (it->kind == Scope::kNamespace || it->kind == Scope::kClass) break;
+    }
+    return false;
+  }
+
+  int current_fn() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return it->fn;
+    }
+    return -1;
+  }
+
+  std::string scope_prefix() const {
+    std::string joined;
+    for (const Scope& s : scopes_) {
+      if ((s.kind != Scope::kNamespace && s.kind != Scope::kClass) ||
+          s.name.empty()) {
+        continue;
+      }
+      if (!joined.empty()) joined += "::";
+      joined += s.name;
+    }
+    return joined;
+  }
+
+  std::string innermost_class() const {
+    std::string joined;
+    std::string cls;
+    for (const Scope& s : scopes_) {
+      if ((s.kind != Scope::kNamespace && s.kind != Scope::kClass) ||
+          s.name.empty()) {
+        continue;
+      }
+      if (!joined.empty()) joined += "::";
+      joined += s.name;
+      if (s.kind == Scope::kClass) cls = joined;
+    }
+    return cls;
+  }
+
+  bool is_template_param(std::size_t i) const {
+    if (i == 0) return false;
+    const std::string& prev = toks()[i - 1].text;
+    return prev == "<" || prev == ",";
+  }
+
+  /// Skips a balanced (...) or {...} starting at `open`. Returns the index
+  /// one past the matching close (or end of stream).
+  std::size_t skip_balanced(std::size_t open) const {
+    const std::string& o = toks()[open].text;
+    const std::string c = o == "(" ? ")" : (o == "{" ? "}" : "]");
+    int depth = 0;
+    for (std::size_t j = open; j < toks().size(); ++j) {
+      const std::string& t = toks()[j].text;
+      if (t == o) ++depth;
+      if (t == c && --depth == 0) return j + 1;
+    }
+    return toks().size();
+  }
+
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    for (; i < toks().size(); ++i) {
+      const std::string& t = toks()[i].text;
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (t == ">>") {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+      } else if (t == ";" || t == "{" || t == "}") {
+        return i;  // not a template-arg list after all
+      }
+    }
+    return i;
+  }
+
+  // --- scope machinery --------------------------------------------------
+
+  void push_brace(std::size_t tok) {
+    Scope s = pending_;
+    pending_ = Scope{};  // default kBlock
+    if (s.kind == Scope::kFunction && s.fn >= 0) {
+      // Entering a (possibly nested lambda) function body: pause every
+      // guard of enclosing functions — their code does not run here.
+      pause_guards_of_other_functions(s.fn, tok);
+    }
+    scopes_.push_back(s);
+  }
+
+  void pop_brace(std::size_t tok) {
+    if (scopes_.empty()) return;
+    const Scope s = scopes_.back();
+    // Close guards constructed in this scope.
+    while (!active_.empty() && active_.back().depth >= scopes_.size()) {
+      close_segment(active_.back(), tok);
+      active_.pop_back();
+    }
+    scopes_.pop_back();
+    if (s.kind == Scope::kFunction && s.fn >= 0) {
+      if (out_.functions[s.fn].body_end == 0) {
+        out_.functions[s.fn].body_end = tok + 1;
+      }
+      // Resume guards of the function we return to.
+      resume_guards_of_current_function(tok + 1);
+    }
+  }
+
+  void pause_guards_of_other_functions(int fn, std::size_t tok) {
+    for (ActiveGuard& g : active_) {
+      if (g.fn != fn && g.open) close_segment(g, tok);
+    }
+  }
+
+  void resume_guards_of_current_function(std::size_t tok) {
+    const int fn = current_fn();
+    if (fn < 0) return;
+    for (ActiveGuard& g : active_) {
+      if (g.fn == fn && !g.open && !g.manually_unlocked) open_segment(g, tok);
+    }
+  }
+
+  void open_segment(ActiveGuard& g, std::size_t tok) {
+    out_.functions[g.fn].guards[g.region].segments.push_back({tok, tok});
+    g.open = true;
+  }
+
+  void close_segment(ActiveGuard& g, std::size_t tok) {
+    if (!g.open) return;
+    auto& segs = out_.functions[g.fn].guards[g.region].segments;
+    segs.back().end = tok;
+    if (segs.back().end <= segs.back().begin) segs.pop_back();
+    g.open = false;
+  }
+
+  // --- namespace / class / enum heads -----------------------------------
+
+  std::size_t handle_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < toks().size() && toks()[j].kind == TokKind::kIdentifier) {
+      if (!name.empty()) name += "::";
+      name += toks()[j].text;
+      ++j;
+      if (j < toks().size() && toks()[j].text == "::") ++j;
+    }
+    if (j < toks().size() && toks()[j].text == "=") {
+      // namespace alias: skip to ';'
+      while (j < toks().size() && toks()[j].text != ";") ++j;
+      return j + 1;
+    }
+    if (j < toks().size() && toks()[j].text == "{") {
+      pending_ = {Scope::kNamespace, name, -1};
+      return j;  // main loop pushes at '{'
+    }
+    return i + 1;
+  }
+
+  std::size_t handle_class(std::size_t i) {
+    std::size_t j = i + 1;
+    // Skip attributes / alignas(...)
+    while (j < toks().size() && toks()[j].text == "alignas") {
+      ++j;
+      if (j < toks().size() && toks()[j].text == "(") j = skip_balanced(j);
+    }
+    std::string name;
+    if (j < toks().size() && toks()[j].kind == TokKind::kIdentifier) {
+      name = toks()[j].text;
+      ++j;
+      if (j < toks().size() && toks()[j].text == "<") j = skip_angles(j);
+    }
+    // Scan to '{' (definition) or ';' (forward declaration).
+    while (j < toks().size()) {
+      const std::string& t = toks()[j].text;
+      if (t == "{") {
+        pending_ = {Scope::kClass, name, -1};
+        return j;
+      }
+      if (t == ";" || t == "}") return j;
+      if (t == "<") {
+        j = skip_angles(j);
+        continue;
+      }
+      if (t == "(") {
+        j = skip_balanced(j);
+        continue;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  std::size_t handle_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < toks().size()) {
+      const std::string& t = toks()[j].text;
+      if (t == "{") {
+        pending_ = {Scope::kOther, "", -1};
+        return j;
+      }
+      if (t == ";") return j + 1;
+      ++j;
+    }
+    return j;
+  }
+
+  // --- function definitions ---------------------------------------------
+
+  /// Attempts to match a function definition whose name chain starts at
+  /// `i`. On success records the def, sets pending_, and returns the index
+  /// of the body '{'; otherwise returns `i`.
+  std::size_t try_function_def(std::size_t i) {
+    std::size_t j = i;
+    std::string chain;  // explicit qualification before the name
+    std::string name;
+    bool dtor = i > 0 && toks()[i - 1].text == "~";
+    while (j < toks().size() && toks()[j].kind == TokKind::kIdentifier) {
+      std::string part = toks()[j].text;
+      std::size_t after = j + 1;
+      if (after < toks().size() && toks()[after].text == "<") {
+        const std::size_t past = skip_angles(after);
+        if (past > after + 1) after = past;
+      }
+      if (after < toks().size() && toks()[after].text == "::") {
+        if (!chain.empty()) chain += "::";
+        chain += part;
+        j = after + 1;
+        if (j < toks().size() && toks()[j].text == "~") {
+          dtor = true;
+          ++j;
+        }
+        continue;
+      }
+      name = std::move(part);
+      j = after;
+      break;
+    }
+    if (name.empty() || name == "operator") return i;
+    if (j >= toks().size() || toks()[j].text != "(") return i;
+    const int name_line = toks()[i].line;
+    const std::size_t after_params = skip_balanced(j);
+    std::size_t m = after_params;
+    if (m >= toks().size()) return i;
+    if (toks()[m].text == ":") {
+      // Constructor initializer list: `: member(init), base{init} {`
+      ++m;
+      while (m < toks().size()) {
+        const std::string& t = toks()[m].text;
+        if (t == "{") {
+          // Either an init with brace syntax (immediately after a name,
+          // handled below) or the body. Reaching a '{' here means body.
+          break;
+        }
+        if (t == ";" || t == "}") return i;
+        if (t == "(") {
+          m = skip_balanced(m);
+          continue;
+        }
+        if (toks()[m].kind == TokKind::kIdentifier) {
+          std::size_t n = m + 1;
+          if (n < toks().size() && toks()[n].text == "<") n = skip_angles(n);
+          if (n < toks().size() &&
+              (toks()[n].text == "(" || toks()[n].text == "{")) {
+            m = skip_balanced(n);
+            continue;
+          }
+          m = n;
+          continue;
+        }
+        ++m;
+      }
+    } else {
+      // Suffix: const, noexcept(...), override, final, &, &&, -> type.
+      while (m < toks().size()) {
+        const Token& t = toks()[m];
+        if (t.text == "{") break;
+        if (t.text == ";" || t.text == "=" || t.text == "}") return i;
+        if (t.text == "(") {
+          m = skip_balanced(m);
+          continue;
+        }
+        if (t.text == "<") {
+          m = skip_angles(m);
+          continue;
+        }
+        if (t.kind == TokKind::kIdentifier || t.text == "::" ||
+            t.text == "->" || t.text == "&" || t.text == "&&" ||
+            t.text == "*" || t.text == ",") {
+          ++m;
+          continue;
+        }
+        return i;
+      }
+    }
+    if (m >= toks().size() || toks()[m].text != "{") return i;
+
+    FunctionDef def;
+    def.name = (dtor ? "~" : "") + name;
+    const std::string prefix = scope_prefix();
+    std::string qual = prefix;
+    if (!chain.empty()) {
+      if (!qual.empty()) qual += "::";
+      qual += chain;
+    }
+    def.owner = !chain.empty()
+                    ? qual  // out-of-line method: chain names the class
+                    : innermost_class();
+    def.qualified = qual.empty() ? def.name : qual + "::" + def.name;
+    def.file = out_.lex.path;
+    def.line = name_line;
+    def.body_begin = m;
+    out_.functions.push_back(std::move(def));
+    pending_ = {Scope::kFunction, "", int(out_.functions.size()) - 1};
+    return m;
+  }
+
+  /// Lambda introducer inside a function body: `[caps](params) ... {`.
+  /// Returns the index of the body '{' (with pending_ set) or `i`.
+  std::size_t try_lambda(std::size_t i) {
+    if (i > 0) {
+      const Token& p = toks()[i - 1];
+      if (p.kind != TokKind::kPunct) return i;  // subscript: arr[i]
+      if (p.text == ")" || p.text == "]") return i;
+    }
+    std::size_t m = skip_balanced(i);  // past the capture list
+    if (m >= toks().size()) return i;
+    if (toks()[m].text == "(") m = skip_balanced(m);
+    // Optional specifiers / trailing return.
+    while (m < toks().size()) {
+      const Token& t = toks()[m];
+      if (t.text == "{") break;
+      if (t.kind == TokKind::kIdentifier || t.text == "->" ||
+          t.text == "::") {
+        ++m;
+        continue;
+      }
+      if (t.text == "<") {
+        m = skip_angles(m);
+        continue;
+      }
+      if (t.text == "(") {
+        m = skip_balanced(m);
+        continue;
+      }
+      return i;  // not a lambda after all
+    }
+    if (m >= toks().size() || toks()[m].text != "{") return i;
+    const int parent = current_fn();
+    FunctionDef def;
+    def.is_lambda = true;
+    def.name = "<lambda>";
+    def.owner = parent >= 0 ? out_.functions[parent].owner : "";
+    const std::string base =
+        parent >= 0 ? out_.functions[parent].qualified : scope_prefix();
+    def.qualified = base + "::<lambda:" + std::to_string(toks()[i].line) + ">";
+    def.file = out_.lex.path;
+    def.line = toks()[i].line;
+    def.body_begin = m;
+    out_.functions.push_back(std::move(def));
+    pending_ = {Scope::kFunction, "", int(out_.functions.size()) - 1};
+    return m;
+  }
+
+  // --- function-body tokens: guards, unlock/lock splits, call sites -----
+
+  std::size_t function_body_token(std::size_t i) {
+    const Token& t = toks()[i];
+    const int fn = current_fn();
+    if (fn < 0) return i + 1;
+
+    if (guard_classes().count(t.text) != 0) {
+      const std::size_t adv = handle_guard(i, fn);
+      if (adv != i) return adv;
+    }
+
+    const std::string prev = i > 0 ? toks()[i - 1].text : std::string();
+    const std::string next =
+        i + 1 < toks().size() ? toks()[i + 1].text : std::string();
+
+    // Manual unlock/lock on a tracked guard splits its region (the audited
+    // serve-flusher idiom: drop the lock around the blocking batch).
+    if ((t.text == "unlock" || t.text == "lock") &&
+        (prev == "." || prev == "->") && next == "(" && i >= 2 &&
+        toks()[i - 2].kind == TokKind::kIdentifier) {
+      const std::string& var = toks()[i - 2].text;
+      for (ActiveGuard& g : active_) {
+        if (g.fn != fn) continue;
+        GuardRegion& region = out_.functions[fn].guards[g.region];
+        if (region.var != var) continue;
+        if (t.text == "unlock") {
+          close_segment(g, i - 2);
+          g.manually_unlocked = true;
+        } else {
+          g.manually_unlocked = false;
+          if (!g.open) open_segment(g, skip_balanced(i + 1));
+        }
+      }
+      return skip_balanced(i + 1);
+    }
+
+    if (t.kind == TokKind::kIdentifier && next == "(" &&
+        non_call_keywords().count(t.text) == 0) {
+      record_call(i, fn);
+    }
+    return i + 1;
+  }
+
+  /// Handles a guard-class identifier. Returns the index one past the
+  /// construction (or `i` when the pattern is not a tracked construction).
+  std::size_t handle_guard(std::size_t i, int fn) {
+    std::size_t j = i + 1;
+    if (j < toks().size() && toks()[j].text == "<") j = skip_angles(j);
+    std::string var;
+    std::size_t args = std::string::npos;
+    if (j < toks().size() && toks()[j].kind == TokKind::kIdentifier &&
+        j + 1 < toks().size() &&
+        (toks()[j + 1].text == "(" || toks()[j + 1].text == "{")) {
+      var = toks()[j].text;
+      args = j + 1;
+    } else if (j < toks().size() &&
+               (toks()[j].text == "(" || toks()[j].text == "{")) {
+      // `auto lk = std::unique_lock<std::mutex>(mu)` binds; temporaries
+      // (an R1 finding) hold nothing past the semicolon — skip both ways,
+      // but track the bound form, fishing the name from before the '='.
+      std::size_t back = i;
+      while (back >= 2 && toks()[back - 1].text == "::" &&
+             toks()[back - 2].kind == TokKind::kIdentifier) {
+        back -= 2;
+      }
+      if (back >= 2 && toks()[back - 1].text == "=" &&
+          toks()[back - 2].kind == TokKind::kIdentifier) {
+        var = toks()[back - 2].text;
+        args = j;
+      } else {
+        return skip_balanced(j);  // temporary or parameter: not a region
+      }
+    } else {
+      return i;  // a mention, not a construction (e.g. a type alias)
+    }
+
+    std::set<std::string> raw;
+    const std::size_t close = collect_args(args, raw);
+    if (raw.empty()) return close + 1;  // deferred-lock or default ctor
+
+    GuardRegion region;
+    region.var = var;
+    region.line = toks()[i].line;
+    region.token = i;
+    const std::string owner_prefix = mutex_prefix(fn);
+    for (const std::string& name : raw) {
+      region.mutexes.push_back(owner_prefix + "::" + name);
+    }
+    std::sort(region.mutexes.begin(), region.mutexes.end());
+    out_.functions[fn].guards.push_back(std::move(region));
+
+    ActiveGuard g;
+    g.fn = fn;
+    g.region = int(out_.functions[fn].guards.size()) - 1;
+    g.depth = scopes_.size();
+    active_.push_back(g);
+    open_segment(active_.back(), close + 1);
+    return close + 1;
+  }
+
+  /// The qualification prefix for mutex keys acquired inside function
+  /// `fn`: the owning class when there is one, else the function's
+  /// namespace chain, else the file stem (so free-function locals in two
+  /// files cannot alias).
+  std::string mutex_prefix(int fn) const {
+    const FunctionDef& def = out_.functions[fn];
+    if (!def.owner.empty()) return def.owner;
+    const std::size_t cut = def.qualified.rfind("::");
+    if (cut != std::string::npos && cut > 0) {
+      return def.qualified.substr(0, cut);
+    }
+    return stem_of(def.file);
+  }
+
+  /// Collects guard-construction argument names (dot-normalized member
+  /// chains; `this->` stripped; std:: droppped — std::adopt_lock and
+  /// friends are not mutexes). `open` indexes '(' or '{'; returns the
+  /// index of the matching close.
+  std::size_t collect_args(std::size_t open, std::set<std::string>& names) {
+    const std::string o = toks()[open].text;
+    const std::string c = o == "(" ? ")" : "}";
+    int depth = 0;
+    std::vector<std::string> parts;
+    bool is_std = false;
+    auto flush = [&]() {
+      if (!parts.empty() && !is_std) {
+        if (parts.front() == "this") parts.erase(parts.begin());
+        if (!parts.empty()) {
+          std::string full = parts.front();
+          for (std::size_t p = 1; p < parts.size(); ++p) {
+            full += "." + parts[p];
+          }
+          names.insert(full);
+        }
+      }
+      parts.clear();
+      is_std = false;
+    };
+    std::size_t i = open;
+    for (; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == o || (o == "(" && t.text == "{")) {
+          ++depth;
+          continue;
+        }
+        if (t.text == c || (o == "(" && t.text == "}")) {
+          if (--depth == 0) break;
+          continue;
+        }
+        if (t.text == "." || t.text == "->") continue;
+        if (t.text == "::") {
+          if (!parts.empty() && parts.back() == "std") is_std = true;
+          continue;
+        }
+        flush();
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier) parts.push_back(t.text);
+    }
+    flush();
+    return i;
+  }
+
+  void record_call(std::size_t i, int fn) {
+    const Token& t = toks()[i];
+    CallSite call;
+    call.name = t.text;
+    call.line = t.line;
+    call.token = i;
+    const std::string prev = i > 0 ? toks()[i - 1].text : std::string();
+    if (prev == "::") {
+      call.qual = CallQual::kQualified;
+      std::vector<std::string> chain;
+      std::size_t p = i;
+      while (p >= 2 && toks()[p - 1].text == "::" &&
+             toks()[p - 2].kind == TokKind::kIdentifier) {
+        chain.push_back(toks()[p - 2].text);
+        p -= 2;
+      }
+      // The chain might itself hang off a member access (`obj.f_->g::h()`
+      // does not occur here); keep the plain qualified chain.
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (!call.qualifier.empty()) call.qualifier += "::";
+        call.qualifier += *it;
+      }
+    } else if (prev == "." || prev == "->") {
+      call.qual = CallQual::kMember;
+      if (i >= 2 && toks()[i - 2].kind == TokKind::kIdentifier) {
+        call.qualifier = toks()[i - 2].text;
+      }
+    }
+    out_.functions[fn].calls.push_back(std::move(call));
+  }
+
+  void register_unordered_decls() {
+    const std::vector<Token>& ts = toks();
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdentifier) continue;
+      if (ts[i].text != "unordered_map" && ts[i].text != "unordered_set" &&
+          ts[i].text != "unordered_multimap" &&
+          ts[i].text != "unordered_multiset") {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (ts[j].text == "<") j = skip_angles(j);
+      // `unordered_map<K, V> name` — possibly with &, *, const between.
+      while (j < ts.size() &&
+             (ts[j].text == "&" || ts[j].text == "*" ||
+              ts[j].text == "const")) {
+        ++j;
+      }
+      if (j < ts.size() && ts[j].kind == TokKind::kIdentifier) {
+        out_.unordered_decls.insert(ts[j].text);
+      }
+    }
+  }
+
+  /// `std::atomic<T> name` / `atomic_flag name` — possibly with &, *,
+  /// const between type and name. See FileModel::atomic_decls.
+  void register_atomic_decls() {
+    const std::vector<Token>& ts = toks();
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdentifier) continue;
+      if (ts[i].text != "atomic" && ts[i].text != "atomic_flag") continue;
+      std::size_t j = i + 1;
+      if (ts[j].text == "<") j = skip_angles(j);
+      while (j < ts.size() &&
+             (ts[j].text == "&" || ts[j].text == "*" ||
+              ts[j].text == "const")) {
+        ++j;
+      }
+      if (j < ts.size() && ts[j].kind == TokKind::kIdentifier) {
+        out_.atomic_decls.insert(ts[j].text);
+      }
+    }
+  }
+
+  FileModel out_;
+  std::vector<Scope> scopes_;
+  Scope pending_;  // classification for the next '{'
+  std::vector<ActiveGuard> active_;
+};
+
+}  // namespace
+
+bool waiver_at(const std::map<int, std::string>& comments, int line,
+               const std::string& kind) {
+  std::vector<const std::string*> parts;
+  if (const auto it = comments.find(line); it != comments.end()) {
+    parts.push_back(&it->second);
+  }
+  for (int l = line - 1; l > 0; --l) {
+    const auto it = comments.find(l);
+    if (it == comments.end()) break;
+    parts.push_back(&it->second);
+  }
+  std::string joined;
+  for (auto rit = parts.rbegin(); rit != parts.rend(); ++rit) {
+    joined += **rit;
+    joined += ' ';
+  }
+  const std::string needle = "LINT:" + kind + "(";
+  const std::size_t at = joined.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t close = joined.find(')', at + needle.size());
+  return close != std::string::npos && close > at + needle.size();
+}
+
+std::string module_of(const std::string& path) {
+  std::size_t start = 0;
+  std::string prev;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    const std::string comp = path.substr(start, end - start);
+    if (prev == "src" && !comp.empty() && slash != std::string::npos) {
+      return comp;  // a directory component right under src/
+    }
+    prev = comp;
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return "";
+}
+
+FileModel build_model(FileLex lex) {
+  return ModelBuilder(std::move(lex)).run();
+}
+
+}  // namespace chainnet::lint

@@ -1,0 +1,114 @@
+// Program model of chainnet_lint v2. Phase 1 of the analyzer: from one
+// file's token stream (lexer.h) it reconstructs just enough program
+// structure for the cross-file rules (xrules.h) to reason *between*
+// functions and *between* files — where the per-scope rule engine
+// (rules.h) deliberately stops:
+//
+//   * the scope tree: namespaces, classes, and function definitions, each
+//     function carrying its lexically qualified name (`serve::Server::run`)
+//     so out-of-line definitions and in-class bodies land on the same node;
+//   * call sites inside every function body, classified by how the callee
+//     was named (unqualified, `this->`/object member, or `A::B::`-qualified)
+//     — the raw material of the repo-wide call graph (callgraph.h);
+//   * RAII guard regions: which mutexes a `lock_guard`/`unique_lock`/...
+//     holds, over which token range. Regions split at audited manual
+//     `.unlock()`/`.lock()` pairs (the serve-flusher idiom) and pause
+//     inside lambda bodies, whose code runs on some other thread at some
+//     other time — so "held across this call" is an honest claim;
+//   * determinism-relevant declarations: names declared as
+//     `unordered_map`/`unordered_set`, which R11 forbids iterating in the
+//     reproducibility-critical modules.
+//
+// Like the lexer, the model is built without a compiler: resolution is
+// lexical, and the rules that consume it over-approximate (then let the
+// audited waiver syntax record the exceptions).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace chainnet::lint {
+
+/// How a call site named its callee; drives call-graph resolution.
+enum class CallQual {
+  kUnqualified,  ///< `f(...)` — same class first, else free functions
+  kMember,       ///< `obj.f(...)` / `obj->f(...)` / `this->f(...)`
+  kQualified,    ///< `A::B::f(...)` — resolved against the suffix A::B::f
+};
+
+struct CallSite {
+  std::string name;       ///< final identifier of the callee
+  std::string qualifier;  ///< "A::B" for kQualified, receiver name otherwise
+  CallQual qual = CallQual::kUnqualified;
+  int line = 0;
+  std::size_t token = 0;  ///< index of the name token in FileLex::tokens
+};
+
+/// A contiguous token range [begin, end) during which a guard is live.
+/// One region usually has one segment; audited manual unlock/lock pairs
+/// and lambda bodies split or pause it.
+struct GuardSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// One RAII guard construction and the token ranges it covers.
+struct GuardRegion {
+  /// Qualified mutex keys, e.g. "serve::Server::state_mutex_". Member
+  /// chains keep their dotted form ("runtime::EvalCache::shard.mutex").
+  std::vector<std::string> mutexes;
+  std::string var;   ///< the guard local's name ("" for unnamed forms)
+  int line = 0;      ///< acquisition line
+  std::size_t token = 0;  ///< token index of the guard-class identifier
+  std::vector<GuardSegment> segments;
+};
+
+struct FunctionDef {
+  std::string qualified;  ///< "ns::Class::name" (lexical scope chain)
+  std::string name;       ///< simple name
+  std::string owner;      ///< enclosing class, qualified; "" for free fns
+  std::string file;
+  int line = 0;
+  bool is_lambda = false;
+  std::size_t body_begin = 0;  ///< token index of the body's '{'
+  std::size_t body_end = 0;    ///< token index one past the closing '}'
+  std::vector<CallSite> calls;
+  std::vector<GuardRegion> guards;
+};
+
+struct FileModel {
+  FileLex lex;
+  /// Module = path component after "src" ("" when not under a src tree).
+  std::string module;
+  std::map<int, std::string> comment_by_line;
+  /// Names declared with an unordered_{map,set} type in this file.
+  /// R11 merges these per dir/stem so a header's members bind in its .cpp.
+  std::set<std::string> unordered_decls;
+  /// Names declared with a std::atomic<...>/atomic_flag type. Member calls
+  /// on these receivers (`done.load(...)`) are std atomic protocol, not
+  /// user methods — the call graph must not resolve them to same-named
+  /// class methods (ModelRegistry::load).
+  std::set<std::string> atomic_decls;
+  std::vector<FunctionDef> functions;
+};
+
+/// True when `comments` carries `// LINT:<kind>(reason)` covering `line`
+/// (the line itself or a contiguous comment block ending directly above),
+/// with a non-empty reason. Shared by rules.cpp and xrules.cpp so every
+/// rule family has identical waiver semantics.
+bool waiver_at(const std::map<int, std::string>& comments, int line,
+               const std::string& kind);
+
+/// The path component directly after a "src" component, or "".
+std::string module_of(const std::string& path);
+
+/// Builds the per-TU model. Never throws; unparseable regions simply
+/// contribute no structure (a linter degrades, it does not die).
+FileModel build_model(FileLex lex);
+
+}  // namespace chainnet::lint

@@ -1,0 +1,760 @@
+#include "xrules.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace chainnet::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer spec
+// ---------------------------------------------------------------------------
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+/// Reflexive-transitive closure of one module's deps; detects spec cycles.
+bool close_over(const LayerSpec& spec, const std::string& mod,
+                std::set<std::string>& out, std::set<std::string>& path) {
+  if (!path.insert(mod).second) return false;  // dependency cycle
+  out.insert(mod);
+  const auto it = spec.deps.find(mod);
+  if (it != spec.deps.end()) {
+    for (const std::string& dep : it->second) {
+      if (out.count(dep) == 0 || path.count(dep) != 0) {
+        if (!close_over(spec, dep, out, path)) return false;
+      }
+    }
+  }
+  path.erase(mod);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking-operation classification (R10)
+// ---------------------------------------------------------------------------
+
+/// Call names that block on the network, the disk, the OS, or the oracle.
+/// `read`/`write`/`bind`/`getline` are deliberately absent: they collide
+/// with std:: and stream utilities and the codebase does raw fd I/O through
+/// the names below.
+const std::map<std::string, std::string>& blocking_calls() {
+  static const std::map<std::string, std::string> kCalls = {
+      {"recv", "socket I/O"},        {"send", "socket I/O"},
+      {"accept", "socket I/O"},      {"connect", "socket I/O"},
+      {"poll", "socket I/O"},        {"select", "socket I/O"},
+      {"listen", "socket I/O"},      {"getaddrinfo", "name resolution"},
+      {"fopen", "file I/O"},         {"fread", "file I/O"},
+      {"fwrite", "file I/O"},        {"fclose", "file I/O"},
+      {"fflush", "file I/O"},        {"popen", "subprocess I/O"},
+      {"pclose", "subprocess I/O"},  {"system", "subprocess I/O"},
+      {"sleep_for", "sleep"},        {"sleep_until", "sleep"},
+      {"usleep", "sleep"},           {"nanosleep", "sleep"},
+      {"evaluate", "oracle evaluation"},
+      {"evaluate_batch", "oracle evaluation"},
+      {"join", "thread join"},
+  };
+  return kCalls;
+}
+
+const std::set<std::string>& cv_wait_names() {
+  static const std::set<std::string> kNames = {"wait", "wait_for",
+                                               "wait_until"};
+  return kNames;
+}
+
+const std::set<std::string>& stream_types() {
+  static const std::set<std::string> kTypes = {"ifstream", "ofstream",
+                                               "fstream"};
+  return kTypes;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis state
+// ---------------------------------------------------------------------------
+
+struct ResolvedCall {
+  std::size_t file = 0;  ///< index into files
+  std::size_t fn = 0;    ///< index into that file's functions
+  const CallSite* site = nullptr;
+  std::vector<std::size_t> targets;  ///< call-graph group ids
+};
+
+std::string loc(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+struct LockEdge {
+  std::vector<std::string> witness;
+  std::string file;
+  int line = 0;  ///< the holding acquisition — where the waiver goes
+};
+
+class CrossFileAnalysis {
+ public:
+  CrossFileAnalysis(const std::vector<FileModel>& files,
+                    const LayerSpec* spec)
+      : files_(files), spec_(spec), graph_(files) {}
+
+  std::vector<Finding> run() {
+    resolve_all_calls();
+    seed_direct_facts();
+    propagate();
+    if (spec_ != nullptr) rule_r8();
+    rule_r9_r10();
+    rule_r11();
+    return std::move(findings_);
+  }
+
+ private:
+  bool waived(const FileModel& fm, int line, const std::string& kind) const {
+    return waiver_at(fm.comment_by_line, line, kind);
+  }
+
+  // --- call resolution & fixpoints -------------------------------------
+
+  void resolve_all_calls() {
+    const std::size_t n = graph_.groups().size();
+    calls_by_group_.resize(n);
+    acq_.resize(n);
+    blocks_.resize(n);
+    for (const FunctionGroup& group : graph_.groups()) {
+      (void)group;
+    }
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      for (const auto& [fi, di] : graph_.groups()[gi].defs) {
+        const FunctionDef& def = files_[fi].functions[di];
+        for (const CallSite& cs : def.calls) {
+          ResolvedCall rc;
+          rc.file = fi;
+          rc.fn = di;
+          rc.site = &cs;
+          rc.targets = graph_.resolve(def, cs);
+          calls_by_group_[gi].push_back(std::move(rc));
+        }
+      }
+    }
+  }
+
+  void seed_direct_facts() {
+    for (std::size_t gi = 0; gi < graph_.groups().size(); ++gi) {
+      const FunctionGroup& group = graph_.groups()[gi];
+      for (const auto& [fi, di] : group.defs) {
+        const FunctionDef& def = files_[fi].functions[di];
+        for (const GuardRegion& region : def.guards) {
+          for (const std::string& m : region.mutexes) {
+            if (acq_[gi].count(m) != 0) continue;
+            acq_[gi][m] = {loc(def.file, region.line) + ": '" +
+                           group.qualified + "' acquires '" + m + "'"};
+          }
+        }
+        if (blocks_[gi].empty()) {
+          seed_direct_blocking(gi, fi, def);
+        }
+      }
+    }
+  }
+
+  /// A function blocks when its own body performs a blocking operation —
+  /// under a lock or not; what matters to callers is that control may
+  /// stall inside it while *they* hold a lock.
+  void seed_direct_blocking(std::size_t gi, std::size_t fi,
+                            const FunctionDef& def) {
+    const std::vector<Token>& toks = files_[fi].lex.tokens;
+    for (const CallSite& cs : def.calls) {
+      const auto it = blocking_calls().find(cs.name);
+      if (it != blocking_calls().end()) {
+        blocks_[gi] = {loc(def.file, cs.line) + ": '" + cs.name + "' (" +
+                       it->second + ") in '" + def.qualified + "'"};
+        return;
+      }
+      if (cv_wait_names().count(cs.name) != 0 &&
+          cs.qual == CallQual::kMember) {
+        blocks_[gi] = {loc(def.file, cs.line) + ": '" + cs.qualifier + "." +
+                       cs.name + "' (condition wait) in '" + def.qualified +
+                       "'"};
+        return;
+      }
+    }
+    for (std::size_t t = def.body_begin;
+         t < def.body_end && t < toks.size(); ++t) {
+      if (toks[t].kind == TokKind::kIdentifier &&
+          stream_types().count(toks[t].text) != 0) {
+        blocks_[gi] = {loc(def.file, toks[t].line) + ": '" + toks[t].text +
+                       "' (file I/O) in '" + def.qualified + "'"};
+        return;
+      }
+    }
+  }
+
+  void propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t gi = 0; gi < calls_by_group_.size(); ++gi) {
+        for (const ResolvedCall& rc : calls_by_group_[gi]) {
+          const FunctionDef& def = files_[rc.file].functions[rc.fn];
+          for (const std::size_t h : rc.targets) {
+            const std::string step =
+                loc(def.file, rc.site->line) + ": '" + def.qualified +
+                "' calls '" + graph_.groups()[h].qualified + "'";
+            for (const auto& [m, w] : acq_[h]) {
+              if (acq_[gi].count(m) != 0) continue;
+              std::vector<std::string> chain = {step};
+              chain.insert(chain.end(), w.begin(), w.end());
+              acq_[gi].emplace(m, std::move(chain));
+              changed = true;
+            }
+            if (!blocks_[h].empty() && blocks_[gi].empty()) {
+              std::vector<std::string> chain = {step};
+              chain.insert(chain.end(), blocks_[h].begin(),
+                           blocks_[h].end());
+              blocks_[gi] = std::move(chain);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- R8: include-graph layering --------------------------------------
+
+  void rule_r8() {
+    for (const Finding& f : spec_->errors) findings_.push_back(f);
+    for (const FileModel& fm : files_) {
+      if (fm.module.empty() || spec_->closure.count(fm.module) == 0) {
+        continue;  // not part of the declared DAG (tools/, tests/)
+      }
+      const std::set<std::string>& allowed = spec_->closure.at(fm.module);
+      for (const Include& inc : fm.lex.includes) {
+        const std::size_t slash = inc.target.find('/');
+        if (slash == std::string::npos) continue;  // sibling / system
+        const std::string target = inc.target.substr(0, slash);
+        if (spec_->closure.count(target) == 0) continue;  // not a module
+        if (allowed.count(target) != 0) continue;
+        if (spec_->waived.count({fm.module, target}) != 0) continue;
+        if (waived(fm, inc.line, "layer")) continue;
+        findings_.push_back(
+            {fm.lex.path, inc.line, "R8-layering",
+             "include edge '" + fm.module + "' -> '" + target +
+                 "' violates the layer DAG (" + spec_->path +
+                 "); depend downward only, add a spec `waive " + fm.module +
+                 " -> " + target +
+                 " <reason>` line, or waive the include with "
+                 "// LINT:layer(why)"});
+      }
+    }
+  }
+
+  // --- R9 + R10 over guard regions -------------------------------------
+
+  struct ActiveAt {
+    const GuardRegion* region;
+    bool covers(std::size_t tok) const {
+      for (const GuardSegment& s : region->segments) {
+        if (tok >= s.begin && tok < s.end) return true;
+      }
+      return false;
+    }
+  };
+
+  void rule_r9_r10() {
+    // Edges of the acquisition-order graph: from -> to -> first witness.
+    std::map<std::string, std::map<std::string, LockEdge>> edges;
+
+    for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+      const FileModel& fm = files_[fi];
+      for (std::size_t di = 0; di < fm.functions.size(); ++di) {
+        const FunctionDef& def = fm.functions[di];
+        if (def.guards.empty()) continue;
+        scan_function_guards(fm, def, edges);
+      }
+    }
+    report_cycles(edges);
+  }
+
+  void scan_function_guards(
+      const FileModel& fm, const FunctionDef& def,
+      std::map<std::string, std::map<std::string, LockEdge>>& edges) {
+    const std::vector<Token>& toks = fm.lex.tokens;
+
+    // Map call-site token -> call, for in-segment lookups.
+    std::map<std::size_t, const CallSite*> call_at;
+    for (const CallSite& cs : def.calls) call_at[cs.token] = &cs;
+
+    for (const GuardRegion& outer : def.guards) {
+      const bool hold_waived =
+          waived(fm, outer.line, "lock-order");
+      // Nested acquisitions inside this region -> direct order edges.
+      for (const GuardRegion& inner : def.guards) {
+        if (&inner == &outer) continue;
+        if (!ActiveAt{&outer}.covers(inner.token)) continue;
+        if (hold_waived || waived(fm, inner.line, "lock-order")) continue;
+        for (const std::string& a : outer.mutexes) {
+          for (const std::string& b : inner.mutexes) {
+            if (a == b) continue;
+            auto& slot = edges[a];
+            if (slot.count(b) != 0) continue;
+            slot[b] = {{loc(def.file, outer.line) + ": '" + def.qualified +
+                            "' acquires '" + a + "'",
+                        loc(def.file, inner.line) + ": '" + def.qualified +
+                            "' acquires '" + b + "' while holding '" + a +
+                            "'"},
+                       def.file,
+                       outer.line};
+          }
+        }
+      }
+
+      // Walk the region's token ranges: calls (R9 propagation + R10
+      // transitive blocking) and direct blocking operations (R10).
+      for (const GuardSegment& seg : outer.segments) {
+        for (std::size_t t = seg.begin;
+             t < seg.end && t < toks.size(); ++t) {
+          const Token& tok = toks[t];
+          if (tok.kind != TokKind::kIdentifier) continue;
+
+          if (stream_types().count(tok.text) != 0 &&
+              !waived(fm, tok.line, "blocking") &&
+              !waived(fm, outer.line, "blocking")) {
+            findings_.push_back(
+                {def.file, tok.line, "R10-blocking-under-lock",
+                 "'" + tok.text + "' (file I/O) while holding '" +
+                     outer.mutexes.front() + "' (acquired " +
+                     loc(def.file, outer.line) +
+                     "); do the I/O outside the lock or waive with "
+                     "// LINT:blocking(why)"});
+            continue;
+          }
+
+          const auto ca = call_at.find(t);
+          if (ca == call_at.end()) continue;
+          const CallSite& cs = *ca->second;
+          handle_call_under_guard(fm, def, outer, cs, edges);
+        }
+      }
+    }
+  }
+
+  void handle_call_under_guard(
+      const FileModel& fm, const FunctionDef& def, const GuardRegion& outer,
+      const CallSite& cs,
+      std::map<std::string, std::map<std::string, LockEdge>>& edges) {
+    const std::vector<Token>& toks = fm.lex.tokens;
+
+    // Condition-variable waits: waiting on the guard's *own* lock is the
+    // cv protocol; waiting while any other guard is live is a stall with
+    // a lock held.
+    if (cv_wait_names().count(cs.name) != 0 && cs.qual == CallQual::kMember) {
+      std::string arg;
+      if (cs.token + 2 < toks.size() &&
+          toks[cs.token + 2].kind == TokKind::kIdentifier) {
+        arg = toks[cs.token + 2].text;
+      }
+      if (outer.var != arg && !waived(fm, cs.line, "blocking") &&
+          !waived(fm, outer.line, "blocking")) {
+        findings_.push_back(
+            {def.file, cs.line, "R10-blocking-under-lock",
+             "'" + cs.qualifier + "." + cs.name +
+                 "(...)' waits while holding '" + outer.mutexes.front() +
+                 "' (acquired " + loc(def.file, outer.line) +
+                 "), which is not the wait's own lock; drop it first or "
+                 "waive with // LINT:blocking(why)"});
+      }
+      return;
+    }
+
+    const auto blk = blocking_calls().find(cs.name);
+    if (blk != blocking_calls().end()) {
+      if (!waived(fm, cs.line, "blocking") &&
+          !waived(fm, outer.line, "blocking")) {
+        findings_.push_back(
+            {def.file, cs.line, "R10-blocking-under-lock",
+             "'" + cs.name + "()' (" + blk->second + ") while holding '" +
+                 outer.mutexes.front() + "' (acquired " +
+                 loc(def.file, outer.line) +
+                 "); move it outside the lock (the serve flusher's "
+                 "unlock/relock split is the sanctioned idiom) or waive "
+                 "with // LINT:blocking(why)"});
+      }
+      return;  // the direct finding covers the transitive one
+    }
+
+    const std::vector<std::size_t> targets = graph_.resolve(def, cs);
+    if (targets.empty()) return;
+
+    const bool order_waived = waived(fm, outer.line, "lock-order") ||
+                              waived(fm, cs.line, "lock-order");
+    bool blocking_reported = false;
+    for (const std::size_t h : targets) {
+      // R9: callee (transitively) acquires other mutexes while ours held.
+      if (!order_waived) {
+        for (const auto& [m, w] : acq_[h]) {
+          for (const std::string& a : outer.mutexes) {
+            if (a == m) continue;
+            auto& slot = edges[a];
+            if (slot.count(m) != 0) continue;
+            LockEdge edge;
+            edge.file = def.file;
+            edge.line = outer.line;
+            edge.witness.push_back(loc(def.file, outer.line) + ": '" +
+                                   def.qualified + "' acquires '" + a + "'");
+            edge.witness.push_back(loc(def.file, cs.line) + ": '" +
+                                   def.qualified + "' calls '" +
+                                   graph_.groups()[h].qualified +
+                                   "' while holding '" + a + "'");
+            edge.witness.insert(edge.witness.end(), w.begin(), w.end());
+            slot[m] = std::move(edge);
+          }
+        }
+      }
+      // R10 transitive: the callee may block.
+      if (!blocking_reported && !blocks_[h].empty() &&
+          !waived(fm, cs.line, "blocking") &&
+          !waived(fm, outer.line, "blocking")) {
+        std::string chain;
+        for (const std::string& step : blocks_[h]) {
+          if (!chain.empty()) chain += "; ";
+          chain += step;
+        }
+        findings_.push_back(
+            {def.file, cs.line, "R10-blocking-under-lock",
+             "call to '" + graph_.groups()[h].qualified +
+                 "' may block while holding '" + outer.mutexes.front() +
+                 "' (acquired " + loc(def.file, outer.line) + "); via: " +
+                 chain + "; restructure or waive with "
+                 "// LINT:blocking(why)"});
+        blocking_reported = true;
+      }
+    }
+  }
+
+  void report_cycles(
+      const std::map<std::string, std::map<std::string, LockEdge>>& edges) {
+    std::set<std::string> reported;
+    for (const auto& [from, tos] : edges) {
+      for (const auto& [to, edge] : tos) {
+        // Shortest path back: to -> ... -> from over the edge map.
+        const std::vector<std::string> back = shortest_path(edges, to, from);
+        if (back.empty()) continue;
+        // Cycle nodes: from -> to (-> ... -> from).
+        std::vector<std::string> cycle = {from};
+        cycle.insert(cycle.end(), back.begin(), back.end() - 1);
+        // Normalize rotation so each cycle is reported exactly once.
+        const std::size_t min_at = std::distance(
+            cycle.begin(), std::min_element(cycle.begin(), cycle.end()));
+        std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+        std::string key;
+        for (const std::string& n : cycle) key += n + "|";
+        if (!reported.insert(key).second) continue;
+
+        std::string names;
+        for (const std::string& n : cycle) names += "'" + n + "' -> ";
+        names += "'" + cycle.front() + "'";
+        std::string witness;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+          const std::string& a = cycle[i];
+          const std::string& b = cycle[(i + 1) % cycle.size()];
+          const LockEdge& e = edges.at(a).at(b);
+          for (const std::string& step : e.witness) {
+            if (!witness.empty()) witness += "; ";
+            witness += step;
+          }
+        }
+        const LockEdge& anchor = edges.at(cycle.front()).at(cycle[1]);
+        findings_.push_back(
+            {anchor.file, anchor.line, "R9-lock-order",
+             "lock-order cycle " + names +
+                 " can deadlock; witness: " + witness +
+                 "; fix the acquisition order or waive one edge with "
+                 "// LINT:lock-order(why) on its holding acquisition"});
+      }
+    }
+  }
+
+  static std::vector<std::string> shortest_path(
+      const std::map<std::string, std::map<std::string, LockEdge>>& edges,
+      const std::string& from, const std::string& to) {
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue = {from};
+    parent[from] = from;
+    while (!queue.empty()) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      if (node == to) {
+        std::vector<std::string> path = {node};
+        std::string cur = node;
+        while (parent[cur] != cur) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;  // from ... to
+      }
+      const auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        (void)edge;
+        if (parent.count(next) != 0) continue;
+        parent[next] = node;
+        queue.push_back(next);
+      }
+    }
+    return {};
+  }
+
+  // --- R11: determinism audit ------------------------------------------
+
+  static bool in_deterministic_module(const FileModel& fm) {
+    return fm.module == "tensor" || fm.module == "gnn" ||
+           fm.module == "optim" || fm.module == "search";
+  }
+
+  void rule_r11() {
+    // Clock aliases (`using Clock = std::chrono::steady_clock;`) bind
+    // globally: population.h's alias is what parallel_tempering.cpp reads.
+    std::set<std::string> clocks = {"steady_clock", "system_clock",
+                                    "high_resolution_clock"};
+    for (const FileModel& fm : files_) {
+      const std::vector<Token>& toks = fm.lex.tokens;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "using" ||
+            toks[i + 1].kind != TokKind::kIdentifier ||
+            toks[i + 2].text != "=") {
+          continue;
+        }
+        for (std::size_t j = i + 3; j < toks.size(); ++j) {
+          if (toks[j].text == ";") break;
+          if (clocks.count(toks[j].text) != 0) {
+            clocks.insert(toks[i + 1].text);
+            break;
+          }
+        }
+      }
+    }
+
+    // unordered_{map,set} declarations bind per dir/stem, like GUARDED_BY:
+    // a header's members govern its .cpp.
+    std::map<std::string, std::set<std::string>> unordered_by_stem;
+    for (const FileModel& fm : files_) {
+      if (fm.unordered_decls.empty()) continue;
+      unordered_by_stem[dir_stem(fm.lex.path)].insert(
+          fm.unordered_decls.begin(), fm.unordered_decls.end());
+    }
+
+    for (const FileModel& fm : files_) {
+      if (!in_deterministic_module(fm)) continue;
+      const std::vector<Token>& toks = fm.lex.tokens;
+      const auto uit = unordered_by_stem.find(dir_stem(fm.lex.path));
+      const std::set<std::string>* unordered =
+          uit == unordered_by_stem.end() ? nullptr : &uit->second;
+
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdentifier) continue;
+        const std::string prev = i > 0 ? toks[i - 1].text : std::string();
+        const std::string next =
+            i + 1 < toks.size() ? toks[i + 1].text : std::string();
+
+        if ((t.text == "rand" || t.text == "srand") && next == "(" &&
+            prev != "." && prev != "->") {
+          if (!waived(fm, t.line, "nondet")) {
+            findings_.push_back(
+                {fm.lex.path, t.line, "R11-determinism",
+                 "'" + t.text +
+                     "()' breaks the fixed-seed replay contract; draw from "
+                     "a seeded support/rng.h stream or waive with "
+                     "// LINT:nondet(why)"});
+          }
+          continue;
+        }
+        if (t.text == "random_device") {
+          if (!waived(fm, t.line, "nondet")) {
+            findings_.push_back(
+                {fm.lex.path, t.line, "R11-determinism",
+                 "'std::random_device' is entropy, not a seed; "
+                 "deterministic modules take seeds from callers or waive "
+                 "with // LINT:nondet(why)"});
+          }
+          continue;
+        }
+        if (t.text == "now" && prev == "::" && i >= 2 &&
+            clocks.count(toks[i - 2].text) != 0) {
+          if (!waived(fm, t.line, "nondet")) {
+            findings_.push_back(
+                {fm.lex.path, t.line, "R11-determinism",
+                 "'" + toks[i - 2].text +
+                     "::now()' reads the wall clock; results that depend "
+                     "on it cannot replay bit-for-bit — thread a budget "
+                     "through the API or waive with // LINT:nondet(why)"});
+          }
+          continue;
+        }
+        if (t.text == "for" && next == "(" && unordered != nullptr) {
+          check_unordered_range_for(fm, i, *unordered);
+        }
+      }
+    }
+  }
+
+  void check_unordered_range_for(const FileModel& fm, std::size_t i,
+                                 const std::set<std::string>& unordered) {
+    const std::vector<Token>& toks = fm.lex.tokens;
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++depth;
+      if (t == ")" && --depth == 0) break;
+      if (depth == 1 && t == ":") {
+        colon = j;
+        break;
+      }
+      if (t == ";" && depth == 1) return;  // classic for, not range-for
+    }
+    if (colon == 0) return;
+    for (j = colon + 1; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.text == "(") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ")") {
+        if (--depth == 0) break;
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier && unordered.count(t.text) != 0) {
+        if (!waived(fm, toks[i].line, "nondet")) {
+          findings_.push_back(
+              {fm.lex.path, toks[i].line, "R11-determinism",
+               "range-for over unordered container '" + t.text +
+                   "' feeds hash-order into downstream results; iterate a "
+                   "sorted copy, use a std::map, or waive an "
+                   "order-insensitive fold with // LINT:nondet(why)"});
+        }
+        return;
+      }
+    }
+  }
+
+  static std::string dir_stem(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    return dir + "/" +
+           (dot == std::string::npos ? base : base.substr(0, dot));
+  }
+
+  const std::vector<FileModel>& files_;
+  const LayerSpec* spec_;
+  CallGraph graph_;
+  std::vector<std::vector<ResolvedCall>> calls_by_group_;
+  /// Per group: mutex key -> witness chain of how the group reaches the
+  /// acquisition (possibly through calls).
+  std::vector<std::map<std::string, std::vector<std::string>>> acq_;
+  /// Per group: non-empty witness chain when the group may block.
+  std::vector<std::vector<std::string>> blocks_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+LayerSpec parse_layer_spec(const std::string& path, const std::string& text) {
+  LayerSpec spec;
+  spec.path = path;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw
+                                                      : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.compare(0, 6, "waive ") == 0) {
+      // waive <from> -> <to> <reason...>
+      std::istringstream ws(line.substr(6));
+      std::string from, arrow, to;
+      ws >> from >> arrow >> to;
+      std::string reason;
+      std::getline(ws, reason);
+      reason = trim(reason);
+      if (from.empty() || arrow != "->" || to.empty() || reason.empty()) {
+        spec.errors.push_back(
+            {path, line_no, "R8-layering",
+             "malformed waiver; expected `waive <from> -> <to> <reason>` "
+             "with a non-empty reason"});
+        continue;
+      }
+      spec.waived[{from, to}] = reason;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      spec.errors.push_back({path, line_no, "R8-layering",
+                             "malformed module line; expected "
+                             "`<module>: <dep> <dep> ...`"});
+      continue;
+    }
+    const std::string mod = trim(line.substr(0, colon));
+    spec.deps[mod] = split_ws(line.substr(colon + 1));
+  }
+  // Validate deps and waivers refer to declared modules; build closure.
+  for (const auto& [mod, deps] : spec.deps) {
+    for (const std::string& dep : deps) {
+      if (spec.deps.count(dep) == 0) {
+        spec.errors.push_back({path, 0, "R8-layering",
+                               "module '" + mod + "' depends on '" + dep +
+                                   "', which the spec does not declare"});
+      }
+    }
+  }
+  for (const auto& [edge, reason] : spec.waived) {
+    (void)reason;
+    if (spec.deps.count(edge.first) == 0 ||
+        spec.deps.count(edge.second) == 0) {
+      spec.errors.push_back({path, 0, "R8-layering",
+                             "waiver '" + edge.first + " -> " + edge.second +
+                                 "' names an undeclared module"});
+    }
+  }
+  for (const auto& [mod, deps] : spec.deps) {
+    (void)deps;
+    std::set<std::string> out, pathset;
+    if (!close_over(spec, mod, out, pathset)) {
+      spec.errors.push_back({path, 0, "R8-layering",
+                             "the spec's dependency edges reach a cycle "
+                             "through '" + mod + "'; the layer graph must "
+                             "be a DAG"});
+      out = {mod};
+    }
+    spec.closure[mod] = std::move(out);
+  }
+  return spec;
+}
+
+std::vector<Finding> run_cross_file_rules(const std::vector<FileModel>& files,
+                                          const LayerSpec* spec) {
+  return CrossFileAnalysis(files, spec).run();
+}
+
+}  // namespace chainnet::lint

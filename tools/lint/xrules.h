@@ -1,0 +1,68 @@
+// Cross-file rule engine of chainnet_lint v2 — phase 2 of the analyzer.
+// Consumes the per-TU program models (model.h) and the repo-wide call
+// graph (callgraph.h) to enforce the contracts the per-scope engine
+// (rules.h) cannot see:
+//
+//   R8-layering      every `#include` between src/ modules must respect
+//                    the layer DAG committed in tools/lint/layers.spec
+//                    (`support → tensor → {edge, queueing} → gnn → core →
+//                    {runtime, optim} → {search, serve}`). A back- or
+//                    cross-edge is an error unless the spec carries a
+//                    `waive from -> to <reason>` line or the include line
+//                    carries // LINT:layer(reason).
+//   R9-lock-order    held-guard sets propagate through the call graph into
+//                    a global mutex acquisition-order graph; any cycle is
+//                    a potential deadlock, reported with the full witness
+//                    path (file:line chain of acquisitions and calls).
+//                    // LINT:lock-order(reason) on the holding acquisition
+//                    or the offending call waives one edge.
+//   R10-blocking     no socket I/O, file I/O, `evaluate`/`evaluate_batch`,
+//                    thread joins, sleeps, or condition-variable waits on
+//                    *another* lock while a guard is held — directly or
+//                    through any call chain. The audited manual
+//                    unlock/relock idiom (serve flusher) is understood as
+//                    a region split, not waived away.
+//                    // LINT:blocking(reason) waives one site.
+//   R11-determinism  src/{tensor,gnn,optim,search} are the bit-for-bit
+//                    replay / fixed-seed modules: `rand`, `srand`,
+//                    `std::random_device`, `chrono::*_clock::now`, and
+//                    range-for iteration over unordered_{map,set} are
+//                    findings. // LINT:nondet(reason) waives (e.g. a
+//                    wall-clock *budget* that only truncates, never
+//                    reorders).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "model.h"
+#include "rules.h"
+
+namespace chainnet::lint {
+
+/// The committed module DAG. Parse errors surface as findings against the
+/// spec file itself, so a malformed spec fails the gate rather than
+/// silently disabling R8.
+struct LayerSpec {
+  std::string path;
+  /// module -> modules it may depend on directly.
+  std::map<std::string, std::vector<std::string>> deps;
+  /// Reflexive-transitive closure of `deps`.
+  std::map<std::string, std::set<std::string>> closure;
+  /// Waived back-edges, (from, to) -> reason (must be non-empty).
+  std::map<std::pair<std::string, std::string>, std::string> waived;
+  std::vector<Finding> errors;
+};
+
+LayerSpec parse_layer_spec(const std::string& path, const std::string& text);
+
+/// Runs R8-R11 over every model. `spec` may be null (R8 is skipped, the
+/// other families still run). Findings are neither sorted nor deduplicated
+/// — the caller merges them with the per-file engine's output.
+std::vector<Finding> run_cross_file_rules(const std::vector<FileModel>& files,
+                                          const LayerSpec* spec);
+
+}  // namespace chainnet::lint
